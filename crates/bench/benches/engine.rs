@@ -1,0 +1,95 @@
+//! PDES engine ablation: the same PHOLD workload under the sequential,
+//! conservative, and optimistic schedulers — the scheduler trade-off the
+//! ROSS substrate exposes (the paper runs CODES in optimistic mode).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use ross::{Ctx, Envelope, Lp, OptimisticConfig, SimDuration, SimTime, Simulation};
+
+#[derive(Clone)]
+struct Phold {
+    rng: SmallRng,
+    n_lps: u32,
+    horizon: SimTime,
+    hits: u64,
+}
+
+impl Lp for Phold {
+    type Event = u32;
+    fn handle(&mut self, _ev: &Envelope<u32>, ctx: &mut Ctx<'_, u32>) {
+        self.hits += 1;
+        if ctx.now() < self.horizon {
+            let dst = self.rng.gen_range(0..self.n_lps);
+            let delay = SimDuration::from_ns(self.rng.gen_range(100..1000));
+            ctx.send(dst, delay, 0);
+        }
+    }
+}
+
+fn phold(n_lps: u32) -> Simulation<Phold> {
+    let lps = (0..n_lps)
+        .map(|i| Phold {
+            rng: SmallRng::seed_from_u64(i as u64),
+            n_lps,
+            horizon: SimTime::from_us(500),
+            hits: 0,
+        })
+        .collect();
+    let mut sim = Simulation::new(lps, SimDuration::from_ns(100));
+    for i in 0..n_lps {
+        sim.schedule(i, SimTime::from_ns(i as u64), 0);
+    }
+    sim
+}
+
+fn bench_schedulers(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine/phold-64lp");
+    g.sample_size(10);
+    g.bench_function(BenchmarkId::from_parameter("sequential"), |b| {
+        b.iter(|| {
+            let mut sim = phold(64);
+            sim.run_sequential(SimTime::MAX).committed
+        })
+    });
+    for threads in [2usize, 4] {
+        g.bench_function(BenchmarkId::new("conservative", threads), |b| {
+            b.iter(|| {
+                let mut sim = phold(64);
+                sim.run_conservative(threads, SimTime::MAX).committed
+            })
+        });
+        g.bench_function(BenchmarkId::new("optimistic", threads), |b| {
+            b.iter(|| {
+                let mut sim = phold(64);
+                sim.run_optimistic(threads, OptimisticConfig::default(), SimTime::MAX)
+                    .committed
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_snapshot_interval(c: &mut Criterion) {
+    // Time Warp state-saving ablation: snapshot every event vs sparser
+    // checkpoints with coast-forward.
+    let mut g = c.benchmark_group("engine/snapshot-interval");
+    g.sample_size(10);
+    for interval in [1u64, 4, 16] {
+        g.bench_function(BenchmarkId::from_parameter(interval), |b| {
+            b.iter(|| {
+                let mut sim = phold(32);
+                sim.run_optimistic(
+                    4,
+                    OptimisticConfig { batch: 256, snapshot_interval: interval },
+                    SimTime::MAX,
+                )
+                .committed
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_schedulers, bench_snapshot_interval);
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! Union toolchain benchmarks: DSL compilation, translation,
+//! instantiation (static message resolution), skeleton execution, and the
+//! Table IV/V validation collectors.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use union_core::{translate, translate_source, RankVm, SkeletonInstance, Validation};
+
+fn bench_compile(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pipeline");
+    g.bench_function("conceptual-compile-alexnet", |b| {
+        b.iter(|| conceptual::compile(workloads::ALEXNET_NCPTL).unwrap())
+    });
+    g.bench_function("translate-alexnet", |b| {
+        let prog = conceptual::compile(workloads::ALEXNET_NCPTL).unwrap();
+        b.iter(|| translate(&prog, "alexnet").unwrap())
+    });
+    g.bench_function("instantiate-milc-4096", |b| {
+        let skel = workloads::milc();
+        b.iter(|| SkeletonInstance::new(&skel, 4096, &["--iters", "2"]).unwrap())
+    });
+    g.bench_function("vm-stream-nekbone-rank0", |b| {
+        let skel = workloads::nekbone();
+        let inst = SkeletonInstance::new(&skel, 2197, &["--iters", "5"]).unwrap();
+        b.iter(|| RankVm::new(inst.clone(), 0, 1).count())
+    });
+    g.finish();
+}
+
+/// Table IV/V generation: the validation collectors over the full
+/// 512-rank AlexNet skeleton and its reference.
+fn bench_validation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("validation");
+    g.sample_size(10);
+    let skel = workloads::alexnet();
+    let inst = SkeletonInstance::new(&skel, 512, &[]).unwrap();
+    g.bench_function("table4-5-fig6-skeleton-512", |b| {
+        b.iter(|| Validation::collect(512, |r| RankVm::new(inst.clone(), r, 1)))
+    });
+    g.bench_function("table4-5-fig6-reference-512", |b| {
+        b.iter(|| {
+            Validation::collect(512, |r| workloads::alexnet_reference::ops(r, 512).into_iter())
+        })
+    });
+    g.finish();
+}
+
+/// Skeletonization speedup microcosm: executing the skeleton op stream vs
+/// a trace-like expansion of every packet-level byte (what trace replay
+/// would enumerate). Demonstrates why in-situ skeletons beat traces.
+fn bench_skeleton_vs_trace_expansion(c: &mut Criterion) {
+    let mut g = c.benchmark_group("skeleton-vs-trace");
+    let src = "for 50 repetitions { all tasks t asynchronously send a 1048576 byte \
+               message to task (t+1) mod num_tasks then all tasks await completions }.";
+    let skel = translate_source(src, "ring").unwrap();
+    let inst = SkeletonInstance::new(&skel, 64, &[]).unwrap();
+    g.bench_function("skeleton-ops", |b| {
+        b.iter(|| {
+            (0..64u32).map(|r| RankVm::new(inst.clone(), r, 1).count()).sum::<usize>()
+        })
+    });
+    g.bench_function("trace-expansion-4KiB-records", |b| {
+        // A trace would store one record per packet: count them all.
+        b.iter(|| {
+            let mut records = 0u64;
+            for _rank in 0..64u64 {
+                for _rep in 0..50u64 {
+                    records += 1048576u64.div_ceil(4096);
+                }
+            }
+            records
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_compile, bench_validation, bench_skeleton_vs_trace_expansion);
+criterion_main!(benches);

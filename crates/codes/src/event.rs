@@ -1,0 +1,47 @@
+//! Simulation events and logical-process id mapping.
+
+use dragonfly::Packet;
+
+/// Every event in the composed CODES simulation.
+#[derive(Clone, Debug)]
+pub enum Event {
+    /// Kick a node's rank process off at simulation start.
+    Start,
+    /// A packet arrives at a router.
+    RouterPkt(Packet),
+    /// A packet arrives at a node NIC (final hop).
+    NodePkt(Packet),
+    /// The node NIC finished serializing one packet; emit the next.
+    NicPulse,
+    /// A rank's compute delay elapsed.
+    ComputeDone,
+    /// Local delivery of a message between ranks on the same node pair
+    /// (degenerate case kept off the network).
+    LocalMsg(Packet),
+    /// Credit-mode flow control: a downstream buffer slot freed up for
+    /// (port, vc) on this router.
+    Credit { port: u16, vc: u8 },
+}
+
+/// LP id layout: nodes first, then routers.
+#[derive(Clone, Copy, Debug)]
+pub struct LpMap {
+    pub n_nodes: u32,
+}
+
+impl LpMap {
+    #[inline]
+    pub fn node_lp(&self, node: u32) -> u32 {
+        node
+    }
+
+    #[inline]
+    pub fn router_lp(&self, router: u32) -> u32 {
+        self.n_nodes + router
+    }
+
+    #[inline]
+    pub fn is_node(&self, lp: u32) -> bool {
+        lp < self.n_nodes
+    }
+}

@@ -1,0 +1,305 @@
+//! The simulation assembly: builder, the composed LP, and result harvest.
+
+use crate::event::{Event, LpMap};
+use crate::node::{NodeLp, Proc};
+use crate::router_lp::RouterLp;
+use crate::shared::Shared;
+use dragonfly::{DragonflyConfig, LinkClass, Routing, Topology};
+use metrics::{CommTimer, LatencyRecorder, LinkLoad, TimeSeries};
+use mpi_sim::MpiRank;
+use placement::{JobRequest, Layout, Placement};
+use ross::{Ctx, Envelope, Lp, RunStats, Scheduler, SimDuration, SimTime, Simulation};
+use std::sync::Arc;
+use union_core::{OpSource, RankVm};
+
+/// The composed logical process: either a node or a router.
+#[allow(clippy::large_enum_variant)] // one LP per entity; size is fine
+#[derive(Clone)]
+pub enum CodesLp {
+    Node(NodeLp),
+    Router(RouterLp),
+}
+
+impl Lp for CodesLp {
+    type Event = Event;
+    fn handle(&mut self, ev: &Envelope<Event>, ctx: &mut Ctx<'_, Event>) {
+        match self {
+            CodesLp::Node(n) => n.handle_event(ev.recv_time, &ev.payload, ctx),
+            CodesLp::Router(r) => r.handle_event(ev.recv_time, &ev.payload, ctx),
+        }
+    }
+}
+
+/// A job to simulate: a name and one op source per MPI rank (skeleton
+/// VMs for Union in-situ workloads, trace cursors for trace replay).
+pub struct JobSpec {
+    pub name: String,
+    pub sources: Vec<OpSource>,
+}
+
+/// Builder for a hybrid-workload simulation.
+pub struct SimulationBuilder {
+    cfg: DragonflyConfig,
+    routing: Routing,
+    placement: Placement,
+    seed: u64,
+    eager_max: u64,
+    window_ns: u64,
+    jobs: Vec<JobSpec>,
+}
+
+impl SimulationBuilder {
+    pub fn new(cfg: DragonflyConfig) -> SimulationBuilder {
+        SimulationBuilder {
+            cfg,
+            routing: Routing::Adaptive,
+            placement: Placement::RandomGroups,
+            seed: 1,
+            eager_max: 16 * 1024,
+            window_ns: 0,
+            jobs: Vec::new(),
+        }
+    }
+
+    pub fn routing(mut self, r: Routing) -> Self {
+        self.routing = r;
+        self
+    }
+
+    pub fn placement(mut self, p: Placement) -> Self {
+        self.placement = p;
+        self
+    }
+
+    pub fn seed(mut self, s: u64) -> Self {
+        self.seed = s;
+        self
+    }
+
+    pub fn eager_max(mut self, bytes: u64) -> Self {
+        self.eager_max = bytes;
+        self
+    }
+
+    /// Enable per-app windowed router counters (the paper uses 0.5 ms).
+    pub fn window_ns(mut self, ns: u64) -> Self {
+        self.window_ns = ns;
+        self
+    }
+
+    /// Add a Union in-situ job (application). App ids are assigned in
+    /// insertion order.
+    pub fn job(self, name: &str, vms: Vec<RankVm>) -> Self {
+        self.job_sources(name, vms.into_iter().map(OpSource::from).collect())
+    }
+
+    /// Add a trace-replay job (one cursor per rank) — the baseline
+    /// workload mechanism Union replaces (paper Table I).
+    pub fn job_trace(self, name: &str, trace: &std::sync::Arc<union_core::Trace>) -> Self {
+        let sources = (0..trace.num_ranks()).map(|r| trace.cursor(r).into()).collect();
+        self.job_sources(name, sources)
+    }
+
+    /// Add a job from explicit op sources.
+    pub fn job_sources(mut self, name: &str, sources: Vec<OpSource>) -> Self {
+        self.jobs.push(JobSpec { name: name.to_string(), sources });
+        self
+    }
+
+    /// Place the jobs and wire up all LPs.
+    pub fn build(self) -> Result<CodesSim, String> {
+        self.cfg.check()?;
+        if self.jobs.is_empty() {
+            return Err("no jobs".into());
+        }
+        let topo = Topology::build(self.cfg);
+        let requests: Vec<JobRequest> = self
+            .jobs
+            .iter()
+            .map(|j| JobRequest::new(&j.name, j.sources.len() as u32))
+            .collect();
+        let layout = Layout::place(&topo, &requests, self.placement, self.seed)?;
+        let n_nodes = topo.cfg.total_nodes();
+        let n_routers = topo.cfg.total_routers();
+        let shared = Arc::new(Shared {
+            topo,
+            layout,
+            routing: self.routing,
+            eager_max: self.eager_max,
+            window_ns: self.window_ns,
+            max_apps: self.jobs.len().max(1),
+            lpmap: LpMap { n_nodes },
+            lookahead: SimDuration::from_ns(1),
+            job_names: self.jobs.iter().map(|j| j.name.clone()).collect(),
+        });
+
+        // Attach rank processes to their placed nodes.
+        let mut procs: Vec<Option<Proc>> = (0..n_nodes).map(|_| None).collect();
+        for (app, job) in self.jobs.into_iter().enumerate() {
+            for (rank, src) in job.sources.into_iter().enumerate() {
+                let node = shared.layout.node_of(app as u32, rank as u32);
+                debug_assert_eq!(src.rank(), rank as u32, "source rank order mismatch");
+                procs[node as usize] = Some(Proc {
+                    app: app as u32,
+                    mpi: MpiRank::new(src, shared.eager_max),
+                });
+            }
+        }
+
+        let mut lps: Vec<CodesLp> = Vec::with_capacity((n_nodes + n_routers) as usize);
+        let mut start_lps = Vec::new();
+        for (node, proc) in procs.into_iter().enumerate() {
+            if proc.is_some() {
+                start_lps.push(node as u32);
+            }
+            lps.push(CodesLp::Node(NodeLp::new(node as u32, shared.clone(), proc)));
+        }
+        for router in 0..n_routers {
+            lps.push(CodesLp::Router(RouterLp::new(router, shared.clone(), self.seed)));
+        }
+
+        let mut sim = Simulation::new(lps, shared.lookahead);
+        for lp in start_lps {
+            sim.schedule(lp, SimTime::ZERO, Event::Start);
+        }
+        Ok(CodesSim { sim, shared })
+    }
+}
+
+/// A runnable hybrid-workload simulation.
+pub struct CodesSim {
+    sim: Simulation<CodesLp>,
+    shared: Arc<Shared>,
+}
+
+/// Per-application outcome.
+#[derive(Clone, Debug)]
+pub struct AppResult {
+    pub name: String,
+    /// Per-rank message-latency records.
+    pub latency: Vec<LatencyRecorder>,
+    /// Per-rank communication time (ns spent blocked in MPI).
+    pub comm: Vec<CommTimer>,
+    /// Per-rank completion time (None = did not finish before the bound).
+    pub finished_at_ns: Vec<Option<u64>>,
+    pub bytes_sent: u64,
+    pub ops_executed: u64,
+}
+
+impl AppResult {
+    pub fn all_done(&self) -> bool {
+        self.finished_at_ns.iter().all(|f| f.is_some())
+    }
+
+    /// Job makespan (max rank completion), ns.
+    pub fn makespan_ns(&self) -> Option<u64> {
+        self.finished_at_ns.iter().copied().collect::<Option<Vec<u64>>>()?.into_iter().max()
+    }
+}
+
+/// Everything the experiments harvest from one run.
+#[derive(Clone, Debug)]
+pub struct SimResults {
+    pub apps: Vec<AppResult>,
+    pub link_load: LinkLoad,
+    /// Per-router windowed per-app byte counters (only routers with
+    /// traffic; empty when windowing is disabled).
+    pub router_windows: Vec<(u32, Vec<Vec<u64>>)>,
+    pub stats: RunStats,
+}
+
+impl SimResults {
+    /// Sum the windowed series over a set of routers (Fig 8: all routers
+    /// serving one application).
+    pub fn series_over(&self, routers: &[u32], window_ns: u64) -> TimeSeries {
+        let mut ts = TimeSeries::default();
+        for (r, counts) in &self.router_windows {
+            if routers.binary_search(r).is_ok() {
+                ts.accumulate(window_ns, counts);
+            }
+        }
+        ts
+    }
+}
+
+impl CodesSim {
+    /// Run to completion (or `until`) with the chosen scheduler and
+    /// harvest results.
+    pub fn run(&mut self, sched: Scheduler, until: SimTime) -> SimResults {
+        let stats = sched.run(&mut self.sim, until);
+        self.harvest(stats)
+    }
+
+    pub fn shared(&self) -> &Shared {
+        &self.shared
+    }
+
+    /// Pending event count (nonzero after a bounded run that stopped
+    /// early).
+    pub fn pending_events(&self) -> usize {
+        self.sim.pending_events()
+    }
+
+    fn harvest(&self, stats: RunStats) -> SimResults {
+        let napps = self.shared.job_names.len();
+        let mut apps: Vec<AppResult> = self
+            .shared
+            .job_names
+            .iter()
+            .enumerate()
+            .map(|(a, name)| {
+                let ranks = self.shared.layout.rank_to_node[a].len();
+                AppResult {
+                    name: name.clone(),
+                    latency: vec![LatencyRecorder::default(); ranks],
+                    comm: vec![CommTimer::default(); ranks],
+                    finished_at_ns: vec![None; ranks],
+                    bytes_sent: 0,
+                    ops_executed: 0,
+                }
+            })
+            .collect();
+        let mut link_load = LinkLoad::default();
+        let mut router_windows = Vec::new();
+
+        for lp in self.sim.lps() {
+            match lp {
+                CodesLp::Node(n) => {
+                    if let Some(p) = &n.proc {
+                        let a = &mut apps[p.app as usize];
+                        let r = p.mpi.rank() as usize;
+                        a.latency[r] = p.mpi.latency.clone();
+                        a.comm[r] = p.mpi.comm;
+                        a.finished_at_ns[r] = p.mpi.finished_at_ns;
+                        a.bytes_sent += p.mpi.bytes_sent;
+                        a.ops_executed += p.mpi.ops_executed;
+                    }
+                }
+                CodesLp::Router(r) => {
+                    for (port, info) in self.shared.topo.ports(r.state.id).iter().enumerate()
+                    {
+                        let bytes = r.state.port_bytes[port];
+                        match info.class {
+                            LinkClass::Terminal => {
+                                link_load.terminal_bytes += bytes;
+                            }
+                            LinkClass::Local => {
+                                link_load.local_bytes += bytes;
+                                link_load.n_local_links += 1;
+                            }
+                            LinkClass::Global => {
+                                link_load.global_bytes += bytes;
+                                link_load.n_global_links += 1;
+                            }
+                        }
+                    }
+                    if !r.state.windows.counts.is_empty() {
+                        router_windows.push((r.state.id, r.state.windows.counts.clone()));
+                    }
+                }
+            }
+        }
+        let _ = napps;
+        SimResults { apps, link_load, router_windows, stats }
+    }
+}

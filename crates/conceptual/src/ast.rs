@@ -1,0 +1,331 @@
+//! Abstract syntax tree for the coNCePTuaL-style language.
+
+use serde::{Deserialize, Serialize};
+
+/// Integer expression. All coNCePTuaL arithmetic is integer arithmetic.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum Expr {
+    /// Integer literal.
+    Int(i64),
+    /// Variable reference: a command-line parameter, a `let`/loop binding,
+    /// or one of the predeclared variables (`num_tasks`, and within a task
+    /// selector the bound task variable).
+    Var(String),
+    /// Binary operation.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+    /// Unary negation.
+    Neg(Box<Expr>),
+    /// Builtin function call (`MESH_NEIGHBOR`, `TREE_PARENT`, …).
+    Call(Builtin, Vec<Expr>),
+    /// Conditional expression: `if cond then a otherwise b`.
+    IfElse(Box<Cond>, Box<Expr>, Box<Expr>),
+}
+
+#[allow(clippy::should_implement_trait)] // builder sugar, deliberately method-form
+impl Expr {
+    /// Literal constructor (convenience for IR builders).
+    pub fn lit(v: i64) -> Expr {
+        Expr::Int(v)
+    }
+
+    /// Variable constructor.
+    pub fn var(name: &str) -> Expr {
+        Expr::Var(name.to_string())
+    }
+
+    /// `self + v` helper.
+    pub fn add(self, rhs: Expr) -> Expr {
+        Expr::Bin(BinOp::Add, Box::new(self), Box::new(rhs))
+    }
+
+    /// `self - v` helper.
+    pub fn sub(self, rhs: Expr) -> Expr {
+        Expr::Bin(BinOp::Sub, Box::new(self), Box::new(rhs))
+    }
+
+    /// `self * v` helper.
+    pub fn mul(self, rhs: Expr) -> Expr {
+        Expr::Bin(BinOp::Mul, Box::new(self), Box::new(rhs))
+    }
+
+    /// `self mod v` helper.
+    pub fn rem(self, rhs: Expr) -> Expr {
+        Expr::Bin(BinOp::Mod, Box::new(self), Box::new(rhs))
+    }
+}
+
+/// Binary integer operators in precedence order (lowest first).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Mod,
+    Shl,
+    Shr,
+    Pow,
+}
+
+/// Builtin functions. The virtual-topology family mirrors coNCePTuaL's
+/// salient feature: n-ary trees, meshes, tori, and k-nomial trees.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum Builtin {
+    Abs,
+    Min,
+    Max,
+    Sqrt,
+    Cbrt,
+    Log2,
+    /// `MESH_NEIGHBOR(w,h,d, task, dx,dy,dz)` → neighbor rank or −1.
+    MeshNeighbor,
+    /// `TORUS_NEIGHBOR(w,h,d, task, dx,dy,dz)` → wrap-around neighbor.
+    TorusNeighbor,
+    /// `MESH_COORD(w,h,d, task, axis)` → coordinate of `task` on `axis`.
+    MeshCoord,
+    /// `TREE_PARENT(task [, arity])` → parent in an n-ary tree (default 2),
+    /// −1 for the root.
+    TreeParent,
+    /// `TREE_CHILD(task, k [, arity])` → k-th child or −1.
+    TreeChild,
+    /// `KNOMIAL_PARENT(task [, k [, num_tasks]])` → parent in k-nomial tree.
+    KnomialParent,
+    /// `KNOMIAL_CHILD(task, i [, k [, num_tasks]])` → i-th k-nomial child
+    /// or −1.
+    KnomialChild,
+    /// `KNOMIAL_CHILDREN(task [, k [, num_tasks]])` → child count.
+    KnomialChildren,
+}
+
+impl Builtin {
+    /// Parse a builtin name (case-insensitive).
+    pub fn from_name(name: &str) -> Option<Builtin> {
+        Some(match name.to_ascii_uppercase().as_str() {
+            "ABS" => Builtin::Abs,
+            "MIN" => Builtin::Min,
+            "MAX" => Builtin::Max,
+            "SQRT" | "ROOT" => Builtin::Sqrt,
+            "CBRT" => Builtin::Cbrt,
+            "LOG2" => Builtin::Log2,
+            "MESH_NEIGHBOR" => Builtin::MeshNeighbor,
+            "TORUS_NEIGHBOR" => Builtin::TorusNeighbor,
+            "MESH_COORD" => Builtin::MeshCoord,
+            "TREE_PARENT" => Builtin::TreeParent,
+            "TREE_CHILD" => Builtin::TreeChild,
+            "KNOMIAL_PARENT" => Builtin::KnomialParent,
+            "KNOMIAL_CHILD" => Builtin::KnomialChild,
+            "KNOMIAL_CHILDREN" => Builtin::KnomialChildren,
+            _ => return None,
+        })
+    }
+}
+
+/// Relational / boolean condition.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum Cond {
+    Rel(RelOp, Expr, Expr),
+    And(Box<Cond>, Box<Cond>),
+    Or(Box<Cond>, Box<Cond>),
+    Not(Box<Cond>),
+    /// `task is even` / divisibility sugar is expressed via Rel on `%`.
+    True,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum RelOp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    /// `divides`: `a divides b` ⇔ `b mod a = 0`.
+    Divides,
+}
+
+/// Which tasks a clause applies to.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum TaskSel {
+    /// `all tasks` (optionally binding a variable: `all tasks t`).
+    All(Option<String>),
+    /// `task <expr>` — expression may reference enclosing bindings.
+    Single(Expr),
+    /// `tasks v such that <cond>` — binds `v` in the condition and body.
+    SuchThat(String, Cond),
+    /// `all other tasks` — everyone except the task(s) the sentence's
+    /// subject refers to (used for multicast targets).
+    AllOthers,
+}
+
+/// Time units accepted by `computes for` / `sleeps for`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum TimeUnit {
+    Nanoseconds,
+    Microseconds,
+    Milliseconds,
+    Seconds,
+}
+
+impl TimeUnit {
+    /// Nanoseconds per unit.
+    pub fn ns(self) -> i64 {
+        match self {
+            TimeUnit::Nanoseconds => 1,
+            TimeUnit::Microseconds => 1_000,
+            TimeUnit::Milliseconds => 1_000_000,
+            TimeUnit::Seconds => 1_000_000_000,
+        }
+    }
+}
+
+/// Message-attribute flags on sends/receives.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+pub struct MsgAttrs {
+    /// `asynchronously sends` → nonblocking.
+    pub nonblocking: bool,
+}
+
+/// Aggregate functions in log statements.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum Aggregate {
+    Mean,
+    Median,
+    Minimum,
+    Maximum,
+    Sum,
+    Final,
+    None,
+}
+
+/// One column logged by a `logs` statement.
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct LogEntry {
+    pub aggregate: Aggregate,
+    /// Source expression; `elapsed_usecs` is the predeclared timer variable.
+    pub value: Expr,
+    pub label: String,
+}
+
+/// A statement.
+#[derive(Clone, PartialEq, Debug, Default, Serialize, Deserialize)]
+pub enum Stmt {
+    /// `A then B then C` — sequential composition.
+    Seq(Vec<Stmt>),
+    /// `for <expr> repetitions [plus a synchronization] <stmt>`.
+    For {
+        reps: Expr,
+        sync: bool,
+        body: Box<Stmt>,
+    },
+    /// `for each <var> in {a, ..., b} <stmt>`.
+    ForEach {
+        var: String,
+        from: Expr,
+        to: Expr,
+        body: Box<Stmt>,
+    },
+    /// `if <cond> then <stmt> [otherwise <stmt>]`.
+    If {
+        cond: Cond,
+        then: Box<Stmt>,
+        els: Option<Box<Stmt>>,
+    },
+    /// `let <var> be <expr> while <stmt>`.
+    Let {
+        var: String,
+        value: Expr,
+        body: Box<Stmt>,
+    },
+    /// `<src> [asynchronously] sends <count> <size>-byte message(s) to <dst>`.
+    /// coNCePTuaL semantics: the destination implicitly posts matching
+    /// receives.
+    Send {
+        src: TaskSel,
+        count: Expr,
+        size: Expr,
+        dst: TaskSel,
+        attrs: MsgAttrs,
+    },
+    /// Explicit `receives` clause (for one-sided phrasing).
+    Receive {
+        dst: TaskSel,
+        count: Expr,
+        size: Expr,
+        src: TaskSel,
+        attrs: MsgAttrs,
+    },
+    /// `<src> multicasts a <size> byte message to <dst>` — one-to-many.
+    Multicast {
+        src: TaskSel,
+        size: Expr,
+        dst: TaskSel,
+    },
+    /// `<tasks> reduce a <size> byte message to <target>`; when `target`
+    /// is `all tasks` this is an allreduce.
+    Reduce {
+        tasks: TaskSel,
+        size: Expr,
+        target: TaskSel,
+    },
+    /// `<tasks> synchronize` — barrier over the selected tasks.
+    Sync(TaskSel),
+    /// `<tasks> compute(s) for <expr> <unit>`.
+    Compute {
+        tasks: TaskSel,
+        amount: Expr,
+        unit: TimeUnit,
+    },
+    /// `<tasks> sleep(s) for <expr> <unit>` — same simulation effect as
+    /// compute, kept distinct for control-flow fidelity.
+    Sleep {
+        tasks: TaskSel,
+        amount: Expr,
+        unit: TimeUnit,
+    },
+    /// `<tasks> await(s) completion(s)` — waits on outstanding
+    /// nonblocking operations.
+    AwaitCompletions(TaskSel),
+    /// `<tasks> reset(s) its counters`.
+    Reset(TaskSel),
+    /// `<task> logs <entries>`.
+    Log(TaskSel, Vec<LogEntry>),
+    /// `<tasks> compute(s) aggregates`.
+    ComputeAggregates(TaskSel),
+    /// `<tasks> touches <size> byte memory region` — memory-bound busy
+    /// work; simulated as zero-cost (documented deviation).
+    Touch(TaskSel, Expr),
+    /// No-op (empty sentence).
+    #[default]
+    Empty,
+}
+
+/// A command-line parameter declaration:
+/// `reps is "Number of repetitions" and comes from "--reps" or "-r" with
+/// default 1000.`
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct ParamDecl {
+    pub name: String,
+    pub description: String,
+    pub long_flag: String,
+    pub short_flag: Option<String>,
+    pub default: i64,
+}
+
+/// `Assert that "<msg>" with <cond>.`
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct AssertDecl {
+    pub message: String,
+    pub cond: Cond,
+}
+
+/// A complete program.
+#[derive(Clone, PartialEq, Debug, Default, Serialize, Deserialize)]
+pub struct Program {
+    /// `Require language version "<v>".`
+    pub version: Option<String>,
+    pub params: Vec<ParamDecl>,
+    pub asserts: Vec<AssertDecl>,
+    /// Top-level sentences, executed in order.
+    pub stmts: Vec<Stmt>,
+}
+

@@ -1,0 +1,37 @@
+//! Compiler diagnostics.
+
+use crate::token::Pos;
+use std::fmt;
+
+/// Any error produced while compiling or evaluating a coNCePTuaL program.
+#[derive(Clone, PartialEq, Debug)]
+pub struct CompileError {
+    pub pos: Pos,
+    pub message: String,
+}
+
+impl CompileError {
+    pub fn new(pos: Pos, message: impl Into<String>) -> Self {
+        CompileError { pos, message: message.into() }
+    }
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.pos, self.message)
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// Runtime evaluation error (unbound variable, division by zero, …).
+#[derive(Clone, PartialEq, Debug)]
+pub struct EvalError(pub String);
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "evaluation error: {}", self.0)
+    }
+}
+
+impl std::error::Error for EvalError {}

@@ -1,0 +1,477 @@
+//! Expression and condition evaluation.
+//!
+//! coNCePTuaL arithmetic is integer arithmetic. The evaluator resolves
+//! variables against an [`Env`] holding command-line parameters, loop and
+//! `let` bindings, and the predeclared variables `num_tasks` and (inside a
+//! task clause) the bound task variable.
+
+use crate::ast::{BinOp, Builtin, Cond, Expr, RelOp};
+use crate::error::EvalError;
+
+/// Variable environment. Deliberately a small sorted vec: programs bind a
+/// handful of variables and lookups walk from the innermost binding.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Env {
+    bindings: Vec<(String, i64)>,
+}
+
+impl Env {
+    pub fn new() -> Env {
+        Env::default()
+    }
+
+    /// An environment preloaded with `num_tasks`.
+    pub fn with_num_tasks(num_tasks: u32) -> Env {
+        let mut env = Env::new();
+        env.bind("num_tasks", num_tasks as i64);
+        env
+    }
+
+    /// Push a binding, shadowing any previous one with the same name.
+    pub fn bind(&mut self, name: &str, value: i64) {
+        self.bindings.push((name.to_string(), value));
+    }
+
+    /// Remove the most recent binding of `name`.
+    pub fn unbind(&mut self, name: &str) {
+        if let Some(idx) = self.bindings.iter().rposition(|(n, _)| n == name) {
+            self.bindings.remove(idx);
+        }
+    }
+
+    /// Innermost binding of `name`.
+    pub fn get(&self, name: &str) -> Option<i64> {
+        self.bindings.iter().rev().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+
+    /// All current bindings (outermost first).
+    pub fn bindings(&self) -> &[(String, i64)] {
+        &self.bindings
+    }
+}
+
+/// Evaluate an integer expression.
+pub fn eval(expr: &Expr, env: &Env) -> Result<i64, EvalError> {
+    match expr {
+        Expr::Int(v) => Ok(*v),
+        Expr::Var(name) => env
+            .get(name)
+            .ok_or_else(|| EvalError(format!("unbound variable `{name}`"))),
+        Expr::Neg(e) => Ok(-eval(e, env)?),
+        Expr::Bin(op, a, b) => {
+            let a = eval(a, env)?;
+            let b = eval(b, env)?;
+            match op {
+                BinOp::Add => Ok(a.wrapping_add(b)),
+                BinOp::Sub => Ok(a.wrapping_sub(b)),
+                BinOp::Mul => Ok(a.wrapping_mul(b)),
+                BinOp::Div => {
+                    if b == 0 {
+                        Err(EvalError("division by zero".into()))
+                    } else {
+                        Ok(a.div_euclid(b))
+                    }
+                }
+                BinOp::Mod => {
+                    if b == 0 {
+                        Err(EvalError("modulo by zero".into()))
+                    } else {
+                        Ok(a.rem_euclid(b))
+                    }
+                }
+                BinOp::Shl => Ok(a.wrapping_shl(b as u32)),
+                BinOp::Shr => Ok(a.wrapping_shr(b as u32)),
+                BinOp::Pow => {
+                    if b < 0 {
+                        Err(EvalError("negative exponent".into()))
+                    } else {
+                        Ok(a.wrapping_pow(b.min(u32::MAX as i64) as u32))
+                    }
+                }
+            }
+        }
+        Expr::Call(builtin, args) => {
+            let vals: Result<Vec<i64>, EvalError> =
+                args.iter().map(|a| eval(a, env)).collect();
+            call_builtin(*builtin, &vals?, env)
+        }
+        Expr::IfElse(cond, a, b) => {
+            if eval_cond(cond, env)? {
+                eval(a, env)
+            } else {
+                eval(b, env)
+            }
+        }
+    }
+}
+
+/// Evaluate a boolean condition.
+pub fn eval_cond(cond: &Cond, env: &Env) -> Result<bool, EvalError> {
+    match cond {
+        Cond::True => Ok(true),
+        Cond::Not(c) => Ok(!eval_cond(c, env)?),
+        Cond::And(a, b) => Ok(eval_cond(a, env)? && eval_cond(b, env)?),
+        Cond::Or(a, b) => Ok(eval_cond(a, env)? || eval_cond(b, env)?),
+        Cond::Rel(op, a, b) => {
+            let a = eval(a, env)?;
+            let b = eval(b, env)?;
+            Ok(match op {
+                RelOp::Eq => a == b,
+                RelOp::Ne => a != b,
+                RelOp::Lt => a < b,
+                RelOp::Le => a <= b,
+                RelOp::Gt => a > b,
+                RelOp::Ge => a >= b,
+                RelOp::Divides => a != 0 && b.rem_euclid(a) == 0,
+            })
+        }
+    }
+}
+
+fn arity(name: &str, args: &[i64], lo: usize, hi: usize) -> Result<(), EvalError> {
+    if args.len() < lo || args.len() > hi {
+        Err(EvalError(format!(
+            "{name} expects {lo}..={hi} arguments, got {}",
+            args.len()
+        )))
+    } else {
+        Ok(())
+    }
+}
+
+fn call_builtin(b: Builtin, args: &[i64], env: &Env) -> Result<i64, EvalError> {
+    match b {
+        Builtin::Abs => {
+            arity("ABS", args, 1, 1)?;
+            Ok(args[0].abs())
+        }
+        Builtin::Min => {
+            arity("MIN", args, 1, usize::MAX)?;
+            Ok(*args.iter().min().unwrap())
+        }
+        Builtin::Max => {
+            arity("MAX", args, 1, usize::MAX)?;
+            Ok(*args.iter().max().unwrap())
+        }
+        Builtin::Sqrt => {
+            arity("SQRT", args, 1, 1)?;
+            if args[0] < 0 {
+                return Err(EvalError("SQRT of negative number".into()));
+            }
+            Ok(isqrt(args[0] as u64) as i64)
+        }
+        Builtin::Cbrt => {
+            arity("CBRT", args, 1, 1)?;
+            Ok(icbrt(args[0]))
+        }
+        Builtin::Log2 => {
+            arity("LOG2", args, 1, 1)?;
+            if args[0] <= 0 {
+                return Err(EvalError("LOG2 of non-positive number".into()));
+            }
+            Ok(63 - args[0].leading_zeros() as i64)
+        }
+        Builtin::MeshNeighbor => {
+            arity("MESH_NEIGHBOR", args, 7, 7)?;
+            Ok(mesh_neighbor(args, false))
+        }
+        Builtin::TorusNeighbor => {
+            arity("TORUS_NEIGHBOR", args, 7, 7)?;
+            Ok(mesh_neighbor(args, true))
+        }
+        Builtin::MeshCoord => {
+            arity("MESH_COORD", args, 5, 5)?;
+            let (w, h, d, task, axis) = (args[0], args[1], args[2], args[3], args[4]);
+            if w <= 0 || h <= 0 || d <= 0 || task < 0 || task >= w * h * d {
+                return Ok(-1);
+            }
+            Ok(match axis {
+                0 => task % w,
+                1 => (task / w) % h,
+                2 => task / (w * h),
+                _ => -1,
+            })
+        }
+        Builtin::TreeParent => {
+            arity("TREE_PARENT", args, 1, 2)?;
+            let task = args[0];
+            let k = args.get(1).copied().unwrap_or(2);
+            if task <= 0 || k < 1 {
+                Ok(-1)
+            } else {
+                Ok((task - 1).div_euclid(k))
+            }
+        }
+        Builtin::TreeChild => {
+            arity("TREE_CHILD", args, 2, 3)?;
+            let (task, i) = (args[0], args[1]);
+            let k = args.get(2).copied().unwrap_or(2);
+            if task < 0 || i < 0 || i >= k {
+                Ok(-1)
+            } else {
+                Ok(task * k + 1 + i)
+            }
+        }
+        Builtin::KnomialParent => {
+            arity("KNOMIAL_PARENT", args, 1, 3)?;
+            let task = args[0];
+            let k = args.get(1).copied().unwrap_or(2).max(2);
+            let n = args
+                .get(2)
+                .copied()
+                .or_else(|| env.get("num_tasks"))
+                .unwrap_or(i64::MAX);
+            Ok(knomial_parent(task, k, n))
+        }
+        Builtin::KnomialChild => {
+            arity("KNOMIAL_CHILD", args, 2, 4)?;
+            let (task, i) = (args[0], args[1]);
+            let k = args.get(2).copied().unwrap_or(2).max(2);
+            let n = args
+                .get(3)
+                .copied()
+                .or_else(|| env.get("num_tasks"))
+                .unwrap_or(i64::MAX);
+            let kids = knomial_children(task, k, n);
+            Ok(kids.get(i.max(0) as usize).copied().unwrap_or(-1))
+        }
+        Builtin::KnomialChildren => {
+            arity("KNOMIAL_CHILDREN", args, 1, 3)?;
+            let task = args[0];
+            let k = args.get(1).copied().unwrap_or(2).max(2);
+            let n = args
+                .get(2)
+                .copied()
+                .or_else(|| env.get("num_tasks"))
+                .unwrap_or(i64::MAX);
+            Ok(knomial_children(task, k, n).len() as i64)
+        }
+    }
+}
+
+/// Integer square root.
+fn isqrt(v: u64) -> u64 {
+    if v == 0 {
+        return 0;
+    }
+    let mut x = (v as f64).sqrt() as u64;
+    while x.saturating_mul(x) > v {
+        x -= 1;
+    }
+    while (x + 1).saturating_mul(x + 1) <= v {
+        x += 1;
+    }
+    x
+}
+
+/// Integer cube root (for 3-D process grids).
+fn icbrt(v: i64) -> i64 {
+    if v < 0 {
+        return -icbrt(-v);
+    }
+    let mut x = (v as f64).cbrt().round() as i64;
+    while x > 0 && x * x * x > v {
+        x -= 1;
+    }
+    while (x + 1) * (x + 1) * (x + 1) <= v {
+        x += 1;
+    }
+    x
+}
+
+/// `args = [w, h, d, task, dx, dy, dz]`; returns neighbor rank or −1.
+fn mesh_neighbor(args: &[i64], torus: bool) -> i64 {
+    let (w, h, d, task) = (args[0], args[1], args[2], args[3]);
+    let (dx, dy, dz) = (args[4], args[5], args[6]);
+    if w <= 0 || h <= 0 || d <= 0 || task < 0 || task >= w * h * d {
+        return -1;
+    }
+    let x = task % w;
+    let y = (task / w) % h;
+    let z = task / (w * h);
+    let (nx, ny, nz) = if torus {
+        ((x + dx).rem_euclid(w), (y + dy).rem_euclid(h), (z + dz).rem_euclid(d))
+    } else {
+        let (nx, ny, nz) = (x + dx, y + dy, z + dz);
+        if nx < 0 || nx >= w || ny < 0 || ny >= h || nz < 0 || nz >= d {
+            return -1;
+        }
+        (nx, ny, nz)
+    };
+    nz * w * h + ny * w + nx
+}
+
+/// Parent of `task` in a k-nomial tree over `0..n` rooted at 0 (the tree
+/// used by binomial/k-nomial broadcast algorithms).
+fn knomial_parent(task: i64, k: i64, n: i64) -> i64 {
+    if task <= 0 || task >= n || k < 2 {
+        return -1;
+    }
+    // Write task in base k; clearing the lowest nonzero digit yields the
+    // parent.
+    let mut d = 1;
+    while task / d % k == 0 {
+        d *= k;
+    }
+    task - (task / d % k) * d
+}
+
+/// Children of `task` in the same k-nomial tree: `task + m·kʲ` for every
+/// digit position `j` strictly below `task`'s lowest nonzero base-k digit
+/// (all positions for the root), each `m ∈ 1..k`, bounded by `n`.
+fn knomial_children(task: i64, k: i64, n: i64) -> Vec<i64> {
+    if task < 0 || task >= n || k < 2 {
+        return Vec::new();
+    }
+    let mut kids = Vec::new();
+    let mut d = 1i64;
+    loop {
+        if task != 0 && task / d % k != 0 {
+            break; // reached task's lowest nonzero digit
+        }
+        for m in 1..k {
+            let c = task + m * d;
+            if c < n {
+                kids.push(c);
+            }
+        }
+        match d.checked_mul(k) {
+            Some(nd) if nd < n => d = nd,
+            _ => break,
+        }
+    }
+    kids.sort_unstable();
+    kids
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_expr;
+
+    fn ev(src: &str, env: &Env) -> i64 {
+        eval(&parse_expr(src).unwrap(), env).unwrap()
+    }
+
+    #[test]
+    fn arithmetic() {
+        let env = Env::new();
+        assert_eq!(ev("2+3*4", &env), 14);
+        assert_eq!(ev("(2+3)*4", &env), 20);
+        assert_eq!(ev("2**10", &env), 1024);
+        assert_eq!(ev("7 mod 3", &env), 1);
+        assert_eq!(ev("-5 % 3", &env), 1, "rem_euclid semantics");
+        assert_eq!(ev("1<<20", &env), 1 << 20);
+    }
+
+    #[test]
+    fn variables_shadow() {
+        let mut env = Env::with_num_tasks(8);
+        assert_eq!(ev("num_tasks", &env), 8);
+        env.bind("t", 3);
+        env.bind("t", 5);
+        assert_eq!(ev("t", &env), 5);
+        env.unbind("t");
+        assert_eq!(ev("t", &env), 3);
+        assert!(eval(&Expr::var("nope"), &env).is_err());
+    }
+
+    #[test]
+    fn division_errors() {
+        let env = Env::new();
+        assert!(eval(&parse_expr("1/0").unwrap(), &env).is_err());
+        assert!(eval(&parse_expr("1%0").unwrap(), &env).is_err());
+    }
+
+    #[test]
+    fn sqrt_cbrt_log() {
+        let env = Env::new();
+        assert_eq!(ev("SQRT(144)", &env), 12);
+        assert_eq!(ev("SQRT(145)", &env), 12);
+        assert_eq!(ev("CBRT(512)", &env), 8);
+        assert_eq!(ev("CBRT(511)", &env), 7);
+        assert_eq!(ev("LOG2(1024)", &env), 10);
+        assert_eq!(ev("MIN(3, 1, 2)", &env), 1);
+        assert_eq!(ev("MAX(3, 1, 2)", &env), 3);
+        assert_eq!(ev("ABS(0-9)", &env), 9);
+    }
+
+    #[test]
+    fn mesh_neighbors() {
+        let env = Env::new();
+        // 4x4x4 grid; task 0 at corner.
+        assert_eq!(ev("MESH_NEIGHBOR(4,4,4, 0, 1,0,0)", &env), 1);
+        assert_eq!(ev("MESH_NEIGHBOR(4,4,4, 0, 0,1,0)", &env), 4);
+        assert_eq!(ev("MESH_NEIGHBOR(4,4,4, 0, 0,0,1)", &env), 16);
+        assert_eq!(ev("MESH_NEIGHBOR(4,4,4, 0, -1,0,0)", &env), -1);
+        // Torus wraps.
+        assert_eq!(ev("TORUS_NEIGHBOR(4,4,4, 0, -1,0,0)", &env), 3);
+        assert_eq!(ev("TORUS_NEIGHBOR(4,4,4, 63, 1,1,1)", &env), 0);
+        // Coordinates.
+        assert_eq!(ev("MESH_COORD(4,4,4, 21, 0)", &env), 1);
+        assert_eq!(ev("MESH_COORD(4,4,4, 21, 1)", &env), 1);
+        assert_eq!(ev("MESH_COORD(4,4,4, 21, 2)", &env), 1);
+    }
+
+    #[test]
+    fn tree_functions() {
+        let env = Env::new();
+        assert_eq!(ev("TREE_PARENT(0)", &env), -1);
+        assert_eq!(ev("TREE_PARENT(1)", &env), 0);
+        assert_eq!(ev("TREE_PARENT(2)", &env), 0);
+        assert_eq!(ev("TREE_PARENT(5)", &env), 2);
+        assert_eq!(ev("TREE_CHILD(0, 0)", &env), 1);
+        assert_eq!(ev("TREE_CHILD(0, 1)", &env), 2);
+        assert_eq!(ev("TREE_CHILD(2, 1)", &env), 6);
+        assert_eq!(ev("TREE_CHILD(2, 5)", &env), -1);
+    }
+
+    #[test]
+    fn knomial_tree_is_consistent() {
+        // Every non-root's parent lists it as a child; binomial over n=13.
+        let env = Env::with_num_tasks(13);
+        for task in 1..13i64 {
+            let p = call_builtin(Builtin::KnomialParent, &[task], &env).unwrap();
+            assert!((0..13).contains(&p), "parent of {task} = {p}");
+            let kids = knomial_children(p, 2, 13);
+            assert!(kids.contains(&task), "children({p}) = {kids:?} missing {task}");
+        }
+        // Root has no parent.
+        assert_eq!(call_builtin(Builtin::KnomialParent, &[0], &env).unwrap(), -1);
+        // All nodes reachable from root exactly once.
+        let mut seen = [false; 13];
+        let mut stack = vec![0i64];
+        while let Some(t) = stack.pop() {
+            assert!(!seen[t as usize], "node {t} visited twice");
+            seen[t as usize] = true;
+            stack.extend(knomial_children(t, 2, 13));
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn conditions() {
+        let mut env = Env::new();
+        env.bind("t", 4);
+        let c = crate::parser::parse("tasks t such that t is even /\\ t < 10 synchronize.")
+            .unwrap();
+        let crate::ast::Stmt::Sync(crate::ast::TaskSel::SuchThat(_, cond)) = &c.stmts[0]
+        else {
+            panic!()
+        };
+        assert!(eval_cond(cond, &env).unwrap());
+        env.bind("t", 5);
+        assert!(!eval_cond(cond, &env).unwrap());
+    }
+
+    #[test]
+    fn divides_semantics() {
+        let env = Env::new();
+        let c = Cond::Rel(RelOp::Divides, Expr::Int(3), Expr::Int(12));
+        assert!(eval_cond(&c, &env).unwrap());
+        let c = Cond::Rel(RelOp::Divides, Expr::Int(5), Expr::Int(12));
+        assert!(!eval_cond(&c, &env).unwrap());
+        let c = Cond::Rel(RelOp::Divides, Expr::Int(0), Expr::Int(12));
+        assert!(!eval_cond(&c, &env).unwrap(), "0 divides nothing");
+    }
+}

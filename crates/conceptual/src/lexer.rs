@@ -1,0 +1,338 @@
+//! Hand-written lexer: coNCePTuaL source text → token list.
+//!
+//! Notable behaviours, all inherited from coNCePTuaL:
+//!
+//! * `#` starts a comment that runs to end of line;
+//! * integer literals accept binary size suffixes `K`, `M`, `G`
+//!   (×2¹⁰/2²⁰/2³⁰) and the decimal exponent form `1E6`;
+//! * words are lexed as-is; the parser matches keywords
+//!   case-insensitively so `For`/`for` are interchangeable;
+//! * `/\` and `\/` are the logical-and / logical-or operators.
+
+use crate::error::CompileError;
+use crate::token::{Pos, Spanned, Tok};
+
+/// Tokenize `src`. Errors carry line:column positions.
+pub fn lex(src: &str) -> Result<Vec<Spanned>, CompileError> {
+    let mut out = Vec::new();
+    let bytes = src.as_bytes();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let mut col = 1u32;
+
+    macro_rules! bump {
+        () => {{
+            if bytes[i] == b'\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+            i += 1;
+        }};
+    }
+
+    while i < bytes.len() {
+        let pos = Pos { line, col };
+        let c = bytes[i];
+        match c {
+            b' ' | b'\t' | b'\r' | b'\n' => bump!(),
+            b'#' => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    bump!();
+                }
+            }
+            b'"' => {
+                bump!();
+                let start = i;
+                while i < bytes.len() && bytes[i] != b'"' {
+                    if bytes[i] == b'\n' {
+                        return Err(CompileError::new(pos, "unterminated string literal"));
+                    }
+                    bump!();
+                }
+                if i >= bytes.len() {
+                    return Err(CompileError::new(pos, "unterminated string literal"));
+                }
+                let s = std::str::from_utf8(&bytes[start..i]).unwrap().to_string();
+                bump!(); // closing quote
+                out.push(Spanned { tok: Tok::Str(s), pos });
+            }
+            b'0'..=b'9' => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    bump!();
+                }
+                let digits = std::str::from_utf8(&bytes[start..i]).unwrap();
+                let mut value: i64 = digits
+                    .parse()
+                    .map_err(|_| CompileError::new(pos, format!("integer overflow: {digits}")))?;
+                // Optional suffix: K/M/G binary multipliers or E exponent.
+                if i < bytes.len() {
+                    match bytes[i] {
+                        b'K' | b'k' => {
+                            value <<= 10;
+                            bump!();
+                        }
+                        b'M' | b'm'
+                            if !(i + 1 < bytes.len() && bytes[i + 1].is_ascii_alphabetic()) =>
+                        {
+                            value <<= 20;
+                            bump!();
+                        }
+                        b'G' | b'g' => {
+                            value <<= 30;
+                            bump!();
+                        }
+                        b'E' | b'e' if i + 1 < bytes.len() && bytes[i + 1].is_ascii_digit() => {
+                            bump!();
+                            let estart = i;
+                            while i < bytes.len() && bytes[i].is_ascii_digit() {
+                                bump!();
+                            }
+                            let exp: u32 = std::str::from_utf8(&bytes[estart..i])
+                                .unwrap()
+                                .parse()
+                                .map_err(|_| CompileError::new(pos, "bad exponent"))?;
+                            value = value
+                                .checked_mul(10i64.checked_pow(exp).ok_or_else(|| {
+                                    CompileError::new(pos, "exponent overflow")
+                                })?)
+                                .ok_or_else(|| CompileError::new(pos, "integer overflow"))?;
+                        }
+                        _ => {}
+                    }
+                }
+                out.push(Spanned { tok: Tok::Int(value), pos });
+            }
+            b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    bump!();
+                }
+                let w = std::str::from_utf8(&bytes[start..i]).unwrap().to_string();
+                out.push(Spanned { tok: Tok::Word(w), pos });
+            }
+            b'.' => {
+                if i + 2 < bytes.len() && bytes[i + 1] == b'.' && bytes[i + 2] == b'.' {
+                    bump!();
+                    bump!();
+                    bump!();
+                    out.push(Spanned { tok: Tok::Ellipsis, pos });
+                } else {
+                    bump!();
+                    out.push(Spanned { tok: Tok::Period, pos });
+                }
+            }
+            b',' => {
+                bump!();
+                out.push(Spanned { tok: Tok::Comma, pos });
+            }
+            b'(' => {
+                bump!();
+                out.push(Spanned { tok: Tok::LParen, pos });
+            }
+            b')' => {
+                bump!();
+                out.push(Spanned { tok: Tok::RParen, pos });
+            }
+            b'{' => {
+                bump!();
+                out.push(Spanned { tok: Tok::LBrace, pos });
+            }
+            b'}' => {
+                bump!();
+                out.push(Spanned { tok: Tok::RBrace, pos });
+            }
+            b'[' => {
+                bump!();
+                out.push(Spanned { tok: Tok::LBracket, pos });
+            }
+            b']' => {
+                bump!();
+                out.push(Spanned { tok: Tok::RBracket, pos });
+            }
+            b'+' => {
+                bump!();
+                out.push(Spanned { tok: Tok::Plus, pos });
+            }
+            b'-' => {
+                bump!();
+                out.push(Spanned { tok: Tok::Minus, pos });
+            }
+            b'*' => {
+                bump!();
+                if i < bytes.len() && bytes[i] == b'*' {
+                    bump!();
+                    out.push(Spanned { tok: Tok::StarStar, pos });
+                } else {
+                    out.push(Spanned { tok: Tok::Star, pos });
+                }
+            }
+            b'/' => {
+                bump!();
+                if i < bytes.len() && bytes[i] == b'\\' {
+                    bump!();
+                    out.push(Spanned { tok: Tok::AndOp, pos });
+                } else {
+                    out.push(Spanned { tok: Tok::Slash, pos });
+                }
+            }
+            b'\\' => {
+                bump!();
+                if i < bytes.len() && bytes[i] == b'/' {
+                    bump!();
+                    out.push(Spanned { tok: Tok::OrOp, pos });
+                } else {
+                    return Err(CompileError::new(pos, "stray `\\`"));
+                }
+            }
+            b'%' => {
+                bump!();
+                out.push(Spanned { tok: Tok::Percent, pos });
+            }
+            b'=' => {
+                bump!();
+                out.push(Spanned { tok: Tok::Eq, pos });
+            }
+            b'<' => {
+                bump!();
+                if i < bytes.len() && bytes[i] == b'>' {
+                    bump!();
+                    out.push(Spanned { tok: Tok::Ne, pos });
+                } else if i < bytes.len() && bytes[i] == b'=' {
+                    bump!();
+                    out.push(Spanned { tok: Tok::Le, pos });
+                } else if i < bytes.len() && bytes[i] == b'<' {
+                    bump!();
+                    out.push(Spanned { tok: Tok::Shl, pos });
+                } else {
+                    out.push(Spanned { tok: Tok::Lt, pos });
+                }
+            }
+            b'>' => {
+                bump!();
+                if i < bytes.len() && bytes[i] == b'=' {
+                    bump!();
+                    out.push(Spanned { tok: Tok::Ge, pos });
+                } else if i < bytes.len() && bytes[i] == b'>' {
+                    bump!();
+                    out.push(Spanned { tok: Tok::Shr, pos });
+                } else {
+                    out.push(Spanned { tok: Tok::Gt, pos });
+                }
+            }
+            other => {
+                return Err(CompileError::new(
+                    pos,
+                    format!("unexpected character `{}`", other as char),
+                ));
+            }
+        }
+    }
+    out.push(Spanned { tok: Tok::Eof, pos: Pos { line, col } });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|s| s.tok).collect()
+    }
+
+    #[test]
+    fn words_and_ints() {
+        assert_eq!(
+            toks("task 0 sends"),
+            vec![
+                Tok::Word("task".into()),
+                Tok::Int(0),
+                Tok::Word("sends".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn size_suffixes() {
+        assert_eq!(toks("4K")[0], Tok::Int(4096));
+        assert_eq!(toks("2M")[0], Tok::Int(2 << 20));
+        assert_eq!(toks("1G")[0], Tok::Int(1 << 30));
+        assert_eq!(toks("3E4")[0], Tok::Int(30_000));
+    }
+
+    #[test]
+    fn m_suffix_does_not_eat_words() {
+        // `128 Mb` style: suffix only applies when not starting a word.
+        assert_eq!(
+            toks("10 ms"),
+            vec![Tok::Int(10), Tok::Word("ms".into()), Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn comments_and_strings() {
+        assert_eq!(
+            toks("# hi there\n\"abc\" ."),
+            vec![Tok::Str("abc".into()), Tok::Period, Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn operators() {
+        assert_eq!(
+            toks("a+b*c**2 <> d /\\ e \\/ f"),
+            vec![
+                Tok::Word("a".into()),
+                Tok::Plus,
+                Tok::Word("b".into()),
+                Tok::Star,
+                Tok::Word("c".into()),
+                Tok::StarStar,
+                Tok::Int(2),
+                Tok::Ne,
+                Tok::Word("d".into()),
+                Tok::AndOp,
+                Tok::Word("e".into()),
+                Tok::OrOp,
+                Tok::Word("f".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn ellipsis_vs_period() {
+        assert_eq!(
+            toks("{1, ..., n}."),
+            vec![
+                Tok::LBrace,
+                Tok::Int(1),
+                Tok::Comma,
+                Tok::Ellipsis,
+                Tok::Comma,
+                Tok::Word("n".into()),
+                Tok::RBrace,
+                Tok::Period,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn unterminated_string_errors() {
+        assert!(lex("\"oops").is_err());
+        assert!(lex("\"new\nline\"").is_err());
+    }
+
+    #[test]
+    fn positions_track_lines() {
+        let ts = lex("a\n  b").unwrap();
+        assert_eq!(ts[0].pos, Pos { line: 1, col: 1 });
+        assert_eq!(ts[1].pos, Pos { line: 2, col: 3 });
+    }
+}

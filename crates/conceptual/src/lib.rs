@@ -1,0 +1,151 @@
+//! # conceptual
+//!
+//! A Rust implementation of a
+//! [coNCePTuaL](https://conceptual.sourceforge.net)-style domain-specific
+//! language for network correctness and performance testing, as used by the
+//! Union workload manager (Wang et al., IPDPS 2020) to describe
+//! application communication skeletons.
+//!
+//! The pipeline mirrors the original compiler:
+//!
+//! * [`lexer`] — source text → token list;
+//! * [`parser`] — token list → abstract syntax tree ([`ast::Program`]);
+//! * [`sema`] — scope and structural checks;
+//! * [`eval`] — integer expression evaluation, including coNCePTuaL's
+//!   salient virtual-topology builtins (n-ary trees, meshes, tori,
+//!   k-nomial trees).
+//!
+//! Code generation to a Union skeleton lives in the `union-core` crate
+//! (the paper's *translator*), which consumes the AST produced here.
+//!
+//! ```
+//! let src = r#"
+//!     Require language version "1.5".
+//!     reps is "repetitions" and comes from "--reps" with default 3.
+//!     For reps repetitions {
+//!       task 0 sends a 1024 byte message to task 1 then
+//!       task 1 sends a 1024 byte message to task 0
+//!     }.
+//! "#;
+//! let prog = conceptual::compile(src).unwrap();
+//! assert_eq!(prog.params[0].default, 3);
+//! ```
+
+pub mod ast;
+pub mod error;
+pub mod eval;
+pub mod lexer;
+pub mod parser;
+pub mod sema;
+pub mod token;
+
+pub use ast::{
+    Aggregate, AssertDecl, BinOp, Builtin, Cond, Expr, LogEntry, MsgAttrs, ParamDecl, Program,
+    RelOp, Stmt, TaskSel, TimeUnit,
+};
+pub use error::{CompileError, EvalError};
+pub use eval::{eval, eval_cond, Env};
+
+/// Parse and semantically check a program in one step.
+pub fn compile(src: &str) -> Result<Program, CompileError> {
+    let prog = parser::parse(src)?;
+    sema::check(&prog)?;
+    Ok(prog)
+}
+
+/// Resolve a program's command-line parameters against `argv`-style
+/// arguments (e.g. `["--msgsize", "4096", "-r", "10"]`), returning an
+/// evaluation environment with every parameter bound (to its default when
+/// not overridden) plus `num_tasks`.
+pub fn bind_args(
+    prog: &Program,
+    num_tasks: u32,
+    args: &[&str],
+) -> Result<Env, CompileError> {
+    let mut env = Env::with_num_tasks(num_tasks);
+    env.bind("elapsed_usecs", 0);
+    env.bind("bytes_sent", 0);
+    env.bind("bytes_received", 0);
+    for p in &prog.params {
+        env.bind(&p.name, p.default);
+    }
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i];
+        let Some(p) = prog.params.iter().find(|p| {
+            p.long_flag == flag || p.short_flag.as_deref() == Some(flag)
+        }) else {
+            return Err(CompileError::new(
+                Default::default(),
+                format!("unknown argument `{flag}`"),
+            ));
+        };
+        let Some(value) = args.get(i + 1) else {
+            return Err(CompileError::new(
+                Default::default(),
+                format!("missing value for `{flag}`"),
+            ));
+        };
+        let value: i64 = value.parse().map_err(|_| {
+            CompileError::new(Default::default(), format!("bad value for `{flag}`: {value}"))
+        })?;
+        env.bind(&p.name, value);
+        i += 2;
+    }
+    // Re-check asserts now that parameters are known.
+    for a in &prog.asserts {
+        if !eval_cond(&a.cond, &env).map_err(|e| {
+            CompileError::new(Default::default(), e.to_string())
+        })? {
+            return Err(CompileError::new(
+                Default::default(),
+                format!("assertion failed: {}", a.message),
+            ));
+        }
+    }
+    Ok(env)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PROG: &str = r#"
+        reps is "Number of repetitions" and comes from "--reps" or "-r" with default 1000.
+        msgsize is "Message size" and comes from "--msgsize" or "-m" with default 1024.
+        Assert that "need two tasks" with num_tasks >= 2.
+        For reps repetitions task 0 sends a msgsize byte message to task 1.
+    "#;
+
+    #[test]
+    fn bind_defaults() {
+        let prog = compile(PROG).unwrap();
+        let env = bind_args(&prog, 4, &[]).unwrap();
+        assert_eq!(env.get("reps"), Some(1000));
+        assert_eq!(env.get("msgsize"), Some(1024));
+        assert_eq!(env.get("num_tasks"), Some(4));
+    }
+
+    #[test]
+    fn bind_overrides_long_and_short() {
+        let prog = compile(PROG).unwrap();
+        let env = bind_args(&prog, 4, &["--reps", "5", "-m", "64"]).unwrap();
+        assert_eq!(env.get("reps"), Some(5));
+        assert_eq!(env.get("msgsize"), Some(64));
+    }
+
+    #[test]
+    fn bind_rejects_unknown_flag() {
+        let prog = compile(PROG).unwrap();
+        assert!(bind_args(&prog, 4, &["--nope", "1"]).is_err());
+        assert!(bind_args(&prog, 4, &["--reps"]).is_err());
+        assert!(bind_args(&prog, 4, &["--reps", "xyz"]).is_err());
+    }
+
+    #[test]
+    fn asserts_enforced_at_bind_time() {
+        let prog = compile(PROG).unwrap();
+        let err = bind_args(&prog, 1, &[]).unwrap_err();
+        assert!(err.message.contains("need two tasks"));
+    }
+}

@@ -1,0 +1,873 @@
+//! Recursive-descent parser: tokens → [`Program`].
+//!
+//! The grammar is a faithful, documented subset of coNCePTuaL's
+//! English-like surface syntax:
+//!
+//! ```text
+//! program    := sentence*
+//! sentence   := require | paramdecl | assert | stmt '.'
+//! require    := "Require language version" STRING '.'
+//! paramdecl  := IDENT "is" STRING "and comes from" STRING ("or" STRING)?
+//!               "with default" expr '.'
+//! assert     := "Assert that" STRING "with" cond '.'
+//! stmt       := simple ("then" simple)*
+//! simple     := '{' stmt '}'
+//!             | "for" expr "repetition(s)" ("plus a synchronization")? simple
+//!             | "for each" IDENT "in" '{' expr ',' '...' ',' expr '}' simple
+//!             | "if" cond "then" simple ("otherwise" simple)?
+//!             | "let" IDENT "be" expr "while" simple
+//!             | tasksel verbclause
+//! tasksel    := "all tasks" IDENT? | "all other tasks" | "task" primary
+//!             | "tasks" IDENT "such that" cond
+//! verbclause := ("asynchronously")? "send(s)" msgspec "to" tasksel
+//!             | ("asynchronously")? "receive(s)" msgspec "from" tasksel
+//!             | "multicast(s)" msgspec "to" tasksel
+//!             | "reduce(s)" msgspec "to" tasksel
+//!             | "synchronize(s)"
+//!             | "compute(s)" ("for" expr timeunit | "aggregates")
+//!             | "sleep(s) for" expr timeunit
+//!             | "await(s) completion(s)"
+//!             | "reset(s) its/their counters"
+//!             | "log(s)" logentry ("and" logentry)*
+//!             | "touch(es) a"? expr sizeunit "memory region"
+//! msgspec    := ("a"|"an") expr sizeunit ("message"|"messages")?
+//!             | expr expr sizeunit "messages"
+//!             | expr sizeunit ("message"|"messages")?
+//! sizeunit   := "byte(s)" | "kilobyte(s)" | "megabyte(s)" | "gigabyte(s)"
+//!             | "doubleword(s)"
+//! logentry   := "the" (aggword "of")? expr "as" STRING
+//! cond       := orcond; orcond := andcond (("\/"|"or") andcond)*
+//! andcond    := rel (("/\"|"and") rel)*
+//! rel        := expr relop expr | expr "is" ("even"|"odd")
+//!             | expr "divides" expr | '(' cond ')'
+//! expr       := additive over shifts over mul ('*','/','%',"mod") over
+//!               pow ('**', right-assoc) over primary
+//! primary    := INT | IDENT | BUILTIN '(' expr,* ')' | '(' expr ')'
+//!             | '-' primary
+//! ```
+
+use crate::ast::*;
+use crate::error::CompileError;
+use crate::lexer::lex;
+use crate::token::{Pos, Spanned, Tok};
+
+/// Words that end a task-selector binding (so `all tasks send …` does not
+/// bind `send` as a variable).
+const VERBS: &[&str] = &[
+    "send", "sends", "receive", "receives", "multicast", "multicasts", "reduce", "reduces",
+    "synchronize", "synchronizes", "compute", "computes", "sleep", "sleeps", "await", "awaits",
+    "reset", "resets", "log", "logs", "touch", "touches", "asynchronously", "are", "is",
+    // structural words that may follow a selector in target position
+    "then", "to", "from", "otherwise", "while",
+];
+
+/// Parse a complete program from source text.
+pub fn parse(src: &str) -> Result<Program, CompileError> {
+    let toks = lex(src)?;
+    Parser { toks, pos: 0 }.program()
+}
+
+/// Parse a standalone expression (used by tests and tooling).
+pub fn parse_expr(src: &str) -> Result<Expr, CompileError> {
+    let toks = lex(src)?;
+    let mut p = Parser { toks, pos: 0 };
+    let e = p.expr()?;
+    p.expect(&Tok::Eof)?;
+    Ok(e)
+}
+
+struct Parser {
+    toks: Vec<Spanned>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.toks[self.pos].tok
+    }
+
+    fn peek2(&self) -> &Tok {
+        &self.toks[(self.pos + 1).min(self.toks.len() - 1)].tok
+    }
+
+    fn here(&self) -> Pos {
+        self.toks[self.pos].pos
+    }
+
+    fn next(&mut self) -> Tok {
+        let t = self.toks[self.pos].tok.clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err<T>(&self, msg: impl Into<String>) -> Result<T, CompileError> {
+        Err(CompileError::new(self.here(), msg))
+    }
+
+    fn expect(&mut self, tok: &Tok) -> Result<(), CompileError> {
+        if self.peek() == tok {
+            self.next();
+            Ok(())
+        } else {
+            self.err(format!("expected {tok}, found {}", self.peek()))
+        }
+    }
+
+    /// Is the current token the given word (case-insensitive)?
+    fn at_word(&self, w: &str) -> bool {
+        matches!(self.peek(), Tok::Word(s) if s.eq_ignore_ascii_case(w))
+    }
+
+    fn at_any_word(&self, ws: &[&str]) -> bool {
+        ws.iter().any(|w| self.at_word(w))
+    }
+
+    /// Consume the given word if present.
+    fn eat_word(&mut self, w: &str) -> bool {
+        if self.at_word(w) {
+            self.next();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_word(&mut self, w: &str) -> Result<(), CompileError> {
+        if self.eat_word(w) {
+            Ok(())
+        } else {
+            self.err(format!("expected `{w}`, found {}", self.peek()))
+        }
+    }
+
+    fn expect_str(&mut self) -> Result<String, CompileError> {
+        match self.peek().clone() {
+            Tok::Str(s) => {
+                self.next();
+                Ok(s)
+            }
+            other => self.err(format!("expected string literal, found {other}")),
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, CompileError> {
+        match self.peek().clone() {
+            Tok::Word(s) => {
+                self.next();
+                Ok(s)
+            }
+            other => self.err(format!("expected identifier, found {other}")),
+        }
+    }
+
+    // ---------------- program structure ----------------
+
+    fn program(&mut self) -> Result<Program, CompileError> {
+        let mut prog = Program::default();
+        while self.peek() != &Tok::Eof {
+            if self.at_word("require") {
+                self.next();
+                self.expect_word("language")?;
+                self.expect_word("version")?;
+                prog.version = Some(self.expect_str()?);
+                self.expect(&Tok::Period)?;
+            } else if self.at_word("assert") {
+                self.next();
+                self.expect_word("that")?;
+                let message = self.expect_str()?;
+                self.expect_word("with")?;
+                let cond = self.cond()?;
+                self.expect(&Tok::Period)?;
+                prog.asserts.push(AssertDecl { message, cond });
+            } else if matches!(self.peek(), Tok::Word(_)) && self.is_param_decl() {
+                prog.params.push(self.param_decl()?);
+            } else {
+                let s = self.stmt()?;
+                self.expect(&Tok::Period)?;
+                prog.stmts.push(s);
+            }
+        }
+        Ok(prog)
+    }
+
+    /// Lookahead: `IDENT is "<string>"` begins a parameter declaration.
+    fn is_param_decl(&self) -> bool {
+        matches!(self.peek(), Tok::Word(_))
+            && matches!(self.peek2(), Tok::Word(w) if w.eq_ignore_ascii_case("is"))
+            && matches!(
+                self.toks.get(self.pos + 2).map(|s| &s.tok),
+                Some(Tok::Str(_))
+            )
+    }
+
+    fn param_decl(&mut self) -> Result<ParamDecl, CompileError> {
+        let name = self.expect_ident()?;
+        self.expect_word("is")?;
+        let description = self.expect_str()?;
+        self.expect_word("and")?;
+        self.expect_word("comes")?;
+        self.expect_word("from")?;
+        let long_flag = self.expect_str()?;
+        let short_flag = if self.eat_word("or") { Some(self.expect_str()?) } else { None };
+        self.expect_word("with")?;
+        self.expect_word("default")?;
+        let default = match self.expr()? {
+            Expr::Int(v) => v,
+            Expr::Neg(b) => match *b {
+                Expr::Int(v) => -v,
+                _ => return self.err("parameter default must be a constant"),
+            },
+            _ => return self.err("parameter default must be a constant"),
+        };
+        self.expect(&Tok::Period)?;
+        Ok(ParamDecl { name, description, long_flag, short_flag, default })
+    }
+
+    // ---------------- statements ----------------
+
+    fn stmt(&mut self) -> Result<Stmt, CompileError> {
+        let mut parts = vec![self.simple()?];
+        while self.eat_word("then") {
+            parts.push(self.simple()?);
+        }
+        if parts.len() == 1 {
+            Ok(parts.pop().unwrap())
+        } else {
+            Ok(Stmt::Seq(parts))
+        }
+    }
+
+    fn simple(&mut self) -> Result<Stmt, CompileError> {
+        if self.peek() == &Tok::LBrace {
+            self.next();
+            let s = self.stmt()?;
+            self.expect(&Tok::RBrace)?;
+            return Ok(s);
+        }
+        if self.at_word("for") {
+            return self.for_stmt();
+        }
+        if self.at_word("if") {
+            self.next();
+            let cond = self.cond()?;
+            self.expect_word("then")?;
+            let then = Box::new(self.simple()?);
+            let els = if self.eat_word("otherwise") {
+                Some(Box::new(self.simple()?))
+            } else {
+                None
+            };
+            return Ok(Stmt::If { cond, then, els });
+        }
+        if self.at_word("let") {
+            self.next();
+            let var = self.expect_ident()?;
+            self.expect_word("be")?;
+            let value = self.expr()?;
+            self.expect_word("while")?;
+            let body = Box::new(self.simple()?);
+            return Ok(Stmt::Let { var, value, body });
+        }
+        // Action sentence: task selector + verb clause.
+        let sel = self.task_sel()?;
+        self.verb_clause(sel)
+    }
+
+    fn for_stmt(&mut self) -> Result<Stmt, CompileError> {
+        self.expect_word("for")?;
+        if self.eat_word("each") {
+            let var = self.expect_ident()?;
+            self.expect_word("in")?;
+            self.expect(&Tok::LBrace)?;
+            let from = self.expr()?;
+            self.expect(&Tok::Comma)?;
+            self.expect(&Tok::Ellipsis)?;
+            self.expect(&Tok::Comma)?;
+            let to = self.expr()?;
+            self.expect(&Tok::RBrace)?;
+            let body = Box::new(self.simple()?);
+            return Ok(Stmt::ForEach { var, from, to, body });
+        }
+        let reps = self.expr()?;
+        if !(self.eat_word("repetitions") || self.eat_word("repetition")) {
+            return self.err("expected `repetitions`");
+        }
+        let sync = if self.eat_word("plus") {
+            self.expect_word("a")?;
+            self.expect_word("synchronization")?;
+            true
+        } else {
+            false
+        };
+        let body = Box::new(self.simple()?);
+        Ok(Stmt::For { reps, sync, body })
+    }
+
+    fn task_sel(&mut self) -> Result<TaskSel, CompileError> {
+        if self.eat_word("all") {
+            if self.eat_word("other") {
+                self.expect_word("tasks")?;
+                return Ok(TaskSel::AllOthers);
+            }
+            self.expect_word("tasks")?;
+            // Optional binding variable, unless the next word is a verb.
+            if let Tok::Word(w) = self.peek() {
+                let lower = w.to_ascii_lowercase();
+                if !VERBS.contains(&lower.as_str()) {
+                    let var = self.expect_ident()?;
+                    return Ok(TaskSel::All(Some(var)));
+                }
+            }
+            return Ok(TaskSel::All(None));
+        }
+        if self.at_word("task") {
+            self.next();
+            let e = self.expr()?;
+            return Ok(TaskSel::Single(e));
+        }
+        if self.at_word("tasks") {
+            self.next();
+            let var = self.expect_ident()?;
+            self.expect_word("such")?;
+            self.expect_word("that")?;
+            let cond = self.cond()?;
+            return Ok(TaskSel::SuchThat(var, cond));
+        }
+        self.err(format!("expected a task selector, found {}", self.peek()))
+    }
+
+    fn verb_clause(&mut self, sel: TaskSel) -> Result<Stmt, CompileError> {
+        let nonblocking = self.eat_word("asynchronously");
+        let attrs = MsgAttrs { nonblocking };
+
+        if self.eat_word("sends") || self.eat_word("send") {
+            let (count, size) = self.msg_spec()?;
+            self.expect_word("to")?;
+            let dst = self.task_sel()?;
+            return Ok(Stmt::Send { src: sel, count, size, dst, attrs });
+        }
+        if self.eat_word("receives") || self.eat_word("receive") {
+            let (count, size) = self.msg_spec()?;
+            self.expect_word("from")?;
+            let src = self.task_sel()?;
+            return Ok(Stmt::Receive { dst: sel, count, size, src, attrs });
+        }
+        if nonblocking {
+            return self.err("`asynchronously` applies only to sends and receives");
+        }
+        if self.eat_word("multicasts") || self.eat_word("multicast") {
+            let (count, size) = self.msg_spec()?;
+            if count != Expr::Int(1) {
+                return self.err("multicast takes a single message");
+            }
+            self.expect_word("to")?;
+            let dst = self.task_sel()?;
+            return Ok(Stmt::Multicast { src: sel, size, dst });
+        }
+        if self.eat_word("reduces") || self.eat_word("reduce") {
+            let (count, size) = self.msg_spec()?;
+            if count != Expr::Int(1) {
+                return self.err("reduce takes a single message");
+            }
+            self.expect_word("to")?;
+            let target = self.task_sel()?;
+            return Ok(Stmt::Reduce { tasks: sel, size, target });
+        }
+        if self.eat_word("synchronizes") || self.eat_word("synchronize") {
+            return Ok(Stmt::Sync(sel));
+        }
+        if self.eat_word("computes") || self.eat_word("compute") {
+            if self.eat_word("aggregates") {
+                return Ok(Stmt::ComputeAggregates(sel));
+            }
+            self.expect_word("for")?;
+            let amount = self.expr()?;
+            let unit = self.time_unit()?;
+            return Ok(Stmt::Compute { tasks: sel, amount, unit });
+        }
+        if self.eat_word("sleeps") || self.eat_word("sleep") {
+            self.expect_word("for")?;
+            let amount = self.expr()?;
+            let unit = self.time_unit()?;
+            return Ok(Stmt::Sleep { tasks: sel, amount, unit });
+        }
+        if self.eat_word("awaits") || self.eat_word("await") {
+            if !(self.eat_word("completions") || self.eat_word("completion")) {
+                return self.err("expected `completions`");
+            }
+            return Ok(Stmt::AwaitCompletions(sel));
+        }
+        if self.eat_word("resets") || self.eat_word("reset") {
+            if !(self.eat_word("its") || self.eat_word("their")) {
+                return self.err("expected `its` or `their`");
+            }
+            self.expect_word("counters")?;
+            return Ok(Stmt::Reset(sel));
+        }
+        if self.eat_word("logs") || self.eat_word("log") {
+            let mut entries = vec![self.log_entry()?];
+            while self.eat_word("and") {
+                entries.push(self.log_entry()?);
+            }
+            return Ok(Stmt::Log(sel, entries));
+        }
+        if self.eat_word("touches") || self.eat_word("touch") {
+            let _ = self.eat_word("a") || self.eat_word("an");
+            let size = self.expr()?;
+            let scale = self.size_unit()?;
+            self.expect_word("memory")?;
+            self.expect_word("region")?;
+            let size = if scale == 1 { size } else { size.mul(Expr::Int(scale)) };
+            return Ok(Stmt::Touch(sel, size));
+        }
+        self.err(format!("expected a verb, found {}", self.peek()))
+    }
+
+    /// Parse a message count/size spec: `a 1024 byte message`,
+    /// `10 msgsize kilobyte messages`, `msgsize byte messages`, …
+    fn msg_spec(&mut self) -> Result<(Expr, Expr), CompileError> {
+        if self.eat_word("a") || self.eat_word("an") {
+            let size = self.expr()?;
+            let scale = self.size_unit()?;
+            let _ = self.eat_word("message") || self.eat_word("messages");
+            let size = if scale == 1 { size } else { size.mul(Expr::Int(scale)) };
+            return Ok((Expr::Int(1), size));
+        }
+        let first = self.expr()?;
+        if self.at_size_unit() {
+            let scale = self.size_unit()?;
+            let _ = self.eat_word("message") || self.eat_word("messages");
+            let size = if scale == 1 { first } else { first.mul(Expr::Int(scale)) };
+            return Ok((Expr::Int(1), size));
+        }
+        let size = self.expr()?;
+        let scale = self.size_unit()?;
+        let _ = self.eat_word("messages") || self.eat_word("message");
+        let size = if scale == 1 { size } else { size.mul(Expr::Int(scale)) };
+        Ok((first, size))
+    }
+
+    fn at_size_unit(&self) -> bool {
+        self.at_any_word(&[
+            "byte",
+            "bytes",
+            "kilobyte",
+            "kilobytes",
+            "megabyte",
+            "megabytes",
+            "gigabyte",
+            "gigabytes",
+            "doubleword",
+            "doublewords",
+        ])
+    }
+
+    fn size_unit(&mut self) -> Result<i64, CompileError> {
+        for (names, scale) in [
+            (&["byte", "bytes"][..], 1i64),
+            (&["kilobyte", "kilobytes"][..], 1 << 10),
+            (&["megabyte", "megabytes"][..], 1 << 20),
+            (&["gigabyte", "gigabytes"][..], 1 << 30),
+            (&["doubleword", "doublewords"][..], 8),
+        ] {
+            for n in names {
+                if self.eat_word(n) {
+                    return Ok(scale);
+                }
+            }
+        }
+        self.err(format!("expected a size unit, found {}", self.peek()))
+    }
+
+    fn time_unit(&mut self) -> Result<TimeUnit, CompileError> {
+        for (names, unit) in [
+            (&["nanosecond", "nanoseconds"][..], TimeUnit::Nanoseconds),
+            (&["microsecond", "microseconds", "usecs"][..], TimeUnit::Microseconds),
+            (&["millisecond", "milliseconds", "msecs"][..], TimeUnit::Milliseconds),
+            (&["second", "seconds", "secs"][..], TimeUnit::Seconds),
+        ] {
+            for n in names {
+                if self.eat_word(n) {
+                    return Ok(unit);
+                }
+            }
+        }
+        self.err(format!("expected a time unit, found {}", self.peek()))
+    }
+
+    fn log_entry(&mut self) -> Result<LogEntry, CompileError> {
+        self.expect_word("the")?;
+        let aggregate = if self.eat_word("mean") {
+            Aggregate::Mean
+        } else if self.eat_word("median") {
+            Aggregate::Median
+        } else if self.eat_word("minimum") {
+            Aggregate::Minimum
+        } else if self.eat_word("maximum") {
+            Aggregate::Maximum
+        } else if self.eat_word("sum") {
+            Aggregate::Sum
+        } else if self.eat_word("final") {
+            Aggregate::Final
+        } else {
+            Aggregate::None
+        };
+        if aggregate != Aggregate::None {
+            self.expect_word("of")?;
+        }
+        let value = self.expr()?;
+        self.expect_word("as")?;
+        let label = self.expect_str()?;
+        Ok(LogEntry { aggregate, value, label })
+    }
+
+    // ---------------- conditions ----------------
+
+    fn cond(&mut self) -> Result<Cond, CompileError> {
+        let mut left = self.and_cond()?;
+        loop {
+            if self.peek() == &Tok::OrOp || self.at_word("or") {
+                self.next();
+                let right = self.and_cond()?;
+                left = Cond::Or(Box::new(left), Box::new(right));
+            } else {
+                return Ok(left);
+            }
+        }
+    }
+
+    fn and_cond(&mut self) -> Result<Cond, CompileError> {
+        let mut left = self.rel()?;
+        loop {
+            if self.peek() == &Tok::AndOp || self.at_word("and") {
+                self.next();
+                let right = self.rel()?;
+                left = Cond::And(Box::new(left), Box::new(right));
+            } else {
+                return Ok(left);
+            }
+        }
+    }
+
+    fn rel(&mut self) -> Result<Cond, CompileError> {
+        let left = self.expr()?;
+        if self.eat_word("is") {
+            if self.eat_word("even") {
+                return Ok(Cond::Rel(
+                    RelOp::Eq,
+                    left.rem(Expr::Int(2)),
+                    Expr::Int(0),
+                ));
+            }
+            if self.eat_word("odd") {
+                return Ok(Cond::Rel(
+                    RelOp::Ne,
+                    left.rem(Expr::Int(2)),
+                    Expr::Int(0),
+                ));
+            }
+            return self.err("expected `even` or `odd` after `is`");
+        }
+        if self.eat_word("divides") {
+            let right = self.expr()?;
+            return Ok(Cond::Rel(RelOp::Divides, left, right));
+        }
+        let op = match self.peek() {
+            Tok::Eq => RelOp::Eq,
+            Tok::Ne => RelOp::Ne,
+            Tok::Lt => RelOp::Lt,
+            Tok::Le => RelOp::Le,
+            Tok::Gt => RelOp::Gt,
+            Tok::Ge => RelOp::Ge,
+            other => return self.err(format!("expected a relational operator, found {other}")),
+        };
+        self.next();
+        let right = self.expr()?;
+        Ok(Cond::Rel(op, left, right))
+    }
+
+    // ---------------- expressions ----------------
+
+    fn expr(&mut self) -> Result<Expr, CompileError> {
+        let mut left = self.shift_expr()?;
+        loop {
+            match self.peek() {
+                Tok::Plus => {
+                    self.next();
+                    left = left.add(self.shift_expr()?);
+                }
+                Tok::Minus => {
+                    self.next();
+                    left = left.sub(self.shift_expr()?);
+                }
+                _ => return Ok(left),
+            }
+        }
+    }
+
+    fn shift_expr(&mut self) -> Result<Expr, CompileError> {
+        let mut left = self.mul_expr()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Shl => BinOp::Shl,
+                Tok::Shr => BinOp::Shr,
+                _ => return Ok(left),
+            };
+            self.next();
+            let right = self.mul_expr()?;
+            left = Expr::Bin(op, Box::new(left), Box::new(right));
+        }
+    }
+
+    fn mul_expr(&mut self) -> Result<Expr, CompileError> {
+        let mut left = self.pow_expr()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Star => BinOp::Mul,
+                Tok::Slash => BinOp::Div,
+                Tok::Percent => BinOp::Mod,
+                Tok::Word(w) if w.eq_ignore_ascii_case("mod") => BinOp::Mod,
+                _ => return Ok(left),
+            };
+            self.next();
+            let right = self.pow_expr()?;
+            left = Expr::Bin(op, Box::new(left), Box::new(right));
+        }
+    }
+
+    fn pow_expr(&mut self) -> Result<Expr, CompileError> {
+        let base = self.primary()?;
+        if self.peek() == &Tok::StarStar {
+            self.next();
+            // Right-associative.
+            let exp = self.pow_expr()?;
+            return Ok(Expr::Bin(BinOp::Pow, Box::new(base), Box::new(exp)));
+        }
+        Ok(base)
+    }
+
+    fn primary(&mut self) -> Result<Expr, CompileError> {
+        match self.peek().clone() {
+            Tok::Int(v) => {
+                self.next();
+                Ok(Expr::Int(v))
+            }
+            Tok::Minus => {
+                self.next();
+                Ok(Expr::Neg(Box::new(self.primary()?)))
+            }
+            Tok::LParen => {
+                self.next();
+                let e = self.expr()?;
+                self.expect(&Tok::RParen)?;
+                Ok(e)
+            }
+            Tok::Word(w) => {
+                self.next();
+                if self.peek() == &Tok::LParen {
+                    let Some(builtin) = Builtin::from_name(&w) else {
+                        return self.err(format!("unknown function `{w}`"));
+                    };
+                    self.next();
+                    let mut args = Vec::new();
+                    if self.peek() != &Tok::RParen {
+                        args.push(self.expr()?);
+                        while self.peek() == &Tok::Comma {
+                            self.next();
+                            args.push(self.expr()?);
+                        }
+                    }
+                    self.expect(&Tok::RParen)?;
+                    Ok(Expr::Call(builtin, args))
+                } else {
+                    Ok(Expr::Var(w))
+                }
+            }
+            other => self.err(format!("expected an expression, found {other}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's Figure 1 ping-pong program (with braces around the loop
+    /// body — see module docs).
+    pub const PING_PONG: &str = r#"
+# A ping-pong latency test written in coNCePTuaL
+Require language version "1.5".
+
+# Parse command line.
+reps is "Number of repetitions" and comes from "--reps" or "-r" with default 1000.
+msgsize is "Message size of bytes to transmit" and comes from "--msgsize" or "-m" with default 1024.
+
+Assert that "the latency test requires at least two tasks" with num_tasks >= 2.
+
+# Perform the test.
+For reps repetitions {
+  task 0 resets its counters then
+  task 0 sends a msgsize byte message to task 1 then
+  task 1 sends a msgsize byte message to task 0 then
+  task 0 logs the msgsize as "Bytes" and the median of elapsed_usecs/2 as "1/2 RTT (usecs)"
+}
+then task 0 computes aggregates.
+"#;
+
+    #[test]
+    fn parses_ping_pong() {
+        let prog = parse(PING_PONG).unwrap();
+        assert_eq!(prog.version.as_deref(), Some("1.5"));
+        assert_eq!(prog.params.len(), 2);
+        assert_eq!(prog.params[0].name, "reps");
+        assert_eq!(prog.params[0].default, 1000);
+        assert_eq!(prog.params[1].short_flag.as_deref(), Some("-m"));
+        assert_eq!(prog.asserts.len(), 1);
+        assert_eq!(prog.stmts.len(), 1);
+        // Outer statement: For-loop then computes-aggregates.
+        let Stmt::Seq(parts) = &prog.stmts[0] else {
+            panic!("expected Seq, got {:?}", prog.stmts[0])
+        };
+        assert_eq!(parts.len(), 2);
+        let Stmt::For { reps, sync, body } = &parts[0] else { panic!() };
+        assert_eq!(reps, &Expr::var("reps"));
+        assert!(!sync);
+        let Stmt::Seq(inner) = body.as_ref() else { panic!() };
+        assert_eq!(inner.len(), 4);
+        assert!(matches!(inner[0], Stmt::Reset(_)));
+        assert!(matches!(inner[1], Stmt::Send { .. }));
+        assert!(matches!(inner[3], Stmt::Log(_, _)));
+        assert!(matches!(parts[1], Stmt::ComputeAggregates(_)));
+    }
+
+    #[test]
+    fn parses_async_sends_and_awaits() {
+        let prog = parse(
+            "all tasks t asynchronously send a 128 kilobyte message to task (t+1) mod num_tasks \
+             then all tasks await completions.",
+        )
+        .unwrap();
+        let Stmt::Seq(parts) = &prog.stmts[0] else { panic!() };
+        let Stmt::Send { src, size, attrs, .. } = &parts[0] else { panic!() };
+        assert_eq!(src, &TaskSel::All(Some("t".into())));
+        assert!(attrs.nonblocking);
+        assert_eq!(size, &Expr::Int(128).mul(Expr::Int(1024)));
+        assert!(matches!(parts[1], Stmt::AwaitCompletions(_)));
+    }
+
+    #[test]
+    fn parses_reduce_to_all_tasks() {
+        let prog =
+            parse("all tasks reduce a 28 megabyte message to all tasks.").unwrap();
+        let Stmt::Reduce { tasks, target, size } = &prog.stmts[0] else { panic!() };
+        assert_eq!(tasks, &TaskSel::All(None));
+        assert_eq!(target, &TaskSel::All(None));
+        assert_eq!(size, &Expr::Int(28).mul(Expr::Int(1 << 20)));
+    }
+
+    #[test]
+    fn parses_multicast_to_all_others() {
+        let prog = parse("task 0 multicasts a 25 byte message to all other tasks.").unwrap();
+        let Stmt::Multicast { src, dst, .. } = &prog.stmts[0] else { panic!() };
+        assert_eq!(src, &TaskSel::Single(Expr::Int(0)));
+        assert_eq!(dst, &TaskSel::AllOthers);
+    }
+
+    #[test]
+    fn parses_compute_and_sleep() {
+        let prog = parse(
+            "all tasks compute for 129 milliseconds then task 0 sleeps for 5 microseconds.",
+        )
+        .unwrap();
+        let Stmt::Seq(parts) = &prog.stmts[0] else { panic!() };
+        let Stmt::Compute { unit, .. } = &parts[0] else { panic!() };
+        assert_eq!(*unit, TimeUnit::Milliseconds);
+        let Stmt::Sleep { unit, .. } = &parts[1] else { panic!() };
+        assert_eq!(*unit, TimeUnit::Microseconds);
+    }
+
+    #[test]
+    fn parses_such_that_and_conditions() {
+        let prog = parse(
+            "tasks t such that t is even /\\ t < 10 send a 8 byte message to task t+1.",
+        )
+        .unwrap();
+        let Stmt::Send { src, .. } = &prog.stmts[0] else { panic!() };
+        let TaskSel::SuchThat(v, cond) = src else { panic!() };
+        assert_eq!(v, "t");
+        assert!(matches!(cond, Cond::And(_, _)));
+    }
+
+    #[test]
+    fn parses_for_each_and_if() {
+        let prog = parse(
+            "for each i in {1, ..., 10} if i is odd then task i sends a i byte message to task 0.",
+        )
+        .unwrap();
+        let Stmt::ForEach { var, body, .. } = &prog.stmts[0] else { panic!() };
+        assert_eq!(var, "i");
+        assert!(matches!(body.as_ref(), Stmt::If { .. }));
+    }
+
+    #[test]
+    fn parses_multi_message_counts() {
+        let prog = parse("task 0 sends 10 1024 byte messages to task 1.").unwrap();
+        let Stmt::Send { count, size, .. } = &prog.stmts[0] else { panic!() };
+        assert_eq!(count, &Expr::Int(10));
+        assert_eq!(size, &Expr::Int(1024));
+    }
+
+    #[test]
+    fn parses_synchronize_and_let() {
+        let prog = parse(
+            "let half be num_tasks/2 while { all tasks synchronize then \
+             task half sends a 4 byte message to task 0 }.",
+        )
+        .unwrap();
+        assert!(matches!(prog.stmts[0], Stmt::Let { .. }));
+    }
+
+    #[test]
+    fn parses_builtins() {
+        let e = parse_expr("MESH_NEIGHBOR(8, 8, 8, t, 1, 0, 0)").unwrap();
+        let Expr::Call(b, args) = e else { panic!() };
+        assert_eq!(b, Builtin::MeshNeighbor);
+        assert_eq!(args.len(), 7);
+        assert!(parse_expr("NO_SUCH_FN(1)").is_err());
+    }
+
+    #[test]
+    fn operator_precedence() {
+        // 2+3*4 = 14 shape: Add(2, Mul(3,4))
+        let e = parse_expr("2+3*4").unwrap();
+        assert_eq!(e, Expr::Int(2).add(Expr::Int(3).mul(Expr::Int(4))));
+        // 2**3**2 right-assoc: Pow(2, Pow(3, 2))
+        let e = parse_expr("2**3**2").unwrap();
+        let Expr::Bin(BinOp::Pow, _, rhs) = e else { panic!() };
+        assert!(matches!(*rhs, Expr::Bin(BinOp::Pow, _, _)));
+    }
+
+    #[test]
+    fn error_positions_are_reported() {
+        let err = parse("task 0 sends a 10 byte message to.").unwrap_err();
+        assert!(err.pos.line >= 1);
+        assert!(err.message.contains("task selector"));
+    }
+
+    #[test]
+    fn rejects_asynchronous_compute() {
+        assert!(parse("all tasks asynchronously compute for 5 seconds.").is_err());
+    }
+
+    #[test]
+    fn sync_loop_flag() {
+        let prog = parse(
+            "for 10 repetitions plus a synchronization task 0 sends a 4 byte message to task 1.",
+        )
+        .unwrap();
+        let Stmt::For { sync, .. } = &prog.stmts[0] else { panic!() };
+        assert!(sync);
+    }
+}

@@ -1,0 +1,308 @@
+//! Semantic analysis: scope checking and structural validation.
+//!
+//! Catches, at compile time rather than mid-simulation:
+//! * references to unbound variables (outside declared parameters,
+//!   predeclared variables, and enclosing `let`/loop/selector bindings);
+//! * duplicate parameter declarations or flags;
+//! * `all other tasks` used anywhere except as a multicast/send target.
+
+use crate::ast::*;
+use crate::error::CompileError;
+use crate::token::Pos;
+use std::collections::HashSet;
+
+/// Variables every program may reference without declaring.
+pub const PREDECLARED: &[&str] = &["num_tasks", "elapsed_usecs", "bytes_sent", "bytes_received"];
+
+/// Validate a parsed program. Returns the set of parameter names on
+/// success (useful for argument parsing).
+pub fn check(prog: &Program) -> Result<HashSet<String>, CompileError> {
+    let mut params: HashSet<String> = HashSet::new();
+    let mut flags: HashSet<String> = HashSet::new();
+    for p in &prog.params {
+        if !params.insert(p.name.clone()) {
+            return Err(err(format!("duplicate parameter `{}`", p.name)));
+        }
+        if !flags.insert(p.long_flag.clone()) {
+            return Err(err(format!("duplicate flag `{}`", p.long_flag)));
+        }
+        if let Some(s) = &p.short_flag {
+            if !flags.insert(s.clone()) {
+                return Err(err(format!("duplicate flag `{s}`")));
+            }
+        }
+        if PREDECLARED.contains(&p.name.as_str()) {
+            return Err(err(format!("parameter `{}` shadows a predeclared variable", p.name)));
+        }
+    }
+
+    let mut scope: Vec<String> = params.iter().cloned().collect();
+    scope.extend(PREDECLARED.iter().map(|s| s.to_string()));
+
+    for a in &prog.asserts {
+        check_cond(&a.cond, &scope)?;
+    }
+    for s in &prog.stmts {
+        check_stmt(s, &mut scope)?;
+    }
+    Ok(params)
+}
+
+fn err(msg: String) -> CompileError {
+    CompileError::new(Pos::default(), msg)
+}
+
+fn check_stmt(stmt: &Stmt, scope: &mut Vec<String>) -> Result<(), CompileError> {
+    match stmt {
+        Stmt::Seq(parts) => {
+            for p in parts {
+                check_stmt(p, scope)?;
+            }
+            Ok(())
+        }
+        Stmt::For { reps, body, .. } => {
+            check_expr(reps, scope)?;
+            check_stmt(body, scope)
+        }
+        Stmt::ForEach { var, from, to, body } => {
+            check_expr(from, scope)?;
+            check_expr(to, scope)?;
+            scope.push(var.clone());
+            let r = check_stmt(body, scope);
+            scope.pop();
+            r
+        }
+        Stmt::If { cond, then, els } => {
+            check_cond(cond, scope)?;
+            check_stmt(then, scope)?;
+            if let Some(e) = els {
+                check_stmt(e, scope)?;
+            }
+            Ok(())
+        }
+        Stmt::Let { var, value, body } => {
+            check_expr(value, scope)?;
+            scope.push(var.clone());
+            let r = check_stmt(body, scope);
+            scope.pop();
+            r
+        }
+        Stmt::Send { src, count, size, dst, .. }
+        | Stmt::Receive { dst: src, count, size, src: dst, .. } => {
+            let popped = check_sel(src, scope, false)?;
+            check_expr(count, scope)?;
+            check_expr(size, scope)?;
+            check_sel(dst, scope, true)?.then(|| scope.pop());
+            if popped {
+                scope.pop();
+            }
+            Ok(())
+        }
+        Stmt::Multicast { src, size, dst } => {
+            let popped = check_sel(src, scope, false)?;
+            check_expr(size, scope)?;
+            check_sel(dst, scope, true)?.then(|| scope.pop());
+            if popped {
+                scope.pop();
+            }
+            Ok(())
+        }
+        Stmt::Reduce { tasks, size, target } => {
+            let popped = check_sel(tasks, scope, false)?;
+            check_expr(size, scope)?;
+            check_sel(target, scope, false)?.then(|| scope.pop());
+            if popped {
+                scope.pop();
+            }
+            Ok(())
+        }
+        Stmt::Sync(sel) | Stmt::AwaitCompletions(sel) | Stmt::Reset(sel)
+        | Stmt::ComputeAggregates(sel) => {
+            if check_sel(sel, scope, false)? {
+                scope.pop();
+            }
+            Ok(())
+        }
+        Stmt::Compute { tasks, amount, .. } | Stmt::Sleep { tasks, amount, .. } => {
+            let popped = check_sel(tasks, scope, false)?;
+            check_expr(amount, scope)?;
+            if popped {
+                scope.pop();
+            }
+            Ok(())
+        }
+        Stmt::Touch(sel, size) => {
+            let popped = check_sel(sel, scope, false)?;
+            check_expr(size, scope)?;
+            if popped {
+                scope.pop();
+            }
+            Ok(())
+        }
+        Stmt::Log(sel, entries) => {
+            let popped = check_sel(sel, scope, false)?;
+            for e in entries {
+                check_expr(&e.value, scope)?;
+            }
+            if popped {
+                scope.pop();
+            }
+            Ok(())
+        }
+        Stmt::Empty => Ok(()),
+    }
+}
+
+/// Check a task selector; pushes its binding (if any) onto the scope and
+/// returns whether a binding was pushed. `target_pos` allows `AllOthers`.
+fn check_sel(
+    sel: &TaskSel,
+    scope: &mut Vec<String>,
+    target_pos: bool,
+) -> Result<bool, CompileError> {
+    match sel {
+        TaskSel::All(None) => Ok(false),
+        TaskSel::All(Some(v)) => {
+            scope.push(v.clone());
+            Ok(true)
+        }
+        TaskSel::Single(e) => {
+            check_expr(e, scope)?;
+            Ok(false)
+        }
+        TaskSel::SuchThat(v, cond) => {
+            scope.push(v.clone());
+            check_cond(cond, scope)?;
+            Ok(true)
+        }
+        TaskSel::AllOthers => {
+            if target_pos {
+                Ok(false)
+            } else {
+                Err(err("`all other tasks` is only valid as a message target".into()))
+            }
+        }
+    }
+}
+
+fn check_expr(expr: &Expr, scope: &[String]) -> Result<(), CompileError> {
+    match expr {
+        Expr::Int(_) => Ok(()),
+        Expr::Var(v) => {
+            if scope.iter().any(|s| s == v) {
+                Ok(())
+            } else {
+                Err(err(format!("unbound variable `{v}`")))
+            }
+        }
+        Expr::Neg(e) => check_expr(e, scope),
+        Expr::Bin(_, a, b) => {
+            check_expr(a, scope)?;
+            check_expr(b, scope)
+        }
+        Expr::Call(_, args) => {
+            for a in args {
+                check_expr(a, scope)?;
+            }
+            Ok(())
+        }
+        Expr::IfElse(c, a, b) => {
+            check_cond(c, scope)?;
+            check_expr(a, scope)?;
+            check_expr(b, scope)
+        }
+    }
+}
+
+fn check_cond(cond: &Cond, scope: &[String]) -> Result<(), CompileError> {
+    match cond {
+        Cond::True => Ok(()),
+        Cond::Not(c) => check_cond(c, scope),
+        Cond::And(a, b) | Cond::Or(a, b) => {
+            check_cond(a, scope)?;
+            check_cond(b, scope)
+        }
+        Cond::Rel(_, a, b) => {
+            check_expr(a, scope)?;
+            check_expr(b, scope)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    #[test]
+    fn accepts_valid_program() {
+        let p = parse(
+            "n is \"count\" and comes from \"--n\" with default 4. \
+             for n repetitions all tasks t send a 8 byte message to task (t+1) mod num_tasks.",
+        )
+        .unwrap();
+        let params = check(&p).unwrap();
+        assert!(params.contains("n"));
+    }
+
+    #[test]
+    fn rejects_unbound_variable() {
+        let p = parse("task 0 sends a mystery byte message to task 1.").unwrap();
+        let e = check(&p).unwrap_err();
+        assert!(e.message.contains("mystery"));
+    }
+
+    #[test]
+    fn rejects_duplicate_params() {
+        let p = parse(
+            "n is \"a\" and comes from \"--n\" with default 1. \
+             n is \"b\" and comes from \"--m\" with default 2.",
+        )
+        .unwrap();
+        assert!(check(&p).unwrap_err().message.contains("duplicate parameter"));
+    }
+
+    #[test]
+    fn rejects_duplicate_flags() {
+        let p = parse(
+            "n is \"a\" and comes from \"--x\" with default 1. \
+             m is \"b\" and comes from \"--x\" with default 2.",
+        )
+        .unwrap();
+        assert!(check(&p).unwrap_err().message.contains("duplicate flag"));
+    }
+
+    #[test]
+    fn rejects_shadowing_predeclared() {
+        let p = parse("num_tasks is \"a\" and comes from \"--n\" with default 1.").unwrap();
+        assert!(check(&p).unwrap_err().message.contains("predeclared"));
+    }
+
+    #[test]
+    fn rejects_all_others_as_source() {
+        let p = parse("all other tasks send a 4 byte message to task 0.").unwrap();
+        assert!(check(&p).unwrap_err().message.contains("target"));
+    }
+
+    #[test]
+    fn selector_bindings_scope_correctly() {
+        // `t` bound by the selector is visible in size and dst expressions…
+        let p = parse("all tasks t send a t byte message to task t+1.").unwrap();
+        check(&p).unwrap();
+        // …but not after the sentence.
+        let p = parse(
+            "all tasks t synchronize then task t sends a 4 byte message to task 0.",
+        )
+        .unwrap();
+        assert!(check(&p).is_err());
+    }
+
+    #[test]
+    fn let_and_loop_bindings() {
+        let p = parse(
+            "let w be 4 while for each i in {0, ..., w} task i sends a w byte message to task 0.",
+        )
+        .unwrap();
+        check(&p).unwrap();
+    }
+}

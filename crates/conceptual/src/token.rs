@@ -1,0 +1,105 @@
+//! Token definitions for the coNCePTuaL-style language.
+
+use std::fmt;
+
+/// Source position (1-based line and column) for diagnostics.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct Pos {
+    pub line: u32,
+    pub col: u32,
+}
+
+impl fmt::Display for Pos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// A lexical token.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Tok {
+    /// Keyword or identifier — the language is keyword-heavy English, so the
+    /// lexer does not distinguish; the parser matches words
+    /// case-insensitively.
+    Word(String),
+    /// Integer literal, already scaled by any size suffix (K/M/G = binary
+    /// multipliers, as in coNCePTuaL message sizes).
+    Int(i64),
+    /// Double-quoted string literal.
+    Str(String),
+    /// `.` — sentence terminator.
+    Period,
+    Comma,
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    /// `...` inside range expressions `{1, ..., n}`.
+    Ellipsis,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    /// `**` — exponentiation.
+    StarStar,
+    /// `>>` and `<<` — shifts.
+    Shr,
+    Shl,
+    Eq,        // =
+    Ne,        // <>
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    /// `/\` logical and, `\/` logical or (coNCePTuaL spelling); the words
+    /// `and`/`or` are also accepted by the parser as Words.
+    AndOp,
+    OrOp,
+    Eof,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Word(w) => write!(f, "`{w}`"),
+            Tok::Int(n) => write!(f, "{n}"),
+            Tok::Str(s) => write!(f, "\"{s}\""),
+            Tok::Period => write!(f, "`.`"),
+            Tok::Comma => write!(f, "`,`"),
+            Tok::LParen => write!(f, "`(`"),
+            Tok::RParen => write!(f, "`)`"),
+            Tok::LBrace => write!(f, "`{{`"),
+            Tok::RBrace => write!(f, "`}}`"),
+            Tok::LBracket => write!(f, "`[`"),
+            Tok::RBracket => write!(f, "`]`"),
+            Tok::Ellipsis => write!(f, "`...`"),
+            Tok::Plus => write!(f, "`+`"),
+            Tok::Minus => write!(f, "`-`"),
+            Tok::Star => write!(f, "`*`"),
+            Tok::Slash => write!(f, "`/`"),
+            Tok::Percent => write!(f, "`%`"),
+            Tok::StarStar => write!(f, "`**`"),
+            Tok::Shr => write!(f, "`>>`"),
+            Tok::Shl => write!(f, "`<<`"),
+            Tok::Eq => write!(f, "`=`"),
+            Tok::Ne => write!(f, "`<>`"),
+            Tok::Lt => write!(f, "`<`"),
+            Tok::Le => write!(f, "`<=`"),
+            Tok::Gt => write!(f, "`>`"),
+            Tok::Ge => write!(f, "`>=`"),
+            Tok::AndOp => write!(f, "`/\\`"),
+            Tok::OrOp => write!(f, "`\\/`"),
+            Tok::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+/// A token plus its source position.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Spanned {
+    pub tok: Tok,
+    pub pos: Pos,
+}

@@ -1,0 +1,301 @@
+//! C-skeleton pretty-printer.
+//!
+//! Union's translator inherits coNCePTuaL's C backend and emits a C file
+//! whose communication calls are rewritten to `UNION_MPI_X` (paper Fig 5).
+//! Our bytecode *is* the skeleton, but for inspection, diffing, and
+//! documentation parity we can render the equivalent C. This output is
+//! illustrative — it is not compiled.
+
+use crate::ir::{Instr, LeafOp, MsgMode, ReduceTarget, Sel, Skeleton};
+use conceptual::{BinOp, Builtin, Cond, Expr, RelOp};
+use std::fmt::Write;
+
+/// Render a skeleton as a Fig-5-style C file.
+pub fn render_c(skel: &Skeleton) -> String {
+    let mut out = String::new();
+    let name = sanitize(&skel.name);
+    let _ = writeln!(out, "/* Union skeleton generated from {}.ncptl */", skel.name);
+    let _ = writeln!(out, "#include \"union.h\"\n");
+    let _ = writeln!(out, "static int {name}_main(int argc, char *argv[]) {{");
+    let _ = writeln!(out, "  UNION_MPI_Init(&argc, &argv);");
+    let _ = writeln!(out, "  int num_tasks = union_num_tasks();");
+    let _ = writeln!(out, "  int self = union_rank();");
+    for p in &skel.params {
+        let _ = writeln!(
+            out,
+            "  long {} = union_arg(argc, argv, \"{}\", {}); /* {} */",
+            p.name, p.long_flag, p.default, p.description
+        );
+    }
+    // The translator emits exactly two jump shapes: `Branch{else_pc}` with
+    // no else (close the brace at else_pc) and `Branch{else_pc}` whose
+    // then-arm ends in `Jump{after}` (render `} else {` at the Jump and
+    // close at `after`). Precompute both so braces always balance.
+    let mut closes: Vec<usize> = vec![0; skel.code.len() + 1];
+    let mut else_markers: Vec<bool> = vec![false; skel.code.len()];
+    for instr in skel.code.iter() {
+        if let Instr::Branch { else_pc, .. } = instr {
+            if *else_pc > 0 {
+                if let Some(Instr::Jump { pc: after }) = skel.code.get(*else_pc - 1) {
+                    else_markers[else_pc - 1] = true;
+                    closes[*after] += 1;
+                    continue;
+                }
+            }
+            closes[*else_pc] += 1;
+        }
+    }
+    let mut depth = 1;
+    let mut loop_ids = 0usize;
+    for (pc, instr) in skel.code.iter().enumerate() {
+        for _ in 0..closes[pc] {
+            depth -= 1;
+            let _ = writeln!(out, "{}}}", "  ".repeat(depth));
+        }
+        let pad = "  ".repeat(depth);
+        match instr {
+            Instr::Leaf(op) => {
+                let _ = writeln!(out, "{pad}{}", leaf_c(op));
+            }
+            Instr::LoopStart { reps, var, first, .. } => {
+                let i = match var {
+                    Some(v) => v.clone(),
+                    None => {
+                        loop_ids += 1;
+                        format!("_i{loop_ids}")
+                    }
+                };
+                let _ = writeln!(
+                    out,
+                    "{pad}for (long {i} = {f}; {i} < {f} + ({r}); {i}++) {{",
+                    f = expr_c(first),
+                    r = expr_c(reps),
+                );
+                depth += 1;
+            }
+            Instr::LoopEnd { .. } => {
+                depth -= 1;
+                let _ = writeln!(out, "{}}}", "  ".repeat(depth));
+            }
+            Instr::Branch { cond, .. } => {
+                let _ = writeln!(out, "{pad}if ({}) {{", cond_c(cond));
+                depth += 1;
+            }
+            Instr::Jump { .. } => {
+                if else_markers[pc] {
+                    let _ = writeln!(out, "{}}} else {{", "  ".repeat(depth - 1));
+                }
+            }
+            Instr::Bind { var, value } => {
+                let _ = writeln!(out, "{pad}{{ long {var} = {};", expr_c(value));
+                depth += 1;
+            }
+            Instr::Unbind { .. } => {
+                depth -= 1;
+                let _ = writeln!(out, "{}}}", "  ".repeat(depth));
+            }
+        }
+    }
+    for _ in 0..closes[skel.code.len()] {
+        depth -= 1;
+        let _ = writeln!(out, "{}}}", "  ".repeat(depth));
+    }
+    let _ = writeln!(out, "  UNION_MPI_Finalize();");
+    let _ = writeln!(out, "  return 0;");
+    let _ = writeln!(out, "}}\n");
+    let _ = writeln!(out, "struct union_skeleton_model {name}_model = {{");
+    let _ = writeln!(out, "  .program_name = \"{}\",", skel.name);
+    let _ = writeln!(out, "  .conceptual_main = {name}_main,");
+    let _ = writeln!(out, "}};");
+    out
+}
+
+fn sanitize(name: &str) -> String {
+    name.chars().map(|c| if c.is_ascii_alphanumeric() { c } else { '_' }).collect()
+}
+
+fn leaf_c(op: &LeafOp) -> String {
+    match op {
+        LeafOp::Message { src, dst, count, bytes, mode } => {
+            let call = match mode {
+                MsgMode::Async => "UNION_MPI_Isend",
+                MsgMode::Sync | MsgMode::SendIrecv => "UNION_MPI_Send",
+            };
+            format!(
+                "/* {src} -> {dst} */ if (union_sel_src()) {call}(NULL, {b}, {d}); \
+                 if (union_sel_dst()) UNION_MPI_{r}(NULL, {b}, {s}); /* x{c} */",
+                src = sel_c(src),
+                dst = sel_c(dst),
+                b = expr_c(bytes),
+                d = sel_c(dst),
+                s = sel_c(src),
+                c = expr_c(count),
+                r = match mode {
+                    MsgMode::Async | MsgMode::SendIrecv => "Irecv",
+                    MsgMode::Sync => "Recv",
+                },
+            )
+        }
+        LeafOp::Multicast { root, bytes } => {
+            format!("UNION_MPI_Bcast(NULL, {}, {}, UNION_COMM_WORLD);", expr_c(bytes), expr_c(root))
+        }
+        LeafOp::Reduce { bytes, target } => match target {
+            ReduceTarget::AllTasks => {
+                format!("UNION_MPI_Allreduce(NULL, NULL, {}, UNION_COMM_WORLD);", expr_c(bytes))
+            }
+            ReduceTarget::Root(root) => format!(
+                "UNION_MPI_Reduce(NULL, NULL, {}, {}, UNION_COMM_WORLD);",
+                expr_c(bytes),
+                expr_c(root)
+            ),
+        },
+        LeafOp::Barrier => "UNION_MPI_Barrier(UNION_COMM_WORLD);".to_string(),
+        LeafOp::Compute { ns, .. } => format!("UNION_Compute({});", expr_c(ns)),
+        LeafOp::Sleep { ns, .. } => format!("UNION_Sleep({});", expr_c(ns)),
+        LeafOp::Await { .. } => "UNION_MPI_Waitall();".to_string(),
+        LeafOp::ResetCounters { .. } => "union_reset_counters();".to_string(),
+        LeafOp::LogCounters { .. } => "union_log_counters();".to_string(),
+        LeafOp::Aggregates { .. } => "union_compute_aggregates();".to_string(),
+    }
+}
+
+fn sel_c(sel: &Sel) -> String {
+    match sel {
+        Sel::All(None) => "all".into(),
+        Sel::All(Some(v)) => format!("all:{v}"),
+        Sel::Single(e) => expr_c(e),
+        Sel::SuchThat(v, c) => format!("{{{v} | {}}}", cond_c(c)),
+        Sel::AllOthers => "others".into(),
+        Sel::RandomOther => "random".into(),
+    }
+}
+
+fn expr_c(e: &Expr) -> String {
+    match e {
+        Expr::Int(v) => v.to_string(),
+        Expr::Var(v) => v.clone(),
+        Expr::Neg(a) => format!("-({})", expr_c(a)),
+        Expr::Bin(op, a, b) => {
+            let o = match op {
+                BinOp::Add => "+",
+                BinOp::Sub => "-",
+                BinOp::Mul => "*",
+                BinOp::Div => "/",
+                BinOp::Mod => "%",
+                BinOp::Shl => "<<",
+                BinOp::Shr => ">>",
+                BinOp::Pow => return format!("union_pow({}, {})", expr_c(a), expr_c(b)),
+            };
+            format!("({} {o} {})", expr_c(a), expr_c(b))
+        }
+        Expr::Call(f, args) => {
+            let name = match f {
+                Builtin::Abs => "labs",
+                Builtin::Min => "union_min",
+                Builtin::Max => "union_max",
+                Builtin::Sqrt => "union_isqrt",
+                Builtin::Cbrt => "union_icbrt",
+                Builtin::Log2 => "union_ilog2",
+                Builtin::MeshNeighbor => "ncptl_mesh_neighbor",
+                Builtin::TorusNeighbor => "ncptl_torus_neighbor",
+                Builtin::MeshCoord => "ncptl_mesh_coord",
+                Builtin::TreeParent => "ncptl_tree_parent",
+                Builtin::TreeChild => "ncptl_tree_child",
+                Builtin::KnomialParent => "ncptl_knomial_parent",
+                Builtin::KnomialChild => "ncptl_knomial_child",
+                Builtin::KnomialChildren => "ncptl_knomial_children",
+            };
+            let args: Vec<String> = args.iter().map(expr_c).collect();
+            format!("{name}({})", args.join(", "))
+        }
+        Expr::IfElse(c, a, b) => {
+            format!("({} ? {} : {})", cond_c(c), expr_c(a), expr_c(b))
+        }
+    }
+}
+
+fn cond_c(c: &Cond) -> String {
+    match c {
+        Cond::True => "1".into(),
+        Cond::Not(a) => format!("!({})", cond_c(a)),
+        Cond::And(a, b) => format!("({} && {})", cond_c(a), cond_c(b)),
+        Cond::Or(a, b) => format!("({} || {})", cond_c(a), cond_c(b)),
+        Cond::Rel(op, a, b) => {
+            let o = match op {
+                RelOp::Eq => "==",
+                RelOp::Ne => "!=",
+                RelOp::Lt => "<",
+                RelOp::Le => "<=",
+                RelOp::Gt => ">",
+                RelOp::Ge => ">=",
+                RelOp::Divides => {
+                    return format!("(({b}) % ({a}) == 0)", a = expr_c(a), b = expr_c(b))
+                }
+            };
+            format!("({} {o} {})", expr_c(a), expr_c(b))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::translate::translate_source;
+
+    #[test]
+    fn renders_fig5_shape() {
+        let skel = translate_source(
+            "reps is \"r\" and comes from \"--reps\" with default 1000. \
+             For reps repetitions { \
+               task 0 resets its counters then \
+               task 0 sends a 1024 byte message to task 1 then \
+               task 1 sends a 1024 byte message to task 0 }.",
+            "pingpong",
+        )
+        .unwrap();
+        let c = render_c(&skel);
+        assert!(c.contains("UNION_MPI_Init"), "{c}");
+        assert!(c.contains("UNION_MPI_Send"), "{c}");
+        assert!(c.contains("UNION_MPI_Finalize"), "{c}");
+        assert!(c.contains("struct union_skeleton_model pingpong_model"), "{c}");
+        assert!(c.contains(".program_name = \"pingpong\""), "{c}");
+        assert!(c.contains(".conceptual_main = pingpong_main"), "{c}");
+        assert!(c.contains("for (long"), "{c}");
+        // Balanced braces.
+        assert_eq!(c.matches('{').count(), c.matches('}').count(), "{c}");
+    }
+
+    #[test]
+    fn renders_collectives() {
+        let skel = translate_source(
+            "all tasks reduce a 8 byte message to all tasks then \
+             task 0 multicasts a 25 byte message to all other tasks.",
+            "coll",
+        )
+        .unwrap();
+        let c = render_c(&skel);
+        assert!(c.contains("UNION_MPI_Allreduce"));
+        assert!(c.contains("UNION_MPI_Bcast"));
+    }
+
+    #[test]
+    fn if_else_braces_balance() {
+        let skel = translate_source(
+            "if num_tasks > 2 then all tasks synchronize otherwise task 0 computes \
+             for 1 microseconds then if num_tasks > 4 then all tasks synchronize.",
+            "ifs",
+        )
+        .unwrap();
+        let c = render_c(&skel);
+        assert_eq!(c.matches('{').count(), c.matches('}').count(), "{c}");
+        assert!(c.contains("} else {"), "{c}");
+    }
+
+    #[test]
+    fn renders_compute_as_union_compute() {
+        let skel =
+            translate_source("all tasks compute for 129 milliseconds.", "c").unwrap();
+        let c = render_c(&skel);
+        assert!(c.contains("UNION_Compute((129 * 1000000))"), "{c}");
+    }
+}

@@ -1,0 +1,301 @@
+//! The Union **translator**: coNCePTuaL AST → skeleton bytecode.
+//!
+//! This is the automatic-skeletonization step of the paper (§III-C):
+//!
+//! 1. *initialization* — a [`Skeleton`] object is created carrying the
+//!    program name and the compiled entry point (here: bytecode instead of
+//!    a C function pointer);
+//! 2. *skeletonization* — communication buffers are dropped (the IR keeps
+//!    only byte counts) and computation collapses to `Compute` delay ops;
+//! 3. *interception* — every communication statement lowers to
+//!    `UNION_MPI_X` operations executed by the event generator.
+
+use crate::ir::{Instr, LeafOp, MsgMode, ReduceTarget, Sel, Skeleton};
+use conceptual::ast::{Stmt, TaskSel};
+use conceptual::{CompileError, Expr, Program};
+
+/// Translate a compiled coNCePTuaL program into a Union skeleton.
+pub fn translate(prog: &Program, name: &str) -> Result<Skeleton, CompileError> {
+    let mut code = Vec::new();
+    for s in &prog.stmts {
+        lower_stmt(s, &mut code)?;
+    }
+    let skel = Skeleton { name: name.to_string(), params: prog.params.clone(), code };
+    skel.validate()
+        .map_err(|e| CompileError::new(Default::default(), e))?;
+    Ok(skel)
+}
+
+/// Parse, check, and translate source text in one step.
+pub fn translate_source(src: &str, name: &str) -> Result<Skeleton, CompileError> {
+    let prog = conceptual::compile(src)?;
+    translate(&prog, name)
+}
+
+fn err<T>(msg: impl Into<String>) -> Result<T, CompileError> {
+    Err(CompileError::new(Default::default(), msg))
+}
+
+fn sel_of(t: &TaskSel) -> Sel {
+    match t {
+        TaskSel::All(v) => Sel::All(v.clone()),
+        TaskSel::Single(e) => Sel::Single(e.clone()),
+        TaskSel::SuchThat(v, c) => Sel::SuchThat(v.clone(), c.clone()),
+        TaskSel::AllOthers => Sel::AllOthers,
+    }
+}
+
+fn require_all(t: &TaskSel, what: &str) -> Result<(), CompileError> {
+    if matches!(t, TaskSel::All(_)) {
+        Ok(())
+    } else {
+        err(format!(
+            "{what} over task subsets requires sub-communicators, which Union \
+             does not model; use `all tasks`"
+        ))
+    }
+}
+
+fn lower_stmt(stmt: &Stmt, code: &mut Vec<Instr>) -> Result<(), CompileError> {
+    match stmt {
+        Stmt::Seq(parts) => {
+            for p in parts {
+                lower_stmt(p, code)?;
+            }
+        }
+        Stmt::For { reps, sync, body } => {
+            let start = code.len();
+            code.push(Instr::LoopStart {
+                reps: reps.clone(),
+                var: None,
+                first: Expr::lit(0),
+                end: usize::MAX,
+            });
+            lower_stmt(body, code)?;
+            if *sync {
+                code.push(Instr::Leaf(LeafOp::Barrier));
+            }
+            code.push(Instr::LoopEnd { start });
+            let end = code.len() - 1;
+            let Instr::LoopStart { end: e, .. } = &mut code[start] else { unreachable!() };
+            *e = end;
+        }
+        Stmt::ForEach { var, from, to, body } => {
+            let start = code.len();
+            // reps = to - from + 1 (evaluated once at loop entry).
+            let reps = to.clone().sub(from.clone()).add(Expr::lit(1));
+            code.push(Instr::LoopStart {
+                reps,
+                var: Some(var.clone()),
+                first: from.clone(),
+                end: usize::MAX,
+            });
+            lower_stmt(body, code)?;
+            code.push(Instr::LoopEnd { start });
+            let end = code.len() - 1;
+            let Instr::LoopStart { end: e, .. } = &mut code[start] else { unreachable!() };
+            *e = end;
+        }
+        Stmt::If { cond, then, els } => {
+            let branch_at = code.len();
+            code.push(Instr::Branch { cond: cond.clone(), else_pc: usize::MAX });
+            lower_stmt(then, code)?;
+            match els {
+                None => {
+                    let else_pc = code.len();
+                    let Instr::Branch { else_pc: e, .. } = &mut code[branch_at] else {
+                        unreachable!()
+                    };
+                    *e = else_pc;
+                }
+                Some(els) => {
+                    let jump_at = code.len();
+                    code.push(Instr::Jump { pc: usize::MAX });
+                    let else_pc = code.len();
+                    lower_stmt(els, code)?;
+                    let after = code.len();
+                    let Instr::Branch { else_pc: e, .. } = &mut code[branch_at] else {
+                        unreachable!()
+                    };
+                    *e = else_pc;
+                    let Instr::Jump { pc } = &mut code[jump_at] else { unreachable!() };
+                    *pc = after;
+                }
+            }
+        }
+        Stmt::Let { var, value, body } => {
+            code.push(Instr::Bind { var: var.clone(), value: value.clone() });
+            lower_stmt(body, code)?;
+            code.push(Instr::Unbind { var: var.clone() });
+        }
+        Stmt::Send { src, count, size, dst, attrs } => {
+            if matches!(src, TaskSel::AllOthers) {
+                return err("`all other tasks` cannot send");
+            }
+            code.push(Instr::Leaf(LeafOp::Message {
+                src: sel_of(src),
+                dst: sel_of(dst),
+                count: count.clone(),
+                bytes: size.clone(),
+                mode: if attrs.nonblocking { MsgMode::Async } else { MsgMode::Sync },
+            }));
+        }
+        Stmt::Receive { .. } => {
+            return err(
+                "explicit `receives` clauses are not needed: Union generates the \
+                 matching receive for every send (implicit-receive semantics)",
+            );
+        }
+        Stmt::Multicast { src, size, dst } => {
+            let TaskSel::Single(root) = src else {
+                return err("multicast requires a single root task");
+            };
+            if !matches!(dst, TaskSel::All(_) | TaskSel::AllOthers) {
+                return err("multicast target must be `all tasks` or `all other tasks`");
+            }
+            code.push(Instr::Leaf(LeafOp::Multicast {
+                root: root.clone(),
+                bytes: size.clone(),
+            }));
+        }
+        Stmt::Reduce { tasks, size, target } => {
+            require_all(tasks, "reduction")?;
+            let target = match target {
+                TaskSel::All(_) => ReduceTarget::AllTasks,
+                TaskSel::Single(e) => ReduceTarget::Root(e.clone()),
+                _ => return err("reduce target must be `all tasks` or a single task"),
+            };
+            code.push(Instr::Leaf(LeafOp::Reduce { bytes: size.clone(), target }));
+        }
+        Stmt::Sync(tasks) => {
+            require_all(tasks, "synchronization")?;
+            code.push(Instr::Leaf(LeafOp::Barrier));
+        }
+        Stmt::Compute { tasks, amount, unit } => {
+            code.push(Instr::Leaf(LeafOp::Compute {
+                tasks: sel_of(tasks),
+                ns: amount.clone().mul(Expr::lit(unit.ns())),
+            }));
+        }
+        Stmt::Sleep { tasks, amount, unit } => {
+            code.push(Instr::Leaf(LeafOp::Sleep {
+                tasks: sel_of(tasks),
+                ns: amount.clone().mul(Expr::lit(unit.ns())),
+            }));
+        }
+        Stmt::AwaitCompletions(tasks) => {
+            code.push(Instr::Leaf(LeafOp::Await { tasks: sel_of(tasks) }));
+        }
+        Stmt::Reset(tasks) => {
+            code.push(Instr::Leaf(LeafOp::ResetCounters { tasks: sel_of(tasks) }));
+        }
+        Stmt::Log(tasks, _entries) => {
+            // Skeletonization: the logged expressions are dropped; the event
+            // is kept so control flow matches the application exactly.
+            code.push(Instr::Leaf(LeafOp::LogCounters { tasks: sel_of(tasks) }));
+        }
+        Stmt::ComputeAggregates(tasks) => {
+            code.push(Instr::Leaf(LeafOp::Aggregates { tasks: sel_of(tasks) }));
+        }
+        Stmt::Touch(tasks, _size) => {
+            // Memory touching has no network effect; model as zero-cost
+            // compute to preserve control flow.
+            code.push(Instr::Leaf(LeafOp::Compute {
+                tasks: sel_of(tasks),
+                ns: Expr::lit(0),
+            }));
+        }
+        Stmt::Empty => {}
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn translates_ping_pong_shape() {
+        let src = r#"
+            reps is "r" and comes from "--reps" with default 2.
+            For reps repetitions {
+              task 0 resets its counters then
+              task 0 sends a 1024 byte message to task 1 then
+              task 1 sends a 1024 byte message to task 0
+            }
+            then task 0 computes aggregates.
+        "#;
+        let skel = translate_source(src, "pingpong").unwrap();
+        assert_eq!(skel.name, "pingpong");
+        assert_eq!(skel.params.len(), 1);
+        // LoopStart, Reset, Msg, Msg, LoopEnd, Aggregates
+        assert_eq!(skel.code.len(), 6);
+        assert!(matches!(skel.code[0], Instr::LoopStart { .. }));
+        assert!(matches!(skel.code[4], Instr::LoopEnd { .. }));
+        assert!(matches!(
+            skel.code[5],
+            Instr::Leaf(LeafOp::Aggregates { .. })
+        ));
+    }
+
+    #[test]
+    fn sync_loop_adds_barrier() {
+        let skel = translate_source(
+            "for 3 repetitions plus a synchronization task 0 sends a 4 byte message to task 1.",
+            "t",
+        )
+        .unwrap();
+        assert!(matches!(skel.code[2], Instr::Leaf(LeafOp::Barrier)));
+    }
+
+    #[test]
+    fn if_else_targets() {
+        let skel = translate_source(
+            "if num_tasks > 2 then all tasks synchronize otherwise task 0 computes for 1 microseconds.",
+            "t",
+        )
+        .unwrap();
+        let Instr::Branch { else_pc, .. } = &skel.code[0] else { panic!() };
+        assert_eq!(*else_pc, 3);
+        let Instr::Jump { pc } = &skel.code[2] else { panic!() };
+        assert_eq!(*pc, 4);
+    }
+
+    #[test]
+    fn rejects_subset_collectives() {
+        assert!(translate_source("task 0 synchronizes.", "t").is_err());
+        assert!(
+            translate_source("tasks t such that t < 4 reduce a 8 byte message to task 0.", "t")
+                .is_err()
+        );
+    }
+
+    #[test]
+    fn rejects_explicit_receives() {
+        assert!(
+            translate_source("task 1 receives a 4 byte message from task 0.", "t").is_err()
+        );
+    }
+
+    #[test]
+    fn multicast_requires_single_root() {
+        assert!(translate_source(
+            "all tasks multicast a 4 byte message to all tasks.",
+            "t"
+        )
+        .is_err());
+        assert!(translate_source(
+            "task 0 multicasts a 4 byte message to task 1.",
+            "t"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn compute_units_scale_to_ns() {
+        let skel =
+            translate_source("all tasks compute for 129 milliseconds.", "t").unwrap();
+        let Instr::Leaf(LeafOp::Compute { ns, .. }) = &skel.code[0] else { panic!() };
+        assert_eq!(ns, &Expr::lit(129).mul(Expr::lit(1_000_000)));
+    }
+}

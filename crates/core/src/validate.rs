@@ -1,0 +1,213 @@
+//! Skeleton validation (paper §V): run an op stream per rank through an
+//! instantaneous executor and collect
+//!
+//! * **MPI event counts** grouped by function (Table IV),
+//! * **bytes transmitted per rank** (Table V),
+//! * the **control-flow sequence** of operations (Fig 6).
+//!
+//! Comparing the skeleton's summary against an independently written
+//! reference generator demonstrates that skeletonization preserved control
+//! flow and communication pattern.
+//!
+//! Byte accounting rules (documented in DESIGN.md — the paper does not
+//! spell out its trace accounting):
+//!
+//! * point-to-point: the sender counts the payload;
+//! * allreduce: every rank counts `2·P·(n−1)/n` (ring algorithm, what
+//!   Horovod executes for large tensors);
+//! * broadcast: non-root ranks count `P` (store-and-forward), the root
+//!   counts nothing — this produces exactly the Table V shape where rank 0
+//!   differs from everyone else by the broadcast total;
+//! * rooted reduce: every non-root rank counts `P`.
+
+use crate::ops::MpiOp;
+use std::collections::BTreeMap;
+
+/// Aggregated behaviour of one job, ready for comparison.
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct Validation {
+    /// Ranks in the job.
+    pub num_tasks: u32,
+    /// Per-function event counts, Table IV style: point-to-point and
+    /// Init/Finalize counted per rank; collectives counted once per
+    /// operation instance.
+    pub event_counts: BTreeMap<String, u64>,
+    /// Bytes transmitted per rank (Table V).
+    pub bytes_per_rank: Vec<u64>,
+    /// Control-flow sequence of rank 0 (Fig 6): the ordered list of
+    /// function names it executed.
+    pub control_flow: Vec<&'static str>,
+}
+
+impl Validation {
+    /// Collect validation data by draining each rank's op stream.
+    pub fn collect<I, F>(num_tasks: u32, mut stream_of: F) -> Validation
+    where
+        I: Iterator<Item = MpiOp>,
+        F: FnMut(u32) -> I,
+    {
+        let mut v = Validation {
+            num_tasks,
+            bytes_per_rank: vec![0; num_tasks as usize],
+            ..Default::default()
+        };
+        let n = num_tasks as u64;
+        for rank in 0..num_tasks {
+            for op in stream_of(rank) {
+                // Event counts: collectives once per instance (count them
+                // only at rank 0 — every rank executes the same collective
+                // sequence), everything else per rank.
+                let count_it = !op.is_collective() || rank == 0;
+                if count_it && !matches!(op, MpiOp::Compute { .. }) {
+                    *v.event_counts.entry(op.fn_name().to_string()).or_insert(0) += 1;
+                }
+                if rank == 0 {
+                    v.control_flow.push(op.fn_name());
+                }
+                let bytes = &mut v.bytes_per_rank[rank as usize];
+                match op {
+                    MpiOp::Isend { bytes: b, .. }
+                    | MpiOp::Send { bytes: b, .. }
+                    | MpiOp::SyntheticSend { bytes: b, .. } => *bytes += b,
+                    MpiOp::Allreduce { bytes: b } if n > 1 => {
+                        *bytes += 2 * b * (n - 1) / n;
+                    }
+                    MpiOp::Bcast { root, bytes: b } if rank != root => *bytes += b,
+                    MpiOp::Reduce { root, bytes: b } if rank != root => *bytes += b,
+                    _ => {}
+                }
+            }
+        }
+        v
+    }
+
+    /// Render the Table IV comparison rows for two runs (application
+    /// reference vs Union skeleton).
+    pub fn table4(app: &Validation, skel: &Validation) -> String {
+        let mut out = String::from("| Function | Application | Union Skeleton |\n|---|---|---|\n");
+        let mut keys: Vec<&String> =
+            app.event_counts.keys().chain(skel.event_counts.keys()).collect();
+        keys.sort();
+        keys.dedup();
+        for k in keys {
+            let a = app.event_counts.get(k).copied().unwrap_or(0);
+            let s = skel.event_counts.get(k).copied().unwrap_or(0);
+            out.push_str(&format!("| {k} | {a} | {s} |\n"));
+        }
+        out
+    }
+
+    /// Render the Table V comparison rows, grouping ranks with identical
+    /// byte totals.
+    pub fn table5(app: &Validation, skel: &Validation) -> String {
+        let mut out = String::from("| Rank | Application | Union Skeleton |\n|---|---|---|\n");
+        let groups = group_ranks(&app.bytes_per_rank);
+        for (label, idx) in groups {
+            let a = app.bytes_per_rank[idx];
+            let s = skel.bytes_per_rank.get(idx).copied().unwrap_or(0);
+            out.push_str(&format!("| {label} | {a:.3e} | {s:.3e} |\n"));
+        }
+        out
+    }
+
+    /// True when both runs have identical counts, bytes, and control flow.
+    pub fn matches(&self, other: &Validation) -> bool {
+        self.event_counts == other.event_counts
+            && self.bytes_per_rank == other.bytes_per_rank
+            && self.control_flow == other.control_flow
+    }
+}
+
+/// Group consecutive ranks with equal byte totals: `[(label, example_idx)]`.
+fn group_ranks(bytes: &[u64]) -> Vec<(String, usize)> {
+    let mut out = Vec::new();
+    let mut start = 0usize;
+    for i in 1..=bytes.len() {
+        if i == bytes.len() || bytes[i] != bytes[start] {
+            let label = if i - start == 1 {
+                format!("{start}")
+            } else {
+                format!("{start} to {}", i - 1)
+            };
+            out.push((label, start));
+            start = i;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::translate::translate_source;
+    use crate::vm::{RankVm, SkeletonInstance};
+
+    fn validate_src(src: &str, n: u32) -> Validation {
+        let skel = translate_source(src, "test").unwrap();
+        let inst = SkeletonInstance::new(&skel, n, &[]).unwrap();
+        Validation::collect(n, |r| RankVm::new(inst.clone(), r, 1))
+    }
+
+    #[test]
+    fn counts_init_per_rank_and_collectives_once() {
+        let v = validate_src(
+            "all tasks reduce a 100 byte message to all tasks then \
+             task 0 multicasts a 25 byte message to all other tasks.",
+            4,
+        );
+        assert_eq!(v.event_counts["MPI_Init"], 4);
+        assert_eq!(v.event_counts["MPI_Finalize"], 4);
+        assert_eq!(v.event_counts["MPI_Allreduce"], 1);
+        assert_eq!(v.event_counts["MPI_Bcast"], 1);
+    }
+
+    #[test]
+    fn bytes_accounting_rules() {
+        let v = validate_src(
+            "all tasks reduce a 512 byte message to all tasks then \
+             task 0 multicasts a 100 byte message to all other tasks.",
+            4,
+        );
+        // Allreduce: 2*512*3/4 = 768 for everyone; bcast adds 100 to
+        // non-roots only.
+        assert_eq!(v.bytes_per_rank, vec![768, 868, 868, 868]);
+    }
+
+    #[test]
+    fn p2p_bytes_counted_at_sender() {
+        let v = validate_src("task 0 sends 3 1000 byte messages to task 1.", 2);
+        assert_eq!(v.bytes_per_rank, vec![3000, 0]);
+    }
+
+    #[test]
+    fn table_rendering_groups_ranks() {
+        let v = validate_src(
+            "task 0 multicasts a 100 byte message to all other tasks.",
+            4,
+        );
+        let t = Validation::table5(&v, &v);
+        assert!(t.contains("| 0 |"), "{t}");
+        assert!(t.contains("| 1 to 3 |"), "{t}");
+    }
+
+    #[test]
+    fn control_flow_capture() {
+        let v = validate_src(
+            "task 0 sends a 4 byte message to task 1 then all tasks synchronize.",
+            2,
+        );
+        assert_eq!(
+            v.control_flow,
+            vec!["MPI_Init", "MPI_Send", "MPI_Barrier", "MPI_Finalize"]
+        );
+    }
+
+    #[test]
+    fn matches_is_exact() {
+        let a = validate_src("all tasks synchronize.", 3);
+        let b = validate_src("all tasks synchronize.", 3);
+        assert!(a.matches(&b));
+        let c = validate_src("all tasks synchronize then all tasks synchronize.", 3);
+        assert!(!a.matches(&c));
+    }
+}

@@ -1,0 +1,97 @@
+//! # dragonfly
+//!
+//! CODES-style dragonfly network models for the Union reproduction:
+//!
+//! * [`config::DragonflyConfig`] — the paper's Table II systems (1D: 33
+//!   groups of 32 all-to-all routers; 2D: 22 groups of 6×16 row/column
+//!   routers) plus small test instances;
+//! * [`topology::Topology`] — deterministic wiring with parallel global
+//!   links between every group pair;
+//! * [`router::RouterState`] — a packet-level router with per-port FIFO
+//!   backlog clocks, minimal and UGAL-adaptive routing, per-app windowed
+//!   counters (Fig 8), and per-port byte totals (Table VI).
+//!
+//! The router is a pure state machine: the `codes` crate embeds it in a
+//! ROSS logical process and turns [`router::Forward`] decisions into
+//! events.
+
+pub mod config;
+pub mod credit;
+pub mod packet;
+pub mod router;
+pub mod topology;
+
+pub use config::{DragonflyConfig, Flavor, LinkClass};
+pub use credit::{credit_arrived, forward_vc, CreditState, FlowControl, VcAction};
+pub use packet::Packet;
+pub use router::{Forward, Routing, RouterState, WindowCounters};
+pub use topology::{GroupId, NodeId, Peer, Port, PortInfo, RouterId, Topology};
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use ross::SimTime;
+
+    fn deliverable(cfg: DragonflyConfig, routing: Routing, src: u32, dst: u32, seed: u64) {
+        let topo = Topology::build(cfg);
+        let mut routers: Vec<RouterState> = (0..topo.cfg.total_routers())
+            .map(|r| RouterState::new(r, topo.ports(r).len(), 0, 8))
+            .collect();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut pkt = Packet {
+            app: 0,
+            kind: 0,
+            tag: 0,
+            aux: 0,
+            src_node: src,
+            dst_node: dst,
+            bytes: 512,
+            msg_id: 0,
+            msg_bytes: 512,
+            created: SimTime::ZERO,
+            intermediate: None,
+            gateway: None,
+            routed: false,
+            hops: 0,
+            up_router: u32::MAX,
+            up_port: 0,
+            vc: 0,
+        };
+        let mut at = topo.node_router(src);
+        let mut now = SimTime::ZERO;
+        loop {
+            match routers[at as usize].forward(now, &mut pkt, &topo, routing, &mut rng) {
+                Forward::ToNode { node, .. } => {
+                    assert_eq!(node, dst);
+                    return;
+                }
+                Forward::ToRouter { router, arrive } => {
+                    at = router;
+                    now = arrive;
+                    assert!(pkt.hops < Packet::MAX_HOPS, "loop: {pkt:?}");
+                }
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn any_pair_delivers_tiny_1d(src in 0u32..72, dst in 0u32..72, seed in 0u64..100,
+                                     adaptive in proptest::bool::ANY) {
+            let routing = if adaptive { Routing::Adaptive } else { Routing::Minimal };
+            deliverable(DragonflyConfig::tiny_1d(), routing, src, dst, seed);
+        }
+
+        #[test]
+        fn any_pair_delivers_tiny_2d(src in 0u32..84, dst in 0u32..84, seed in 0u64..100,
+                                     adaptive in proptest::bool::ANY) {
+            let routing = if adaptive { Routing::Adaptive } else { Routing::Minimal };
+            deliverable(DragonflyConfig::tiny_2d(), routing, src, dst, seed);
+        }
+    }
+}

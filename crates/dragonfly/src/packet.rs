@@ -1,0 +1,54 @@
+//! The unit of network traffic.
+
+use ross::SimTime;
+
+/// A packet in flight. Messages are segmented into packets of at most
+/// `cfg.packet_bytes`; the receiver reassembles them by `msg_id`.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct Packet {
+    /// Application (job) index — drives per-app router counters (Fig 8).
+    pub app: u8,
+    /// Upper-layer message kind (data / rendezvous control / synthetic…).
+    /// Opaque to the network.
+    pub kind: u8,
+    /// Upper-layer message tag. Opaque to the network.
+    pub tag: u32,
+    /// Upper-layer auxiliary word (e.g. rendezvous payload size). Opaque
+    /// to the network.
+    pub aux: u64,
+    pub src_node: u32,
+    pub dst_node: u32,
+    /// Payload bytes in this packet.
+    pub bytes: u32,
+    /// Unique message id (assigned by the sending node).
+    pub msg_id: u64,
+    /// Total bytes of the whole message (for reassembly).
+    pub msg_bytes: u64,
+    /// When the message entered the NIC send queue (latency metric origin).
+    pub created: SimTime,
+    /// Valiant intermediate group, when adaptive routing chose a
+    /// non-minimal path. Cleared on arrival in that group.
+    pub intermediate: Option<u32>,
+    /// Gateway router chosen for the current group traversal; pinning it
+    /// keeps the path minimal while local hops approach the gateway.
+    /// Cleared on every group change.
+    pub gateway: Option<u32>,
+    /// Set once the injection router has made its UGAL decision, so the
+    /// packet is never re-diverted.
+    pub routed: bool,
+    /// Router-to-router hops taken so far.
+    pub hops: u8,
+    /// Credit-mode bookkeeping: the router and port that transmitted this
+    /// packet on its most recent hop (`u32::MAX` = injected by a NIC).
+    pub up_router: u32,
+    pub up_port: u16,
+    /// Credit-mode bookkeeping: the virtual channel used on the most
+    /// recent hop.
+    pub vc: u8,
+}
+
+impl Packet {
+    /// Per-hop safety valve: a packet bouncing more than this many hops
+    /// indicates a routing bug.
+    pub const MAX_HOPS: u8 = 12;
+}

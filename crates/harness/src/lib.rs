@@ -1,0 +1,11 @@
+//! # harness
+//!
+//! Experiment harness regenerating every table and figure in the paper's
+//! evaluation (the `union-exp` binary). See DESIGN.md §4 for the
+//! experiment index and EXPERIMENTS.md for recorded paper-vs-measured
+//! results.
+
+pub mod report;
+pub mod sweep;
+
+pub use sweep::{Net, RunKey, RunRecord, SweepConfig, Workload};

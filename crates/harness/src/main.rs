@@ -1,0 +1,342 @@
+//! `union-exp` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! union-exp table2                      # system configurations
+//! union-exp validate [--ranks 512]     # Tables IV & V + Fig 6 (AlexNet)
+//! union-exp fig7 [sweep opts]          # message-latency boxplots
+//! union-exp fig9 [sweep opts]          # communication times
+//! union-exp fig8 [sweep opts]          # router time series (RG vs RR)
+//! union-exp table6 [sweep opts]        # link loads (1D vs 2D)
+//! union-exp all [sweep opts]           # everything above
+//! union-exp skeleton <name>            # print the generated C skeleton
+//!
+//! sweep opts:
+//!   --profile quick|paper   (default quick)
+//!   --iters N               iterations per app (default 2)
+//!   --scale N               payload divisor (default 16)
+//!   --seed N
+//!   --sched seq|cons:T|opt:T
+//!   --nets 1d,2d  --placements RN,RR,RG  --routings MIN,ADP
+//!   --workloads 1,2,3  --no-baselines
+//!   --json FILE             dump records as JSON
+//! ```
+
+use dragonfly::Routing;
+use harness::report;
+use harness::sweep::{self, Net, SweepConfig};
+use placement::Placement;
+use ross::Scheduler;
+use union_core::{codegen, RankVm, SkeletonInstance, Validation};
+use workloads::Profile;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = args.first().map(|s| s.as_str()).unwrap_or("help");
+    let rest = &args[1.min(args.len())..];
+    match cmd {
+        "table1" => table1(rest),
+        "table2" => print!("{}", report::table2()),
+        "validate" | "table4" | "table5" | "fig6" => validate(cmd, rest),
+        "fig7" | "fig9" | "table6" | "all" => sweep_cmd(cmd, rest),
+        "fig8" => fig8(rest),
+        "skeleton" => skeleton(rest),
+        _ => {
+            eprintln!(
+                "usage: union-exp <table2|validate|fig7|fig8|fig9|table6|all|skeleton> [opts]"
+            );
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Table I: quantify the trace-replay vs Union comparison on one
+/// workload: artifact sizes, preparation cost, and result equivalence.
+fn table1(rest: &[String]) {
+    use std::sync::Arc;
+    use union_core::Trace;
+    let ranks: u32 = opt(rest, "--ranks", 64);
+    let iters: i64 = opt(rest, "--iters", 5);
+    let cfg = workloads::app(workloads::AppKind::NearestNeighbor, Profile::Quick, iters, 16);
+    let args: Vec<&str> = cfg.args.iter().map(|s| s.as_str()).collect();
+    let inst = SkeletonInstance::new(&cfg.skeleton, ranks, &args).expect("instance");
+
+    let t0 = std::time::Instant::now();
+    let trace = Arc::new(Trace::record(&inst, 1));
+    let record_s = t0.elapsed().as_secs_f64();
+    let skeleton_size = serde_json::to_vec(&cfg.skeleton).unwrap().len() as u64;
+    let trace_size = trace.jsonl_size();
+
+    let run = |b: codes::SimulationBuilder| {
+        let mut sim = b.build().unwrap();
+        let t = std::time::Instant::now();
+        let r = sim.run(ross::Scheduler::Sequential, ross::SimTime::MAX);
+        (r, t.elapsed().as_secs_f64())
+    };
+    let mk = || {
+        codes::SimulationBuilder::new(dragonfly::DragonflyConfig::small_1d()).seed(2)
+    };
+    let (r_skel, t_skel) = run(mk().job(
+        cfg.name(),
+        (0..ranks).map(|r| RankVm::new(inst.clone(), r, 1)).collect(),
+    ));
+    let (r_trace, t_trace) = run(mk().job_trace(cfg.name(), &trace));
+
+    let lat = |r: &codes::SimResults| {
+        r.apps[0].latency.iter().map(|l| l.sum_ns).sum::<u64>()
+    };
+    println!("Table I — workload mechanisms compared on NN ({ranks} ranks, {iters} iters)");
+    println!("| Feature | Trace Replay | Union |");
+    println!("|---|---|---|");
+    println!("| Trace collection | Yes ({record_s:.3}s app run) | No |");
+    println!(
+        "| Workload artifact size | {} (JSONL, {} records) | {} (skeleton) |",
+        metrics::fmt_bytes(trace_size as f64),
+        trace.len(),
+        metrics::fmt_bytes(skeleton_size as f64),
+    );
+    println!("| Scaling application size | re-trace per size | rebind num_tasks |");
+    println!("| Automatic skeletonization | n/a | Yes (translator) |");
+    println!("| Integration to CODES | file ingest | automated registry |");
+    println!(
+        "| Simulation wall time | {t_trace:.2}s | {t_skel:.2}s |"
+    );
+    println!(
+        "| Identical simulation results | {} |  |",
+        if lat(&r_skel) == lat(&r_trace) { "yes (verified)" } else { "NO (bug!)" }
+    );
+}
+
+fn opt<T: std::str::FromStr>(rest: &[String], flag: &str, default: T) -> T {
+    rest.iter()
+        .position(|a| a == flag)
+        .and_then(|i| rest.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn opt_str<'a>(rest: &'a [String], flag: &str, default: &'a str) -> &'a str {
+    rest.iter()
+        .position(|a| a == flag)
+        .and_then(|i| rest.get(i + 1))
+        .map(|s| s.as_str())
+        .unwrap_or(default)
+}
+
+fn has(rest: &[String], flag: &str) -> bool {
+    rest.iter().any(|a| a == flag)
+}
+
+fn parse_sched(s: &str) -> Scheduler {
+    if let Some(t) = s.strip_prefix("cons:") {
+        Scheduler::Conservative(t.parse().unwrap_or(4))
+    } else if let Some(t) = s.strip_prefix("opt:") {
+        Scheduler::Optimistic(t.parse().unwrap_or(4))
+    } else {
+        Scheduler::Sequential
+    }
+}
+
+fn sweep_config(rest: &[String]) -> SweepConfig {
+    let mut cfg = SweepConfig::quick();
+    cfg.profile = match opt_str(rest, "--profile", "quick") {
+        "paper" => Profile::Paper,
+        _ => Profile::Quick,
+    };
+    if cfg.profile == Profile::Paper {
+        cfg.scale = 1;
+    }
+    cfg.iters = opt(rest, "--iters", cfg.iters);
+    cfg.scale = opt(rest, "--scale", cfg.scale);
+    cfg.seed = opt(rest, "--seed", cfg.seed);
+    cfg.sched = parse_sched(opt_str(rest, "--sched", "seq"));
+    if opt_str(rest, "--flow", "busy") == "credit" {
+        cfg.flow = dragonfly::FlowControl::credit_default();
+    }
+    cfg.baselines = !has(rest, "--no-baselines");
+    cfg.nets = opt_str(rest, "--nets", "1d,2d")
+        .split(',')
+        .filter_map(|s| match s.trim() {
+            "1d" | "1D" => Some(Net::OneD),
+            "2d" | "2D" => Some(Net::TwoD),
+            _ => None,
+        })
+        .collect();
+    cfg.placements = opt_str(rest, "--placements", "RN,RR,RG")
+        .split(',')
+        .filter_map(|s| match s.trim() {
+            "RN" => Some(Placement::RandomNodes),
+            "RR" => Some(Placement::RandomRouters),
+            "RG" => Some(Placement::RandomGroups),
+            _ => None,
+        })
+        .collect();
+    cfg.routings = opt_str(rest, "--routings", "MIN,ADP")
+        .split(',')
+        .filter_map(|s| match s.trim() {
+            "MIN" => Some(Routing::Minimal),
+            "ADP" => Some(Routing::Adaptive),
+            _ => None,
+        })
+        .collect();
+    cfg.workloads = opt_str(rest, "--workloads", "1,2,3")
+        .split(',')
+        .filter_map(|s| s.trim().parse().ok())
+        .collect();
+    cfg
+}
+
+/// Tables IV & V and Fig 6: AlexNet application vs Union skeleton.
+fn validate(cmd: &str, rest: &[String]) {
+    let ranks: u32 = opt(rest, "--ranks", 512);
+    let skel = workloads::alexnet();
+    let inst = SkeletonInstance::new(&skel, ranks, &[]).expect("alexnet instance");
+    eprintln!("collecting AlexNet skeleton + reference streams at {ranks} ranks…");
+    let skel_v = Validation::collect(ranks, |r| RankVm::new(inst.clone(), r, 1));
+    let app_v =
+        Validation::collect(ranks, |r| workloads::alexnet_reference::ops(r, ranks).into_iter());
+
+    if cmd == "validate" || cmd == "table4" {
+        println!("Table IV — AlexNet MPI event count (application vs Union skeleton)");
+        print!("{}", Validation::table4(&app_v, &skel_v));
+        println!();
+    }
+    if cmd == "validate" || cmd == "table5" {
+        println!("Table V — AlexNet bytes transmitted by each rank");
+        print!("{}", Validation::table5(&app_v, &skel_v));
+        println!();
+    }
+    if cmd == "validate" || cmd == "fig6" {
+        println!("Fig 6 — control flow (first 16 events of rank 0):");
+        println!(
+            "  application : {}",
+            app_v.control_flow[..16.min(app_v.control_flow.len())].join(" -> ")
+        );
+        println!(
+            "  skeleton    : {}",
+            skel_v.control_flow[..16.min(skel_v.control_flow.len())].join(" -> ")
+        );
+        println!(
+            "  full control flow match over {} events: {}",
+            app_v.control_flow.len(),
+            app_v.control_flow == skel_v.control_flow
+        );
+    }
+    let ok = skel_v.matches(&app_v);
+    println!("\nvalidation {}", if ok { "PASSED" } else { "FAILED" });
+    if !ok {
+        std::process::exit(1);
+    }
+}
+
+fn sweep_cmd(cmd: &str, rest: &[String]) {
+    let cfg = sweep_config(rest);
+    let records = sweep::run_sweep(&cfg, |label| eprintln!("running {label}…"));
+    if cmd == "fig7" || cmd == "all" {
+        print!("{}", report::fig7(&records));
+        println!();
+    }
+    if cmd == "fig9" || cmd == "all" {
+        print!("{}", report::fig9(&records));
+        println!();
+    }
+    if cmd == "table6" || cmd == "all" {
+        print!("{}", report::table6(&records));
+        println!();
+    }
+    if cmd == "all" {
+        print!("{}", report::engine_stats(&records));
+    }
+    if let Some(path) =
+        rest.iter().position(|a| a == "--json").and_then(|i| rest.get(i + 1))
+    {
+        dump_json(path, &records);
+    }
+}
+
+/// Fig 8: Workload3 on 1D with adaptive routing; compare the byte series
+/// on AlexNet's routers under RG vs RR placement.
+fn fig8(rest: &[String]) {
+    let mut cfg = sweep_config(rest);
+    cfg.window_ns = 500_000; // the paper's 0.5 ms window
+    cfg.keep_results = true;
+    cfg.baselines = false;
+    cfg.workloads = vec![3];
+    cfg.nets = vec![Net::OneD];
+    cfg.routings = vec![Routing::Adaptive];
+    cfg.placements = vec![Placement::RandomGroups, Placement::RandomRouters];
+    let records = sweep::run_sweep(&cfg, |label| eprintln!("running {label}…"));
+    for r in &records {
+        let Some(results) = &r.results else { continue };
+        // Routers serving AlexNet (app id 1 in Workload3).
+        let topo = dragonfly::Topology::build(r.key.net.config(cfg.profile));
+        let apps = workloads::workload(3, cfg.profile, cfg.iters, cfg.scale);
+        let alexnet_idx =
+            apps.iter().position(|a| a.name() == "AlexNet").expect("AlexNet in W3") as u32;
+        // Recompute the layout used by the run to find AlexNet's routers.
+        let requests: Vec<placement::JobRequest> = apps
+            .iter()
+            .map(|a| placement::JobRequest::new(a.name(), a.ranks))
+            .collect();
+        let layout =
+            placement::Layout::place(&topo, &requests, r.key.placement, cfg.seed).unwrap();
+        let routers = layout.routers_of_job(&topo, alexnet_idx);
+        let series = results.series_over(&routers, cfg.window_ns);
+        let names: Vec<String> = apps.iter().map(|a| a.name().to_string()).collect();
+        println!("{}", report::fig8(&r.key.label(), cfg.window_ns, &series, &names));
+        // Peak interference from other applications on AlexNet's routers.
+        let other_peak: u64 = (0..names.len())
+            .filter(|&i| i != alexnet_idx as usize)
+            .map(|i| series.peak(i))
+            .max()
+            .unwrap_or(0);
+        println!(
+            "peak bytes/window from other apps on AlexNet routers ({}): {}\n",
+            r.key.placement.label(),
+            metrics::fmt_bytes(other_peak as f64)
+        );
+    }
+}
+
+/// Print the generated Fig-5-style C skeleton of a registered workload.
+fn skeleton(rest: &[String]) {
+    let name = rest.first().map(|s| s.as_str()).unwrap_or("alexnet");
+    let reg = workloads::registry();
+    match reg.get(name) {
+        Some(s) => print!("{}", codegen::render_c(s)),
+        None => {
+            eprintln!("unknown skeleton `{name}`; available: {:?}", reg.names());
+            std::process::exit(2);
+        }
+    }
+}
+
+fn dump_json(path: &str, records: &[sweep::RunRecord]) {
+    #[derive(serde::Serialize)]
+    struct Rec<'a> {
+        net: &'a str,
+        workload: String,
+        placement: &'a str,
+        routing: &'a str,
+        apps: &'a [sweep::AppOutcome],
+        global_bytes: u64,
+        local_bytes: u64,
+        committed_events: u64,
+        wall_seconds: f64,
+    }
+    let out: Vec<Rec> = records
+        .iter()
+        .map(|r| Rec {
+            net: r.key.net.label(),
+            workload: r.key.workload.label(),
+            placement: r.key.placement.label(),
+            routing: r.key.routing.label(),
+            apps: &r.apps,
+            global_bytes: r.link_load.global_bytes,
+            local_bytes: r.link_load.local_bytes,
+            committed_events: r.stats.committed,
+            wall_seconds: r.stats.wall_seconds,
+        })
+        .collect();
+    std::fs::write(path, serde_json::to_string_pretty(&out).unwrap()).unwrap();
+    eprintln!("wrote {path}");
+}

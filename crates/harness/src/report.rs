@@ -1,0 +1,210 @@
+//! Report formatters: print the same rows/series the paper's figures and
+//! tables report.
+
+use crate::sweep::{baseline_of, Net, RunRecord, Workload};
+use metrics::fmt_bytes;
+use std::fmt::Write;
+
+/// Table II: the two system configurations.
+pub fn table2() -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "| Topology | Radix | #Groups | #Routers/Group | #Nodes/Router | #Nodes/Group | #Global/Router | System |"
+    );
+    let _ = writeln!(out, "|---|---|---|---|---|---|---|---|");
+    for (name, cfg) in [
+        ("1D dragonfly", dragonfly::DragonflyConfig::dragonfly_1d()),
+        ("2D dragonfly", dragonfly::DragonflyConfig::dragonfly_2d()),
+    ] {
+        let _ = writeln!(
+            out,
+            "| {name} | 48 | {} | {} | {} | {} | {} | {} |",
+            cfg.groups,
+            cfg.routers_per_group(),
+            cfg.nodes_per_router,
+            cfg.nodes_per_group(),
+            cfg.global_per_router,
+            cfg.total_nodes(),
+        );
+    }
+    out
+}
+
+/// Fig 7: message-latency boxes per application, workload, placement,
+/// routing, network — plus the slowdown of the per-rank average versus
+/// the matching baseline.
+pub fn fig7(records: &[RunRecord]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Fig 7 — maximum message latency per rank (us): min/q1/median/q3/max, mean, \
+         and avg-latency slowdown vs baseline"
+    );
+    let _ = writeln!(
+        out,
+        "| Net | App | Workload | Plc | Rt | min | q1 | med | q3 | max | mean | avg-slowdown |"
+    );
+    let _ = writeln!(out, "|---|---|---|---|---|---|---|---|---|---|---|---|");
+    for r in records {
+        for a in &r.apps {
+            let b = r.key;
+            let base = baseline_of(records, b.net, &a.name, b.placement, b.routing);
+            let slow = match (&b.workload, base) {
+                (Workload::Mix(_), Some(base)) if base.overall_avg_latency_ns > 0.0 => {
+                    format!("{:.2}x", a.overall_avg_latency_ns / base.overall_avg_latency_ns)
+                }
+                _ => "-".to_string(),
+            };
+            let x = &a.max_latency;
+            let us = 1e3;
+            let _ = writeln!(
+                out,
+                "| {} | {} | {} | {} | {} | {:.1} | {:.1} | {:.1} | {:.1} | {:.1} | {:.1} | {} |",
+                b.net.label(),
+                a.name,
+                b.workload.label(),
+                b.placement.label(),
+                b.routing.label(),
+                x.min / us,
+                x.q1 / us,
+                x.median / us,
+                x.q3 / us,
+                x.max / us,
+                x.mean / us,
+                slow,
+            );
+        }
+    }
+    out
+}
+
+/// Fig 9: communication-time distributions per app/config, with slowdown
+/// of the mean versus the matching baseline.
+pub fn fig9(records: &[RunRecord]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Fig 9 — communication time per rank (ms): min/median/max, mean, slowdown vs baseline"
+    );
+    let _ = writeln!(
+        out,
+        "| Net | App | Workload | Plc | Rt | min | med | max | mean | slowdown |"
+    );
+    let _ = writeln!(out, "|---|---|---|---|---|---|---|---|---|---|");
+    for r in records {
+        for a in &r.apps {
+            let b = r.key;
+            let base = baseline_of(records, b.net, &a.name, b.placement, b.routing);
+            let slow = match (&b.workload, base) {
+                (Workload::Mix(_), Some(base)) if base.comm_time.mean > 0.0 => {
+                    format!("{:.2}x", a.comm_time.mean / base.comm_time.mean)
+                }
+                _ => "-".to_string(),
+            };
+            let x = &a.comm_time;
+            let ms = 1e6;
+            let _ = writeln!(
+                out,
+                "| {} | {} | {} | {} | {} | {:.3} | {:.3} | {:.3} | {:.3} | {} |",
+                b.net.label(),
+                a.name,
+                b.workload.label(),
+                b.placement.label(),
+                b.routing.label(),
+                x.min / ms,
+                x.median / ms,
+                x.max / ms,
+                x.mean / ms,
+                slow,
+            );
+        }
+    }
+    out
+}
+
+/// Table VI: global/local link loads for a set of records (the paper uses
+/// Workload3 with RG placement and adaptive routing, on both networks).
+pub fn table6(records: &[RunRecord]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Table VI — link loads (Workload3, RG placement, adaptive routing)"
+    );
+    let _ = writeln!(
+        out,
+        "| Dragonfly | Glink Load | Llink Load | per Glink | per Llink | global share |"
+    );
+    let _ = writeln!(out, "|---|---|---|---|---|---|");
+    for net in [Net::OneD, Net::TwoD] {
+        let Some(r) = records.iter().find(|r| {
+            r.key.net == net
+                && matches!(r.key.workload, Workload::Mix(3))
+                && r.key.placement == placement::Placement::RandomGroups
+                && r.key.routing == dragonfly::Routing::Adaptive
+        }) else {
+            continue;
+        };
+        let l = &r.link_load;
+        let _ = writeln!(
+            out,
+            "| {} | {} | {} | {} | {} | {:.1}% |",
+            net.label(),
+            fmt_bytes(l.global_bytes as f64),
+            fmt_bytes(l.local_bytes as f64),
+            fmt_bytes(l.per_global_link()),
+            fmt_bytes(l.per_local_link()),
+            100.0 * l.global_fraction(),
+        );
+    }
+    out
+}
+
+/// Fig 8: windowed per-app bytes over the routers serving one job.
+/// `series[w][app]` in bytes; apps named by `names`.
+pub fn fig8(
+    label: &str,
+    window_ns: u64,
+    series: &metrics::TimeSeries,
+    names: &[String],
+) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Fig 8 — bytes received per {:.1} ms window on the routers serving AlexNet ({label})",
+        window_ns as f64 / 1e6
+    );
+    let mut head = String::from("| window(ms) |");
+    for n in names {
+        head.push_str(&format!(" {n} |"));
+    }
+    let _ = writeln!(out, "{head}");
+    let _ = writeln!(out, "|{}", "---|".repeat(names.len() + 1));
+    for (w, apps) in series.bytes.iter().enumerate() {
+        let mut row = format!("| {:.2} |", (w as f64) * window_ns as f64 / 1e6);
+        for a in 0..names.len() {
+            row.push_str(&format!(" {} |", fmt_bytes(apps.get(a).copied().unwrap_or(0) as f64)));
+        }
+        let _ = writeln!(out, "{row}");
+    }
+    out
+}
+
+/// Engine run statistics summary (events, rollbacks, rates).
+pub fn engine_stats(records: &[RunRecord]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "| Run | events | wall(s) | ev/s | rollbacks |");
+    let _ = writeln!(out, "|---|---|---|---|---|");
+    for r in records {
+        let _ = writeln!(
+            out,
+            "| {} | {} | {:.2} | {:.0} | {} |",
+            r.key.label(),
+            r.stats.committed,
+            r.stats.wall_seconds,
+            r.stats.event_rate(),
+            r.stats.rollbacks,
+        );
+    }
+    out
+}

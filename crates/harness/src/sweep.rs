@@ -1,0 +1,295 @@
+//! The hybrid-workload experiment sweep (methodology of paper §IV):
+//! baseline runs (each application alone) and the Table III mixes, across
+//! {1D, 2D} × {RN, RR, RG} × {MIN, ADP}, collecting message-latency and
+//! communication-time distributions, link loads, and (optionally)
+//! windowed router counters.
+
+use codes::{SimResults, SimulationBuilder};
+use dragonfly::{DragonflyConfig, FlowControl, Routing};
+use metrics::{AppLatencySummary, Boxplot, LinkLoad};
+use placement::Placement;
+use ross::{RunStats, Scheduler, SimTime};
+use serde::Serialize;
+use workloads::{AppConfig, AppKind, Profile};
+
+/// Which network (paper Table II).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize)]
+pub enum Net {
+    OneD,
+    TwoD,
+}
+
+impl Net {
+    pub fn label(self) -> &'static str {
+        match self {
+            Net::OneD => "1D",
+            Net::TwoD => "2D",
+        }
+    }
+
+    /// The dragonfly configuration for this network at a profile.
+    pub fn config(self, profile: Profile) -> DragonflyConfig {
+        match (self, profile) {
+            (Net::OneD, Profile::Paper) => DragonflyConfig::dragonfly_1d(),
+            (Net::TwoD, Profile::Paper) => DragonflyConfig::dragonfly_2d(),
+            (Net::OneD, Profile::Quick) => DragonflyConfig::small_1d(),
+            (Net::TwoD, Profile::Quick) => DragonflyConfig::small_2d(),
+        }
+    }
+}
+
+/// What is running: one application alone (baseline) or a Table III mix.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize)]
+pub enum Workload {
+    Baseline(#[serde(skip)] AppKind),
+    Mix(u8),
+}
+
+impl Workload {
+    pub fn label(self) -> String {
+        match self {
+            Workload::Baseline(_) => "baseline".to_string(),
+            Workload::Mix(w) => format!("Workload{w}"),
+        }
+    }
+}
+
+/// One point of the sweep.
+#[derive(Clone, Copy, Debug)]
+pub struct RunKey {
+    pub net: Net,
+    pub workload: Workload,
+    pub placement: Placement,
+    pub routing: Routing,
+}
+
+impl RunKey {
+    pub fn label(&self) -> String {
+        format!(
+            "{}/{}/{}/{}",
+            self.net.label(),
+            self.workload.label(),
+            self.placement.label(),
+            self.routing.label()
+        )
+    }
+}
+
+/// Per-application outcome of one run.
+#[derive(Clone, Debug, Serialize)]
+pub struct AppOutcome {
+    pub name: String,
+    /// Distribution over ranks of each rank's **maximum** message latency
+    /// (Fig 7's boxes), ns.
+    pub max_latency: Boxplot,
+    /// Distribution of per-rank average latency, ns.
+    pub avg_latency: Boxplot,
+    /// Mean over ranks of per-rank average latency (the red square), ns.
+    pub overall_avg_latency_ns: f64,
+    /// Distribution over ranks of communication time (Fig 9), ns.
+    pub comm_time: Boxplot,
+    /// Did every rank finish?
+    pub done: bool,
+    pub bytes_sent: u64,
+}
+
+/// One completed run.
+#[derive(Clone, Debug)]
+pub struct RunRecord {
+    pub key: RunKey,
+    pub apps: Vec<AppOutcome>,
+    pub link_load: LinkLoad,
+    pub stats: RunStats,
+    /// Raw results retained when windowed counters were enabled (Fig 8).
+    pub results: Option<SimResults>,
+}
+
+impl RunRecord {
+    pub fn app(&self, name: &str) -> Option<&AppOutcome> {
+        self.apps.iter().find(|a| a.name == name)
+    }
+}
+
+/// Sweep parameters.
+#[derive(Clone, Debug)]
+pub struct SweepConfig {
+    pub profile: Profile,
+    /// Iterations/updates per application.
+    pub iters: i64,
+    /// Payload/compute scale divisor.
+    pub scale: i64,
+    pub seed: u64,
+    pub nets: Vec<Net>,
+    pub placements: Vec<Placement>,
+    pub routings: Vec<Routing>,
+    /// Which Table III mixes to run.
+    pub workloads: Vec<u8>,
+    /// Also run each involved application alone (the paper's baselines).
+    pub baselines: bool,
+    pub sched: Scheduler,
+    /// Router counter window (0 = off).
+    pub window_ns: u64,
+    /// Virtual-time bound per run.
+    pub until: SimTime,
+    /// Keep raw results (needed for Fig 8 / Table VI post-processing).
+    pub keep_results: bool,
+    /// Router flow-control model.
+    pub flow: FlowControl,
+}
+
+impl SweepConfig {
+    /// The paper's full methodology at Quick scale: both networks, all
+    /// six placement/routing combinations, all three workloads plus
+    /// baselines.
+    pub fn quick() -> SweepConfig {
+        SweepConfig {
+            profile: Profile::Quick,
+            iters: 2,
+            scale: 16,
+            seed: 42,
+            nets: vec![Net::OneD, Net::TwoD],
+            placements: Placement::all().to_vec(),
+            routings: vec![Routing::Minimal, Routing::Adaptive],
+            workloads: vec![1, 2, 3],
+            baselines: true,
+            sched: Scheduler::Sequential,
+            window_ns: 0,
+            until: SimTime::MAX,
+            keep_results: false,
+            flow: FlowControl::BusyUntil,
+        }
+    }
+
+    /// A minimal smoke configuration (used by tests and benches).
+    pub fn smoke() -> SweepConfig {
+        SweepConfig {
+            iters: 1,
+            scale: 64,
+            nets: vec![Net::OneD],
+            placements: vec![Placement::RandomGroups],
+            routings: vec![Routing::Adaptive],
+            workloads: vec![3],
+            baselines: false,
+            ..SweepConfig::quick()
+        }
+    }
+}
+
+/// The applications participating in a workload (for baseline selection).
+fn apps_of(workload: u8) -> Vec<AppKind> {
+    workloads::workload(workload, Profile::Quick, 1, 64)
+        .into_iter()
+        .map(|a| a.kind)
+        .collect()
+}
+
+/// Run one configuration and summarize it.
+pub fn run_one(cfg: &SweepConfig, key: RunKey) -> Result<RunRecord, String> {
+    let apps: Vec<AppConfig> = match key.workload {
+        Workload::Mix(w) => workloads::workload(w, cfg.profile, cfg.iters, cfg.scale),
+        Workload::Baseline(kind) => {
+            vec![workloads::app(kind, cfg.profile, cfg.iters, cfg.scale)]
+        }
+    };
+    let mut net_cfg = key.net.config(cfg.profile);
+    net_cfg.flow = cfg.flow;
+    let mut b = SimulationBuilder::new(net_cfg)
+        .routing(key.routing)
+        .placement(key.placement)
+        .seed(cfg.seed)
+        .window_ns(cfg.window_ns);
+    for a in &apps {
+        b = b.job(a.name(), a.vms(cfg.seed)?);
+    }
+    let mut sim = b.build()?;
+    let results = sim.run(cfg.sched, cfg.until);
+    let outcomes = results
+        .apps
+        .iter()
+        .map(|a| {
+            let lat = AppLatencySummary::from_ranks(&a.latency);
+            let comm: Vec<f64> = a.comm.iter().map(|c| c.total_ns as f64).collect();
+            AppOutcome {
+                name: a.name.clone(),
+                max_latency: lat.max_box,
+                avg_latency: lat.avg_box,
+                overall_avg_latency_ns: lat.overall_avg_ns,
+                comm_time: Boxplot::from_samples(&comm),
+                done: a.all_done(),
+                bytes_sent: a.bytes_sent,
+            }
+        })
+        .collect();
+    Ok(RunRecord {
+        key,
+        apps: outcomes,
+        link_load: results.link_load,
+        stats: results.stats.clone(),
+        results: if cfg.keep_results { Some(results) } else { None },
+    })
+}
+
+/// Run the full sweep: for every (net, placement, routing): each selected
+/// workload mix, plus (once per involved app) its baseline.
+pub fn run_sweep(cfg: &SweepConfig, mut progress: impl FnMut(&str)) -> Vec<RunRecord> {
+    let mut records = Vec::new();
+    // Which baselines to run: the union of apps over selected workloads.
+    let mut baseline_kinds: Vec<AppKind> = Vec::new();
+    if cfg.baselines {
+        for &w in &cfg.workloads {
+            for k in apps_of(w) {
+                if !baseline_kinds.contains(&k) {
+                    baseline_kinds.push(k);
+                }
+            }
+        }
+    }
+    for &net in &cfg.nets {
+        for &placement in &cfg.placements {
+            for &routing in &cfg.routings {
+                for &k in &baseline_kinds {
+                    let key = RunKey {
+                        net,
+                        workload: Workload::Baseline(k),
+                        placement,
+                        routing,
+                    };
+                    progress(&format!("{} [{}]", key.label(), k.label()));
+                    match run_one(cfg, key) {
+                        Ok(r) => records.push(r),
+                        Err(e) => panic!("{}: {e}", key.label()),
+                    }
+                }
+                for &w in &cfg.workloads {
+                    let key =
+                        RunKey { net, workload: Workload::Mix(w), placement, routing };
+                    progress(&key.label());
+                    match run_one(cfg, key) {
+                        Ok(r) => records.push(r),
+                        Err(e) => panic!("{}: {e}", key.label()),
+                    }
+                }
+            }
+        }
+    }
+    records
+}
+
+/// Find the baseline record for (net, app, placement, routing).
+pub fn baseline_of<'a>(
+    records: &'a [RunRecord],
+    net: Net,
+    app: &str,
+    placement: Placement,
+    routing: Routing,
+) -> Option<&'a AppOutcome> {
+    records
+        .iter()
+        .find(|r| {
+            matches!(r.key.workload, Workload::Baseline(k) if k.label() == app)
+                && r.key.net == net
+                && r.key.placement == placement
+                && r.key.routing == routing
+        })
+        .and_then(|r| r.app(app))
+}

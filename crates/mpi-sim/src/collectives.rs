@@ -1,0 +1,430 @@
+//! Collective algorithms, expanded into point-to-point schedules.
+//!
+//! When a rank's skeleton issues a collective, the MPI layer expands it
+//! into a per-rank sequence of `Isend`/`Recv` operations with internal
+//! tags and prepends it to the rank's op queue. Blocking semantics,
+//! eager/rendezvous transfer, and latency metrics all come from the same
+//! point-to-point machinery the application uses — exactly how MPICH
+//! layers its collectives.
+//!
+//! Algorithms (job-local ranks, any `n`):
+//!
+//! * **Barrier** — dissemination: ⌈log₂ n⌉ rounds of 8-byte exchanges;
+//! * **Bcast** — binomial tree over root-relabeled ranks;
+//! * **Reduce** — reverse binomial tree;
+//! * **Allreduce** — recursive doubling for small payloads, Rabenseifner
+//!   (recursive-halving reduce-scatter + recursive-doubling allgather) for
+//!   large ones; non-power-of-two sizes use the standard MPICH fold:
+//!   the first `2·(n − p2)` ranks pair up so `p2` ranks run the core
+//!   algorithm, then results fan back out.
+
+use union_core::MpiOp;
+
+/// Collective messages set the top tag bit; `seq` disambiguates
+/// back-to-back collectives and `round` the phases within one.
+pub const COLL_FLAG: u32 = 0x8000_0000;
+
+#[inline]
+fn tag(seq: u32, round: u32) -> u32 {
+    COLL_FLAG | ((seq & 0x7FFF) << 16) | (round & 0xFFFF)
+}
+
+/// Control payload for barrier/fold messages.
+const CTRL_BYTES: u64 = 8;
+
+/// Below this payload, allreduce uses recursive doubling (full payload per
+/// round); at or above, Rabenseifner.
+pub const RABENSEIFNER_THRESHOLD: u64 = 64 * 1024;
+
+/// Expand one collective into this rank's op schedule.
+pub fn expand(op: &MpiOp, rank: u32, n: u32, seq: u32) -> Vec<MpiOp> {
+    match *op {
+        MpiOp::Barrier => barrier(rank, n, seq),
+        MpiOp::Bcast { root, bytes } => bcast(rank, n, root, bytes, seq),
+        MpiOp::Reduce { root, bytes } => reduce(rank, n, root, bytes, seq),
+        MpiOp::Allreduce { bytes } => {
+            if bytes < RABENSEIFNER_THRESHOLD {
+                allreduce_rd(rank, n, bytes, seq)
+            } else {
+                allreduce_rabenseifner(rank, n, bytes, seq)
+            }
+        }
+        _ => panic!("not a collective: {op:?}"),
+    }
+}
+
+/// Dissemination barrier.
+fn barrier(rank: u32, n: u32, seq: u32) -> Vec<MpiOp> {
+    let mut ops = Vec::new();
+    if n <= 1 {
+        return ops;
+    }
+    let mut k = 0u32;
+    let mut dist = 1u32;
+    while dist < n {
+        let to = (rank + dist) % n;
+        let from = (rank + n - dist % n) % n;
+        ops.push(MpiOp::Isend { dst: to, bytes: CTRL_BYTES, tag: tag(seq, k) });
+        ops.push(MpiOp::Recv { src: from, bytes: CTRL_BYTES, tag: tag(seq, k) });
+        dist *= 2;
+        k += 1;
+    }
+    ops
+}
+
+/// Binomial-tree parent of virtual rank `v` (root-relabeled): clear the
+/// lowest set bit.
+#[inline]
+fn binomial_parent(v: u32) -> u32 {
+    v & (v - 1)
+}
+
+/// Children of virtual rank `v` in a binomial tree over `0..n`: `v + 2^j`
+/// for every `j` with `2^j` below `v`'s lowest set bit (all powers for the
+/// root), bounded by `n`.
+fn binomial_children(v: u32, n: u32) -> Vec<u32> {
+    let mut kids = Vec::new();
+    let limit = if v == 0 { n } else { v & v.wrapping_neg() };
+    let mut d = 1u32;
+    while d < limit && v + d < n {
+        kids.push(v + d);
+        d <<= 1;
+    }
+    // Largest subtree first, like MPICH, so deep subtrees start earliest.
+    kids.reverse();
+    kids
+}
+
+/// Binomial broadcast from `root`.
+fn bcast(rank: u32, n: u32, root: u32, bytes: u64, seq: u32) -> Vec<MpiOp> {
+    if n <= 1 {
+        return Vec::new();
+    }
+    let v = (rank + n - root % n) % n;
+    let unv = |x: u32| (x + root) % n;
+    let mut ops = Vec::new();
+    if v != 0 {
+        ops.push(MpiOp::Recv { src: unv(binomial_parent(v)), bytes, tag: tag(seq, 0) });
+    }
+    for c in binomial_children(v, n) {
+        ops.push(MpiOp::Isend { dst: unv(c), bytes, tag: tag(seq, 0) });
+    }
+    // Drain the child sends before leaving the collective.
+    if !binomial_children(v, n).is_empty() {
+        ops.push(MpiOp::WaitAll);
+    }
+    ops
+}
+
+/// Reverse binomial reduction to `root`.
+fn reduce(rank: u32, n: u32, root: u32, bytes: u64, seq: u32) -> Vec<MpiOp> {
+    if n <= 1 {
+        return Vec::new();
+    }
+    let v = (rank + n - root % n) % n;
+    let unv = |x: u32| (x + root) % n;
+    let mut ops = Vec::new();
+    // Receive partial results from children (deepest subtree last to
+    // mirror the bcast order).
+    let mut kids = binomial_children(v, n);
+    kids.reverse();
+    for c in kids {
+        ops.push(MpiOp::Recv { src: unv(c), bytes, tag: tag(seq, 0) });
+    }
+    if v != 0 {
+        ops.push(MpiOp::Send { dst: unv(binomial_parent(v)), bytes, tag: tag(seq, 0) });
+    }
+    ops
+}
+
+/// Largest power of two ≤ n.
+#[inline]
+fn pow2_floor(n: u32) -> u32 {
+    if n == 0 {
+        0
+    } else {
+        1 << (31 - n.leading_zeros())
+    }
+}
+
+/// The non-power-of-two fold: ranks `< 2·extras` pair up (even passes its
+/// contribution to odd). Returns `(participates, virtual_id)`; the core
+/// algorithm runs over `p2` virtual ids.
+fn fold_in(rank: u32, n: u32, p2: u32) -> (bool, u32) {
+    let extras = n - p2;
+    if rank < 2 * extras {
+        if rank.is_multiple_of(2) {
+            (false, 0)
+        } else {
+            (true, rank / 2)
+        }
+    } else {
+        (true, rank - extras)
+    }
+}
+
+/// Inverse of [`fold_in`] for participating virtual ids.
+fn unfold(v: u32, n: u32, p2: u32) -> u32 {
+    let extras = n - p2;
+    if v < extras {
+        2 * v + 1
+    } else {
+        v + extras
+    }
+}
+
+/// Fold preamble/postamble shared by both allreduce variants.
+fn fold_ops(
+    rank: u32,
+    n: u32,
+    p2: u32,
+    bytes: u64,
+    seq: u32,
+    core: impl FnOnce(u32, &mut Vec<MpiOp>),
+) -> Vec<MpiOp> {
+    let extras = n - p2;
+    let mut ops = Vec::new();
+    let (participates, v) = fold_in(rank, n, p2);
+    if rank < 2 * extras {
+        if !participates {
+            // Even member: contribute, then wait for the result.
+            ops.push(MpiOp::Send { dst: rank + 1, bytes, tag: tag(seq, 0x100) });
+            ops.push(MpiOp::Recv { src: rank + 1, bytes, tag: tag(seq, 0x101) });
+            return ops;
+        }
+        ops.push(MpiOp::Recv { src: rank - 1, bytes, tag: tag(seq, 0x100) });
+    }
+    core(v, &mut ops);
+    if participates && rank < 2 * extras {
+        ops.push(MpiOp::Send { dst: rank - 1, bytes, tag: tag(seq, 0x101) });
+    }
+    ops
+}
+
+/// Recursive-doubling allreduce (small payloads): log₂(p2) rounds, full
+/// payload each round.
+fn allreduce_rd(rank: u32, n: u32, bytes: u64, seq: u32) -> Vec<MpiOp> {
+    if n <= 1 {
+        return Vec::new();
+    }
+    let p2 = pow2_floor(n);
+    fold_ops(rank, n, p2, bytes, seq, |v, ops| {
+        let mut k = 0u32;
+        let mut d = 1u32;
+        while d < p2 {
+            let partner = unfold(v ^ d, n, p2);
+            ops.push(MpiOp::Isend { dst: partner, bytes, tag: tag(seq, k) });
+            ops.push(MpiOp::Recv { src: partner, bytes, tag: tag(seq, k) });
+            d <<= 1;
+            k += 1;
+        }
+    })
+}
+
+/// Rabenseifner allreduce (large payloads): recursive-halving
+/// reduce-scatter then recursive-doubling allgather; ~2·bytes moved per
+/// rank regardless of n.
+fn allreduce_rabenseifner(rank: u32, n: u32, bytes: u64, seq: u32) -> Vec<MpiOp> {
+    if n <= 1 {
+        return Vec::new();
+    }
+    let p2 = pow2_floor(n);
+    if p2 == 1 {
+        return allreduce_rd(rank, n, bytes, seq);
+    }
+    fold_ops(rank, n, p2, bytes, seq, |v, ops| {
+        let mut k = 0u32;
+        // Reduce-scatter: exchange half the remaining block each round.
+        let mut d = p2 / 2;
+        while d >= 1 {
+            let partner = unfold(v ^ d, n, p2);
+            let chunk = (bytes * d as u64 / p2 as u64).max(1);
+            ops.push(MpiOp::Isend { dst: partner, bytes: chunk, tag: tag(seq, k) });
+            ops.push(MpiOp::Recv { src: partner, bytes: chunk, tag: tag(seq, k) });
+            d /= 2;
+            k += 1;
+        }
+        // Allgather: mirror image, block sizes doubling.
+        let mut d = 1;
+        while d <= p2 / 2 {
+            let partner = unfold(v ^ d, n, p2);
+            let chunk = (bytes * d as u64 / p2 as u64).max(1);
+            ops.push(MpiOp::Isend { dst: partner, bytes: chunk, tag: tag(seq, k) });
+            ops.push(MpiOp::Recv { src: partner, bytes: chunk, tag: tag(seq, k) });
+            d *= 2;
+            k += 1;
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    /// Cross-rank consistency: every Isend/Send must have a matching
+    /// Recv on the destination with the same (src, tag, bytes).
+    fn check_matched(n: u32, expand_for: impl Fn(u32) -> Vec<MpiOp>) {
+        let mut sends: HashMap<(u32, u32, u32, u64), i64> = HashMap::new();
+        for r in 0..n {
+            for op in expand_for(r) {
+                match op {
+                    MpiOp::Isend { dst, bytes, tag } | MpiOp::Send { dst, bytes, tag } => {
+                        *sends.entry((r, dst, tag, bytes)).or_insert(0) += 1;
+                    }
+                    MpiOp::Recv { src, bytes, tag } | MpiOp::Irecv { src, bytes, tag } => {
+                        *sends.entry((src, r, tag, bytes)).or_insert(0) -= 1;
+                    }
+                    _ => {}
+                }
+            }
+        }
+        for (k, v) in sends {
+            assert_eq!(v, 0, "unmatched traffic {k:?}");
+        }
+    }
+
+    #[test]
+    fn barrier_matched_for_any_n() {
+        for n in [1u32, 2, 3, 5, 8, 13, 16, 100] {
+            check_matched(n, |r| barrier(r, n, 1));
+        }
+    }
+
+    #[test]
+    fn barrier_rounds_are_log2() {
+        let ops = barrier(0, 16, 0);
+        // 4 rounds × (Isend + Recv).
+        assert_eq!(ops.len(), 8);
+        let ops = barrier(0, 17, 0);
+        assert_eq!(ops.len(), 10);
+    }
+
+    #[test]
+    fn bcast_matched_and_covers_everyone() {
+        for n in [2u32, 3, 7, 8, 12, 64] {
+            for root in [0u32, 1, n - 1] {
+                check_matched(n, |r| bcast(r, n, root, 1000, 2));
+                // Every non-root receives exactly once.
+                for r in 0..n {
+                    let recvs = bcast(r, n, root, 1000, 2)
+                        .iter()
+                        .filter(|o| matches!(o, MpiOp::Recv { .. }))
+                        .count();
+                    assert_eq!(recvs, usize::from(r != root), "n={n} root={root} r={r}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_matched_and_root_receives_tree() {
+        for n in [2u32, 5, 8, 13] {
+            for root in [0u32, 3 % n] {
+                check_matched(n, |r| reduce(r, n, root, 64, 3));
+                // Every non-root sends exactly once.
+                for r in 0..n {
+                    let sends = reduce(r, n, root, 64, 3)
+                        .iter()
+                        .filter(|o| matches!(o, MpiOp::Send { .. }))
+                        .count();
+                    assert_eq!(sends, usize::from(r != root));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn allreduce_rd_matched() {
+        for n in [2u32, 3, 4, 6, 8, 13, 32] {
+            check_matched(n, |r| allreduce_rd(r, n, 512, 4));
+        }
+    }
+
+    #[test]
+    fn allreduce_rabenseifner_matched() {
+        for n in [2u32, 3, 4, 6, 8, 13, 32, 100] {
+            check_matched(n, |r| allreduce_rabenseifner(r, n, 1 << 20, 5));
+        }
+    }
+
+    #[test]
+    fn rabenseifner_moves_about_2p_per_rank() {
+        let n = 64u32;
+        let p: u64 = 1 << 20;
+        let sent: u64 = allreduce_rabenseifner(5, n, p, 0)
+            .iter()
+            .filter_map(|o| match o {
+                MpiOp::Isend { bytes, .. } | MpiOp::Send { bytes, .. } => Some(*bytes),
+                _ => None,
+            })
+            .sum();
+        let expect = 2 * p * (n as u64 - 1) / n as u64;
+        let tolerance = p / 8;
+        assert!(
+            sent.abs_diff(expect) < tolerance,
+            "sent {sent}, expected ≈{expect}"
+        );
+    }
+
+    #[test]
+    fn rd_moves_logn_times_p_per_rank() {
+        let n = 16u32;
+        let p: u64 = 1024;
+        let sent: u64 = allreduce_rd(3, n, p, 0)
+            .iter()
+            .filter_map(|o| match o {
+                MpiOp::Isend { bytes, .. } | MpiOp::Send { bytes, .. } => Some(*bytes),
+                _ => None,
+            })
+            .sum();
+        assert_eq!(sent, 4 * p);
+    }
+
+    #[test]
+    fn expand_selects_algorithm_by_size() {
+        let small = expand(&MpiOp::Allreduce { bytes: 8 }, 0, 8, 0);
+        let large = expand(&MpiOp::Allreduce { bytes: 10 << 20 }, 0, 8, 0);
+        let small_bytes: u64 = small
+            .iter()
+            .filter_map(|o| match o {
+                MpiOp::Isend { bytes, .. } => Some(*bytes),
+                _ => None,
+            })
+            .sum();
+        let large_bytes: u64 = large
+            .iter()
+            .filter_map(|o| match o {
+                MpiOp::Isend { bytes, .. } => Some(*bytes),
+                _ => None,
+            })
+            .sum();
+        assert_eq!(small_bytes, 3 * 8, "rd: log2(8)=3 rounds of full payload");
+        assert!(large_bytes < 2 * (10 << 20), "rabenseifner moves ~2P");
+    }
+
+    #[test]
+    fn binomial_tree_structure() {
+        assert_eq!(binomial_children(0, 8), vec![4, 2, 1]);
+        assert_eq!(binomial_children(4, 8), vec![6, 5]);
+        assert_eq!(binomial_children(6, 8), vec![7]);
+        assert_eq!(binomial_children(7, 8), Vec::<u32>::new());
+        assert_eq!(binomial_parent(7), 6);
+        assert_eq!(binomial_parent(6), 4);
+        assert_eq!(binomial_parent(4), 0);
+    }
+
+    #[test]
+    fn collective_tags_never_collide_with_app_tags() {
+        for n in [5u32, 8] {
+            for r in 0..n {
+                for op in expand(&MpiOp::Allreduce { bytes: 1 << 20 }, r, n, 77) {
+                    if let MpiOp::Isend { tag, .. } | MpiOp::Recv { src: _, bytes: _, tag } = op
+                    {
+                        assert!(tag & COLL_FLAG != 0);
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,248 @@
+//! # placement
+//!
+//! Job placement policies for dragonfly systems (paper §IV-C):
+//!
+//! * **Random Nodes (RN)** — each job gets a completely random set of
+//!   compute nodes; nodes under one router tend to serve different jobs;
+//! * **Random Routers (RR)** — each job gets a random set of routers and
+//!   the nodes under each router consecutively, preventing intra-router
+//!   contention between jobs;
+//! * **Random Groups (RG)** — each job gets a random set of groups and
+//!   the nodes inside consecutively, confining most traffic within the
+//!   assigned groups.
+//!
+//! A [`Layout`] maps every job's MPI ranks to global node ids and provides
+//! the reverse map used by the simulator and the per-app router-set
+//! grouping used by the Fig 8 analysis.
+
+use dragonfly::Topology;
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Placement policy.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum Placement {
+    RandomNodes,
+    RandomRouters,
+    RandomGroups,
+}
+
+impl Placement {
+    pub fn label(self) -> &'static str {
+        match self {
+            Placement::RandomNodes => "RN",
+            Placement::RandomRouters => "RR",
+            Placement::RandomGroups => "RG",
+        }
+    }
+
+    /// All three policies, in the paper's order.
+    pub fn all() -> [Placement; 3] {
+        [Placement::RandomNodes, Placement::RandomRouters, Placement::RandomGroups]
+    }
+}
+
+/// A job to place: name + number of ranks.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct JobRequest {
+    pub name: String,
+    pub ranks: u32,
+}
+
+impl JobRequest {
+    pub fn new(name: &str, ranks: u32) -> JobRequest {
+        JobRequest { name: name.to_string(), ranks }
+    }
+}
+
+/// The result of placing a set of jobs on a system.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Layout {
+    /// `rank_to_node[job][rank]` = global node id.
+    pub rank_to_node: Vec<Vec<u32>>,
+    /// `node_owner[node]` = Some((job, rank)).
+    pub node_owner: Vec<Option<(u32, u32)>>,
+}
+
+impl Layout {
+    /// Place `jobs` on the system with the given policy. Allocation is
+    /// deterministic in `seed`. Errors if the system is too small.
+    pub fn place(
+        topo: &Topology,
+        jobs: &[JobRequest],
+        policy: Placement,
+        seed: u64,
+    ) -> Result<Layout, String> {
+        let total_nodes = topo.cfg.total_nodes();
+        let needed: u64 = jobs.iter().map(|j| j.ranks as u64).sum();
+        if needed > total_nodes as u64 {
+            return Err(format!("jobs need {needed} nodes, system has {total_nodes}"));
+        }
+        let mut rng = SmallRng::seed_from_u64(seed);
+
+        // Build the node allocation order according to the policy, then
+        // carve it into consecutive job slices.
+        let order: Vec<u32> = match policy {
+            Placement::RandomNodes => {
+                let mut nodes: Vec<u32> = (0..total_nodes).collect();
+                nodes.shuffle(&mut rng);
+                nodes
+            }
+            Placement::RandomRouters => {
+                let mut routers: Vec<u32> = (0..topo.cfg.total_routers()).collect();
+                routers.shuffle(&mut rng);
+                routers
+                    .into_iter()
+                    .flat_map(|r| {
+                        (0..topo.cfg.nodes_per_router)
+                            .map(move |t| r * topo.cfg.nodes_per_router + t)
+                    })
+                    .collect()
+            }
+            Placement::RandomGroups => {
+                let mut groups: Vec<u32> = (0..topo.cfg.groups).collect();
+                groups.shuffle(&mut rng);
+                let npg = topo.cfg.nodes_per_group();
+                groups
+                    .into_iter()
+                    .flat_map(|g| (0..npg).map(move |i| g * npg + i))
+                    .collect()
+            }
+        };
+
+        let mut layout = Layout {
+            rank_to_node: Vec::with_capacity(jobs.len()),
+            node_owner: vec![None; total_nodes as usize],
+        };
+        let mut next = 0usize;
+        for (ji, job) in jobs.iter().enumerate() {
+            let slice = &order[next..next + job.ranks as usize];
+            next += job.ranks as usize;
+            for (rank, &node) in slice.iter().enumerate() {
+                layout.node_owner[node as usize] = Some((ji as u32, rank as u32));
+            }
+            layout.rank_to_node.push(slice.to_vec());
+        }
+        Ok(layout)
+    }
+
+    /// Node of a (job, rank).
+    #[inline]
+    pub fn node_of(&self, job: u32, rank: u32) -> u32 {
+        self.rank_to_node[job as usize][rank as usize]
+    }
+
+    /// The set of routers serving a job (sorted, deduplicated) — the
+    /// router clusters used by the Fig 8 analysis.
+    pub fn routers_of_job(&self, topo: &Topology, job: u32) -> Vec<u32> {
+        let mut v: Vec<u32> = self.rank_to_node[job as usize]
+            .iter()
+            .map(|&n| topo.node_router(n))
+            .collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// The set of groups serving a job.
+    pub fn groups_of_job(&self, topo: &Topology, job: u32) -> Vec<u32> {
+        let mut v: Vec<u32> = self.rank_to_node[job as usize]
+            .iter()
+            .map(|&n| topo.node_group(n))
+            .collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dragonfly::DragonflyConfig;
+
+    fn topo() -> Topology {
+        Topology::build(DragonflyConfig::tiny_1d()) // 72 nodes, 2/router, 8/group
+    }
+
+    fn jobs() -> Vec<JobRequest> {
+        vec![JobRequest::new("a", 10), JobRequest::new("b", 16)]
+    }
+
+    #[test]
+    fn no_node_shared_between_jobs() {
+        let topo = topo();
+        for policy in Placement::all() {
+            let l = Layout::place(&topo, &jobs(), policy, 42).unwrap();
+            let mut seen = std::collections::HashSet::new();
+            for job in &l.rank_to_node {
+                for &n in job {
+                    assert!(seen.insert(n), "{policy:?}: node {n} double-allocated");
+                }
+            }
+            assert_eq!(seen.len(), 26);
+            // Reverse map agrees.
+            for (ji, job) in l.rank_to_node.iter().enumerate() {
+                for (r, &n) in job.iter().enumerate() {
+                    assert_eq!(l.node_owner[n as usize], Some((ji as u32, r as u32)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn random_routers_fills_routers_consecutively() {
+        let topo = topo();
+        let l = Layout::place(
+            &topo,
+            &[JobRequest::new("a", 8)],
+            Placement::RandomRouters,
+            7,
+        )
+        .unwrap();
+        // 8 ranks over 2-node routers = exactly 4 routers, fully used.
+        let routers = l.routers_of_job(&topo, 0);
+        assert_eq!(routers.len(), 4);
+    }
+
+    #[test]
+    fn random_groups_confines_job_to_few_groups() {
+        let topo = topo(); // 8 nodes per group
+        let l = Layout::place(
+            &topo,
+            &[JobRequest::new("a", 16)],
+            Placement::RandomGroups,
+            7,
+        )
+        .unwrap();
+        assert_eq!(l.groups_of_job(&topo, 0).len(), 2);
+        // Random nodes would scatter much wider with high probability.
+        let l = Layout::place(&topo, &[JobRequest::new("a", 16)], Placement::RandomNodes, 7)
+            .unwrap();
+        assert!(l.groups_of_job(&topo, 0).len() > 2);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let topo = topo();
+        let a = Layout::place(&topo, &jobs(), Placement::RandomNodes, 1).unwrap();
+        let b = Layout::place(&topo, &jobs(), Placement::RandomNodes, 1).unwrap();
+        assert_eq!(a.rank_to_node, b.rank_to_node);
+        let c = Layout::place(&topo, &jobs(), Placement::RandomNodes, 2).unwrap();
+        assert_ne!(a.rank_to_node, c.rank_to_node);
+    }
+
+    #[test]
+    fn rejects_oversubscription() {
+        let topo = topo();
+        assert!(Layout::place(
+            &topo,
+            &[JobRequest::new("big", 100)],
+            Placement::RandomNodes,
+            1
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,220 @@
+//! Conservative parallel scheduler (YAWNS-style windowing).
+//!
+//! Each synchronization round computes the global minimum pending event
+//! time `T`. Because every send carries at least `lookahead` delay, all
+//! events in `[T, T + lookahead)` are causally independent across LPs and
+//! can be processed concurrently; events they create land at or beyond
+//! `T + lookahead` and are exchanged before the next round.
+
+use crate::engine::{seal_outgoing, RunStats, Simulation};
+use crate::event::Envelope;
+use crate::lp::{Ctx, Lp, LpMeta, Outgoing};
+use crate::time::SimTime;
+use parking_lot::Mutex;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Barrier;
+
+/// Partition LPs into `n` contiguous ranges of near-equal size.
+pub(crate) fn partition(n_lps: usize, n_threads: usize) -> Vec<std::ops::Range<usize>> {
+    let n_threads = n_threads.max(1).min(n_lps.max(1));
+    let base = n_lps / n_threads;
+    let extra = n_lps % n_threads;
+    let mut ranges = Vec::with_capacity(n_threads);
+    let mut start = 0;
+    for t in 0..n_threads {
+        let len = base + usize::from(t < extra);
+        ranges.push(start..start + len);
+        start += len;
+    }
+    ranges
+}
+
+/// Map an LP id to its owning thread given the partition.
+#[inline]
+pub(crate) fn owner(ranges: &[std::ops::Range<usize>], lp: usize) -> usize {
+    // Ranges are contiguous and sorted; binary search on start.
+    match ranges.binary_search_by(|r| {
+        if lp < r.start {
+            std::cmp::Ordering::Greater
+        } else if lp >= r.end {
+            std::cmp::Ordering::Less
+        } else {
+            std::cmp::Ordering::Equal
+        }
+    }) {
+        Ok(t) => t,
+        Err(_) => unreachable!("LP {lp} outside all partitions"),
+    }
+}
+
+impl<L: Lp> Simulation<L> {
+    /// Run with the conservative windowed scheduler on `n_threads` threads
+    /// until the queue drains or the next event exceeds `until`.
+    ///
+    /// Produces results bit-identical to [`Simulation::run_sequential`].
+    pub fn run_conservative(&mut self, n_threads: usize, until: SimTime) -> RunStats {
+        let start = std::time::Instant::now();
+        let n_lps = self.lps.len();
+        let ranges = partition(n_lps, n_threads);
+        let n_threads = ranges.len();
+        if n_threads <= 1 {
+            return self.run_sequential(until);
+        }
+
+        // Distribute pending events to their owners' heaps.
+        let mut heaps: Vec<BinaryHeap<Reverse<Envelope<L::Event>>>> =
+            (0..n_threads).map(|_| BinaryHeap::new()).collect();
+        for Reverse(env) in self.pending.drain() {
+            heaps[owner(&ranges, env.dst as usize)].push(Reverse(env));
+        }
+
+        let mailboxes: Vec<Mutex<Vec<Envelope<L::Event>>>> =
+            (0..n_threads).map(|_| Mutex::new(Vec::new())).collect();
+        let barrier = Barrier::new(n_threads);
+        let mins: Vec<AtomicU64> = (0..n_threads).map(|_| AtomicU64::new(u64::MAX)).collect();
+        let committed = AtomicU64::new(0);
+        let rounds = AtomicU64::new(0);
+        let end_clock = AtomicU64::new(0);
+        let lookahead = self.lookahead;
+
+        // Split LPs and meta into disjoint per-thread slices.
+        let mut lp_slices: Vec<&mut [L]> = Vec::with_capacity(n_threads);
+        let mut meta_slices: Vec<&mut [LpMeta]> = Vec::with_capacity(n_threads);
+        {
+            let mut lps_rest: &mut [L] = &mut self.lps;
+            let mut meta_rest: &mut [LpMeta] = &mut self.meta;
+            for r in &ranges {
+                let (a, b) = lps_rest.split_at_mut(r.len());
+                let (c, d) = meta_rest.split_at_mut(r.len());
+                lp_slices.push(a);
+                meta_slices.push(c);
+                lps_rest = b;
+                meta_rest = d;
+            }
+        }
+
+        let leftovers: Vec<Mutex<Vec<Envelope<L::Event>>>> =
+            (0..n_threads).map(|_| Mutex::new(Vec::new())).collect();
+
+        std::thread::scope(|scope| {
+            for (t, (lps, metas)) in lp_slices.into_iter().zip(meta_slices).enumerate() {
+                let mut heap = std::mem::take(&mut heaps[t]);
+                let ranges = &ranges;
+                let mailboxes = &mailboxes;
+                let barrier = &barrier;
+                let mins = &mins;
+                let committed = &committed;
+                let rounds = &rounds;
+                let end_clock = &end_clock;
+                let leftovers = &leftovers;
+                scope.spawn(move || {
+                    let base = ranges[t].start;
+                    let mut out: Vec<Outgoing<L::Event>> = Vec::with_capacity(8);
+                    let mut local_committed = 0u64;
+                    let mut local_rounds = 0u64;
+                    let mut local_clock = 0u64;
+                    loop {
+                        // Ingest cross-thread events from the previous round.
+                        {
+                            let mut mb = mailboxes[t].lock();
+                            for env in mb.drain(..) {
+                                heap.push(Reverse(env));
+                            }
+                        }
+                        // Publish local minimum, agree on the window base.
+                        let local_min =
+                            heap.peek().map(|Reverse(e)| e.recv_time.0).unwrap_or(u64::MAX);
+                        mins[t].store(local_min, Ordering::Relaxed);
+                        barrier.wait();
+                        let gmin = mins.iter().map(|m| m.load(Ordering::Relaxed)).min().unwrap();
+                        if gmin == u64::MAX || gmin > until.0 {
+                            break;
+                        }
+                        local_rounds += 1;
+                        let window_end = gmin.saturating_add(lookahead.0).min(until.0.saturating_add(1));
+
+                        // Process all local events inside [gmin, window_end).
+                        while let Some(Reverse(top)) = heap.peek() {
+                            if top.recv_time.0 >= window_end {
+                                break;
+                            }
+                            let Reverse(env) = heap.pop().unwrap();
+                            local_clock = local_clock.max(env.recv_time.0);
+                            let li = env.dst as usize - base;
+                            debug_assert!(env.recv_time >= metas[li].now);
+                            metas[li].now = env.recv_time;
+                            metas[li].processed += 1;
+                            let mut ctx = Ctx {
+                                now: env.recv_time,
+                                me: env.dst,
+                                lookahead,
+                                out: &mut out,
+                            };
+                            lps[li].handle(&env, &mut ctx);
+                            local_committed += 1;
+                            seal_outgoing(env.dst, env.recv_time, &mut metas[li], &mut out, |new| {
+                                let o = owner(ranges, new.dst as usize);
+                                if o == t {
+                                    heap.push(Reverse(new));
+                                } else {
+                                    mailboxes[o].lock().push(new);
+                                }
+                            });
+                        }
+                        // All sends for this round must be visible before the
+                        // next round's mailbox drain.
+                        barrier.wait();
+                    }
+                    committed.fetch_add(local_committed, Ordering::Relaxed);
+                    rounds.fetch_max(local_rounds, Ordering::Relaxed);
+                    end_clock.fetch_max(local_clock, Ordering::Relaxed);
+                    // Return unprocessed events (recv_time > until).
+                    let mut left = leftovers[t].lock();
+                    left.extend(heap.into_iter().map(|Reverse(e)| e));
+                });
+            }
+        });
+
+        // Reabsorb leftover events so a subsequent run can continue.
+        for lb in &leftovers {
+            for env in lb.lock().drain(..) {
+                self.pending.push(Reverse(env));
+            }
+        }
+        for mb in &mailboxes {
+            for env in mb.lock().drain(..) {
+                self.pending.push(Reverse(env));
+            }
+        }
+
+        RunStats {
+            committed: committed.load(Ordering::Relaxed),
+            rounds: rounds.load(Ordering::Relaxed),
+            end_time: SimTime(end_clock.load(Ordering::Relaxed)),
+            wall_seconds: start.elapsed().as_secs_f64(),
+            ..Default::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partition_covers_everything() {
+        for (n_lps, n_threads) in [(10, 3), (1, 4), (8, 8), (100, 7), (5, 1)] {
+            let ranges = partition(n_lps, n_threads);
+            let mut covered = 0;
+            for (i, r) in ranges.iter().enumerate() {
+                covered += r.len();
+                for lp in r.clone() {
+                    assert_eq!(owner(&ranges, lp), i);
+                }
+            }
+            assert_eq!(covered, n_lps);
+        }
+    }
+}

@@ -1,0 +1,193 @@
+//! The `Simulation` container shared by all three schedulers.
+
+use crate::event::{Envelope, EventUid, LpId};
+use crate::lp::{Ctx, Lp, LpMeta, Outgoing};
+use crate::time::{SimDuration, SimTime};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Statistics returned by a scheduler run.
+#[derive(Clone, Debug, Default)]
+pub struct RunStats {
+    /// Events processed and committed.
+    pub committed: u64,
+    /// Events that were processed speculatively and later rolled back
+    /// (optimistic scheduler only).
+    pub rolled_back: u64,
+    /// Rollback episodes (optimistic scheduler only).
+    pub rollbacks: u64,
+    /// Anti-messages sent (optimistic scheduler only).
+    pub anti_messages: u64,
+    /// Synchronization rounds (conservative windows or GVT epochs).
+    pub rounds: u64,
+    /// Wall-clock seconds spent inside the scheduler.
+    pub wall_seconds: f64,
+    /// Final GVT / global clock when the run stopped.
+    pub end_time: SimTime,
+}
+
+impl RunStats {
+    /// Committed event rate in events per wall-clock second.
+    pub fn event_rate(&self) -> f64 {
+        if self.wall_seconds > 0.0 {
+            self.committed as f64 / self.wall_seconds
+        } else {
+            0.0
+        }
+    }
+
+    /// Fraction of processed events that were wasted on rollbacks.
+    pub fn rollback_efficiency(&self) -> f64 {
+        let total = self.committed + self.rolled_back;
+        if total == 0 {
+            1.0
+        } else {
+            self.committed as f64 / total as f64
+        }
+    }
+}
+
+/// A discrete-event simulation: a set of LPs plus pending events.
+///
+/// Construct with [`Simulation::new`], inject initial events with
+/// [`Simulation::schedule`], then drive it with one of
+/// `run_sequential`, [`crate::conservative::run_conservative`] (via the
+/// inherent method) or [`crate::optimistic::run_optimistic`].
+pub struct Simulation<L: Lp> {
+    pub(crate) lps: Vec<L>,
+    pub(crate) meta: Vec<LpMeta>,
+    pub(crate) pending: BinaryHeap<Reverse<Envelope<L::Event>>>,
+    pub(crate) lookahead: SimDuration,
+}
+
+impl<L: Lp> Simulation<L> {
+    /// Create a simulation over `lps` with the given minimum event delay
+    /// (`lookahead`). Every [`Ctx::send`] must use a delay of at least
+    /// `lookahead`; 1 ns is always safe but shrinks conservative windows.
+    pub fn new(lps: Vec<L>, lookahead: SimDuration) -> Self {
+        assert!(lookahead.as_ns() >= 1, "lookahead must be at least 1 ns");
+        let n = lps.len();
+        Simulation {
+            lps,
+            meta: (0..n).map(|_| LpMeta::new()).collect(),
+            pending: BinaryHeap::new(),
+            lookahead,
+        }
+    }
+
+    /// Number of LPs.
+    pub fn n_lps(&self) -> usize {
+        self.lps.len()
+    }
+
+    /// Inject an event from "outside" the model before (or between) runs.
+    pub fn schedule(&mut self, dst: LpId, at: SimTime, payload: L::Event) {
+        assert!((dst as usize) < self.lps.len(), "dst {dst} out of range");
+        let meta = &mut self.meta[dst as usize];
+        let env = Envelope {
+            recv_time: at,
+            send_time: SimTime::ZERO,
+            src: dst,
+            dst,
+            tiebreak: meta.tiebreak,
+            uid: EventUid { src: dst, seq: meta.uid_seq },
+            payload,
+        };
+        meta.tiebreak += 1;
+        meta.uid_seq += 1;
+        self.pending.push(Reverse(env));
+    }
+
+    /// Read access to the LPs (e.g. to pull metrics out after a run).
+    pub fn lps(&self) -> &[L] {
+        &self.lps
+    }
+
+    /// Consume the simulation, returning the LPs.
+    pub fn into_lps(self) -> Vec<L> {
+        self.lps
+    }
+
+    /// Number of events awaiting processing.
+    pub fn pending_events(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Run with the single-threaded reference scheduler until the event
+    /// queue drains or the next event is after `until`. Events beyond
+    /// `until` remain pending.
+    pub fn run_sequential(&mut self, until: SimTime) -> RunStats {
+        let start = std::time::Instant::now();
+        let mut stats = RunStats::default();
+        let mut out: Vec<Outgoing<L::Event>> = Vec::with_capacity(8);
+        let mut clock = SimTime::ZERO;
+
+        while let Some(Reverse(env)) = self.pending.peek().map(|e| Reverse(e.0.clone())) {
+            if env.recv_time > until {
+                break;
+            }
+            self.pending.pop();
+            clock = env.recv_time;
+            let dst = env.dst as usize;
+            debug_assert!(env.recv_time >= self.meta[dst].now, "causality violation");
+            self.meta[dst].now = env.recv_time;
+            self.meta[dst].processed += 1;
+
+            let mut ctx = Ctx {
+                now: env.recv_time,
+                me: env.dst,
+                lookahead: self.lookahead,
+                out: &mut out,
+            };
+            self.lps[dst].handle(&env, &mut ctx);
+            stats.committed += 1;
+
+            for o in out.drain(..) {
+                let meta = &mut self.meta[dst];
+                let new = Envelope {
+                    recv_time: env.recv_time + o.delay,
+                    send_time: env.recv_time,
+                    src: env.dst,
+                    dst: o.dst,
+                    tiebreak: meta.tiebreak,
+                    uid: EventUid { src: env.dst, seq: meta.uid_seq },
+                    payload: o.payload,
+                };
+                meta.tiebreak += 1;
+                meta.uid_seq += 1;
+                debug_assert!((o.dst as usize) < self.lps.len(), "send to unknown LP {}", o.dst);
+                self.pending.push(Reverse(new));
+            }
+        }
+
+        stats.rounds = 1;
+        stats.end_time = clock;
+        stats.wall_seconds = start.elapsed().as_secs_f64();
+        stats
+    }
+}
+
+/// Helper shared by the parallel schedulers: turn buffered outgoing sends
+/// into envelopes, updating the sender's meta counters.
+pub(crate) fn seal_outgoing<E>(
+    src: LpId,
+    send_time: SimTime,
+    meta: &mut LpMeta,
+    out: &mut Vec<Outgoing<E>>,
+    mut push: impl FnMut(Envelope<E>),
+) {
+    for o in out.drain(..) {
+        let env = Envelope {
+            recv_time: send_time + o.delay,
+            send_time,
+            src,
+            dst: o.dst,
+            tiebreak: meta.tiebreak,
+            uid: EventUid { src, seq: meta.uid_seq },
+            payload: o.payload,
+        };
+        meta.tiebreak += 1;
+        meta.uid_seq += 1;
+        push(env);
+    }
+}

@@ -1,0 +1,217 @@
+//! # ross-pdes
+//!
+//! A [ROSS](https://github.com/ROSS-org/ROSS)-style parallel discrete event
+//! simulation (PDES) engine, built as the substrate for the CODES network
+//! models and the Union workload manager in this workspace.
+//!
+//! Three schedulers over the same model code:
+//!
+//! * [`Simulation::run_sequential`] — single-threaded reference executor;
+//! * [`Simulation::run_conservative`] — YAWNS-style lookahead windows over
+//!   OS threads (ROSS's conservative mode used MPI ranks; see DESIGN.md
+//!   substitution #1);
+//! * [`Simulation::run_optimistic`] — Time Warp with periodic state saving,
+//!   coast-forward rollback, anti-messages, barrier-synchronized GVT and
+//!   fossil collection.
+//!
+//! All three produce **bit-identical** model states: events are totally
+//! ordered by `(recv_time, send_time, src, tiebreak)` where the tiebreak
+//! counter is part of the rolled-back LP state.
+//!
+//! ## Model rules
+//!
+//! * An LP mutates only itself and communicates only via [`Ctx::send`].
+//! * Every send delay is at least the engine lookahead (≥ 1 ns).
+//! * Any randomness lives inside LP state (e.g. a seeded
+//!   `rand::rngs::SmallRng`) so rollbacks restore the RNG stream.
+//! * Metrics live inside LP state and are harvested after the run — never
+//!   write to shared sinks from `handle`.
+//!
+//! ```
+//! use ross::{Ctx, Envelope, Lp, SimDuration, SimTime, Simulation};
+//!
+//! #[derive(Clone)]
+//! struct Counter { hits: u64, limit: u64 }
+//!
+//! impl Lp for Counter {
+//!     type Event = ();
+//!     fn handle(&mut self, _ev: &Envelope<()>, ctx: &mut Ctx<'_, ()>) {
+//!         self.hits += 1;
+//!         if self.hits < self.limit {
+//!             ctx.send_self(SimDuration::from_ns(10), ());
+//!         }
+//!     }
+//! }
+//!
+//! let mut sim = Simulation::new(vec![Counter { hits: 0, limit: 5 }], SimDuration::from_ns(1));
+//! sim.schedule(0, SimTime::ZERO, ());
+//! let stats = sim.run_sequential(SimTime::MAX);
+//! assert_eq!(stats.committed, 5);
+//! assert_eq!(sim.lps()[0].hits, 5);
+//! ```
+
+mod conservative;
+mod engine;
+mod event;
+mod lp;
+mod optimistic;
+mod time;
+
+pub use engine::{RunStats, Simulation};
+pub use event::{Envelope, EventKey, EventUid, LpId};
+pub use lp::{Ctx, Lp};
+pub use optimistic::OptimisticConfig;
+pub use time::{SimDuration, SimTime};
+
+/// Which scheduler to use; lets callers sweep schedulers uniformly.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scheduler {
+    /// Single-threaded reference executor.
+    Sequential,
+    /// Conservative YAWNS windows on `n` threads.
+    Conservative(usize),
+    /// Optimistic Time Warp on `n` threads.
+    Optimistic(usize),
+}
+
+impl Scheduler {
+    /// Run `sim` to `until` with this scheduler.
+    pub fn run<L: Lp + Clone>(self, sim: &mut Simulation<L>, until: SimTime) -> RunStats {
+        match self {
+            Scheduler::Sequential => sim.run_sequential(until),
+            Scheduler::Conservative(n) => sim.run_conservative(n, until),
+            Scheduler::Optimistic(n) => {
+                sim.run_optimistic(n, OptimisticConfig::default(), until)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    /// PHOLD: every event forwards to a random LP after a random delay.
+    /// Classic PDES stress test: dense cross-LP traffic, rollback-heavy
+    /// under optimistic execution.
+    #[derive(Clone)]
+    struct Phold {
+        rng: SmallRng,
+        n_lps: u32,
+        hits: u64,
+        checksum: u64,
+        horizon: SimTime,
+    }
+
+    impl Lp for Phold {
+        type Event = u64;
+        fn handle(&mut self, ev: &Envelope<u64>, ctx: &mut Ctx<'_, u64>) {
+            self.hits += 1;
+            self.checksum = self
+                .checksum
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(ev.payload ^ ev.recv_time.as_ns());
+            if ctx.now() < self.horizon {
+                let dst = self.rng.gen_range(0..self.n_lps);
+                let delay = SimDuration::from_ns(self.rng.gen_range(1..500));
+                ctx.send(dst, delay, self.checksum);
+            }
+        }
+    }
+
+    fn phold_sim(n_lps: u32, seeds: u64) -> Simulation<Phold> {
+        let lps = (0..n_lps)
+            .map(|i| Phold {
+                rng: SmallRng::seed_from_u64(seeds + i as u64),
+                n_lps,
+                hits: 0,
+                checksum: 0,
+                horizon: SimTime::from_us(200),
+            })
+            .collect();
+        let mut sim = Simulation::new(lps, SimDuration::from_ns(1));
+        for i in 0..n_lps {
+            sim.schedule(i, SimTime::from_ns(i as u64 % 7), i as u64);
+        }
+        sim
+    }
+
+    fn fingerprint(sim: &Simulation<Phold>) -> Vec<(u64, u64)> {
+        sim.lps().iter().map(|l| (l.hits, l.checksum)).collect()
+    }
+
+    #[test]
+    fn sequential_is_deterministic() {
+        let mut a = phold_sim(16, 42);
+        let mut b = phold_sim(16, 42);
+        let sa = a.run_sequential(SimTime::MAX);
+        let sb = b.run_sequential(SimTime::MAX);
+        assert_eq!(sa.committed, sb.committed);
+        assert_eq!(fingerprint(&a), fingerprint(&b));
+        assert!(sa.committed > 1000, "PHOLD should generate work");
+    }
+
+    #[test]
+    fn conservative_matches_sequential() {
+        let mut a = phold_sim(16, 7);
+        let mut b = phold_sim(16, 7);
+        let sa = a.run_sequential(SimTime::MAX);
+        let sb = b.run_conservative(4, SimTime::MAX);
+        assert_eq!(sa.committed, sb.committed);
+        assert_eq!(fingerprint(&a), fingerprint(&b));
+    }
+
+    #[test]
+    fn optimistic_matches_sequential() {
+        let mut a = phold_sim(16, 99);
+        let mut b = phold_sim(16, 99);
+        let sa = a.run_sequential(SimTime::MAX);
+        let sb = b.run_optimistic(
+            4,
+            OptimisticConfig { batch: 64, snapshot_interval: 3 },
+            SimTime::MAX,
+        );
+        assert_eq!(sa.committed, sb.committed, "stats: {sb:?}");
+        assert_eq!(fingerprint(&a), fingerprint(&b));
+    }
+
+    #[test]
+    fn optimistic_snapshot_every_event() {
+        let mut a = phold_sim(8, 3);
+        let mut b = phold_sim(8, 3);
+        a.run_sequential(SimTime::MAX);
+        b.run_optimistic(
+            3,
+            OptimisticConfig { batch: 16, snapshot_interval: 1 },
+            SimTime::MAX,
+        );
+        assert_eq!(fingerprint(&a), fingerprint(&b));
+    }
+
+    #[test]
+    fn until_bound_pauses_and_resumes() {
+        let mut a = phold_sim(8, 5);
+        let mut b = phold_sim(8, 5);
+        a.run_sequential(SimTime::MAX);
+        // Run b in two legs split at 100us, with different schedulers.
+        b.run_conservative(2, SimTime::from_us(100));
+        assert!(b.pending_events() > 0);
+        b.run_sequential(SimTime::MAX);
+        assert_eq!(fingerprint(&a), fingerprint(&b));
+    }
+
+    #[test]
+    fn scheduler_enum_dispatches() {
+        for sched in [
+            Scheduler::Sequential,
+            Scheduler::Conservative(2),
+            Scheduler::Optimistic(2),
+        ] {
+            let mut sim = phold_sim(4, 11);
+            let stats = sched.run(&mut sim, SimTime::MAX);
+            assert!(stats.committed > 0);
+        }
+    }
+}

@@ -1,0 +1,98 @@
+//! The logical-process abstraction and the scheduling context handed to it.
+
+use crate::event::{Envelope, LpId};
+use crate::time::{SimDuration, SimTime};
+
+/// A logical process (LP): an independently evolving piece of model state.
+///
+/// All LPs in one simulation share a single concrete type — models compose
+/// heterogeneous LPs with an enum. `handle` is the only entry point; an LP
+/// must never touch state outside itself except through [`Ctx::send`].
+///
+/// For optimistic execution the LP type must also be `Clone` (state saving)
+/// — see [`crate::optimistic`].
+pub trait Lp: Send + 'static {
+    /// Model-defined event payload shared by every LP in the simulation.
+    type Event: Clone + Send + 'static;
+
+    /// Process one event. Absolutely no side effects outside `self` and
+    /// `ctx` are allowed: the optimistic scheduler may run this
+    /// speculatively and roll it back.
+    fn handle(&mut self, ev: &Envelope<Self::Event>, ctx: &mut Ctx<'_, Self::Event>);
+}
+
+/// Buffered outgoing send produced during one `handle` call.
+pub(crate) struct Outgoing<E> {
+    pub dst: LpId,
+    pub delay: SimDuration,
+    pub payload: E,
+}
+
+/// Scheduling context: the LP's window into the engine during one event.
+///
+/// Sends are buffered and turned into envelopes by the scheduler after the
+/// handler returns, which keeps envelope bookkeeping (tiebreaks, uids,
+/// rollback logs) out of model code.
+pub struct Ctx<'a, E> {
+    pub(crate) now: SimTime,
+    pub(crate) me: LpId,
+    pub(crate) lookahead: SimDuration,
+    pub(crate) out: &'a mut Vec<Outgoing<E>>,
+}
+
+impl<'a, E> Ctx<'a, E> {
+    /// Current virtual time (the `recv_time` of the event being handled).
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The id of the LP handling the event.
+    #[inline]
+    pub fn me(&self) -> LpId {
+        self.me
+    }
+
+    /// Schedule `payload` for LP `dst` at `now + delay`.
+    ///
+    /// `delay` must be at least the engine lookahead declared at
+    /// construction — the conservative scheduler's correctness depends on
+    /// it, and the requirement is enforced uniformly so a model validated
+    /// sequentially cannot silently break under parallel execution.
+    #[inline]
+    pub fn send(&mut self, dst: LpId, delay: SimDuration, payload: E) {
+        debug_assert!(
+            delay >= self.lookahead,
+            "send delay {delay:?} below engine lookahead {:?}",
+            self.lookahead
+        );
+        self.out.push(Outgoing { dst, delay, payload });
+    }
+
+    /// Schedule an event for this LP itself (a wake-up).
+    #[inline]
+    pub fn send_self(&mut self, delay: SimDuration, payload: E) {
+        let me = self.me;
+        self.send(me, delay, payload);
+    }
+}
+
+/// Per-LP engine-side bookkeeping common to all schedulers.
+#[derive(Clone)]
+pub(crate) struct LpMeta {
+    /// Deterministic send counter — snapshotted/rolled back with LP state.
+    pub tiebreak: u64,
+    /// Unique id counter — never rolled back.
+    pub uid_seq: u64,
+    /// Last processed event time (causality check).
+    pub now: SimTime,
+    /// Number of events this LP has processed (committed view for
+    /// sequential/conservative; speculative view for optimistic).
+    pub processed: u64,
+}
+
+impl LpMeta {
+    pub fn new() -> Self {
+        LpMeta { tiebreak: 0, uid_seq: 0, now: SimTime::ZERO, processed: 0 }
+    }
+}

@@ -1,0 +1,518 @@
+//! Optimistic parallel scheduler (Time Warp).
+//!
+//! Threads speculatively process their LPs' events in local key order.
+//! A straggler (an event ordered before work already done on its LP)
+//! triggers a **rollback**: the LP restores the most recent snapshot at or
+//! before the straggler, *coast-forwards* (re-executes with sends
+//! suppressed) up to the straggler, returns the undone events to the
+//! pending set, and sends **anti-messages** cancelling every event those
+//! undone events produced.
+//!
+//! Epochs are synchronized with barriers: every `batch` locally processed
+//! events the threads drain mailboxes to quiescence, compute **GVT** (the
+//! minimum unprocessed event time anywhere), and fossil-collect snapshots
+//! and processed-event logs below it. Determinism: because each LP's
+//! tiebreak counter is saved and restored with its state, re-executions
+//! regenerate identical event keys and the committed schedule is
+//! bit-identical to the sequential one.
+
+use crate::conservative::{owner, partition};
+use crate::engine::{seal_outgoing, RunStats, Simulation};
+use crate::event::{Envelope, EventKey, EventUid};
+use crate::lp::{Ctx, Lp, LpMeta, Outgoing};
+use crate::time::{SimDuration, SimTime};
+use parking_lot::Mutex;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet, VecDeque};
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Barrier;
+
+/// Tuning knobs for the optimistic scheduler.
+#[derive(Clone, Copy, Debug)]
+pub struct OptimisticConfig {
+    /// Locally processed events per thread between GVT epochs.
+    pub batch: usize,
+    /// Take a state snapshot every `snapshot_interval` events per LP.
+    /// 1 = copy state before every event (cheapest rollbacks, most memory).
+    pub snapshot_interval: u64,
+}
+
+impl Default for OptimisticConfig {
+    fn default() -> Self {
+        OptimisticConfig { batch: 512, snapshot_interval: 4 }
+    }
+}
+
+type Heap<E> = BinaryHeap<Reverse<Envelope<E>>>;
+
+/// A message between threads: a scheduled event or a cancellation.
+enum Msg<E> {
+    Event(Envelope<E>),
+    Anti { dst: u32, uid: EventUid },
+}
+
+impl<E> Msg<E> {
+    fn dst(&self) -> usize {
+        match self {
+            Msg::Event(e) => e.dst as usize,
+            Msg::Anti { dst, .. } => *dst as usize,
+        }
+    }
+}
+
+struct SentRecord {
+    dst: u32,
+    uid: EventUid,
+}
+
+struct Processed<E> {
+    env: Envelope<E>,
+    sends: Vec<SentRecord>,
+}
+
+struct Snapshot<L> {
+    /// Absolute processed-event index this snapshot precedes.
+    at: u64,
+    lp: L,
+    tiebreak: u64,
+    now: SimTime,
+}
+
+/// Per-LP runtime for Time Warp.
+struct LpRt<L: Lp> {
+    lp: L,
+    meta: LpMeta,
+    processed: VecDeque<Processed<L::Event>>,
+    snapshots: VecDeque<Snapshot<L>>,
+    /// Absolute index of `processed.front()`.
+    base: u64,
+}
+
+impl<L: Lp + Clone> LpRt<L> {
+    fn count(&self) -> u64 {
+        self.base + self.processed.len() as u64
+    }
+
+    fn last_key(&self) -> Option<EventKey> {
+        self.processed.back().map(|p| p.env.key())
+    }
+}
+
+#[derive(Default)]
+struct LocalStats {
+    rolled: u64,
+    rollbacks: u64,
+    anti: u64,
+    epochs: u64,
+}
+
+/// Roll `rt` back so every processed event with key >= `to` is undone.
+/// Undone events are returned to `heap`, except the one whose uid matches
+/// `skip_uid` (an annihilated event). Anti-messages for the sends of undone
+/// events are appended to `antis` for the caller to post.
+#[allow(clippy::too_many_arguments)]
+fn rollback<L: Lp + Clone>(
+    rt: &mut LpRt<L>,
+    to: EventKey,
+    skip_uid: Option<EventUid>,
+    heap: &mut Heap<L::Event>,
+    lookahead: SimDuration,
+    scratch: &mut Vec<Outgoing<L::Event>>,
+    stats: &mut LocalStats,
+    antis: &mut Vec<(u32, EventUid)>,
+) {
+    // First undone index (relative).
+    let mut i = rt.processed.len();
+    while i > 0 && rt.processed[i - 1].env.key() >= to {
+        i -= 1;
+    }
+    if i == rt.processed.len() {
+        return;
+    }
+    stats.rollbacks += 1;
+    let abs_i = rt.base + i as u64;
+    // Undo events [i..): re-enqueue them and cancel their sends.
+    while rt.processed.len() > i {
+        let p = rt.processed.pop_back().unwrap();
+        stats.rolled += 1;
+        for s in p.sends {
+            antis.push((s.dst, s.uid));
+        }
+        if Some(p.env.uid) != skip_uid {
+            heap.push(Reverse(p.env));
+        }
+    }
+    // Restore the latest snapshot at or before abs_i.
+    while rt.snapshots.back().map(|s| s.at > abs_i).unwrap_or(false) {
+        rt.snapshots.pop_back();
+    }
+    let snap = rt.snapshots.back().expect("rollback target below oldest snapshot");
+    rt.lp = snap.lp.clone();
+    rt.meta.tiebreak = snap.tiebreak;
+    rt.meta.now = snap.now;
+    let replay_from = (snap.at - rt.base) as usize;
+    // Coast-forward: re-execute [replay_from..i) with sends suppressed —
+    // those sends are already in flight and were not cancelled. The tiebreak
+    // counter advances identically because the replayed handlers emit the
+    // same sends.
+    for k in replay_from..i {
+        let env = rt.processed[k].env.clone();
+        rt.meta.now = env.recv_time;
+        let mut ctx = Ctx { now: env.recv_time, me: env.dst, lookahead, out: scratch };
+        rt.lp.handle(&env, &mut ctx);
+        seal_outgoing(env.dst, env.recv_time, &mut rt.meta, scratch, |_| {});
+    }
+}
+
+/// Deliver one message to this thread's state, rolling back on stragglers
+/// and annihilating on anti-messages. Induced anti-messages go to `antis`.
+#[allow(clippy::too_many_arguments)]
+fn ingest<L: Lp + Clone>(
+    msg: Msg<L::Event>,
+    base_lp: usize,
+    lookahead: SimDuration,
+    rts: &mut [LpRt<L>],
+    heap: &mut Heap<L::Event>,
+    tombstones: &mut HashSet<EventUid>,
+    scratch: &mut Vec<Outgoing<L::Event>>,
+    stats: &mut LocalStats,
+    antis: &mut Vec<(u32, EventUid)>,
+) {
+    match msg {
+        Msg::Event(env) => {
+            let rt = &mut rts[env.dst as usize - base_lp];
+            if rt.last_key().map(|k| k >= env.key()).unwrap_or(false) {
+                rollback(rt, env.key(), None, heap, lookahead, scratch, stats, antis);
+            }
+            heap.push(Reverse(env));
+        }
+        Msg::Anti { dst, uid } => {
+            let rt = &mut rts[dst as usize - base_lp];
+            if let Some(p) = rt.processed.iter().rev().find(|p| p.env.uid == uid) {
+                let key = p.env.key();
+                rollback(rt, key, Some(uid), heap, lookahead, scratch, stats, antis);
+            } else {
+                // Not yet processed: annihilate lazily when it pops.
+                tombstones.insert(uid);
+            }
+        }
+    }
+}
+
+struct ThreadOutcome<L: Lp> {
+    lps: Vec<(usize, L, LpMeta)>,
+    leftover: Vec<Envelope<L::Event>>,
+    stats: LocalStats,
+    committed: u64,
+    final_gvt: u64,
+}
+
+impl<L: Lp + Clone> Simulation<L> {
+    /// Run with the Time Warp scheduler on `n_threads` threads until the
+    /// event population drains or GVT passes `until`.
+    ///
+    /// Produces results bit-identical to [`Simulation::run_sequential`].
+    pub fn run_optimistic(
+        &mut self,
+        n_threads: usize,
+        cfg: OptimisticConfig,
+        until: SimTime,
+    ) -> RunStats {
+        assert!(cfg.snapshot_interval >= 1);
+        assert!(cfg.batch >= 1);
+        let start = std::time::Instant::now();
+        let n_lps = self.lps.len();
+        let ranges = partition(n_lps, n_threads);
+        let n_threads = ranges.len();
+        if n_threads <= 1 {
+            return self.run_sequential(until);
+        }
+
+        let mut heaps: Vec<Heap<L::Event>> = (0..n_threads).map(|_| Heap::new()).collect();
+        for Reverse(env) in self.pending.drain() {
+            heaps[owner(&ranges, env.dst as usize)].push(Reverse(env));
+        }
+
+        let mailboxes: Vec<Mutex<Vec<Msg<L::Event>>>> =
+            (0..n_threads).map(|_| Mutex::new(Vec::new())).collect();
+        // Net count of messages posted to mailboxes and not yet drained.
+        let in_flight = AtomicI64::new(0);
+        // Threads that still have local messages queued during quiescence
+        // detection.
+        let busy_threads = AtomicI64::new(0);
+        let barrier = Barrier::new(n_threads);
+        let mins: Vec<AtomicU64> = (0..n_threads).map(|_| AtomicU64::new(u64::MAX)).collect();
+        let lookahead = self.lookahead;
+
+        // Move LP state into per-thread runtimes.
+        let mut rts_per_thread: Vec<Vec<LpRt<L>>> = Vec::with_capacity(n_threads);
+        {
+            let mut lps: VecDeque<L> = std::mem::take(&mut self.lps).into();
+            let mut metas: VecDeque<LpMeta> = std::mem::take(&mut self.meta).into();
+            for r in &ranges {
+                let mut v = Vec::with_capacity(r.len());
+                for _ in r.clone() {
+                    v.push(LpRt {
+                        lp: lps.pop_front().unwrap(),
+                        meta: metas.pop_front().unwrap(),
+                        processed: VecDeque::new(),
+                        snapshots: VecDeque::new(),
+                        base: 0,
+                    });
+                }
+                rts_per_thread.push(v);
+            }
+        }
+
+        let outcomes: Vec<Mutex<Option<ThreadOutcome<L>>>> =
+            (0..n_threads).map(|_| Mutex::new(None)).collect();
+
+        std::thread::scope(|scope| {
+            for (t, mut rts) in rts_per_thread.into_iter().enumerate() {
+                let mut heap = std::mem::take(&mut heaps[t]);
+                let ranges = &ranges;
+                let mailboxes = &mailboxes;
+                let in_flight = &in_flight;
+                let busy_threads = &busy_threads;
+                let barrier = &barrier;
+                let mins = &mins;
+                let outcomes = &outcomes;
+                scope.spawn(move || {
+                    let base_lp = ranges[t].start;
+                    let mut tombstones: HashSet<EventUid> = HashSet::new();
+                    let mut scratch: Vec<Outgoing<L::Event>> = Vec::with_capacity(8);
+                    let mut stats = LocalStats::default();
+                    let mut antis: Vec<(u32, EventUid)> = Vec::new();
+                    let mut locals: VecDeque<Msg<L::Event>> = VecDeque::new();
+                    let mut routed: Vec<Envelope<L::Event>> = Vec::new();
+                    #[allow(unused_assignments)] // always written before the loop breaks
+                    let mut gvt = 0u64;
+
+                    // Post a message: remote destinations go to the owner's
+                    // mailbox (counted in `in_flight`); local destinations
+                    // are queued for direct ingestion.
+                    let post = |m: Msg<L::Event>, locals: &mut VecDeque<Msg<L::Event>>| {
+                        let o = owner(ranges, m.dst());
+                        if o == t {
+                            locals.push_back(m);
+                        } else {
+                            in_flight.fetch_add(1, Ordering::SeqCst);
+                            mailboxes[o].lock().push(m);
+                        }
+                    };
+
+                    loop {
+                        // ---- GVT epoch: drain to quiescence ----
+                        loop {
+                            while let Some(m) = locals.pop_front() {
+                                ingest(
+                                    m, base_lp, lookahead, &mut rts, &mut heap,
+                                    &mut tombstones, &mut scratch, &mut stats, &mut antis,
+                                );
+                                for (dst, uid) in antis.drain(..) {
+                                    stats.anti += 1;
+                                    post(Msg::Anti { dst, uid }, &mut locals);
+                                }
+                            }
+                            let msgs: Vec<Msg<L::Event>> =
+                                std::mem::take(&mut *mailboxes[t].lock());
+                            in_flight.fetch_sub(msgs.len() as i64, Ordering::SeqCst);
+                            for m in msgs {
+                                ingest(
+                                    m, base_lp, lookahead, &mut rts, &mut heap,
+                                    &mut tombstones, &mut scratch, &mut stats, &mut antis,
+                                );
+                                for (dst, uid) in antis.drain(..) {
+                                    stats.anti += 1;
+                                    post(Msg::Anti { dst, uid }, &mut locals);
+                                }
+                            }
+                            let busy = !locals.is_empty();
+                            if busy {
+                                busy_threads.fetch_add(1, Ordering::SeqCst);
+                            }
+                            barrier.wait();
+                            // Stable region: nothing mutates the counters
+                            // between the two barriers, so every thread reads
+                            // the same quiescence verdict.
+                            let quiescent = in_flight.load(Ordering::SeqCst) == 0
+                                && busy_threads.load(Ordering::SeqCst) == 0;
+                            barrier.wait();
+                            if busy {
+                                busy_threads.fetch_sub(1, Ordering::SeqCst);
+                            }
+                            if quiescent {
+                                break;
+                            }
+                        }
+
+                        // ---- compute GVT ----
+                        while let Some(Reverse(top)) = heap.peek() {
+                            if tombstones.remove(&top.uid) {
+                                heap.pop();
+                            } else {
+                                break;
+                            }
+                        }
+                        let local_min =
+                            heap.peek().map(|Reverse(e)| e.recv_time.0).unwrap_or(u64::MAX);
+                        mins[t].store(local_min, Ordering::SeqCst);
+                        barrier.wait();
+                        gvt = mins.iter().map(|m| m.load(Ordering::SeqCst)).min().unwrap();
+                        stats.epochs += 1;
+                        // All threads computed the same GVT; the barrier at
+                        // the top of the next epoch keeps phases aligned.
+                        barrier.wait();
+                        if gvt == u64::MAX || gvt > until.0 {
+                            break;
+                        }
+
+                        // ---- fossil collection ----
+                        for rt in rts.iter_mut() {
+                            let mut i = rt.processed.len();
+                            while i > 0 && rt.processed[i - 1].env.recv_time.0 >= gvt {
+                                i -= 1;
+                            }
+                            let abs_keep = rt.base + i as u64;
+                            while rt.snapshots.len() > 1 && rt.snapshots[1].at <= abs_keep {
+                                rt.snapshots.pop_front();
+                            }
+                            if let Some(first) = rt.snapshots.front() {
+                                let drop_to = first.at;
+                                while rt.base < drop_to {
+                                    rt.processed.pop_front();
+                                    rt.base += 1;
+                                }
+                            }
+                        }
+
+                        // ---- speculative processing batch ----
+                        let mut processed_now = 0usize;
+                        while processed_now < cfg.batch {
+                            // Stragglers delivered by local sends first.
+                            while let Some(m) = locals.pop_front() {
+                                ingest(
+                                    m, base_lp, lookahead, &mut rts, &mut heap,
+                                    &mut tombstones, &mut scratch, &mut stats, &mut antis,
+                                );
+                                for (dst, uid) in antis.drain(..) {
+                                    stats.anti += 1;
+                                    post(Msg::Anti { dst, uid }, &mut locals);
+                                }
+                            }
+                            let env = loop {
+                                match heap.pop() {
+                                    None => break None,
+                                    Some(Reverse(e)) => {
+                                        if tombstones.remove(&e.uid) {
+                                            continue;
+                                        }
+                                        break Some(e);
+                                    }
+                                }
+                            };
+                            let Some(env) = env else { break };
+                            if env.recv_time > until {
+                                heap.push(Reverse(env));
+                                break;
+                            }
+                            {
+                                let rt = &mut rts[env.dst as usize - base_lp];
+                                debug_assert!(
+                                    rt.last_key().map(|k| k < env.key()).unwrap_or(true),
+                                    "out-of-order speculative execution"
+                                );
+                                let count = rt.count();
+                                let due = match rt.snapshots.back() {
+                                    None => true,
+                                    Some(s) => count - s.at >= cfg.snapshot_interval,
+                                };
+                                if due {
+                                    rt.snapshots.push_back(Snapshot {
+                                        at: count,
+                                        lp: rt.lp.clone(),
+                                        tiebreak: rt.meta.tiebreak,
+                                        now: rt.meta.now,
+                                    });
+                                }
+                                rt.meta.now = env.recv_time;
+                                rt.meta.processed += 1;
+                                let mut ctx = Ctx {
+                                    now: env.recv_time,
+                                    me: env.dst,
+                                    lookahead,
+                                    out: &mut scratch,
+                                };
+                                rt.lp.handle(&env, &mut ctx);
+                                let mut sends = Vec::new();
+                                seal_outgoing(
+                                    env.dst,
+                                    env.recv_time,
+                                    &mut rt.meta,
+                                    &mut scratch,
+                                    |e| {
+                                        sends.push(SentRecord { dst: e.dst, uid: e.uid });
+                                        routed.push(e);
+                                    },
+                                );
+                                rt.processed.push_back(Processed { env, sends });
+                            }
+                            // Route after releasing the LP borrow: local
+                            // deliveries may roll back *other* local LPs.
+                            for e in routed.drain(..) {
+                                post(Msg::Event(e), &mut locals);
+                            }
+                            processed_now += 1;
+                        }
+                    }
+
+                    let committed: u64 = rts.iter().map(|rt| rt.meta.processed).sum();
+                    let lps = rts
+                        .into_iter()
+                        .enumerate()
+                        .map(|(i, rt)| (base_lp + i, rt.lp, rt.meta))
+                        .collect();
+                    let leftover = heap
+                        .into_iter()
+                        .map(|Reverse(e)| e)
+                        .filter(|e| !tombstones.contains(&e.uid))
+                        .collect();
+                    *outcomes[t].lock() =
+                        Some(ThreadOutcome { lps, leftover, stats, committed, final_gvt: gvt });
+                });
+            }
+        });
+
+        // Reassemble LP state and leftover events.
+        let mut lps: Vec<Option<L>> = (0..n_lps).map(|_| None).collect();
+        let mut metas: Vec<LpMeta> = (0..n_lps).map(|_| LpMeta::new()).collect();
+        let mut stats = RunStats::default();
+        let mut speculative = 0u64;
+        for oc in &outcomes {
+            if let Some(oc) = oc.lock().take() {
+                for (i, lp, meta) in oc.lps {
+                    lps[i] = Some(lp);
+                    metas[i] = meta;
+                }
+                for env in oc.leftover {
+                    self.pending.push(Reverse(env));
+                }
+                speculative += oc.committed;
+                stats.rolled_back += oc.stats.rolled;
+                stats.rollbacks += oc.stats.rollbacks;
+                stats.anti_messages += oc.stats.anti;
+                stats.rounds = stats.rounds.max(oc.stats.epochs);
+                stats.end_time =
+                    stats.end_time.max(SimTime(oc.final_gvt.min(until.0)));
+            }
+        }
+        self.lps = lps.into_iter().map(|o| o.expect("missing LP after run")).collect();
+        self.meta = metas;
+
+        // `meta.processed` counts speculative executions (including
+        // re-executions); committed work is the difference.
+        stats.committed = speculative - stats.rolled_back;
+        stats.wall_seconds = start.elapsed().as_secs_f64();
+        stats
+    }
+}

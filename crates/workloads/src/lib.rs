@@ -1,0 +1,266 @@
+//! # workloads
+//!
+//! The paper's applications (§IV-B, Table III):
+//!
+//! | App | Kind | Paper config |
+//! |-----|------|--------------|
+//! | Cosmoflow | ML, coNCePTuaL via Union | 1,024 ranks, 28.15 MiB Allreduce / 129 ms |
+//! | AlexNet   | ML, coNCePTuaL via Union | 512 ranks, Horovod trace shape (Tables IV/V) |
+//! | NN        | synthetic 3-D halo        | 512 ranks, 128 KiB nonblocking |
+//! | MILC      | SWM                       | 4,096 ranks, 486 KiB 4-D halo |
+//! | Nekbone   | SWM                       | 2,197 ranks, CG with 8 B collectives |
+//! | LAMMPS    | SWM                       | 2,048 ranks, blocking send/nonblocking recv |
+//! | UR        | synthetic                 | 4,096 ranks, 10 KiB / 1 ms |
+//!
+//! Workload mixes: **W1** = {Cosmoflow, AlexNet, LAMMPS, NN, UR};
+//! **W2** = {Cosmoflow, AlexNet, LAMMPS, MILC, NN};
+//! **W3** = {Cosmoflow, AlexNet, Nekbone, MILC, NN}.
+//!
+//! Two profiles: `Paper` (full rank counts and message sizes — what the
+//! authors simulated for ~5 h on 144 cores) and `Quick` (×16 fewer ranks,
+//! scaled payloads — the same code paths at laptop scale). EXPERIMENTS.md
+//! records which profile produced each number.
+
+pub mod ml;
+pub mod swm;
+pub mod synthetic;
+
+use union_core::{RankVm, Skeleton, SkeletonInstance, SkeletonRegistry};
+
+pub use ml::{alexnet, alexnet_reference, cosmoflow, ALEXNET_NCPTL, COSMOFLOW_NCPTL};
+pub use swm::{lammps, milc, milc_with_dim, nearest_neighbor, nekbone};
+pub use synthetic::uniform_random;
+
+/// The seven applications.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AppKind {
+    Cosmoflow,
+    Alexnet,
+    NearestNeighbor,
+    Milc,
+    Nekbone,
+    Lammps,
+    UniformRandom,
+}
+
+impl AppKind {
+    pub fn label(self) -> &'static str {
+        match self {
+            AppKind::Cosmoflow => "Cosmoflow",
+            AppKind::Alexnet => "AlexNet",
+            AppKind::NearestNeighbor => "NN",
+            AppKind::Milc => "MILC",
+            AppKind::Nekbone => "Nekbone",
+            AppKind::Lammps => "LAMMPS",
+            AppKind::UniformRandom => "UR",
+        }
+    }
+}
+
+/// Experiment scale profile.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Profile {
+    /// Paper-scale: Table II systems and §IV-B rank counts / sizes.
+    Paper,
+    /// ×16 fewer ranks and scaled payloads for fast runs.
+    Quick,
+}
+
+/// A ready-to-place job: compiled skeleton + rank count + arguments.
+pub struct AppConfig {
+    pub kind: AppKind,
+    pub skeleton: Skeleton,
+    pub ranks: u32,
+    pub args: Vec<String>,
+}
+
+impl AppConfig {
+    pub fn name(&self) -> &'static str {
+        self.kind.label()
+    }
+
+    /// Instantiate rank VMs for simulation.
+    pub fn vms(&self, seed: u64) -> Result<Vec<RankVm>, String> {
+        let args: Vec<&str> = self.args.iter().map(|s| s.as_str()).collect();
+        let inst = SkeletonInstance::new(&self.skeleton, self.ranks, &args)?;
+        Ok((0..self.ranks).map(|r| RankVm::new(inst.clone(), r, seed)).collect())
+    }
+}
+
+fn arg(args: &mut Vec<String>, flag: &str, v: i64) {
+    args.push(format!("--{flag}"));
+    args.push(v.to_string());
+}
+
+/// Build one application at the given profile. `iters` bounds the number
+/// of iterations/updates; `scale` divides payload sizes and compute
+/// intervals (≥ 1).
+pub fn app(kind: AppKind, profile: Profile, iters: i64, scale: i64) -> AppConfig {
+    let scale = scale.max(1);
+    let sz = |bytes: i64| (bytes / scale).max(4);
+    let us = |micros: i64| (micros / scale).max(1);
+    let mut args = Vec::new();
+    let (skeleton, ranks) = match kind {
+        AppKind::Cosmoflow => {
+            arg(&mut args, "iters", iters);
+            arg(&mut args, "msgsize", sz(29_517_414));
+            arg(&mut args, "interval_us", us(129_000));
+            (cosmoflow(), pick(profile, 1024, 128))
+        }
+        AppKind::Alexnet => {
+            arg(&mut args, "updates", iters);
+            arg(&mut args, "layer_bytes", sz(22_401_396));
+            arg(&mut args, "init_bytes", sz(22_454_545));
+            arg(&mut args, "interval_us", us(120_000));
+            (alexnet(), pick(profile, 512, 64))
+        }
+        AppKind::NearestNeighbor => {
+            arg(&mut args, "iters", iters);
+            arg(&mut args, "bytes", sz(128 * 1024));
+            arg(&mut args, "compute_us", us(1000));
+            if profile == Profile::Quick {
+                for (f, v) in [("nx", 4), ("ny", 4), ("nz", 4)] {
+                    arg(&mut args, f, v);
+                }
+            }
+            (nearest_neighbor(), pick(profile, 512, 64))
+        }
+        AppKind::Milc => {
+            arg(&mut args, "iters", iters);
+            arg(&mut args, "bytes", sz(486 * 1024));
+            arg(&mut args, "compute_us", us(2000));
+            match profile {
+                Profile::Paper => (milc_with_dim(8), 4096),
+                Profile::Quick => (milc_with_dim(3), 81),
+            }
+        }
+        AppKind::Nekbone => {
+            arg(&mut args, "iters", iters);
+            arg(&mut args, "bytes", sz(165 * 1024));
+            arg(&mut args, "compute_us", us(1500));
+            if profile == Profile::Quick {
+                for (f, v) in [("nx", 3), ("ny", 3), ("nz", 3)] {
+                    arg(&mut args, f, v);
+                }
+            }
+            (nekbone(), pick(profile, 2197, 27))
+        }
+        AppKind::Lammps => {
+            arg(&mut args, "iters", iters);
+            arg(&mut args, "bytes", sz(135 * 1024));
+            arg(&mut args, "compute_us", us(3000));
+            if profile == Profile::Quick {
+                for (f, v) in [("nx", 4), ("ny", 4), ("nz", 4)] {
+                    arg(&mut args, f, v);
+                }
+            }
+            (lammps(), pick(profile, 2048, 64))
+        }
+        AppKind::UniformRandom => {
+            arg(&mut args, "iters", iters);
+            arg(&mut args, "bytes", sz(10 * 1024));
+            arg(&mut args, "interval_us", us(1000));
+            (uniform_random(), pick(profile, 4096, 64))
+        }
+    };
+    AppConfig { kind, skeleton, ranks, args }
+}
+
+fn pick(profile: Profile, paper: u32, quick: u32) -> u32 {
+    match profile {
+        Profile::Paper => paper,
+        Profile::Quick => quick,
+    }
+}
+
+/// Table III hybrid workload compositions.
+pub fn workload(which: u8, profile: Profile, iters: i64, scale: i64) -> Vec<AppConfig> {
+    let kinds: &[AppKind] = match which {
+        1 => &[
+            AppKind::Cosmoflow,
+            AppKind::Alexnet,
+            AppKind::Lammps,
+            AppKind::NearestNeighbor,
+            AppKind::UniformRandom,
+        ],
+        2 => &[
+            AppKind::Cosmoflow,
+            AppKind::Alexnet,
+            AppKind::Lammps,
+            AppKind::Milc,
+            AppKind::NearestNeighbor,
+        ],
+        3 => &[
+            AppKind::Cosmoflow,
+            AppKind::Alexnet,
+            AppKind::Nekbone,
+            AppKind::Milc,
+            AppKind::NearestNeighbor,
+        ],
+        other => panic!("no workload {other} (paper defines 1..=3)"),
+    };
+    kinds.iter().map(|&k| app(k, profile, iters, scale)).collect()
+}
+
+/// A registry with every paper skeleton, mirroring Union's global
+/// `union_skeleton_model` list.
+pub fn registry() -> SkeletonRegistry {
+    let mut reg = SkeletonRegistry::new();
+    reg.register(cosmoflow());
+    reg.register(alexnet());
+    reg.register(nearest_neighbor());
+    reg.register(milc());
+    reg.register(nekbone());
+    reg.register(lammps());
+    reg.register(uniform_random());
+    reg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_has_all_seven() {
+        let reg = registry();
+        assert_eq!(
+            reg.names(),
+            vec!["alexnet", "cosmoflow", "lammps", "milc", "nekbone", "nn", "ur"]
+        );
+    }
+
+    #[test]
+    fn workloads_match_table3() {
+        let names = |w: u8| -> Vec<&str> {
+            workload(w, Profile::Quick, 2, 16).iter().map(|a| a.name()).collect()
+        };
+        assert_eq!(names(1), vec!["Cosmoflow", "AlexNet", "LAMMPS", "NN", "UR"]);
+        assert_eq!(names(2), vec!["Cosmoflow", "AlexNet", "LAMMPS", "MILC", "NN"]);
+        assert_eq!(names(3), vec!["Cosmoflow", "AlexNet", "Nekbone", "MILC", "NN"]);
+    }
+
+    #[test]
+    fn quick_profile_instantiates() {
+        for cfg in workload(3, Profile::Quick, 2, 16) {
+            let vms = cfg.vms(1).unwrap_or_else(|e| panic!("{}: {e}", cfg.name()));
+            assert_eq!(vms.len() as u32, cfg.ranks);
+        }
+    }
+
+    #[test]
+    fn paper_profile_rank_counts() {
+        let w2 = workload(2, Profile::Paper, 2, 1);
+        let ranks: Vec<u32> = w2.iter().map(|a| a.ranks).collect();
+        assert_eq!(ranks, vec![1024, 512, 2048, 4096, 512]);
+        let total: u32 = ranks.iter().sum();
+        assert!(total <= 8448, "must fit the Table II systems");
+    }
+
+    #[test]
+    fn scale_reduces_sizes() {
+        let a = app(AppKind::Cosmoflow, Profile::Quick, 2, 16);
+        let idx = a.args.iter().position(|s| s == "--msgsize").unwrap();
+        let v: i64 = a.args[idx + 1].parse().unwrap();
+        assert_eq!(v, 29_517_414 / 16);
+    }
+}

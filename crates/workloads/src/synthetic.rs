@@ -1,0 +1,53 @@
+//! Synthetic background traffic (CODES synthetic-workload style).
+
+use conceptual::Expr;
+use union_core::{Builder, Skeleton};
+
+/// **Uniform Random (UR)** — every rank sends a fixed-size message to a
+/// uniformly random other rank at a fixed interval. Paper config
+/// (Workload1): 4,096 ranks, 10 KiB every 1 ms. One-sided: deliveries
+/// count toward latency but need no matching receive.
+///
+/// Parameters: `--iters`, `--bytes`, `--interval_us`.
+pub fn uniform_random() -> Skeleton {
+    Builder::new("ur")
+        .param("iters", 10)
+        .param("bytes", 10 * 1024)
+        .param("interval_us", 1000)
+        .loop_n(Expr::var("iters"), |b| {
+            b.send_random(Expr::var("bytes"), true)
+                .compute_ns(Expr::var("interval_us").mul(Expr::lit(1000)))
+        })
+        .build()
+        .expect("ur skeleton")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use union_core::{MpiOp, RankVm, SkeletonInstance};
+
+    #[test]
+    fn ur_sends_one_message_per_interval() {
+        let skel = uniform_random();
+        let inst = SkeletonInstance::new(&skel, 16, &["--iters", "7"]).unwrap();
+        let ops: Vec<MpiOp> = RankVm::new(inst, 3, 42).collect();
+        let sends = ops.iter().filter(|o| matches!(o, MpiOp::SyntheticSend { .. })).count();
+        let computes = ops.iter().filter(|o| matches!(o, MpiOp::Compute { .. })).count();
+        assert_eq!(sends, 7);
+        assert_eq!(computes, 7);
+    }
+
+    #[test]
+    fn ur_destinations_spread() {
+        let skel = uniform_random();
+        let inst = SkeletonInstance::new(&skel, 64, &["--iters", "100"]).unwrap();
+        let mut seen = std::collections::HashSet::new();
+        for op in RankVm::new(inst, 0, 1) {
+            if let MpiOp::SyntheticSend { dst, .. } = op {
+                seen.insert(dst);
+            }
+        }
+        assert!(seen.len() > 30, "only {} distinct destinations", seen.len());
+    }
+}

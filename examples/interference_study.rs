@@ -1,0 +1,62 @@
+//! Interference study: co-run an ML application with an HPC halo kernel —
+//! the scenario that motivates the paper — and measure how job placement
+//! changes the ML job's message latency.
+//!
+//! ```sh
+//! cargo run --release --example interference_study
+//! ```
+
+use codes::{SimResults, SimulationBuilder};
+use dragonfly::{DragonflyConfig, Routing};
+use metrics::AppLatencySummary;
+use placement::Placement;
+use ross::{Scheduler, SimTime};
+use workloads::{app, AppKind, Profile};
+
+fn run(placement: Placement, with_interference: bool) -> SimResults {
+    // The victim is Nekbone: a CG solver trading small 8-byte dot-product
+    // collectives and mid-size halos — exactly the communication style the
+    // paper finds most interference-sensitive. The aggressors are the two
+    // bandwidth-heavy ML/HPC codes.
+    let victim = app(AppKind::Nekbone, Profile::Quick, 10, 8);
+    let mut b = SimulationBuilder::new(DragonflyConfig::small_1d())
+        .routing(Routing::Adaptive)
+        .placement(placement)
+        .seed(11)
+        .job(victim.name(), victim.vms(1).unwrap());
+    if with_interference {
+        let ml = app(AppKind::Cosmoflow, Profile::Quick, 3, 16);
+        let milc = app(AppKind::Milc, Profile::Quick, 12, 4);
+        b = b
+            .job(ml.name(), ml.vms(1).unwrap())
+            .job(milc.name(), milc.vms(1).unwrap());
+    }
+    b.build().unwrap().run(Scheduler::Sequential, SimTime::MAX)
+}
+
+fn main() {
+    println!("Nekbone (27 ranks) vs Cosmoflow + MILC interference on a 544-node 1D dragonfly\n");
+    println!(
+        "| placement | avg latency alone (us) | avg latency co-run (us) | slowdown |"
+    );
+    println!("|---|---|---|---|");
+    for placement in Placement::all() {
+        let alone = run(placement, false);
+        let mixed = run(placement, true);
+        let base = AppLatencySummary::from_ranks(&alone.apps[0].latency);
+        let with = AppLatencySummary::from_ranks(&mixed.apps[0].latency);
+        println!(
+            "| {} | {:.1} | {:.1} | {:.2}x |",
+            placement.label(),
+            base.overall_avg_ns / 1e3,
+            with.overall_avg_ns / 1e3,
+            with.overall_avg_ns / base.overall_avg_ns,
+        );
+    }
+    println!(
+        "\nThe paper's finding: random-group placement confines each job's \
+         traffic to its own groups, so it usually shows the smallest latency \
+         degradation; random-node placement mixes jobs on shared routers and \
+         degrades the most."
+    );
+}

@@ -1,0 +1,65 @@
+//! Quickstart: write a network test in the coNCePTuaL DSL, let Union
+//! skeletonize it, and simulate it on a dragonfly — the full pipeline of
+//! the paper in ~40 lines.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use codes::SimulationBuilder;
+use dragonfly::{DragonflyConfig, Routing};
+use placement::Placement;
+use ross::{Scheduler, SimTime};
+use union_core::{translate_source, RankVm, SkeletonInstance};
+
+fn main() {
+    // 1. An application, described in plain English (paper Fig 1).
+    let source = r#"
+        Require language version "1.5".
+        reps is "Number of repetitions" and comes from "--reps" or "-r" with default 100.
+        msgsize is "Message size of bytes to transmit" and comes from "--msgsize" or "-m" with default 1024.
+        Assert that "the latency test requires at least two tasks" with num_tasks >= 2.
+        For reps repetitions {
+          task 0 resets its counters then
+          task 0 sends a msgsize byte message to task 1 then
+          task 1 sends a msgsize byte message to task 0 then
+          task 0 logs the msgsize as "Bytes" and the median of elapsed_usecs/2 as "1/2 RTT (usecs)"
+        }
+        then task 0 computes aggregates.
+    "#;
+
+    // 2. Union's translator turns it into a skeleton automatically.
+    let skeleton = translate_source(source, "pingpong").expect("compile");
+    println!("compiled `{}`: {} bytecode instructions", skeleton.name, skeleton.code.len());
+
+    // 3. Bind it to a 2-rank job with overridden parameters.
+    let inst = SkeletonInstance::new(&skeleton, 2, &["--msgsize", "4096"]).expect("bind");
+    let vms: Vec<RankVm> = (0..2).map(|r| RankVm::new(inst.clone(), r, 7)).collect();
+
+    // 4. Simulate it in situ on a small 1D dragonfly.
+    let mut sim = SimulationBuilder::new(DragonflyConfig::tiny_1d())
+        .routing(Routing::Adaptive)
+        .placement(Placement::RandomNodes)
+        .job("pingpong", vms)
+        .build()
+        .expect("build simulation");
+    let results = sim.run(Scheduler::Sequential, SimTime::MAX);
+
+    // 5. Read the metrics the paper analyzes.
+    let app = &results.apps[0];
+    println!("simulated {} events", results.stats.committed);
+    for (rank, lat) in app.latency.iter().enumerate() {
+        println!(
+            "rank {rank}: {} messages, latency min/avg/max = {:.2}/{:.2}/{:.2} us",
+            lat.count,
+            lat.min_ns as f64 / 1e3,
+            lat.avg_ns() / 1e3,
+            lat.max_ns as f64 / 1e3,
+        );
+    }
+    println!(
+        "makespan: {:.3} ms, all ranks finished: {}",
+        app.makespan_ns().unwrap() as f64 / 1e6,
+        app.all_done()
+    );
+}

@@ -1,0 +1,251 @@
+//! Shape tests for the paper's key findings (§VI summary). These assert
+//! *directions* — who is hurt more, which policy confines traffic — on
+//! Quick-profile systems, not absolute numbers.
+
+use codes::{SimResults, SimulationBuilder};
+use dragonfly::{DragonflyConfig, Routing, Topology};
+use metrics::AppLatencySummary;
+use placement::{JobRequest, Layout, Placement};
+use ross::{Scheduler, SimTime};
+use workloads::{app, AppKind, Profile};
+
+fn run_mix(
+    net: DragonflyConfig,
+    placement: Placement,
+    routing: Routing,
+    kinds: &[AppKind],
+    iters: i64,
+    scale: i64,
+    window_ns: u64,
+) -> SimResults {
+    let mut b = SimulationBuilder::new(net)
+        .routing(routing)
+        .placement(placement)
+        .seed(13)
+        .window_ns(window_ns);
+    for &k in kinds {
+        let cfg = app(k, Profile::Quick, iters, scale);
+        b = b.job(cfg.name(), cfg.vms(1).unwrap());
+    }
+    let mut sim = b.build().unwrap();
+    sim.run(Scheduler::Sequential, SimTime::MAX)
+}
+
+fn avg_latency(r: &SimResults, name: &str) -> f64 {
+    let a = r.apps.iter().find(|a| a.name == name).unwrap();
+    AppLatencySummary::from_ranks(&a.latency).overall_avg_ns
+}
+
+/// Finding: "Placing communication-intensive applications into separate
+/// groups helps confine their messages within the assigned groups" —
+/// under RG placement, a job's traffic stays mostly inside its own
+/// groups; under RN it spreads.
+#[test]
+fn random_groups_confines_traffic() {
+    let kinds = [AppKind::NearestNeighbor, AppKind::UniformRandom];
+    let rg = run_mix(
+        DragonflyConfig::small_1d(),
+        Placement::RandomGroups,
+        Routing::Minimal,
+        &kinds,
+        3,
+        32,
+        0,
+    );
+    let rn = run_mix(
+        DragonflyConfig::small_1d(),
+        Placement::RandomNodes,
+        Routing::Minimal,
+        &kinds,
+        3,
+        32,
+        0,
+    );
+    // NN's halo partners are mostly rank-adjacent: with RG they share a
+    // group, so the share of traffic crossing global links must be far
+    // smaller than under RN.
+    assert!(
+        rg.link_load.global_fraction() < rn.link_load.global_fraction(),
+        "RG {:.3} vs RN {:.3}",
+        rg.link_load.global_fraction(),
+        rn.link_load.global_fraction()
+    );
+}
+
+/// Finding (Fig 7): network interference inflates message latency; the
+/// co-run latency is at least the baseline latency.
+#[test]
+fn interference_does_not_reduce_latency() {
+    let alone = run_mix(
+        DragonflyConfig::small_1d(),
+        Placement::RandomNodes,
+        Routing::Adaptive,
+        &[AppKind::NearestNeighbor],
+        3,
+        16,
+        0,
+    );
+    let mixed = run_mix(
+        DragonflyConfig::small_1d(),
+        Placement::RandomNodes,
+        Routing::Adaptive,
+        &[AppKind::NearestNeighbor, AppKind::Milc, AppKind::UniformRandom],
+        3,
+        16,
+        0,
+    );
+    let base = avg_latency(&alone, "NN");
+    let with = avg_latency(&mixed, "NN");
+    assert!(
+        with >= base * 0.95,
+        "co-run latency {with:.0}ns unexpectedly below baseline {base:.0}ns"
+    );
+}
+
+/// Finding (Fig 7/9, §VI-D): "adaptive routing performs better than
+/// minimal routing under the same placement method" for congested
+/// workloads.
+#[test]
+fn adaptive_routing_helps_under_load() {
+    let kinds = [AppKind::Cosmoflow, AppKind::Milc, AppKind::NearestNeighbor];
+    let min = run_mix(
+        DragonflyConfig::small_1d(),
+        Placement::RandomNodes,
+        Routing::Minimal,
+        &kinds,
+        2,
+        16,
+        0,
+    );
+    let adp = run_mix(
+        DragonflyConfig::small_1d(),
+        Placement::RandomNodes,
+        Routing::Adaptive,
+        &kinds,
+        2,
+        16,
+        0,
+    );
+    // Use the worst app makespan as the congestion proxy.
+    let worst = |r: &SimResults| {
+        r.apps.iter().map(|a| a.makespan_ns().unwrap()).max().unwrap() as f64
+    };
+    assert!(
+        worst(&adp) <= worst(&min) * 1.10,
+        "ADP {:.1}ms should not lose badly to MIN {:.1}ms",
+        worst(&adp) / 1e6,
+        worst(&min) / 1e6
+    );
+}
+
+/// Finding (Table VI): the 1D system pushes a larger share of its traffic
+/// through global links than the 2D system, and loads each link more.
+#[test]
+fn one_d_loads_links_harder_than_two_d() {
+    let kinds = [AppKind::Cosmoflow, AppKind::NearestNeighbor, AppKind::Milc];
+    let d1 = run_mix(
+        DragonflyConfig::small_1d(),
+        Placement::RandomGroups,
+        Routing::Adaptive,
+        &kinds,
+        2,
+        16,
+        0,
+    );
+    let d2 = run_mix(
+        DragonflyConfig::small_2d(),
+        Placement::RandomGroups,
+        Routing::Adaptive,
+        &kinds,
+        2,
+        16,
+        0,
+    );
+    assert!(
+        d1.link_load.global_fraction() > d2.link_load.global_fraction(),
+        "1D global share {:.3} should exceed 2D {:.3}",
+        d1.link_load.global_fraction(),
+        d2.link_load.global_fraction()
+    );
+    assert!(
+        d1.link_load.per_global_link() > d2.link_load.per_global_link(),
+        "1D per-global-link load should exceed 2D"
+    );
+}
+
+/// Finding (Fig 8): under RG placement, the routers serving one job see
+/// less traffic from *other* jobs than under RR placement.
+#[test]
+fn rg_reduces_foreign_traffic_on_job_routers() {
+    let kinds = [AppKind::Cosmoflow, AppKind::NearestNeighbor, AppKind::Milc];
+    let window = 500_000u64;
+    let foreign = |placement: Placement| -> u64 {
+        let r = run_mix(
+            DragonflyConfig::small_1d(),
+            placement,
+            Routing::Adaptive,
+            &kinds,
+            2,
+            16,
+            window,
+        );
+        // Recompute the layout to find Cosmoflow's (app 0's) routers.
+        let topo = Topology::build(DragonflyConfig::small_1d());
+        let reqs: Vec<JobRequest> = kinds
+            .iter()
+            .map(|&k| {
+                let c = app(k, Profile::Quick, 2, 16);
+                JobRequest::new(c.name(), c.ranks)
+            })
+            .collect();
+        let layout = Layout::place(&topo, &reqs, placement, 13).unwrap();
+        let routers = layout.routers_of_job(&topo, 0);
+        let series = r.series_over(&routers, window);
+        // Total bytes those routers received from apps 1 and 2.
+        (1..kinds.len()).map(|a| series.total(a)).sum()
+    };
+    let rg = foreign(Placement::RandomGroups);
+    let rr = foreign(Placement::RandomRouters);
+    assert!(
+        rg < rr,
+        "foreign bytes on job routers: RG {rg} should be below RR {rr}"
+    );
+}
+
+/// Finding (§VI-B): ML applications absorb latency variation better —
+/// their communication-time slowdown is milder than their latency
+/// slowdown.
+#[test]
+fn ml_absorbs_latency_variation() {
+    let alone = run_mix(
+        DragonflyConfig::small_1d(),
+        Placement::RandomNodes,
+        Routing::Adaptive,
+        &[AppKind::Cosmoflow],
+        2,
+        16,
+        0,
+    );
+    let mixed = run_mix(
+        DragonflyConfig::small_1d(),
+        Placement::RandomNodes,
+        Routing::Adaptive,
+        &[AppKind::Cosmoflow, AppKind::Milc, AppKind::NearestNeighbor],
+        2,
+        16,
+        0,
+    );
+    let lat_slow = avg_latency(&mixed, "Cosmoflow") / avg_latency(&alone, "Cosmoflow");
+    let comm = |r: &SimResults| {
+        let a = r.apps.iter().find(|a| a.name == "Cosmoflow").unwrap();
+        a.comm.iter().map(|c| c.total_ns as f64).sum::<f64>() / a.comm.len() as f64
+    };
+    let comm_slow = comm(&mixed) / comm(&alone);
+    // The communication-time slowdown must not exceed the latency
+    // slowdown by much: latency spikes are absorbed by the already-long
+    // blocking allreduces.
+    assert!(
+        comm_slow <= lat_slow * 1.5 + 0.5,
+        "comm slowdown {comm_slow:.2} vs latency slowdown {lat_slow:.2}"
+    );
+}
