@@ -1,6 +1,7 @@
 //! PDES engine ablation: the same PHOLD workload under the sequential,
-//! conservative, and optimistic schedulers — the scheduler trade-off the
-//! ROSS substrate exposes (the paper runs CODES in optimistic mode).
+//! conservative, optimistic, and conservative-parallel schedulers — the
+//! scheduler trade-off the ROSS substrate exposes (the paper runs CODES
+//! in optimistic mode).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::SmallRng;
@@ -63,6 +64,15 @@ fn bench_schedulers(c: &mut Criterion) {
             b.iter(|| {
                 let mut sim = phold(64);
                 sim.run_optimistic(threads, OptimisticConfig::default(), SimTime::MAX)
+                    .committed
+            })
+        });
+        // PHOLD's minimum send delay is 100 ns, so 100 ns windows are the
+        // widest the conservative-parallel scheduler can safely use here.
+        g.bench_function(BenchmarkId::new("conservative-parallel", threads), |b| {
+            b.iter(|| {
+                let mut sim = phold(64);
+                sim.run_conservative_parallel(threads, SimDuration::from_ns(100), SimTime::MAX)
                     .committed
             })
         });

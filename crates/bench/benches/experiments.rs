@@ -8,7 +8,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use dragonfly::{DragonflyConfig, Routing, Topology};
 use harness::sweep::{run_one, RunKey, Net, SweepConfig, Workload};
 use placement::Placement;
-use ross::{Scheduler, SimTime};
+use ross::{Scheduler, SimDuration, SimTime};
 use union_core::{RankVm, SkeletonInstance, Validation};
 use workloads::{app, AppKind, Profile};
 
@@ -205,6 +205,43 @@ fn bench_sweep_smoke(c: &mut Criterion) {
     g.finish();
 }
 
+/// Scheduler comparison on the union-exp sweep path: the same smoke-scale
+/// sweep cell under every scheduler, with the threaded ones at multiple
+/// worker counts. The 100 ns parallel lookahead window is the minimum
+/// cross-partition delay of the default dragonfly config (local link
+/// latency; node↔own-router traffic never crosses partitions).
+fn bench_scheduler_sweep(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sweep/schedulers");
+    g.sample_size(10);
+    let key = RunKey {
+        net: Net::OneD,
+        workload: Workload::Mix(3),
+        placement: Placement::RandomGroups,
+        routing: Routing::Adaptive,
+    };
+    let mut scheds = vec![("seq".to_string(), Scheduler::Sequential)];
+    for threads in [2usize, 4] {
+        scheds.push((format!("cons:{threads}"), Scheduler::Conservative(threads)));
+        scheds.push((format!("opt:{threads}"), Scheduler::Optimistic(threads)));
+        scheds.push((
+            format!("par:{threads}:100"),
+            Scheduler::ConservativeParallel {
+                threads,
+                lookahead: SimDuration::from_ns(100),
+            },
+        ));
+    }
+    for (label, sched) in scheds {
+        g.bench_function(label.as_str(), |b| {
+            let mut cfg = SweepConfig::smoke();
+            cfg.scale = 256;
+            cfg.sched = sched;
+            b.iter(|| run_one(&cfg, key).unwrap().stats.committed)
+        });
+    }
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_table2,
@@ -214,6 +251,7 @@ criterion_group!(
     bench_table6,
     bench_flow_control,
     bench_table1,
-    bench_sweep_smoke
+    bench_sweep_smoke,
+    bench_scheduler_sweep
 );
 criterion_main!(benches);

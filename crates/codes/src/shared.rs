@@ -31,3 +31,11 @@ impl Shared {
         self.layout.node_owner[node as usize]
     }
 }
+
+// Compile-time proof that `Shared` may be referenced concurrently from
+// every worker thread of the parallel schedulers (each LP holds an
+// `Arc<Shared>`; immutability makes it `Sync` for free — keep it so).
+const _: () = {
+    const fn require_send_sync<T: Send + Sync>() {}
+    require_send_sync::<Shared>();
+};

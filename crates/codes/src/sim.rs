@@ -8,7 +8,9 @@ use dragonfly::{DragonflyConfig, LinkClass, Routing, Topology};
 use metrics::{CommTimer, LatencyRecorder, LinkLoad, TimeSeries};
 use mpi_sim::MpiRank;
 use placement::{JobRequest, Layout, Placement};
-use ross::{Ctx, Envelope, Lp, RunStats, Scheduler, SimDuration, SimTime, Simulation};
+use ross::{
+    Ctx, Envelope, Lp, Partition, RunStats, Scheduler, SimDuration, SimTime, Simulation,
+};
 use std::sync::Arc;
 use union_core::{OpSource, RankVm};
 
@@ -29,6 +31,14 @@ impl Lp for CodesLp {
         }
     }
 }
+
+// Compile-time proof that the composed LP (and everything it drags
+// along: VMs, trace cursors, router state, `Arc<Shared>`) can be moved
+// onto the parallel schedulers' worker threads.
+const _: () = {
+    const fn require_send<T: Send>() {}
+    require_send::<CodesLp>();
+};
 
 /// A job to simulate: a name and one op source per MPI rank (skeleton
 /// VMs for Union in-situ workloads, trace cursors for trace replay).
@@ -159,6 +169,17 @@ impl SimulationBuilder {
         }
 
         let mut sim = Simulation::new(lps, shared.lookahead);
+        // Topology-aware partition for the conservative-parallel
+        // scheduler: each router forms one block together with its
+        // attached nodes, so terminal-link traffic (node↔router) stays
+        // on one worker thread and only router↔router events cross
+        // partitions.
+        let mut blocks: Vec<u32> = Vec::with_capacity((n_nodes + n_routers) as usize);
+        for node in 0..n_nodes {
+            blocks.push(shared.topo.node_router(node));
+        }
+        blocks.extend(0..n_routers);
+        sim.set_partition(Partition::from_blocks(blocks));
         for lp in start_lps {
             sim.schedule(lp, SimTime::ZERO, Event::Start);
         }

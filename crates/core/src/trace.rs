@@ -153,6 +153,13 @@ pub enum OpSource {
     Trace(TraceCursor),
 }
 
+// Both variants must remain `Send` so node LPs can migrate across the
+// parallel schedulers' worker threads.
+const _: () = {
+    const fn require_send<T: Send>() {}
+    require_send::<OpSource>();
+};
+
 impl OpSource {
     pub fn rank(&self) -> u32 {
         match self {

@@ -315,6 +315,13 @@ pub struct RankVm {
     rng: SmallRng,
 }
 
+// VMs live inside LP state and cross thread boundaries under the
+// parallel schedulers — keep `RankVm` `Send`.
+const _: () = {
+    const fn require_send<T: Send>() {}
+    require_send::<RankVm>();
+};
+
 impl RankVm {
     /// Create the VM for `rank`. `seed` feeds the rollback-safe RNG used
     /// by synthetic (random-destination) traffic.

@@ -26,9 +26,10 @@ use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
 /// Flow-control mode for the network.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
 pub enum FlowControl {
     /// Per-output-port busy-until clocks, unbounded buffers (fast).
+    #[default]
     BusyUntil,
     /// Credit-guarded finite buffers with VC escalation (high fidelity).
     CreditVc {
@@ -38,12 +39,6 @@ pub enum FlowControl {
         /// Downstream buffer slots per VC (in packets).
         buffer_pkts: u8,
     },
-}
-
-impl Default for FlowControl {
-    fn default() -> Self {
-        FlowControl::BusyUntil
-    }
 }
 
 impl FlowControl {

@@ -15,7 +15,8 @@
 //!   --iters N               iterations per app (default 2)
 //!   --scale N               payload divisor (default 16)
 //!   --seed N
-//!   --sched seq|cons:T|opt:T
+//!   --sched seq|cons:T|opt:T|par:T:L   (par = conservative-parallel,
+//!                                       T threads, L ns lookahead window)
 //!   --nets 1d,2d  --placements RN,RR,RG  --routings MIN,ADP
 //!   --workloads 1,2,3  --no-baselines
 //!   --json FILE             dump records as JSON
@@ -42,7 +43,11 @@ fn main() {
         "skeleton" => skeleton(rest),
         _ => {
             eprintln!(
-                "usage: union-exp <table2|validate|fig7|fig8|fig9|table6|all|skeleton> [opts]"
+                "usage: union-exp <table1|table2|validate|fig7|fig8|fig9|table6|all|skeleton> [opts]\n\
+                 sweep opts: --profile quick|paper  --iters N  --scale N  --seed N\n\
+                 \x20           --sched seq|cons:T|opt:T|par:T:L  (T threads, L ns lookahead)\n\
+                 \x20           --nets 1d,2d  --placements RN,RR,RG  --routings MIN,ADP\n\
+                 \x20           --workloads 1,2,3  --no-baselines  --json FILE"
             );
             std::process::exit(2);
         }
@@ -126,13 +131,38 @@ fn has(rest: &[String], flag: &str) -> bool {
     rest.iter().any(|a| a == flag)
 }
 
-fn parse_sched(s: &str) -> Scheduler {
-    if let Some(t) = s.strip_prefix("cons:") {
-        Scheduler::Conservative(t.parse().unwrap_or(4))
-    } else if let Some(t) = s.strip_prefix("opt:") {
-        Scheduler::Optimistic(t.parse().unwrap_or(4))
+/// Parse a `--sched` spec: `seq`, `cons:T`, `opt:T`, or `par:T:L` where
+/// `T` is the worker-thread count and `L` the lookahead window in ns
+/// (`par:4:500` = 4 workers, 500 ns windows). Malformed specs are
+/// reported, not silently defaulted.
+fn parse_sched(s: &str) -> Result<Scheduler, String> {
+    fn threads(t: &str, spec: &str) -> Result<usize, String> {
+        t.parse::<usize>()
+            .ok()
+            .filter(|&n| n >= 1)
+            .ok_or_else(|| format!("bad thread count `{t}` in scheduler spec `{spec}`"))
+    }
+    if s == "seq" {
+        Ok(Scheduler::Sequential)
+    } else if let Some(t) = s.strip_prefix("cons:") {
+        Ok(Scheduler::Conservative(threads(t, s)?))
+    } else if let Some(rest) = s.strip_prefix("opt:") {
+        Ok(Scheduler::Optimistic(threads(rest, s)?))
+    } else if let Some(rest) = s.strip_prefix("par:") {
+        let (t, l) = rest.split_once(':').ok_or_else(|| {
+            format!("scheduler spec `{s}` must be par:<threads>:<lookahead-ns>")
+        })?;
+        let lookahead_ns: u64 = l
+            .parse()
+            .map_err(|_| format!("bad lookahead `{l}` in scheduler spec `{s}`"))?;
+        Ok(Scheduler::ConservativeParallel {
+            threads: threads(t, s)?,
+            lookahead: ross::SimDuration::from_ns(lookahead_ns),
+        })
     } else {
-        Scheduler::Sequential
+        Err(format!(
+            "unknown scheduler `{s}` (expected seq, cons:T, opt:T, or par:T:L)"
+        ))
     }
 }
 
@@ -148,7 +178,10 @@ fn sweep_config(rest: &[String]) -> SweepConfig {
     cfg.iters = opt(rest, "--iters", cfg.iters);
     cfg.scale = opt(rest, "--scale", cfg.scale);
     cfg.seed = opt(rest, "--seed", cfg.seed);
-    cfg.sched = parse_sched(opt_str(rest, "--sched", "seq"));
+    cfg.sched = parse_sched(opt_str(rest, "--sched", "seq")).unwrap_or_else(|e| {
+        eprintln!("union-exp: {e}");
+        std::process::exit(2);
+    });
     if opt_str(rest, "--flow", "busy") == "credit" {
         cfg.flow = dragonfly::FlowControl::credit_default();
     }

@@ -141,6 +141,13 @@ pub struct MpiRank {
     pub ops_executed: u64,
 }
 
+// `MpiRank` rides inside node LPs that the parallel schedulers move
+// between worker threads — it must stay `Send`.
+const _: () = {
+    const fn require_send<T: Send>() {}
+    require_send::<MpiRank>();
+};
+
 impl MpiRank {
     /// Wrap an op source (a Union skeleton VM or a trace cursor).
     /// `eager_max` is the eager/rendezvous threshold in bytes (16 KiB is

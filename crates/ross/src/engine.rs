@@ -18,6 +18,9 @@ pub struct RunStats {
     pub rollbacks: u64,
     /// Anti-messages sent (optimistic scheduler only).
     pub anti_messages: u64,
+    /// Events delivered across partitions through mailboxes
+    /// (conservative-parallel scheduler only).
+    pub remote_events: u64,
     /// Synchronization rounds (conservative windows or GVT epochs).
     pub rounds: u64,
     /// Wall-clock seconds spent inside the scheduler.
@@ -58,6 +61,8 @@ pub struct Simulation<L: Lp> {
     pub(crate) meta: Vec<LpMeta>,
     pub(crate) pending: BinaryHeap<Reverse<Envelope<L::Event>>>,
     pub(crate) lookahead: SimDuration,
+    /// Co-location hint for the conservative-parallel scheduler.
+    pub(crate) partition: Option<crate::partition::Partition>,
 }
 
 impl<L: Lp> Simulation<L> {
@@ -72,7 +77,29 @@ impl<L: Lp> Simulation<L> {
             meta: (0..n).map(|_| LpMeta::new()).collect(),
             pending: BinaryHeap::new(),
             lookahead,
+            partition: None,
         }
+    }
+
+    /// Install a co-location hint for
+    /// [`Simulation::run_conservative_parallel`]: LPs sharing a block
+    /// are guaranteed to run on the same worker thread. Has no effect on
+    /// results (only on cross-thread traffic), and no effect on the
+    /// other schedulers.
+    pub fn set_partition(&mut self, partition: crate::partition::Partition) {
+        assert_eq!(
+            partition.n_lps(),
+            self.lps.len(),
+            "partition covers {} LPs but the simulation has {}",
+            partition.n_lps(),
+            self.lps.len()
+        );
+        self.partition = Some(partition);
+    }
+
+    /// The installed partition hint, if any.
+    pub fn partition(&self) -> Option<&crate::partition::Partition> {
+        self.partition.as_ref()
     }
 
     /// Number of LPs.

@@ -54,13 +54,17 @@ mod conservative;
 mod engine;
 mod event;
 mod lp;
+mod mailbox;
 mod optimistic;
+mod parallel;
+mod partition;
 mod time;
 
 pub use engine::{RunStats, Simulation};
 pub use event::{Envelope, EventKey, EventUid, LpId};
 pub use lp::{Ctx, Lp};
 pub use optimistic::OptimisticConfig;
+pub use partition::Partition;
 pub use time::{SimDuration, SimTime};
 
 /// Which scheduler to use; lets callers sweep schedulers uniformly.
@@ -68,10 +72,15 @@ pub use time::{SimDuration, SimTime};
 pub enum Scheduler {
     /// Single-threaded reference executor.
     Sequential,
-    /// Conservative YAWNS windows on `n` threads.
+    /// Conservative YAWNS windows on `n` threads (window = engine
+    /// lookahead, contiguous partitions, mutex mailboxes).
     Conservative(usize),
     /// Optimistic Time Warp on `n` threads.
     Optimistic(usize),
+    /// Conservative windows of `lookahead` ns on `threads` workers, with
+    /// topology-aware partitions and lock-free mailboxes — see
+    /// [`Simulation::run_conservative_parallel`].
+    ConservativeParallel { threads: usize, lookahead: SimDuration },
 }
 
 impl Scheduler {
@@ -82,6 +91,9 @@ impl Scheduler {
             Scheduler::Conservative(n) => sim.run_conservative(n, until),
             Scheduler::Optimistic(n) => {
                 sim.run_optimistic(n, OptimisticConfig::default(), until)
+            }
+            Scheduler::ConservativeParallel { threads, lookahead } => {
+                sim.run_conservative_parallel(threads, lookahead, until)
             }
         }
     }

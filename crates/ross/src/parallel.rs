@@ -1,0 +1,447 @@
+//! Multi-threaded conservative scheduler with explicit lookahead windows
+//! and lock-free cross-partition mailboxes (the CMB null-message idea
+//! collapsed into a shared-memory barrier protocol).
+//!
+//! Differences from [`crate::conservative`] (the YAWNS baseline):
+//!
+//! * **Topology-aware partitions.** LPs are grouped by a model-supplied
+//!   [`crate::Partition`] (e.g. CODES keeps each router with its attached
+//!   nodes), then packed onto threads by a deterministic greedy
+//!   bin-packer. Partitions need not be contiguous, so LP state is moved
+//!   into per-thread vectors and reassembled after the run.
+//! * **Lock-free mailboxes.** Cross-partition events travel through
+//!   Treiber-stack MPSC mailboxes ([`crate::mailbox`]) instead of
+//!   mutex-guarded vectors; a worker drains its mailbox once per round.
+//! * **Caller-chosen lookahead.** The synchronization window is
+//!   `max(window, engine lookahead)`. A model whose true minimum delay
+//!   exceeds the 1 ns it declared (CODES models: link latency floors)
+//!   can run with wide windows and few barriers. A window wider than the
+//!   model's real minimum delay is caught at run time by a hard
+//!   causality check, never silently accepted.
+//!
+//! ## Protocol
+//!
+//! Per round, every worker: (1) drains its mailbox into its local heap,
+//! (2) publishes its minimum pending timestamp and barriers, (3) computes
+//! the global minimum `gmin` — a shared-memory GVT — and processes every
+//! local event in `[gmin, gmin + window)`, sending remote events through
+//! mailboxes, (4) barriers again so all sends are visible before the
+//! next drain. Determinism: within a partition events are processed in
+//! total-key order from a `BinaryHeap`; across partitions every event in
+//! one window is causally independent (window ≤ true minimum delay); and
+//! mailbox arrival order is erased by the heap. For a fixed seed the
+//! results are bit-identical to [`Simulation::run_sequential`].
+
+use crate::engine::{seal_outgoing, RunStats, Simulation};
+use crate::event::Envelope;
+use crate::lp::{Ctx, Lp, LpMeta, Outgoing};
+use crate::mailbox::Mailbox;
+use crate::partition::Partition;
+use crate::time::{SimDuration, SimTime};
+use parking_lot::Mutex;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Barrier;
+
+impl<L: Lp> Simulation<L> {
+    /// Run with the conservative-parallel scheduler on `n_threads`
+    /// workers and a synchronization window of `window` (clamped up to
+    /// the engine lookahead), until the queue drains or the next event
+    /// exceeds `until`.
+    ///
+    /// Uses the partition installed with [`Simulation::set_partition`],
+    /// or a per-LP partition when none was set. Produces results
+    /// bit-identical to [`Simulation::run_sequential`]; panics if
+    /// `window` exceeds the model's true minimum send delay (a causality
+    /// violation would otherwise corrupt results silently).
+    pub fn run_conservative_parallel(
+        &mut self,
+        n_threads: usize,
+        window: SimDuration,
+        until: SimTime,
+    ) -> RunStats {
+        let start = std::time::Instant::now();
+        let n_lps = self.lps.len();
+        let n_threads = n_threads.max(1).min(n_lps.max(1));
+        if n_threads <= 1 {
+            return self.run_sequential(until);
+        }
+        let window = window.max(self.lookahead);
+        let assignment = match &self.partition {
+            Some(p) => {
+                assert_eq!(
+                    p.n_lps(),
+                    n_lps,
+                    "partition covers {} LPs but the simulation has {}",
+                    p.n_lps(),
+                    n_lps
+                );
+                p.assign(n_threads)
+            }
+            None => Partition::per_lp(n_lps).assign(n_threads),
+        };
+        let owner_of = &assignment.owner_of;
+        let local_of = &assignment.local_of;
+
+        // Partitions are not contiguous in general: move LP state and
+        // meta into per-thread vectors (reassembled below).
+        let mut lps_by_thread: Vec<Vec<L>> = (0..n_threads).map(|_| Vec::new()).collect();
+        let mut meta_by_thread: Vec<Vec<LpMeta>> =
+            (0..n_threads).map(|_| Vec::new()).collect();
+        for (gid, lp) in std::mem::take(&mut self.lps).into_iter().enumerate() {
+            lps_by_thread[owner_of[gid] as usize].push(lp);
+        }
+        for (gid, meta) in std::mem::take(&mut self.meta).into_iter().enumerate() {
+            meta_by_thread[owner_of[gid] as usize].push(meta);
+        }
+
+        let mut heaps: Vec<BinaryHeap<Reverse<Envelope<L::Event>>>> =
+            (0..n_threads).map(|_| BinaryHeap::new()).collect();
+        for Reverse(env) in self.pending.drain() {
+            heaps[owner_of[env.dst as usize] as usize].push(Reverse(env));
+        }
+
+        let mailboxes: Vec<Mailbox<Envelope<L::Event>>> =
+            (0..n_threads).map(|_| Mailbox::new()).collect();
+        let barrier = Barrier::new(n_threads);
+        let mins: Vec<AtomicU64> = (0..n_threads).map(|_| AtomicU64::new(u64::MAX)).collect();
+        let committed = AtomicU64::new(0);
+        let remote = AtomicU64::new(0);
+        let rounds = AtomicU64::new(0);
+        let end_clock = AtomicU64::new(0);
+        let lookahead = self.lookahead;
+        // A worker that detects a causality violation must not panic on
+        // the spot — the others would deadlock on the barrier. It records
+        // the violation, every worker shuts down at the next round
+        // boundary, and the main thread panics with the message.
+        let violated = AtomicBool::new(false);
+        let violation: Mutex<Option<String>> = Mutex::new(None);
+
+        // Per-thread return slots (LPs, meta, leftover events).
+        type ThreadResult<L, E> = (Vec<L>, Vec<LpMeta>, Vec<Envelope<E>>);
+        type ThreadSlot<L, E> = Mutex<Option<ThreadResult<L, E>>>;
+        let results: Vec<ThreadSlot<L, L::Event>> =
+            (0..n_threads).map(|_| Mutex::new(None)).collect();
+
+        std::thread::scope(|scope| {
+            for t in 0..n_threads {
+                let mut lps = std::mem::take(&mut lps_by_thread[t]);
+                let mut metas = std::mem::take(&mut meta_by_thread[t]);
+                let mut heap = std::mem::take(&mut heaps[t]);
+                let mailboxes = &mailboxes;
+                let barrier = &barrier;
+                let mins = &mins;
+                let committed = &committed;
+                let remote = &remote;
+                let rounds = &rounds;
+                let end_clock = &end_clock;
+                let results = &results;
+                let violated = &violated;
+                let violation = &violation;
+                scope.spawn(move || {
+                    let mut inbox: Vec<Envelope<L::Event>> = Vec::new();
+                    let mut out: Vec<Outgoing<L::Event>> = Vec::with_capacity(8);
+                    let mut local_committed = 0u64;
+                    let mut local_remote = 0u64;
+                    let mut local_rounds = 0u64;
+                    let mut local_clock = 0u64;
+                    loop {
+                        // (1) Ingest cross-partition events from the
+                        // previous round.
+                        mailboxes[t].drain_into(&mut inbox);
+                        for env in inbox.drain(..) {
+                            heap.push(Reverse(env));
+                        }
+                        // Check the violation flag here, in the quiescent
+                        // interval between barriers: it is only ever set
+                        // while some thread is processing (between the
+                        // two barriers below), so every worker reads the
+                        // same frozen value and they all stop together.
+                        // Checking after the barrier would race a fast
+                        // worker's write against a slow worker's read and
+                        // desynchronize the barrier counts (deadlock).
+                        if violated.load(Ordering::Acquire) {
+                            break;
+                        }
+                        // (2) Publish the local minimum, agree on gmin.
+                        let local_min =
+                            heap.peek().map(|Reverse(e)| e.recv_time.0).unwrap_or(u64::MAX);
+                        mins[t].store(local_min, Ordering::Relaxed);
+                        barrier.wait();
+                        let gmin =
+                            mins.iter().map(|m| m.load(Ordering::Relaxed)).min().unwrap();
+                        if gmin == u64::MAX || gmin > until.0 {
+                            break;
+                        }
+                        local_rounds += 1;
+                        let window_end =
+                            gmin.saturating_add(window.0).min(until.0.saturating_add(1));
+
+                        // (3) Process local events in [gmin, window_end).
+                        while let Some(Reverse(top)) = heap.peek() {
+                            if top.recv_time.0 >= window_end {
+                                break;
+                            }
+                            let Reverse(env) = heap.pop().unwrap();
+                            local_clock = local_clock.max(env.recv_time.0);
+                            let li = local_of[env.dst as usize] as usize;
+                            // Hard check (not debug): a cross-partition
+                            // event landing in this LP's past means the
+                            // window exceeded the model's true minimum
+                            // delay.
+                            if env.recv_time < metas[li].now {
+                                let mut v = violation.lock();
+                                if v.is_none() {
+                                    *v = Some(format!(
+                                        "lookahead violation: event for LP {} at {} ns \
+                                         arrived after the LP reached {} ns; window {} ns \
+                                         exceeds the model's minimum send delay",
+                                        env.dst, env.recv_time.0, metas[li].now.0, window.0,
+                                    ));
+                                }
+                                violated.store(true, Ordering::Release);
+                                heap.push(Reverse(env));
+                                break;
+                            }
+                            metas[li].now = env.recv_time;
+                            metas[li].processed += 1;
+                            let mut ctx = Ctx {
+                                now: env.recv_time,
+                                me: env.dst,
+                                lookahead,
+                                out: &mut out,
+                            };
+                            lps[li].handle(&env, &mut ctx);
+                            local_committed += 1;
+                            seal_outgoing(
+                                env.dst,
+                                env.recv_time,
+                                &mut metas[li],
+                                &mut out,
+                                |new| {
+                                    let o = owner_of[new.dst as usize] as usize;
+                                    if o == t {
+                                        heap.push(Reverse(new));
+                                    } else {
+                                        local_remote += 1;
+                                        mailboxes[o].push(new);
+                                    }
+                                },
+                            );
+                        }
+                        // (4) All sends of this round must be visible
+                        // before anyone's next mailbox drain.
+                        barrier.wait();
+                    }
+                    committed.fetch_add(local_committed, Ordering::Relaxed);
+                    remote.fetch_add(local_remote, Ordering::Relaxed);
+                    rounds.fetch_max(local_rounds, Ordering::Relaxed);
+                    end_clock.fetch_max(local_clock, Ordering::Relaxed);
+                    let leftover: Vec<Envelope<L::Event>> =
+                        heap.into_iter().map(|Reverse(e)| e).collect();
+                    *results[t].lock() = Some((lps, metas, leftover));
+                });
+            }
+        });
+
+        // Reassemble LP state in original global order and reabsorb
+        // unprocessed events (recv_time > until) for a later run.
+        let mut lp_slots: Vec<Option<L>> = (0..n_lps).map(|_| None).collect();
+        let mut meta_slots: Vec<Option<LpMeta>> = (0..n_lps).map(|_| None).collect();
+        for (t, slot) in results.iter().enumerate() {
+            let (lps, metas, leftover) =
+                slot.lock().take().expect("worker thread did not report results");
+            for ((&gid, lp), meta) in
+                assignment.locals[t].iter().zip(lps).zip(metas)
+            {
+                lp_slots[gid as usize] = Some(lp);
+                meta_slots[gid as usize] = Some(meta);
+            }
+            for env in leftover {
+                self.pending.push(Reverse(env));
+            }
+        }
+        self.lps = lp_slots.into_iter().map(|s| s.expect("missing LP")).collect();
+        self.meta = meta_slots.into_iter().map(|s| s.expect("missing meta")).collect();
+        // Mailboxes are drained at the top of every round and the final
+        // round performs no sends after its last drain, but be defensive.
+        let mut stray = Vec::new();
+        for mb in &mailboxes {
+            mb.drain_into(&mut stray);
+        }
+        for env in stray {
+            self.pending.push(Reverse(env));
+        }
+        if let Some(msg) = violation.lock().take() {
+            panic!("{msg}");
+        }
+
+        RunStats {
+            committed: committed.load(Ordering::Relaxed),
+            remote_events: remote.load(Ordering::Relaxed),
+            rounds: rounds.load(Ordering::Relaxed),
+            end_time: SimTime(end_clock.load(Ordering::Relaxed)),
+            wall_seconds: start.elapsed().as_secs_f64(),
+            ..Default::default()
+        }
+    }
+
+    /// Like [`run_conservative_parallel`](Self::run_conservative_parallel)
+    /// with the window equal to the engine lookahead (always safe).
+    pub fn run_conservative_parallel_default(
+        &mut self,
+        n_threads: usize,
+        until: SimTime,
+    ) -> RunStats {
+        self.run_conservative_parallel(n_threads, SimDuration::from_ns(0), until)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Scheduler;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    #[derive(Clone)]
+    struct Phold {
+        rng: SmallRng,
+        n_lps: u32,
+        hits: u64,
+        checksum: u64,
+        horizon: SimTime,
+    }
+
+    impl Lp for Phold {
+        type Event = u64;
+        fn handle(&mut self, ev: &Envelope<u64>, ctx: &mut Ctx<'_, u64>) {
+            self.hits += 1;
+            self.checksum = self
+                .checksum
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(ev.payload ^ ev.recv_time.as_ns());
+            if ctx.now() < self.horizon {
+                let dst = self.rng.gen_range(0..self.n_lps);
+                let delay = SimDuration::from_ns(self.rng.gen_range(50..500));
+                ctx.send(dst, delay, self.checksum);
+            }
+        }
+    }
+
+    /// PHOLD whose minimum send delay (50 ns) is far above the declared
+    /// engine lookahead (1 ns) — the case wide windows exist for.
+    fn phold_sim(n_lps: u32, seeds: u64) -> Simulation<Phold> {
+        let lps = (0..n_lps)
+            .map(|i| Phold {
+                rng: SmallRng::seed_from_u64(seeds + i as u64),
+                n_lps,
+                hits: 0,
+                checksum: 0,
+                horizon: SimTime::from_us(100),
+            })
+            .collect();
+        let mut sim = Simulation::new(lps, SimDuration::from_ns(1));
+        for i in 0..n_lps {
+            sim.schedule(i, SimTime::from_ns(i as u64 % 7), i as u64);
+        }
+        sim
+    }
+
+    fn fingerprint(sim: &Simulation<Phold>) -> Vec<(u64, u64)> {
+        sim.lps().iter().map(|l| (l.hits, l.checksum)).collect()
+    }
+
+    #[test]
+    fn matches_sequential_bit_for_bit() {
+        let mut a = phold_sim(16, 21);
+        let sa = a.run_sequential(SimTime::MAX);
+        for threads in [2usize, 3, 4] {
+            // Windows up to the model's true minimum delay (50 ns).
+            for window_ns in [1u64, 25, 50] {
+                let mut b = phold_sim(16, 21);
+                let sb = b.run_conservative_parallel(
+                    threads,
+                    SimDuration::from_ns(window_ns),
+                    SimTime::MAX,
+                );
+                assert_eq!(sa.committed, sb.committed, "t={threads} w={window_ns}");
+                assert_eq!(fingerprint(&a), fingerprint(&b), "t={threads} w={window_ns}");
+            }
+        }
+    }
+
+    #[test]
+    fn wide_windows_use_fewer_rounds() {
+        let mut narrow = phold_sim(16, 5);
+        let mut wide = phold_sim(16, 5);
+        let sn = narrow.run_conservative_parallel(2, SimDuration::from_ns(1), SimTime::MAX);
+        let sw = wide.run_conservative_parallel(2, SimDuration::from_ns(50), SimTime::MAX);
+        assert_eq!(fingerprint(&narrow), fingerprint(&wide));
+        assert!(
+            sw.rounds < sn.rounds,
+            "50 ns windows ({} rounds) should beat 1 ns windows ({} rounds)",
+            sw.rounds,
+            sn.rounds
+        );
+    }
+
+    #[test]
+    fn custom_partition_preserves_results() {
+        let mut a = phold_sim(12, 9);
+        let sa = a.run_sequential(SimTime::MAX);
+        let mut b = phold_sim(12, 9);
+        // Deliberately lopsided, non-contiguous blocks.
+        b.set_partition(Partition::from_blocks(vec![
+            5, 1, 5, 1, 5, 1, 9, 9, 5, 1, 9, 5,
+        ]));
+        let sb = b.run_conservative_parallel(3, SimDuration::from_ns(50), SimTime::MAX);
+        assert_eq!(sa.committed, sb.committed);
+        assert_eq!(fingerprint(&a), fingerprint(&b));
+    }
+
+    #[test]
+    fn until_bound_pauses_and_resumes() {
+        let mut a = phold_sim(8, 13);
+        let mut b = phold_sim(8, 13);
+        a.run_sequential(SimTime::MAX);
+        b.run_conservative_parallel(3, SimDuration::from_ns(50), SimTime::from_us(40));
+        assert!(b.pending_events() > 0);
+        // Finish with a different scheduler — state must be seamless.
+        b.run_sequential(SimTime::MAX);
+        assert_eq!(fingerprint(&a), fingerprint(&b));
+    }
+
+    #[test]
+    fn counts_remote_events() {
+        let mut sim = phold_sim(16, 2);
+        let stats =
+            sim.run_conservative_parallel(4, SimDuration::from_ns(50), SimTime::MAX);
+        assert!(stats.remote_events > 0, "PHOLD traffic must cross partitions");
+        assert!(stats.remote_events <= stats.committed + sim.pending_events() as u64);
+    }
+
+    #[test]
+    fn scheduler_enum_dispatches_parallel() {
+        let mut a = phold_sim(8, 31);
+        let sa = Scheduler::Sequential.run(&mut a, SimTime::MAX);
+        let mut b = phold_sim(8, 31);
+        let sched = Scheduler::ConservativeParallel {
+            threads: 4,
+            lookahead: SimDuration::from_ns(50),
+        };
+        let sb = sched.run(&mut b, SimTime::MAX);
+        assert_eq!(sa.committed, sb.committed);
+        assert_eq!(fingerprint(&a), fingerprint(&b));
+    }
+
+    #[test]
+    #[should_panic(expected = "lookahead violation")]
+    fn oversized_window_is_caught() {
+        // Window far beyond the model's 50 ns minimum delay: the hard
+        // causality check must fire rather than silently corrupt.
+        let mut sim = phold_sim(16, 77);
+        sim.run_conservative_parallel(4, SimDuration::from_us(10), SimTime::MAX);
+    }
+}

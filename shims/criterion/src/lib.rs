@@ -1,0 +1,175 @@
+//! Offline stand-in for `criterion`: a minimal wall-clock benchmark
+//! harness with the same macro/builder surface. Each benchmark is timed
+//! with `std::time::Instant` over `sample_size` iterations (after one
+//! warm-up) and the mean is printed — no statistics, plots, or HTML
+//! reports. Passing `--test` (as `cargo test --benches` does) runs every
+//! closure exactly once so benches double as smoke tests.
+
+use std::fmt::Display;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box` under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> BenchmarkId {
+        BenchmarkId { id: s }
+    }
+}
+
+pub struct Bencher<'a> {
+    iters: u64,
+    elapsed: &'a mut Duration,
+}
+
+impl Bencher<'_> {
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        // Warm-up round, unmeasured.
+        black_box(f());
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        *self.elapsed = start.elapsed();
+    }
+}
+
+pub struct Criterion {
+    test_mode: bool,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo test --benches` / `cargo bench -- --test` pass `--test`:
+        // run each closure once so benches act as smoke tests.
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion { test_mode, sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    pub fn bench_function<F: FnMut(&mut Bencher<'_>)>(
+        &mut self,
+        id: &str,
+        f: F,
+    ) -> &mut Self {
+        let sample_size = self.sample_size;
+        run_bench(self.test_mode, sample_size, id, f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: self.sample_size,
+            parent: self,
+        }
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn bench_function<I, F>(&mut self, id: I, f: F) -> &mut Self
+    where
+        I: Into<BenchmarkId>,
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let full = format!("{}/{}", self.name, id.into().id);
+        run_bench(self.parent.test_mode, self.sample_size, &full, f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+fn run_bench<F: FnMut(&mut Bencher<'_>)>(test_mode: bool, sample_size: usize, id: &str, mut f: F) {
+    // Keep even "real" runs cheap: this shim is for keeping bench code
+    // compiled and exercised, not for publication-grade numbers.
+    let iters = if test_mode { 1 } else { sample_size.min(20) as u64 };
+    let mut elapsed = Duration::ZERO;
+    let mut b = Bencher { iters, elapsed: &mut elapsed };
+    f(&mut b);
+    if test_mode {
+        println!("bench {id}: ok (test mode)");
+    } else {
+        let mean = elapsed.as_secs_f64() / iters as f64;
+        println!("bench {id}: {:.3} ms/iter (mean of {iters})", mean * 1e3);
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        c.bench_function("plain", |b| b.iter(|| black_box(2u64 + 2)));
+        let mut g = c.benchmark_group("grouped");
+        g.sample_size(3);
+        g.bench_function(BenchmarkId::new("fn", 7), |b| b.iter(|| black_box(7 * 6)));
+        g.bench_function(BenchmarkId::from_parameter("p"), |b| b.iter(|| black_box(1)));
+        g.bench_function("bare-str", |b| b.iter(|| black_box(0)));
+        g.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn harness_runs() {
+        benches();
+    }
+}

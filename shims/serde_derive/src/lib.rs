@@ -1,0 +1,604 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Hand-rolled derive macros for the `serde` shim's value-tree data model
+//! — no `syn`/`quote` (the build environment cannot fetch them). The
+//! parser handles the item shapes this workspace actually derives on:
+//!
+//! * structs with named fields, tuple structs, unit structs;
+//! * enums with unit, tuple, and struct variants (externally tagged, the
+//!   serde default);
+//! * `#[serde(skip)]` on fields (skipped on serialize; filled from
+//!   `Default::default()` on deserialize);
+//! * lifetime/type generics copied verbatim onto the generated impl.
+//!
+//! Representation matches real serde_json output: structs → objects,
+//! unit variants → `"Variant"`, newtype variants → `{"Variant": value}`,
+//! tuple variants → `{"Variant": [..]}`, struct variants →
+//! `{"Variant": {..}}`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Field {
+    name: Option<String>,
+    skip: bool,
+}
+
+enum Fields {
+    Unit,
+    Named(Vec<Field>),
+    Tuple(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Kind {
+    Struct(Fields),
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    /// Raw generic parameter tokens (without the outer `<`/`>`).
+    generics: Vec<TokenTree>,
+    kind: Kind,
+}
+
+/// Does an attribute group (the `[...]` part) spell `serde(skip)`?
+fn is_serde_skip(g: &proc_macro::Group) -> bool {
+    let mut toks = g.stream().into_iter();
+    match (toks.next(), toks.next()) {
+        (Some(TokenTree::Ident(id)), Some(TokenTree::Group(inner)))
+            if id.to_string() == "serde" =>
+        {
+            inner
+                .stream()
+                .into_iter()
+                .any(|t| matches!(&t, TokenTree::Ident(i) if i.to_string() == "skip"))
+        }
+        _ => false,
+    }
+}
+
+/// Skip attributes at `i`, returning whether any was `#[serde(skip)]`.
+fn skip_attrs(toks: &[TokenTree], i: &mut usize) -> bool {
+    let mut skip = false;
+    while matches!(toks.get(*i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        if let Some(TokenTree::Group(g)) = toks.get(*i + 1) {
+            if is_serde_skip(g) {
+                skip = true;
+            }
+        }
+        *i += 2;
+    }
+    skip
+}
+
+/// Skip a `pub` / `pub(...)` visibility qualifier.
+fn skip_vis(toks: &[TokenTree], i: &mut usize) {
+    if matches!(toks.get(*i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        *i += 1;
+        if matches!(toks.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            *i += 1;
+        }
+    }
+}
+
+/// Skip tokens until a top-level comma (tracking `<`/`>` nesting for
+/// types like `BTreeMap<String, u64>`; parens/brackets/braces are already
+/// single `Group` tokens). Consumes the comma.
+fn skip_to_comma(toks: &[TokenTree], i: &mut usize) {
+    let mut depth = 0i64;
+    while *i < toks.len() {
+        match &toks[*i] {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                *i += 1;
+                return;
+            }
+            _ => {}
+        }
+        *i += 1;
+    }
+}
+
+fn parse_named_fields(g: &proc_macro::Group) -> Vec<Field> {
+    let toks: Vec<TokenTree> = g.stream().into_iter().collect();
+    let mut i = 0;
+    let mut fields = Vec::new();
+    while i < toks.len() {
+        let skip = skip_attrs(&toks, &mut i);
+        skip_vis(&toks, &mut i);
+        let name = match &toks[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde shim derive: expected field name, got {other}"),
+        };
+        i += 1; // name
+        i += 1; // ':'
+        skip_to_comma(&toks, &mut i);
+        fields.push(Field { name: Some(name), skip });
+    }
+    fields
+}
+
+fn parse_tuple_fields(g: &proc_macro::Group) -> Vec<Field> {
+    let toks: Vec<TokenTree> = g.stream().into_iter().collect();
+    let mut i = 0;
+    let mut fields = Vec::new();
+    while i < toks.len() {
+        let skip = skip_attrs(&toks, &mut i);
+        skip_vis(&toks, &mut i);
+        skip_to_comma(&toks, &mut i);
+        fields.push(Field { name: None, skip });
+    }
+    fields
+}
+
+fn parse_variants(g: &proc_macro::Group) -> Vec<Variant> {
+    let toks: Vec<TokenTree> = g.stream().into_iter().collect();
+    let mut i = 0;
+    let mut variants = Vec::new();
+    while i < toks.len() {
+        skip_attrs(&toks, &mut i); // incl. #[default] on Default enums
+        let name = match &toks[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde shim derive: expected variant name, got {other}"),
+        };
+        i += 1;
+        let fields = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Fields::Tuple(parse_tuple_fields(g))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Fields::Named(parse_named_fields(g))
+            }
+            _ => Fields::Unit,
+        };
+        // Skip an explicit discriminant and/or the trailing comma.
+        skip_to_comma(&toks, &mut i);
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    loop {
+        skip_attrs(&toks, &mut i);
+        skip_vis(&toks, &mut i);
+        match &toks[i] {
+            TokenTree::Ident(id) if id.to_string() == "struct" || id.to_string() == "enum" => {
+                break
+            }
+            _ => i += 1, // e.g. `union` would land here; unsupported shapes panic below
+        }
+    }
+    let is_enum = matches!(&toks[i], TokenTree::Ident(id) if id.to_string() == "enum");
+    i += 1;
+    let name = match &toks[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde shim derive: expected item name, got {other}"),
+    };
+    i += 1;
+
+    // Generic parameters.
+    let mut generics = Vec::new();
+    if matches!(toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        i += 1;
+        let mut depth = 1i64;
+        while i < toks.len() {
+            match &toks[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        i += 1;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            generics.push(toks[i].clone());
+            i += 1;
+        }
+    }
+
+    // Optional where-clause: skip to the body.
+    while i < toks.len() && !matches!(&toks[i], TokenTree::Group(_) | TokenTree::Punct(_)) {
+        i += 1;
+    }
+
+    let kind = if is_enum {
+        match &toks[i] {
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                Kind::Enum(parse_variants(g))
+            }
+            other => panic!("serde shim derive: expected enum body, got {other}"),
+        }
+    } else {
+        match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Struct(Fields::Named(parse_named_fields(g)))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Kind::Struct(Fields::Tuple(parse_tuple_fields(g)))
+            }
+            _ => Kind::Struct(Fields::Unit),
+        }
+    };
+
+    Item { name, generics, kind }
+}
+
+/// `<'a, T: Bound>` → (`<'a, T: Bound>`, `<'a, T>`); empty generics →
+/// two empty strings.
+fn generic_strings(generics: &[TokenTree]) -> (String, String) {
+    if generics.is_empty() {
+        return (String::new(), String::new());
+    }
+    // Lifetimes arrive as a `'` punct followed by an ident; the quote
+    // must stay glued to the name or the output does not lex.
+    let mut raw = String::new();
+    for t in generics {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '\'' => raw.push('\''),
+            other => {
+                raw.push_str(&other.to_string());
+                raw.push(' ');
+            }
+        }
+    }
+    // Argument list: each top-level comma-separated param up to its `:`.
+    let mut args: Vec<String> = Vec::new();
+    let mut cur = String::new();
+    let mut in_bound = false;
+    let mut depth = 0i64;
+    for t in generics {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                args.push(std::mem::take(&mut cur));
+                in_bound = false;
+                continue;
+            }
+            TokenTree::Punct(p) if p.as_char() == ':' && depth == 0 => {
+                in_bound = true;
+                continue;
+            }
+            _ => {}
+        }
+        if !in_bound {
+            match t {
+                TokenTree::Punct(p) if p.as_char() == '\'' => cur.push('\''),
+                other => {
+                    cur.push_str(&other.to_string());
+                }
+            }
+        }
+    }
+    if !cur.is_empty() {
+        args.push(cur);
+    }
+    (format!("<{raw}>"), format!("<{}>", args.join(", ")))
+}
+
+// ---------------------------------------------------------------------------
+// Serialize
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    let (gen_params, gen_args) = generic_strings(&item.generics);
+    let body = match &item.kind {
+        Kind::Struct(fields) => ser_struct_body(fields),
+        Kind::Enum(variants) => ser_enum_body(variants),
+    };
+    format!(
+        "#[automatically_derived]\n\
+         #[allow(warnings, clippy::all, clippy::pedantic)]\n\
+         impl{gen_params} serde::Serialize for {name}{gen_args} {{\n\
+             fn to_value(&self) -> serde::Value {{\n{body}\n}}\n\
+         }}\n",
+        name = item.name,
+    )
+}
+
+fn ser_struct_body(fields: &Fields) -> String {
+    match fields {
+        Fields::Unit => "serde::Value::Null".to_string(),
+        Fields::Named(fs) => {
+            let mut out = String::from(
+                "let mut __obj: Vec<(String, serde::Value)> = Vec::new();\n",
+            );
+            for f in fs.iter().filter(|f| !f.skip) {
+                let n = f.name.as_ref().unwrap();
+                out.push_str(&format!(
+                    "__obj.push((\"{n}\".to_string(), serde::Serialize::to_value(&self.{n})));\n"
+                ));
+            }
+            out.push_str("serde::Value::Object(__obj)");
+            out
+        }
+        Fields::Tuple(fs) => {
+            let live: Vec<usize> =
+                fs.iter().enumerate().filter(|(_, f)| !f.skip).map(|(i, _)| i).collect();
+            match live.as_slice() {
+                [] => "serde::Value::Null".to_string(),
+                [i] => format!("serde::Serialize::to_value(&self.{i})"),
+                many => {
+                    let elems: Vec<String> = many
+                        .iter()
+                        .map(|i| format!("serde::Serialize::to_value(&self.{i})"))
+                        .collect();
+                    format!("serde::Value::Array(vec![{}])", elems.join(", "))
+                }
+            }
+        }
+    }
+}
+
+fn ser_enum_body(variants: &[Variant]) -> String {
+    let mut arms = String::new();
+    for v in variants {
+        let vn = &v.name;
+        match &v.fields {
+            Fields::Unit => {
+                arms.push_str(&format!(
+                    "Self::{vn} => serde::Value::Str(\"{vn}\".to_string()),\n"
+                ));
+            }
+            Fields::Tuple(fs) => {
+                let pat: Vec<String> = fs
+                    .iter()
+                    .enumerate()
+                    .map(|(i, f)| if f.skip { "_".to_string() } else { format!("__f{i}") })
+                    .collect();
+                let live: Vec<usize> =
+                    fs.iter().enumerate().filter(|(_, f)| !f.skip).map(|(i, _)| i).collect();
+                let inner = match live.as_slice() {
+                    [] => None,
+                    [i] => Some(format!("serde::Serialize::to_value(__f{i})")),
+                    many => {
+                        let elems: Vec<String> = many
+                            .iter()
+                            .map(|i| format!("serde::Serialize::to_value(__f{i})"))
+                            .collect();
+                        Some(format!("serde::Value::Array(vec![{}])", elems.join(", ")))
+                    }
+                };
+                match inner {
+                    None => arms.push_str(&format!(
+                        "Self::{vn}({}) => serde::Value::Str(\"{vn}\".to_string()),\n",
+                        pat.join(", ")
+                    )),
+                    Some(inner) => arms.push_str(&format!(
+                        "Self::{vn}({}) => serde::Value::Object(vec![(\"{vn}\".to_string(), {inner})]),\n",
+                        pat.join(", ")
+                    )),
+                }
+            }
+            Fields::Named(fs) => {
+                let pat: Vec<String> = fs
+                    .iter()
+                    .map(|f| {
+                        let n = f.name.as_ref().unwrap();
+                        if f.skip {
+                            format!("{n}: _")
+                        } else {
+                            n.clone()
+                        }
+                    })
+                    .collect();
+                let mut inner = String::from(
+                    "{ let mut __fobj: Vec<(String, serde::Value)> = Vec::new();\n",
+                );
+                for f in fs.iter().filter(|f| !f.skip) {
+                    let n = f.name.as_ref().unwrap();
+                    inner.push_str(&format!(
+                        "__fobj.push((\"{n}\".to_string(), serde::Serialize::to_value({n})));\n"
+                    ));
+                }
+                inner.push_str("serde::Value::Object(__fobj) }");
+                arms.push_str(&format!(
+                    "Self::{vn} {{ {} }} => serde::Value::Object(vec![(\"{vn}\".to_string(), {inner})]),\n",
+                    pat.join(", ")
+                ));
+            }
+        }
+    }
+    format!("match self {{\n{arms}}}")
+}
+
+// ---------------------------------------------------------------------------
+// Deserialize
+// ---------------------------------------------------------------------------
+
+fn gen_deserialize(item: &Item) -> String {
+    let (gen_params, gen_args) = generic_strings(&item.generics);
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::Struct(fields) => de_struct_body(name, fields),
+        Kind::Enum(variants) => de_enum_body(name, variants),
+    };
+    format!(
+        "#[automatically_derived]\n\
+         #[allow(warnings, clippy::all, clippy::pedantic)]\n\
+         impl{gen_params} serde::Deserialize for {name}{gen_args} {{\n\
+             fn from_value(__v: &serde::Value) -> Result<Self, serde::Error> {{\n{body}\n}}\n\
+         }}\n",
+    )
+}
+
+fn de_struct_body(name: &str, fields: &Fields) -> String {
+    match fields {
+        Fields::Unit => format!(
+            "match __v {{ serde::Value::Null => Ok(Self), \
+             _ => Err(serde::Error::msg(\"expected null for {name}\")) }}"
+        ),
+        Fields::Named(fs) => {
+            let mut out = format!(
+                "let __obj = __v.as_object()\
+                 .ok_or_else(|| serde::Error::msg(\"expected object for {name}\"))?;\n\
+                 Ok(Self {{\n"
+            );
+            for f in fs {
+                let n = f.name.as_ref().unwrap();
+                if f.skip {
+                    out.push_str(&format!("{n}: Default::default(),\n"));
+                } else {
+                    out.push_str(&format!("{n}: serde::field(__obj, \"{n}\")?,\n"));
+                }
+            }
+            out.push_str("})");
+            out
+        }
+        Fields::Tuple(fs) => de_tuple_ctor(fs, "Self", "__v", name),
+    }
+}
+
+/// Build `Ctor(a, b, ...)` deserialization from value expr `src`.
+fn de_tuple_ctor(fs: &[Field], ctor: &str, src: &str, what: &str) -> String {
+    let live: Vec<usize> =
+        fs.iter().enumerate().filter(|(_, f)| !f.skip).map(|(i, _)| i).collect();
+    let arg = |expr: String, idx: usize| -> String {
+        if fs[idx].skip {
+            "Default::default()".to_string()
+        } else {
+            expr
+        }
+    };
+    match live.len() {
+        0 => {
+            let args: Vec<String> =
+                fs.iter().map(|_| "Default::default()".to_string()).collect();
+            format!("Ok({ctor}({}))", args.join(", "))
+        }
+        1 => {
+            let args: Vec<String> = (0..fs.len())
+                .map(|i| arg(format!("serde::Deserialize::from_value({src})?"), i))
+                .collect();
+            format!("Ok({ctor}({}))", args.join(", "))
+        }
+        n => {
+            let mut out = format!(
+                "let __a = {src}.as_array()\
+                 .ok_or_else(|| serde::Error::msg(\"expected array for {what}\"))?;\n\
+                 if __a.len() != {n} {{ \
+                 return Err(serde::Error::msg(\"wrong tuple length for {what}\")); }}\n"
+            );
+            let mut next = 0usize;
+            let args: Vec<String> = (0..fs.len())
+                .map(|i| {
+                    if fs[i].skip {
+                        "Default::default()".to_string()
+                    } else {
+                        let e =
+                            format!("serde::Deserialize::from_value(&__a[{next}])?");
+                        next += 1;
+                        e
+                    }
+                })
+                .collect();
+            out.push_str(&format!("Ok({ctor}({}))", args.join(", ")));
+            out
+        }
+    }
+}
+
+fn de_enum_body(name: &str, variants: &[Variant]) -> String {
+    let unit_arms: Vec<String> = variants
+        .iter()
+        .filter_map(|v| match &v.fields {
+            Fields::Unit => Some(format!("\"{0}\" => Ok(Self::{0}),\n", v.name)),
+            Fields::Tuple(fs) if fs.iter().all(|f| f.skip) => {
+                let args: Vec<String> =
+                    fs.iter().map(|_| "Default::default()".to_string()).collect();
+                Some(format!("\"{0}\" => Ok(Self::{0}({1})),\n", v.name, args.join(", ")))
+            }
+            _ => None,
+        })
+        .collect();
+    let mut data_arms = String::new();
+    for v in variants {
+        let vn = &v.name;
+        match &v.fields {
+            Fields::Unit => {}
+            Fields::Tuple(fs) => {
+                if fs.iter().all(|f| f.skip) {
+                    continue;
+                }
+                let ctor = format!("Self::{vn}");
+                let inner = de_tuple_ctor(fs, &ctor, "__inner", &format!("{name}::{vn}"));
+                data_arms.push_str(&format!("\"{vn}\" => {{ {inner} }}\n"));
+            }
+            Fields::Named(fs) => {
+                let mut inner = format!(
+                    "let __fo = __inner.as_object()\
+                     .ok_or_else(|| serde::Error::msg(\"expected object for {name}::{vn}\"))?;\n\
+                     Ok(Self::{vn} {{\n"
+                );
+                for f in fs {
+                    let n = f.name.as_ref().unwrap();
+                    if f.skip {
+                        inner.push_str(&format!("{n}: Default::default(),\n"));
+                    } else {
+                        inner.push_str(&format!("{n}: serde::field(__fo, \"{n}\")?,\n"));
+                    }
+                }
+                inner.push_str("})");
+                data_arms.push_str(&format!("\"{vn}\" => {{ {inner} }}\n"));
+            }
+        }
+    }
+    let str_arm = if unit_arms.is_empty() {
+        format!(
+            "serde::Value::Str(_) => \
+             Err(serde::Error::msg(\"unexpected string for enum {name}\")),\n"
+        )
+    } else {
+        format!(
+            "serde::Value::Str(__s) => match __s.as_str() {{\n{}\
+             __other => Err(serde::Error::msg(\
+             format!(\"unknown {name} variant `{{__other}}`\"))),\n}},\n",
+            unit_arms.join("")
+        )
+    };
+    let obj_arm = if data_arms.is_empty() {
+        String::new()
+    } else {
+        format!(
+            "serde::Value::Object(__o) if __o.len() == 1 => {{\n\
+             let (__k, __inner) = &__o[0];\n\
+             match __k.as_str() {{\n{data_arms}\
+             __other => Err(serde::Error::msg(\
+             format!(\"unknown {name} variant `{{__other}}`\"))),\n}}\n}},\n"
+        )
+    };
+    format!(
+        "match __v {{\n{str_arm}{obj_arm}\
+         _ => Err(serde::Error::msg(\"expected enum value for {name}\")),\n}}"
+    )
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("serde shim derive: generated invalid Serialize impl")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("serde shim derive: generated invalid Deserialize impl")
+}

@@ -1,0 +1,136 @@
+//! Cross-scheduler determinism: all four PDES schedulers must produce
+//! bit-identical `SimResults` for the same model and seed. This is the
+//! contract that lets the harness sweep schedulers freely — a parallel
+//! run is a faster sequential run, never a different experiment.
+
+use codes::{SimResults, SimulationBuilder};
+use dragonfly::{DragonflyConfig, Routing};
+use placement::Placement;
+use ross::{Scheduler, SimDuration, SimTime};
+use workloads::{app, AppKind, Profile};
+
+/// Per app: (name, per-rank latency (count, sum, min, max), per-rank comm
+/// total, per-rank finish time, bytes, ops).
+type AppPrint = (String, Vec<(u64, u64, u64, u64)>, Vec<u64>, Vec<Option<u64>>, u64, u64);
+
+/// Every observable a run produces, flattened for equality comparison.
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct Fingerprint {
+    apps: Vec<AppPrint>,
+    link_load: (u64, u64, u64, u64, u64),
+    router_windows: Vec<(u32, Vec<Vec<u64>>)>,
+    committed: u64,
+}
+
+fn fingerprint(r: &SimResults) -> Fingerprint {
+    Fingerprint {
+        apps: r
+            .apps
+            .iter()
+            .map(|a| {
+                (
+                    a.name.clone(),
+                    a.latency
+                        .iter()
+                        .map(|l| (l.count, l.sum_ns, l.min_ns, l.max_ns))
+                        .collect(),
+                    a.comm.iter().map(|c| c.total_ns).collect(),
+                    a.finished_at_ns.clone(),
+                    a.bytes_sent,
+                    a.ops_executed,
+                )
+            })
+            .collect(),
+        link_load: (
+            r.link_load.global_bytes,
+            r.link_load.local_bytes,
+            r.link_load.terminal_bytes,
+            r.link_load.n_global_links,
+            r.link_load.n_local_links,
+        ),
+        router_windows: r.router_windows.clone(),
+        committed: r.stats.committed,
+    }
+}
+
+/// Two-job mix on the tiny 1D dragonfly with windowed router counters on,
+/// run under `sched`.
+fn run(sched: Scheduler) -> Fingerprint {
+    let mut b = SimulationBuilder::new(DragonflyConfig::tiny_1d())
+        .routing(Routing::Adaptive)
+        .placement(Placement::RandomGroups)
+        .seed(11)
+        .window_ns(500_000);
+    for kind in [AppKind::UniformRandom, AppKind::NearestNeighbor] {
+        let mut cfg = app(kind, Profile::Quick, 2, 64);
+        if kind == AppKind::NearestNeighbor {
+            cfg.ranks = 24;
+            cfg.args.extend(
+                ["--nx", "3", "--ny", "2", "--nz", "4"].iter().map(|s| s.to_string()),
+            );
+        } else {
+            cfg.ranks = 16;
+        }
+        b = b.job(cfg.name(), cfg.vms(1).unwrap());
+    }
+    let mut sim = b.build().unwrap();
+    let r = sim.run(sched, SimTime::MAX);
+    for a in &r.apps {
+        assert!(a.all_done(), "{} unfinished under {sched:?}", a.name);
+    }
+    fingerprint(&r)
+}
+
+#[test]
+fn all_schedulers_agree_bit_for_bit() {
+    let seq = run(Scheduler::Sequential);
+    assert!(seq.committed > 0);
+    assert_eq!(seq, run(Scheduler::Conservative(3)), "conservative != sequential");
+    assert_eq!(seq, run(Scheduler::Optimistic(3)), "optimistic != sequential");
+    // 100 ns is the minimum cross-partition delay on the default config
+    // (local link latency); wider windows would violate causality, a
+    // 1 ns window is always legal. Both must match.
+    for (threads, lookahead_ns) in [(2usize, 100u64), (3, 100), (4, 1)] {
+        let par = run(Scheduler::ConservativeParallel {
+            threads,
+            lookahead: SimDuration::from_ns(lookahead_ns),
+        });
+        assert_eq!(seq, par, "par:{threads}:{lookahead_ns} != sequential");
+    }
+}
+
+/// The parallel scheduler must also agree with itself when interrupted:
+/// pausing at a bound and resuming under a different scheduler cannot
+/// change the outcome.
+#[test]
+fn parallel_run_survives_rescheduling_midway() {
+    let seq = run(Scheduler::Sequential);
+    let mut b = SimulationBuilder::new(DragonflyConfig::tiny_1d())
+        .routing(Routing::Adaptive)
+        .placement(Placement::RandomGroups)
+        .seed(11)
+        .window_ns(500_000);
+    for kind in [AppKind::UniformRandom, AppKind::NearestNeighbor] {
+        let mut cfg = app(kind, Profile::Quick, 2, 64);
+        if kind == AppKind::NearestNeighbor {
+            cfg.ranks = 24;
+            cfg.args.extend(
+                ["--nx", "3", "--ny", "2", "--nz", "4"].iter().map(|s| s.to_string()),
+            );
+        } else {
+            cfg.ranks = 16;
+        }
+        b = b.job(cfg.name(), cfg.vms(1).unwrap());
+    }
+    let mut sim = b.build().unwrap();
+    let par = Scheduler::ConservativeParallel {
+        threads: 3,
+        lookahead: SimDuration::from_ns(100),
+    };
+    sim.run(par, SimTime::from_us(50));
+    let r = sim.run(Scheduler::Sequential, SimTime::MAX);
+    let mut fp = fingerprint(&r);
+    // Committed counts are per-leg; compare everything else.
+    fp.committed = seq.committed;
+    assert_eq!(seq, fp);
+}
