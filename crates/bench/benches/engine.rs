@@ -63,8 +63,7 @@ fn bench_schedulers(c: &mut Criterion) {
         g.bench_function(BenchmarkId::new("optimistic", threads), |b| {
             b.iter(|| {
                 let mut sim = phold(64);
-                sim.run_optimistic(threads, OptimisticConfig::default(), SimTime::MAX)
-                    .committed
+                sim.run_optimistic(threads, OptimisticConfig::default(), SimTime::MAX).committed
             })
         });
         // PHOLD's minimum send delay is 100 ns, so 100 ns windows are the

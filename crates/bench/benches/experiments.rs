@@ -6,18 +6,14 @@
 use codes::SimulationBuilder;
 use criterion::{criterion_group, criterion_main, Criterion};
 use dragonfly::{DragonflyConfig, Routing, Topology};
-use harness::sweep::{run_one, RunKey, Net, SweepConfig, Workload};
+use harness::sweep::{run_one, Net, RunKey, SweepConfig, Workload};
 use placement::Placement;
 use ross::{Scheduler, SimDuration, SimTime};
 use union_core::{RankVm, SkeletonInstance, Validation};
 use workloads::{app, AppKind, Profile};
 
 /// A micro mix on the 72-node tiny system (fast enough for criterion).
-fn micro_mix(
-    routing: Routing,
-    placement: Placement,
-    window_ns: u64,
-) -> codes::SimResults {
+fn micro_mix(routing: Routing, placement: Placement, window_ns: u64) -> codes::SimResults {
     let mut b = SimulationBuilder::new(DragonflyConfig::tiny_1d())
         .routing(routing)
         .placement(placement)
@@ -29,9 +25,7 @@ fn micro_mix(
         let mut cfg = app(kind, Profile::Quick, 1, 256);
         cfg.ranks = ranks;
         if kind == AppKind::NearestNeighbor {
-            cfg.args.extend(
-                ["--nx", "3", "--ny", "3", "--nz", "3"].iter().map(|s| s.to_string()),
-            );
+            cfg.args.extend(["--nx", "3", "--ny", "3", "--nz", "3"].iter().map(|s| s.to_string()));
         }
         b = b.job(cfg.name(), cfg.vms(1).unwrap());
     }
@@ -75,8 +69,7 @@ fn bench_fig7_fig9(c: &mut Criterion) {
         g.bench_function(placement.label(), |b| {
             b.iter(|| {
                 let r = micro_mix(Routing::Adaptive, placement, 0);
-                let lat: u64 =
-                    r.apps.iter().flat_map(|a| a.latency.iter().map(|l| l.count)).sum();
+                let lat: u64 = r.apps.iter().flat_map(|a| a.latency.iter().map(|l| l.count)).sum();
                 lat
             })
         });
@@ -121,10 +114,9 @@ fn bench_flow_control(c: &mut Criterion) {
     use dragonfly::FlowControl;
     let mut g = c.benchmark_group("flow-control");
     g.sample_size(10);
-    for (label, flow) in [
-        ("busy-until", FlowControl::BusyUntil),
-        ("credit-vc", FlowControl::credit_default()),
-    ] {
+    for (label, flow) in
+        [("busy-until", FlowControl::BusyUntil), ("credit-vc", FlowControl::credit_default())]
+    {
         g.bench_function(label, |b| {
             b.iter(|| {
                 let mut cfg = DragonflyConfig::tiny_1d();
@@ -135,9 +127,9 @@ fn bench_flow_control(c: &mut Criterion) {
                     .seed(8);
                 let mut app_cfg = app(AppKind::NearestNeighbor, Profile::Quick, 2, 64);
                 app_cfg.ranks = 27;
-                app_cfg.args.extend(
-                    ["--nx", "3", "--ny", "3", "--nz", "3"].iter().map(|s| s.to_string()),
-                );
+                app_cfg
+                    .args
+                    .extend(["--nx", "3", "--ny", "3", "--nz", "3"].iter().map(|s| s.to_string()));
                 builder = builder.job(app_cfg.name(), app_cfg.vms(1).unwrap());
                 builder.build().unwrap().run(Scheduler::Sequential, SimTime::MAX).stats.committed
             })
@@ -153,15 +145,10 @@ fn bench_table1(c: &mut Criterion) {
     let mut g = c.benchmark_group("table1");
     g.sample_size(10);
     let skel = workloads::nearest_neighbor();
-    let inst = SkeletonInstance::new(
-        &skel,
-        27,
-        &["--nx", "3", "--ny", "3", "--nz", "3", "--iters", "3"],
-    )
-    .unwrap();
-    g.bench_function("record-trace", |b| {
-        b.iter(|| Trace::record(&inst, 1).len())
-    });
+    let inst =
+        SkeletonInstance::new(&skel, 27, &["--nx", "3", "--ny", "3", "--nz", "3", "--iters", "3"])
+            .unwrap();
+    g.bench_function("record-trace", |b| b.iter(|| Trace::record(&inst, 1).len()));
     let trace = Arc::new(Trace::record(&inst, 1));
     g.bench_function("simulate-trace-replay", |b| {
         b.iter(|| {
@@ -225,10 +212,7 @@ fn bench_scheduler_sweep(c: &mut Criterion) {
         scheds.push((format!("opt:{threads}"), Scheduler::Optimistic(threads)));
         scheds.push((
             format!("par:{threads}:100"),
-            Scheduler::ConservativeParallel {
-                threads,
-                lookahead: SimDuration::from_ns(100),
-            },
+            Scheduler::ConservativeParallel { threads, lookahead: SimDuration::from_ns(100) },
         ));
     }
     for (label, sched) in scheds {

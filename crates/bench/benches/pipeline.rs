@@ -54,9 +54,7 @@ fn bench_skeleton_vs_trace_expansion(c: &mut Criterion) {
     let skel = translate_source(src, "ring").unwrap();
     let inst = SkeletonInstance::new(&skel, 64, &[]).unwrap();
     g.bench_function("skeleton-ops", |b| {
-        b.iter(|| {
-            (0..64u32).map(|r| RankVm::new(inst.clone(), r, 1).count()).sum::<usize>()
-        })
+        b.iter(|| (0..64u32).map(|r| RankVm::new(inst.clone(), r, 1).count()).sum::<usize>())
     });
     g.bench_function("trace-expansion-4KiB-records", |b| {
         // A trace would store one record per packet: count them all.

@@ -39,7 +39,10 @@ pub mod shared;
 pub mod sim;
 
 pub use event::Event;
-pub use sim::{AppResult, CodesSim, JobSpec, SimResults, SimulationBuilder};
+pub use sim::{
+    lp_delay_edges, lp_names, partition_blocks, AppResult, CodesSim, JobSpec, LpDelayEdge,
+    SimResults, SimulationBuilder,
+};
 
 #[cfg(test)]
 mod tests {
@@ -91,11 +94,7 @@ mod tests {
                    message to task (t+1) mod num_tasks then all tasks await completions } \
                    then all tasks reduce a 100000 byte message to all tasks.";
         let mut fingerprints = Vec::new();
-        for sched in [
-            Scheduler::Sequential,
-            Scheduler::Conservative(4),
-            Scheduler::Optimistic(4),
-        ] {
+        for sched in [Scheduler::Sequential, Scheduler::Conservative(4), Scheduler::Optimistic(4)] {
             let mut sim = SimulationBuilder::new(DragonflyConfig::tiny_1d())
                 .routing(Routing::Adaptive)
                 .placement(Placement::RandomNodes)
@@ -327,13 +326,69 @@ mod tests {
              task 1 sends a 100000 byte message to task 0 }.",
             2,
         );
-        let mut sim = SimulationBuilder::new(DragonflyConfig::tiny_1d())
-            .job("app", a)
-            .build()
-            .unwrap();
+        let mut sim =
+            SimulationBuilder::new(DragonflyConfig::tiny_1d()).job("app", a).build().unwrap();
         let r = sim.run(Scheduler::Sequential, SimTime::from_us(200));
         assert!(!r.apps[0].all_done());
         assert!(sim.pending_events() > 0);
+    }
+
+    #[test]
+    fn partition_blocks_group_nodes_with_their_router() {
+        let topo = dragonfly::Topology::build(DragonflyConfig::tiny_1d());
+        let blocks = partition_blocks(&topo);
+        let n_nodes = topo.cfg.total_nodes();
+        assert_eq!(blocks.len(), (n_nodes + topo.cfg.total_routers()) as usize);
+        for n in 0..n_nodes {
+            // A node shares its block with its attached router.
+            assert_eq!(blocks[n as usize], topo.node_router(n));
+            assert_eq!(blocks[n as usize], blocks[(n_nodes + topo.node_router(n)) as usize]);
+        }
+    }
+
+    #[test]
+    fn delay_edges_match_runtime_delay_composition() {
+        use dragonfly::{FlowControl, Topology};
+        let topo = Topology::build(DragonflyConfig::tiny_1d());
+        let cfg = &topo.cfg;
+        let blocks = partition_blocks(&topo);
+        let min_cross = |edges: &[LpDelayEdge]| {
+            edges
+                .iter()
+                .filter(|e| blocks[e.src_lp as usize] != blocks[e.dst_lp as usize])
+                .map(|e| e.delay_ns)
+                .min()
+                .unwrap()
+        };
+        // BusyUntil: only packets cross routers, each paying link latency
+        // plus the router traversal delay (local links are the cheapest).
+        let edges = lp_delay_edges(&topo);
+        assert!(edges.iter().all(|e| e.kind != "credit"));
+        assert_eq!(min_cross(&edges), cfg.local_latency_ns + cfg.router_delay_ns);
+        // Terminal edges never cross partitions.
+        assert!(edges
+            .iter()
+            .filter(|e| e.kind == "terminal")
+            .all(|e| blocks[e.src_lp as usize] == blocks[e.dst_lp as usize]));
+
+        // Credit/VC: upstream credits pay exactly the link latency — the
+        // tighter constraint (matches `credit_arrived`'s `at = now + latency`).
+        let mut cfg2 = DragonflyConfig::tiny_1d();
+        cfg2.flow = FlowControl::credit_default();
+        let topo2 = Topology::build(cfg2);
+        let edges2 = lp_delay_edges(&topo2);
+        assert!(edges2.iter().any(|e| e.kind == "credit"));
+        assert_eq!(min_cross(&edges2), topo2.cfg.local_latency_ns);
+    }
+
+    #[test]
+    fn lp_names_cover_every_lp() {
+        let topo = dragonfly::Topology::build(DragonflyConfig::tiny_1d());
+        let names = lp_names(&topo);
+        let n_nodes = topo.cfg.total_nodes();
+        assert_eq!(names.len(), (n_nodes + topo.cfg.total_routers()) as usize);
+        assert_eq!(names[0], "node 0");
+        assert_eq!(names[n_nodes as usize], "router 0");
     }
 
     #[test]

@@ -3,7 +3,9 @@
 
 use crate::event::Event;
 use crate::shared::Shared;
-use dragonfly::{credit_arrived, forward_vc, CreditState, FlowControl, Forward, RouterState, VcAction};
+use dragonfly::{
+    credit_arrived, forward_vc, CreditState, FlowControl, Forward, RouterState, VcAction,
+};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use ross::{Ctx, SimTime};
@@ -99,14 +101,16 @@ impl RouterLp {
         }
     }
 
-    fn emit_forward(&self, now: SimTime, ctx: &mut Ctx<'_, Event>, fwd: Forward, pkt: dragonfly::Packet) {
+    fn emit_forward(
+        &self,
+        now: SimTime,
+        ctx: &mut Ctx<'_, Event>,
+        fwd: Forward,
+        pkt: dragonfly::Packet,
+    ) {
         match fwd {
             Forward::ToRouter { router, arrive } => {
-                ctx.send(
-                    self.shared.lpmap.router_lp(router),
-                    arrive - now,
-                    Event::RouterPkt(pkt),
-                );
+                ctx.send(self.shared.lpmap.router_lp(router), arrive - now, Event::RouterPkt(pkt));
             }
             Forward::ToNode { node, arrive } => {
                 ctx.send(self.shared.lpmap.node_lp(node), arrive - now, Event::NodePkt(pkt));

@@ -4,13 +4,11 @@ use crate::event::{Event, LpMap};
 use crate::node::{NodeLp, Proc};
 use crate::router_lp::RouterLp;
 use crate::shared::Shared;
-use dragonfly::{DragonflyConfig, LinkClass, Routing, Topology};
+use dragonfly::{DragonflyConfig, FlowControl, LinkClass, Peer, Routing, Topology};
 use metrics::{CommTimer, LatencyRecorder, LinkLoad, TimeSeries};
 use mpi_sim::MpiRank;
 use placement::{JobRequest, Layout, Placement};
-use ross::{
-    Ctx, Envelope, Lp, Partition, RunStats, Scheduler, SimDuration, SimTime, Simulation,
-};
+use ross::{Ctx, Envelope, Lp, Partition, RunStats, Scheduler, SimDuration, SimTime, Simulation};
 use std::sync::Arc;
 use union_core::{OpSource, RankVm};
 
@@ -123,11 +121,8 @@ impl SimulationBuilder {
             return Err("no jobs".into());
         }
         let topo = Topology::build(self.cfg);
-        let requests: Vec<JobRequest> = self
-            .jobs
-            .iter()
-            .map(|j| JobRequest::new(&j.name, j.sources.len() as u32))
-            .collect();
+        let requests: Vec<JobRequest> =
+            self.jobs.iter().map(|j| JobRequest::new(&j.name, j.sources.len() as u32)).collect();
         let layout = Layout::place(&topo, &requests, self.placement, self.seed)?;
         let n_nodes = topo.cfg.total_nodes();
         let n_routers = topo.cfg.total_routers();
@@ -149,10 +144,8 @@ impl SimulationBuilder {
             for (rank, src) in job.sources.into_iter().enumerate() {
                 let node = shared.layout.node_of(app as u32, rank as u32);
                 debug_assert_eq!(src.rank(), rank as u32, "source rank order mismatch");
-                procs[node as usize] = Some(Proc {
-                    app: app as u32,
-                    mpi: MpiRank::new(src, shared.eager_max),
-                });
+                procs[node as usize] =
+                    Some(Proc { app: app as u32, mpi: MpiRank::new(src, shared.eager_max) });
             }
         }
 
@@ -169,22 +162,118 @@ impl SimulationBuilder {
         }
 
         let mut sim = Simulation::new(lps, shared.lookahead);
-        // Topology-aware partition for the conservative-parallel
-        // scheduler: each router forms one block together with its
-        // attached nodes, so terminal-link traffic (node↔router) stays
-        // on one worker thread and only router↔router events cross
-        // partitions.
-        let mut blocks: Vec<u32> = Vec::with_capacity((n_nodes + n_routers) as usize);
-        for node in 0..n_nodes {
-            blocks.push(shared.topo.node_router(node));
-        }
-        blocks.extend(0..n_routers);
-        sim.set_partition(Partition::from_blocks(blocks));
+        sim.set_partition(Partition::from_blocks(partition_blocks(&shared.topo)));
         for lp in start_lps {
             sim.schedule(lp, SimTime::ZERO, Event::Start);
         }
         Ok(CodesSim { sim, shared })
     }
+}
+
+/// Scheduler block assignment for a topology — the topology-aware
+/// partition used by `SimulationBuilder::build()` for the
+/// conservative-parallel scheduler: each router forms one block together
+/// with its attached nodes, so terminal-link traffic (node↔router) stays
+/// on one worker thread and only router↔router events cross partitions.
+///
+/// Exported so `union-lint` can validate a `par:T:L` lookahead window
+/// against the exact partition the run would use.
+pub fn partition_blocks(topo: &Topology) -> Vec<u32> {
+    let n_nodes = topo.cfg.total_nodes();
+    let n_routers = topo.cfg.total_routers();
+    let mut blocks: Vec<u32> = Vec::with_capacity((n_nodes + n_routers) as usize);
+    for node in 0..n_nodes {
+        blocks.push(topo.node_router(node));
+    }
+    blocks.extend(0..n_routers);
+    blocks
+}
+
+/// One static LP-to-LP scheduling edge of the assembled model: `src_lp`
+/// may schedule an event on `dst_lp` no sooner than `delay_ns` after the
+/// current time.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LpDelayEdge {
+    pub src_lp: u32,
+    pub dst_lp: u32,
+    pub delay_ns: u64,
+    /// `"terminal"`, `"packet"`, or `"credit"`.
+    pub kind: &'static str,
+}
+
+/// Every static cross-LP delay edge of the model built from `topo`,
+/// using the same delay composition as the runtime paths:
+///
+/// * node↔router packets add the link propagation latency plus the
+///   router traversal delay (serialization only increases the delay, so
+///   the edge records the guaranteed minimum);
+/// * router→router packets add link latency plus router delay
+///   (`Router::occupy`);
+/// * router→router credits (credit/VC flow control only) are sent after
+///   exactly the upstream link latency (`credit_arrived`) — typically
+///   the binding constraint for conservative lookahead.
+pub fn lp_delay_edges(topo: &Topology) -> Vec<LpDelayEdge> {
+    let cfg = &topo.cfg;
+    let lpmap = LpMap { n_nodes: cfg.total_nodes() };
+    let credits = matches!(cfg.flow, FlowControl::CreditVc { .. });
+    let mut edges = Vec::new();
+    for r in 0..cfg.total_routers() {
+        let r_lp = lpmap.router_lp(r);
+        for info in topo.ports(r) {
+            let latency = cfg.latency_ns(info.class);
+            match info.peer {
+                Peer::Node(node) => {
+                    let n_lp = lpmap.node_lp(node);
+                    let delay = latency + cfg.router_delay_ns;
+                    edges.push(LpDelayEdge {
+                        src_lp: n_lp,
+                        dst_lp: r_lp,
+                        delay_ns: delay,
+                        kind: "terminal",
+                    });
+                    edges.push(LpDelayEdge {
+                        src_lp: r_lp,
+                        dst_lp: n_lp,
+                        delay_ns: delay,
+                        kind: "terminal",
+                    });
+                }
+                Peer::Router { router, .. } => {
+                    edges.push(LpDelayEdge {
+                        src_lp: r_lp,
+                        dst_lp: lpmap.router_lp(router),
+                        delay_ns: latency + cfg.router_delay_ns,
+                        kind: "packet",
+                    });
+                    if credits {
+                        // Credits flow upstream: the peer acknowledges
+                        // packets it received from us over this link.
+                        edges.push(LpDelayEdge {
+                            src_lp: lpmap.router_lp(router),
+                            dst_lp: r_lp,
+                            delay_ns: latency,
+                            kind: "credit",
+                        });
+                    }
+                }
+            }
+        }
+    }
+    edges
+}
+
+/// Human-readable LP names for diagnostics, indexed by LP id.
+pub fn lp_names(topo: &Topology) -> Vec<String> {
+    let n_nodes = topo.cfg.total_nodes();
+    let n_routers = topo.cfg.total_routers();
+    let mut names = Vec::with_capacity((n_nodes + n_routers) as usize);
+    for n in 0..n_nodes {
+        names.push(format!("node {n}"));
+    }
+    for r in 0..n_routers {
+        names.push(format!("router {r}"));
+    }
+    names
 }
 
 /// A runnable hybrid-workload simulation.
@@ -297,8 +386,7 @@ impl CodesSim {
                     }
                 }
                 CodesLp::Router(r) => {
-                    for (port, info) in self.shared.topo.ports(r.state.id).iter().enumerate()
-                    {
+                    for (port, info) in self.shared.topo.ports(r.state.id).iter().enumerate() {
                         let bytes = r.state.port_bytes[port];
                         match info.class {
                             LinkClass::Terminal => {

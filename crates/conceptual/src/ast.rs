@@ -1,5 +1,6 @@
 //! Abstract syntax tree for the coNCePTuaL-style language.
 
+use crate::token::Pos;
 use serde::{Deserialize, Serialize};
 
 /// Integer expression. All coNCePTuaL arithmetic is integer arithmetic.
@@ -212,76 +213,31 @@ pub enum Stmt {
     /// `A then B then C` — sequential composition.
     Seq(Vec<Stmt>),
     /// `for <expr> repetitions [plus a synchronization] <stmt>`.
-    For {
-        reps: Expr,
-        sync: bool,
-        body: Box<Stmt>,
-    },
+    For { reps: Expr, sync: bool, body: Box<Stmt> },
     /// `for each <var> in {a, ..., b} <stmt>`.
-    ForEach {
-        var: String,
-        from: Expr,
-        to: Expr,
-        body: Box<Stmt>,
-    },
+    ForEach { var: String, from: Expr, to: Expr, body: Box<Stmt> },
     /// `if <cond> then <stmt> [otherwise <stmt>]`.
-    If {
-        cond: Cond,
-        then: Box<Stmt>,
-        els: Option<Box<Stmt>>,
-    },
+    If { cond: Cond, then: Box<Stmt>, els: Option<Box<Stmt>> },
     /// `let <var> be <expr> while <stmt>`.
-    Let {
-        var: String,
-        value: Expr,
-        body: Box<Stmt>,
-    },
+    Let { var: String, value: Expr, body: Box<Stmt> },
     /// `<src> [asynchronously] sends <count> <size>-byte message(s) to <dst>`.
     /// coNCePTuaL semantics: the destination implicitly posts matching
     /// receives.
-    Send {
-        src: TaskSel,
-        count: Expr,
-        size: Expr,
-        dst: TaskSel,
-        attrs: MsgAttrs,
-    },
+    Send { src: TaskSel, count: Expr, size: Expr, dst: TaskSel, attrs: MsgAttrs },
     /// Explicit `receives` clause (for one-sided phrasing).
-    Receive {
-        dst: TaskSel,
-        count: Expr,
-        size: Expr,
-        src: TaskSel,
-        attrs: MsgAttrs,
-    },
+    Receive { dst: TaskSel, count: Expr, size: Expr, src: TaskSel, attrs: MsgAttrs },
     /// `<src> multicasts a <size> byte message to <dst>` — one-to-many.
-    Multicast {
-        src: TaskSel,
-        size: Expr,
-        dst: TaskSel,
-    },
+    Multicast { src: TaskSel, size: Expr, dst: TaskSel },
     /// `<tasks> reduce a <size> byte message to <target>`; when `target`
     /// is `all tasks` this is an allreduce.
-    Reduce {
-        tasks: TaskSel,
-        size: Expr,
-        target: TaskSel,
-    },
+    Reduce { tasks: TaskSel, size: Expr, target: TaskSel },
     /// `<tasks> synchronize` — barrier over the selected tasks.
     Sync(TaskSel),
     /// `<tasks> compute(s) for <expr> <unit>`.
-    Compute {
-        tasks: TaskSel,
-        amount: Expr,
-        unit: TimeUnit,
-    },
+    Compute { tasks: TaskSel, amount: Expr, unit: TimeUnit },
     /// `<tasks> sleep(s) for <expr> <unit>` — same simulation effect as
     /// compute, kept distinct for control-flow fidelity.
-    Sleep {
-        tasks: TaskSel,
-        amount: Expr,
-        unit: TimeUnit,
-    },
+    Sleep { tasks: TaskSel, amount: Expr, unit: TimeUnit },
     /// `<tasks> await(s) completion(s)` — waits on outstanding
     /// nonblocking operations.
     AwaitCompletions(TaskSel),
@@ -327,5 +283,30 @@ pub struct Program {
     pub asserts: Vec<AssertDecl>,
     /// Top-level sentences, executed in order.
     pub stmts: Vec<Stmt>,
+    /// Source position of each parameter declaration (parallel to
+    /// `params`; may be empty for hand-built programs, in which case
+    /// diagnostics fall back to `Pos::default()`).
+    pub param_pos: Vec<Pos>,
+    /// Source position of each assertion (parallel to `asserts`).
+    pub assert_pos: Vec<Pos>,
+    /// Source position of each top-level sentence (parallel to `stmts`).
+    pub stmt_pos: Vec<Pos>,
 }
 
+impl Program {
+    /// Position of parameter `i`, `Pos::default()` when unrecorded.
+    pub fn pos_of_param(&self, i: usize) -> Pos {
+        self.param_pos.get(i).copied().unwrap_or_default()
+    }
+
+    /// Position of assertion `i`, `Pos::default()` when unrecorded.
+    pub fn pos_of_assert(&self, i: usize) -> Pos {
+        self.assert_pos.get(i).copied().unwrap_or_default()
+    }
+
+    /// Position of top-level sentence `i`, `Pos::default()` when
+    /// unrecorded.
+    pub fn pos_of_stmt(&self, i: usize) -> Pos {
+        self.stmt_pos.get(i).copied().unwrap_or_default()
+    }
+}

@@ -1,0 +1,245 @@
+//! Severity-tagged diagnostics shared by the compiler front end and the
+//! static-analysis passes (`union-lint`).
+//!
+//! Every layer that can reject an input — lexer/parser/sema here, the
+//! skeleton and model linters in `union-lint` — reports through the same
+//! [`Diagnostic`] type, so a user sees one uniform format whether a
+//! problem was caught at parse time or by whole-program analysis:
+//!
+//! ```text
+//! error[deadlock] rank 0 pc 3: wait-for cycle 0 -> 1 -> 0
+//! warning[dead-code] pc 7..9: instructions never executed
+//! info[budget] rank 2: loop-unrolling budget exhausted after 4096 ops
+//! ```
+
+use crate::error::CompileError;
+use crate::token::Pos;
+use std::fmt;
+
+/// How bad a finding is. Ordered: `Info < Warning < Error`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum Severity {
+    /// Not a defect: the analysis gave up or wants to tell you something.
+    Info,
+    /// Suspicious but not certainly wrong (e.g. unreachable instructions).
+    Warning,
+    /// Certainly wrong; registries reject skeletons with any of these.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Info => "info",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        })
+    }
+}
+
+/// One finding: a severity, a short category code, a message, and
+/// whatever location context the producing pass had available.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Diagnostic {
+    pub severity: Severity,
+    /// Short kebab-case category, e.g. `"deadlock"`, `"collective-divergence"`.
+    pub code: &'static str,
+    pub message: String,
+    /// Source position, when the finding maps back to DSL text.
+    pub pos: Option<Pos>,
+    /// Rank context, when the finding is specific to one rank.
+    pub rank: Option<u32>,
+    /// Bytecode program counter, when the finding maps to an instruction.
+    pub pc: Option<usize>,
+}
+
+impl Diagnostic {
+    pub fn new(severity: Severity, code: &'static str, message: impl Into<String>) -> Diagnostic {
+        Diagnostic { severity, code, message: message.into(), pos: None, rank: None, pc: None }
+    }
+
+    pub fn error(code: &'static str, message: impl Into<String>) -> Diagnostic {
+        Diagnostic::new(Severity::Error, code, message)
+    }
+
+    pub fn warning(code: &'static str, message: impl Into<String>) -> Diagnostic {
+        Diagnostic::new(Severity::Warning, code, message)
+    }
+
+    pub fn info(code: &'static str, message: impl Into<String>) -> Diagnostic {
+        Diagnostic::new(Severity::Info, code, message)
+    }
+
+    /// Attach a source position.
+    pub fn at(mut self, pos: Pos) -> Diagnostic {
+        self.pos = Some(pos);
+        self
+    }
+
+    /// Attach a rank context.
+    pub fn on_rank(mut self, rank: u32) -> Diagnostic {
+        self.rank = Some(rank);
+        self
+    }
+
+    /// Attach a bytecode pc context.
+    pub fn at_pc(mut self, pc: usize) -> Diagnostic {
+        self.pc = Some(pc);
+        self
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}]", self.severity, self.code)?;
+        let mut ctx = Vec::new();
+        if let Some(p) = self.pos {
+            ctx.push(format!("{p}"));
+        }
+        if let Some(r) = self.rank {
+            ctx.push(format!("rank {r}"));
+        }
+        if let Some(pc) = self.pc {
+            ctx.push(format!("pc {pc}"));
+        }
+        if !ctx.is_empty() {
+            write!(f, " {}", ctx.join(" "))?;
+        }
+        write!(f, ": {}", self.message)
+    }
+}
+
+impl From<CompileError> for Diagnostic {
+    fn from(e: CompileError) -> Diagnostic {
+        Diagnostic::error("compile", e.message).at(e.pos)
+    }
+}
+
+/// An ordered collection of findings from one analysis run.
+#[derive(Clone, Default, Debug)]
+pub struct Report {
+    diags: Vec<Diagnostic>,
+}
+
+impl Report {
+    pub fn new() -> Report {
+        Report::default()
+    }
+
+    pub fn push(&mut self, d: Diagnostic) {
+        self.diags.push(d);
+    }
+
+    pub fn extend(&mut self, other: Report) {
+        self.diags.extend(other.diags);
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diags.iter()
+    }
+
+    pub fn len(&self) -> usize {
+        self.diags.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.diags.is_empty()
+    }
+
+    /// Highest severity present, if any finding exists.
+    pub fn max_severity(&self) -> Option<Severity> {
+        self.diags.iter().map(|d| d.severity).max()
+    }
+
+    /// True when no Error-severity finding is present (warnings and infos
+    /// are allowed).
+    pub fn is_clean(&self) -> bool {
+        !self.has_errors()
+    }
+
+    pub fn has_errors(&self) -> bool {
+        self.diags.iter().any(|d| d.severity == Severity::Error)
+    }
+
+    /// Render every finding, one per line, most severe first (stable
+    /// within a severity).
+    pub fn render(&self) -> String {
+        let mut sorted: Vec<&Diagnostic> = self.diags.iter().collect();
+        sorted.sort_by_key(|d| std::cmp::Reverse(d.severity));
+        let mut out = String::new();
+        for d in sorted {
+            out.push_str(&d.to_string());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+impl From<Diagnostic> for Report {
+    fn from(d: Diagnostic) -> Report {
+        Report { diags: vec![d] }
+    }
+}
+
+impl FromIterator<Diagnostic> for Report {
+    fn from_iter<T: IntoIterator<Item = Diagnostic>>(iter: T) -> Report {
+        Report { diags: iter.into_iter().collect() }
+    }
+}
+
+impl IntoIterator for Report {
+    type Item = Diagnostic;
+    type IntoIter = std::vec::IntoIter<Diagnostic>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.diags.into_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn severity_ordering() {
+        assert!(Severity::Info < Severity::Warning);
+        assert!(Severity::Warning < Severity::Error);
+    }
+
+    #[test]
+    fn display_includes_context() {
+        let d = Diagnostic::error("deadlock", "cycle 0 -> 1 -> 0").on_rank(0).at_pc(3);
+        assert_eq!(d.to_string(), "error[deadlock] rank 0 pc 3: cycle 0 -> 1 -> 0");
+        let d = Diagnostic::warning("dead-code", "never executed");
+        assert_eq!(d.to_string(), "warning[dead-code]: never executed");
+    }
+
+    #[test]
+    fn compile_error_converts_with_position() {
+        let e = CompileError::new(Pos { line: 3, col: 7 }, "unbound variable `x`");
+        let d: Diagnostic = e.into();
+        assert_eq!(d.severity, Severity::Error);
+        assert_eq!(d.to_string(), "error[compile] 3:7: unbound variable `x`");
+    }
+
+    #[test]
+    fn report_severity_queries() {
+        let mut r = Report::new();
+        assert!(r.is_clean());
+        assert_eq!(r.max_severity(), None);
+        r.push(Diagnostic::info("budget", "gave up"));
+        r.push(Diagnostic::warning("dead-code", "pc 4"));
+        assert!(r.is_clean());
+        r.push(Diagnostic::error("deadlock", "stuck"));
+        assert!(!r.is_clean());
+        assert_eq!(r.max_severity(), Some(Severity::Error));
+        // Errors render first.
+        let first = r.render().lines().next().unwrap().to_string();
+        assert!(first.starts_with("error["), "{first}");
+    }
+}

@@ -54,9 +54,9 @@ impl Env {
 pub fn eval(expr: &Expr, env: &Env) -> Result<i64, EvalError> {
     match expr {
         Expr::Int(v) => Ok(*v),
-        Expr::Var(name) => env
-            .get(name)
-            .ok_or_else(|| EvalError(format!("unbound variable `{name}`"))),
+        Expr::Var(name) => {
+            env.get(name).ok_or_else(|| EvalError(format!("unbound variable `{name}`")))
+        }
         Expr::Neg(e) => Ok(-eval(e, env)?),
         Expr::Bin(op, a, b) => {
             let a = eval(a, env)?;
@@ -91,8 +91,7 @@ pub fn eval(expr: &Expr, env: &Env) -> Result<i64, EvalError> {
             }
         }
         Expr::Call(builtin, args) => {
-            let vals: Result<Vec<i64>, EvalError> =
-                args.iter().map(|a| eval(a, env)).collect();
+            let vals: Result<Vec<i64>, EvalError> = args.iter().map(|a| eval(a, env)).collect();
             call_builtin(*builtin, &vals?, env)
         }
         Expr::IfElse(cond, a, b) => {
@@ -130,10 +129,7 @@ pub fn eval_cond(cond: &Cond, env: &Env) -> Result<bool, EvalError> {
 
 fn arity(name: &str, args: &[i64], lo: usize, hi: usize) -> Result<(), EvalError> {
     if args.len() < lo || args.len() > hi {
-        Err(EvalError(format!(
-            "{name} expects {lo}..={hi} arguments, got {}",
-            args.len()
-        )))
+        Err(EvalError(format!("{name} expects {lo}..={hi} arguments, got {}", args.len())))
     } else {
         Ok(())
     }
@@ -216,22 +212,14 @@ fn call_builtin(b: Builtin, args: &[i64], env: &Env) -> Result<i64, EvalError> {
             arity("KNOMIAL_PARENT", args, 1, 3)?;
             let task = args[0];
             let k = args.get(1).copied().unwrap_or(2).max(2);
-            let n = args
-                .get(2)
-                .copied()
-                .or_else(|| env.get("num_tasks"))
-                .unwrap_or(i64::MAX);
+            let n = args.get(2).copied().or_else(|| env.get("num_tasks")).unwrap_or(i64::MAX);
             Ok(knomial_parent(task, k, n))
         }
         Builtin::KnomialChild => {
             arity("KNOMIAL_CHILD", args, 2, 4)?;
             let (task, i) = (args[0], args[1]);
             let k = args.get(2).copied().unwrap_or(2).max(2);
-            let n = args
-                .get(3)
-                .copied()
-                .or_else(|| env.get("num_tasks"))
-                .unwrap_or(i64::MAX);
+            let n = args.get(3).copied().or_else(|| env.get("num_tasks")).unwrap_or(i64::MAX);
             let kids = knomial_children(task, k, n);
             Ok(kids.get(i.max(0) as usize).copied().unwrap_or(-1))
         }
@@ -239,11 +227,7 @@ fn call_builtin(b: Builtin, args: &[i64], env: &Env) -> Result<i64, EvalError> {
             arity("KNOMIAL_CHILDREN", args, 1, 3)?;
             let task = args[0];
             let k = args.get(1).copied().unwrap_or(2).max(2);
-            let n = args
-                .get(2)
-                .copied()
-                .or_else(|| env.get("num_tasks"))
-                .unwrap_or(i64::MAX);
+            let n = args.get(2).copied().or_else(|| env.get("num_tasks")).unwrap_or(i64::MAX);
             Ok(knomial_children(task, k, n).len() as i64)
         }
     }
@@ -453,10 +437,9 @@ mod tests {
     fn conditions() {
         let mut env = Env::new();
         env.bind("t", 4);
-        let c = crate::parser::parse("tasks t such that t is even /\\ t < 10 synchronize.")
-            .unwrap();
-        let crate::ast::Stmt::Sync(crate::ast::TaskSel::SuchThat(_, cond)) = &c.stmts[0]
-        else {
+        let c =
+            crate::parser::parse("tasks t such that t is even /\\ t < 10 synchronize.").unwrap();
+        let crate::ast::Stmt::Sync(crate::ast::TaskSel::SuchThat(_, cond)) = &c.stmts[0] else {
             panic!()
         };
         assert!(eval_cond(cond, &env).unwrap());

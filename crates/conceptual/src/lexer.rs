@@ -94,11 +94,12 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, CompileError> {
                                 .unwrap()
                                 .parse()
                                 .map_err(|_| CompileError::new(pos, "bad exponent"))?;
-                            value = value
-                                .checked_mul(10i64.checked_pow(exp).ok_or_else(|| {
-                                    CompileError::new(pos, "exponent overflow")
-                                })?)
-                                .ok_or_else(|| CompileError::new(pos, "integer overflow"))?;
+                            value =
+                                value
+                                    .checked_mul(10i64.checked_pow(exp).ok_or_else(|| {
+                                        CompileError::new(pos, "exponent overflow")
+                                    })?)
+                                    .ok_or_else(|| CompileError::new(pos, "integer overflow"))?;
                         }
                         _ => {}
                     }
@@ -107,9 +108,7 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, CompileError> {
             }
             b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
                 let start = i;
-                while i < bytes.len()
-                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
-                {
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
                     bump!();
                 }
                 let w = std::str::from_utf8(&bytes[start..i]).unwrap().to_string();
@@ -248,12 +247,7 @@ mod tests {
     fn words_and_ints() {
         assert_eq!(
             toks("task 0 sends"),
-            vec![
-                Tok::Word("task".into()),
-                Tok::Int(0),
-                Tok::Word("sends".into()),
-                Tok::Eof
-            ]
+            vec![Tok::Word("task".into()), Tok::Int(0), Tok::Word("sends".into()), Tok::Eof]
         );
     }
 
@@ -268,10 +262,7 @@ mod tests {
     #[test]
     fn m_suffix_does_not_eat_words() {
         // `128 Mb` style: suffix only applies when not starting a word.
-        assert_eq!(
-            toks("10 ms"),
-            vec![Tok::Int(10), Tok::Word("ms".into()), Tok::Eof]
-        );
+        assert_eq!(toks("10 ms"), vec![Tok::Int(10), Tok::Word("ms".into()), Tok::Eof]);
     }
 
     #[test]

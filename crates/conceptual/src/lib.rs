@@ -32,6 +32,7 @@
 //! ```
 
 pub mod ast;
+pub mod diag;
 pub mod error;
 pub mod eval;
 pub mod lexer;
@@ -43,6 +44,7 @@ pub use ast::{
     Aggregate, AssertDecl, BinOp, Builtin, Cond, Expr, LogEntry, MsgAttrs, ParamDecl, Program,
     RelOp, Stmt, TaskSel, TimeUnit,
 };
+pub use diag::{Diagnostic, Report, Severity};
 pub use error::{CompileError, EvalError};
 pub use eval::{eval, eval_cond, Env};
 
@@ -57,11 +59,7 @@ pub fn compile(src: &str) -> Result<Program, CompileError> {
 /// arguments (e.g. `["--msgsize", "4096", "-r", "10"]`), returning an
 /// evaluation environment with every parameter bound (to its default when
 /// not overridden) plus `num_tasks`.
-pub fn bind_args(
-    prog: &Program,
-    num_tasks: u32,
-    args: &[&str],
-) -> Result<Env, CompileError> {
+pub fn bind_args(prog: &Program, num_tasks: u32, args: &[&str]) -> Result<Env, CompileError> {
     let mut env = Env::with_num_tasks(num_tasks);
     env.bind("elapsed_usecs", 0);
     env.bind("bytes_sent", 0);
@@ -72,9 +70,11 @@ pub fn bind_args(
     let mut i = 0;
     while i < args.len() {
         let flag = args[i];
-        let Some(p) = prog.params.iter().find(|p| {
-            p.long_flag == flag || p.short_flag.as_deref() == Some(flag)
-        }) else {
+        let Some(p) = prog
+            .params
+            .iter()
+            .find(|p| p.long_flag == flag || p.short_flag.as_deref() == Some(flag))
+        else {
             return Err(CompileError::new(
                 Default::default(),
                 format!("unknown argument `{flag}`"),
@@ -94,9 +94,9 @@ pub fn bind_args(
     }
     // Re-check asserts now that parameters are known.
     for a in &prog.asserts {
-        if !eval_cond(&a.cond, &env).map_err(|e| {
-            CompileError::new(Default::default(), e.to_string())
-        })? {
+        if !eval_cond(&a.cond, &env)
+            .map_err(|e| CompileError::new(Default::default(), e.to_string()))?
+        {
             return Err(CompileError::new(
                 Default::default(),
                 format!("assertion failed: {}", a.message),

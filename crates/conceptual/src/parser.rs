@@ -54,11 +54,37 @@ use crate::token::{Pos, Spanned, Tok};
 /// Words that end a task-selector binding (so `all tasks send …` does not
 /// bind `send` as a variable).
 const VERBS: &[&str] = &[
-    "send", "sends", "receive", "receives", "multicast", "multicasts", "reduce", "reduces",
-    "synchronize", "synchronizes", "compute", "computes", "sleep", "sleeps", "await", "awaits",
-    "reset", "resets", "log", "logs", "touch", "touches", "asynchronously", "are", "is",
+    "send",
+    "sends",
+    "receive",
+    "receives",
+    "multicast",
+    "multicasts",
+    "reduce",
+    "reduces",
+    "synchronize",
+    "synchronizes",
+    "compute",
+    "computes",
+    "sleep",
+    "sleeps",
+    "await",
+    "awaits",
+    "reset",
+    "resets",
+    "log",
+    "logs",
+    "touch",
+    "touches",
+    "asynchronously",
+    "are",
+    "is",
     // structural words that may follow a selector in target position
-    "then", "to", "from", "otherwise", "while",
+    "then",
+    "to",
+    "from",
+    "otherwise",
+    "while",
 ];
 
 /// Parse a complete program from source text.
@@ -167,6 +193,7 @@ impl Parser {
     fn program(&mut self) -> Result<Program, CompileError> {
         let mut prog = Program::default();
         while self.peek() != &Tok::Eof {
+            let pos = self.here();
             if self.at_word("require") {
                 self.next();
                 self.expect_word("language")?;
@@ -181,12 +208,15 @@ impl Parser {
                 let cond = self.cond()?;
                 self.expect(&Tok::Period)?;
                 prog.asserts.push(AssertDecl { message, cond });
+                prog.assert_pos.push(pos);
             } else if matches!(self.peek(), Tok::Word(_)) && self.is_param_decl() {
                 prog.params.push(self.param_decl()?);
+                prog.param_pos.push(pos);
             } else {
                 let s = self.stmt()?;
                 self.expect(&Tok::Period)?;
                 prog.stmts.push(s);
+                prog.stmt_pos.push(pos);
             }
         }
         Ok(prog)
@@ -196,10 +226,7 @@ impl Parser {
     fn is_param_decl(&self) -> bool {
         matches!(self.peek(), Tok::Word(_))
             && matches!(self.peek2(), Tok::Word(w) if w.eq_ignore_ascii_case("is"))
-            && matches!(
-                self.toks.get(self.pos + 2).map(|s| &s.tok),
-                Some(Tok::Str(_))
-            )
+            && matches!(self.toks.get(self.pos + 2).map(|s| &s.tok), Some(Tok::Str(_)))
     }
 
     fn param_decl(&mut self) -> Result<ParamDecl, CompileError> {
@@ -254,11 +281,8 @@ impl Parser {
             let cond = self.cond()?;
             self.expect_word("then")?;
             let then = Box::new(self.simple()?);
-            let els = if self.eat_word("otherwise") {
-                Some(Box::new(self.simple()?))
-            } else {
-                None
-            };
+            let els =
+                if self.eat_word("otherwise") { Some(Box::new(self.simple()?)) } else { None };
             return Ok(Stmt::If { cond, then, els });
         }
         if self.at_word("let") {
@@ -555,18 +579,10 @@ impl Parser {
         let left = self.expr()?;
         if self.eat_word("is") {
             if self.eat_word("even") {
-                return Ok(Cond::Rel(
-                    RelOp::Eq,
-                    left.rem(Expr::Int(2)),
-                    Expr::Int(0),
-                ));
+                return Ok(Cond::Rel(RelOp::Eq, left.rem(Expr::Int(2)), Expr::Int(0)));
             }
             if self.eat_word("odd") {
-                return Ok(Cond::Rel(
-                    RelOp::Ne,
-                    left.rem(Expr::Int(2)),
-                    Expr::Int(0),
-                ));
+                return Ok(Cond::Rel(RelOp::Ne, left.rem(Expr::Int(2)), Expr::Int(0)));
             }
             return self.err("expected `even` or `odd` after `is`");
         }
@@ -696,7 +712,7 @@ mod tests {
 
     /// The paper's Figure 1 ping-pong program (with braces around the loop
     /// body — see module docs).
-    pub const PING_PONG: &str = r#"
+    const PING_PONG: &str = r#"
 # A ping-pong latency test written in coNCePTuaL
 Require language version "1.5".
 
@@ -759,8 +775,7 @@ then task 0 computes aggregates.
 
     #[test]
     fn parses_reduce_to_all_tasks() {
-        let prog =
-            parse("all tasks reduce a 28 megabyte message to all tasks.").unwrap();
+        let prog = parse("all tasks reduce a 28 megabyte message to all tasks.").unwrap();
         let Stmt::Reduce { tasks, target, size } = &prog.stmts[0] else { panic!() };
         assert_eq!(tasks, &TaskSel::All(None));
         assert_eq!(target, &TaskSel::All(None));
@@ -777,10 +792,9 @@ then task 0 computes aggregates.
 
     #[test]
     fn parses_compute_and_sleep() {
-        let prog = parse(
-            "all tasks compute for 129 milliseconds then task 0 sleeps for 5 microseconds.",
-        )
-        .unwrap();
+        let prog =
+            parse("all tasks compute for 129 milliseconds then task 0 sleeps for 5 microseconds.")
+                .unwrap();
         let Stmt::Seq(parts) = &prog.stmts[0] else { panic!() };
         let Stmt::Compute { unit, .. } = &parts[0] else { panic!() };
         assert_eq!(*unit, TimeUnit::Milliseconds);
@@ -790,10 +804,9 @@ then task 0 computes aggregates.
 
     #[test]
     fn parses_such_that_and_conditions() {
-        let prog = parse(
-            "tasks t such that t is even /\\ t < 10 send a 8 byte message to task t+1.",
-        )
-        .unwrap();
+        let prog =
+            parse("tasks t such that t is even /\\ t < 10 send a 8 byte message to task t+1.")
+                .unwrap();
         let Stmt::Send { src, .. } = &prog.stmts[0] else { panic!() };
         let TaskSel::SuchThat(v, cond) = src else { panic!() };
         assert_eq!(v, "t");

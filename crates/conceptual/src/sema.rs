@@ -5,8 +5,13 @@
 //!   predeclared variables, and enclosing `let`/loop/selector bindings);
 //! * duplicate parameter declarations or flags;
 //! * `all other tasks` used anywhere except as a multicast/send target.
+//!
+//! Every error carries the source position of the sentence (or parameter
+//! or assertion) it was found in, recorded by the parser in
+//! [`Program::pos_of_stmt`] and friends.
 
 use crate::ast::*;
+use crate::diag::Report;
 use crate::error::CompileError;
 use crate::token::Pos;
 use std::collections::HashSet;
@@ -19,130 +24,149 @@ pub const PREDECLARED: &[&str] = &["num_tasks", "elapsed_usecs", "bytes_sent", "
 pub fn check(prog: &Program) -> Result<HashSet<String>, CompileError> {
     let mut params: HashSet<String> = HashSet::new();
     let mut flags: HashSet<String> = HashSet::new();
-    for p in &prog.params {
+    for (i, p) in prog.params.iter().enumerate() {
+        let pos = prog.pos_of_param(i);
         if !params.insert(p.name.clone()) {
-            return Err(err(format!("duplicate parameter `{}`", p.name)));
+            return Err(err(pos, format!("duplicate parameter `{}`", p.name)));
         }
         if !flags.insert(p.long_flag.clone()) {
-            return Err(err(format!("duplicate flag `{}`", p.long_flag)));
+            return Err(err(pos, format!("duplicate flag `{}`", p.long_flag)));
         }
         if let Some(s) = &p.short_flag {
             if !flags.insert(s.clone()) {
-                return Err(err(format!("duplicate flag `{s}`")));
+                return Err(err(pos, format!("duplicate flag `{s}`")));
             }
         }
         if PREDECLARED.contains(&p.name.as_str()) {
-            return Err(err(format!("parameter `{}` shadows a predeclared variable", p.name)));
+            return Err(err(pos, format!("parameter `{}` shadows a predeclared variable", p.name)));
         }
     }
 
     let mut scope: Vec<String> = params.iter().cloned().collect();
     scope.extend(PREDECLARED.iter().map(|s| s.to_string()));
 
-    for a in &prog.asserts {
-        check_cond(&a.cond, &scope)?;
+    for (i, a) in prog.asserts.iter().enumerate() {
+        check_cond(&a.cond, &scope, prog.pos_of_assert(i))?;
     }
-    for s in &prog.stmts {
-        check_stmt(s, &mut scope)?;
+    for (i, s) in prog.stmts.iter().enumerate() {
+        check_stmt(s, &mut scope, prog.pos_of_stmt(i))?;
     }
     Ok(params)
 }
 
-fn err(msg: String) -> CompileError {
-    CompileError::new(Pos::default(), msg)
+/// Run the same checks, reporting through the shared diagnostic type used
+/// by `union-lint` — so front-end errors and whole-program lint findings
+/// render identically.
+pub fn check_report(prog: &Program) -> Report {
+    match check(prog) {
+        Ok(_) => Report::new(),
+        Err(e) => Report::from(crate::diag::Diagnostic::from(e)),
+    }
 }
 
-fn check_stmt(stmt: &Stmt, scope: &mut Vec<String>) -> Result<(), CompileError> {
+fn err(pos: Pos, msg: String) -> CompileError {
+    CompileError::new(pos, msg)
+}
+
+fn check_stmt(stmt: &Stmt, scope: &mut Vec<String>, pos: Pos) -> Result<(), CompileError> {
     match stmt {
         Stmt::Seq(parts) => {
             for p in parts {
-                check_stmt(p, scope)?;
+                check_stmt(p, scope, pos)?;
             }
             Ok(())
         }
         Stmt::For { reps, body, .. } => {
-            check_expr(reps, scope)?;
-            check_stmt(body, scope)
+            check_expr(reps, scope, pos)?;
+            check_stmt(body, scope, pos)
         }
         Stmt::ForEach { var, from, to, body } => {
-            check_expr(from, scope)?;
-            check_expr(to, scope)?;
+            check_expr(from, scope, pos)?;
+            check_expr(to, scope, pos)?;
             scope.push(var.clone());
-            let r = check_stmt(body, scope);
+            let r = check_stmt(body, scope, pos);
             scope.pop();
             r
         }
         Stmt::If { cond, then, els } => {
-            check_cond(cond, scope)?;
-            check_stmt(then, scope)?;
+            check_cond(cond, scope, pos)?;
+            check_stmt(then, scope, pos)?;
             if let Some(e) = els {
-                check_stmt(e, scope)?;
+                check_stmt(e, scope, pos)?;
             }
             Ok(())
         }
         Stmt::Let { var, value, body } => {
-            check_expr(value, scope)?;
+            check_expr(value, scope, pos)?;
             scope.push(var.clone());
-            let r = check_stmt(body, scope);
+            let r = check_stmt(body, scope, pos);
             scope.pop();
             r
         }
         Stmt::Send { src, count, size, dst, .. }
         | Stmt::Receive { dst: src, count, size, src: dst, .. } => {
-            let popped = check_sel(src, scope, false)?;
-            check_expr(count, scope)?;
-            check_expr(size, scope)?;
-            check_sel(dst, scope, true)?.then(|| scope.pop());
+            let popped = check_sel(src, scope, false, pos)?;
+            check_expr(count, scope, pos)?;
+            check_expr(size, scope, pos)?;
+            if check_sel(dst, scope, true, pos)? {
+                scope.pop();
+            }
             if popped {
                 scope.pop();
             }
             Ok(())
         }
         Stmt::Multicast { src, size, dst } => {
-            let popped = check_sel(src, scope, false)?;
-            check_expr(size, scope)?;
-            check_sel(dst, scope, true)?.then(|| scope.pop());
+            let popped = check_sel(src, scope, false, pos)?;
+            check_expr(size, scope, pos)?;
+            if check_sel(dst, scope, true, pos)? {
+                scope.pop();
+            }
             if popped {
                 scope.pop();
             }
             Ok(())
         }
         Stmt::Reduce { tasks, size, target } => {
-            let popped = check_sel(tasks, scope, false)?;
-            check_expr(size, scope)?;
-            check_sel(target, scope, false)?.then(|| scope.pop());
+            let popped = check_sel(tasks, scope, false, pos)?;
+            check_expr(size, scope, pos)?;
+            if check_sel(target, scope, false, pos)? {
+                scope.pop();
+            }
             if popped {
                 scope.pop();
             }
             Ok(())
         }
-        Stmt::Sync(sel) | Stmt::AwaitCompletions(sel) | Stmt::Reset(sel)
+        Stmt::Sync(sel)
+        | Stmt::AwaitCompletions(sel)
+        | Stmt::Reset(sel)
         | Stmt::ComputeAggregates(sel) => {
-            if check_sel(sel, scope, false)? {
+            if check_sel(sel, scope, false, pos)? {
                 scope.pop();
             }
             Ok(())
         }
         Stmt::Compute { tasks, amount, .. } | Stmt::Sleep { tasks, amount, .. } => {
-            let popped = check_sel(tasks, scope, false)?;
-            check_expr(amount, scope)?;
+            let popped = check_sel(tasks, scope, false, pos)?;
+            check_expr(amount, scope, pos)?;
             if popped {
                 scope.pop();
             }
             Ok(())
         }
         Stmt::Touch(sel, size) => {
-            let popped = check_sel(sel, scope, false)?;
-            check_expr(size, scope)?;
+            let popped = check_sel(sel, scope, false, pos)?;
+            check_expr(size, scope, pos)?;
             if popped {
                 scope.pop();
             }
             Ok(())
         }
         Stmt::Log(sel, entries) => {
-            let popped = check_sel(sel, scope, false)?;
+            let popped = check_sel(sel, scope, false, pos)?;
             for e in entries {
-                check_expr(&e.value, scope)?;
+                check_expr(&e.value, scope, pos)?;
             }
             if popped {
                 scope.pop();
@@ -159,6 +183,7 @@ fn check_sel(
     sel: &TaskSel,
     scope: &mut Vec<String>,
     target_pos: bool,
+    pos: Pos,
 ) -> Result<bool, CompileError> {
     match sel {
         TaskSel::All(None) => Ok(false),
@@ -167,64 +192,64 @@ fn check_sel(
             Ok(true)
         }
         TaskSel::Single(e) => {
-            check_expr(e, scope)?;
+            check_expr(e, scope, pos)?;
             Ok(false)
         }
         TaskSel::SuchThat(v, cond) => {
             scope.push(v.clone());
-            check_cond(cond, scope)?;
+            check_cond(cond, scope, pos)?;
             Ok(true)
         }
         TaskSel::AllOthers => {
             if target_pos {
                 Ok(false)
             } else {
-                Err(err("`all other tasks` is only valid as a message target".into()))
+                Err(err(pos, "`all other tasks` is only valid as a message target".into()))
             }
         }
     }
 }
 
-fn check_expr(expr: &Expr, scope: &[String]) -> Result<(), CompileError> {
+fn check_expr(expr: &Expr, scope: &[String], pos: Pos) -> Result<(), CompileError> {
     match expr {
         Expr::Int(_) => Ok(()),
         Expr::Var(v) => {
             if scope.iter().any(|s| s == v) {
                 Ok(())
             } else {
-                Err(err(format!("unbound variable `{v}`")))
+                Err(err(pos, format!("unbound variable `{v}`")))
             }
         }
-        Expr::Neg(e) => check_expr(e, scope),
+        Expr::Neg(e) => check_expr(e, scope, pos),
         Expr::Bin(_, a, b) => {
-            check_expr(a, scope)?;
-            check_expr(b, scope)
+            check_expr(a, scope, pos)?;
+            check_expr(b, scope, pos)
         }
         Expr::Call(_, args) => {
             for a in args {
-                check_expr(a, scope)?;
+                check_expr(a, scope, pos)?;
             }
             Ok(())
         }
         Expr::IfElse(c, a, b) => {
-            check_cond(c, scope)?;
-            check_expr(a, scope)?;
-            check_expr(b, scope)
+            check_cond(c, scope, pos)?;
+            check_expr(a, scope, pos)?;
+            check_expr(b, scope, pos)
         }
     }
 }
 
-fn check_cond(cond: &Cond, scope: &[String]) -> Result<(), CompileError> {
+fn check_cond(cond: &Cond, scope: &[String], pos: Pos) -> Result<(), CompileError> {
     match cond {
         Cond::True => Ok(()),
-        Cond::Not(c) => check_cond(c, scope),
+        Cond::Not(c) => check_cond(c, scope, pos),
         Cond::And(a, b) | Cond::Or(a, b) => {
-            check_cond(a, scope)?;
-            check_cond(b, scope)
+            check_cond(a, scope, pos)?;
+            check_cond(b, scope, pos)
         }
         Cond::Rel(_, a, b) => {
-            check_expr(a, scope)?;
-            check_expr(b, scope)
+            check_expr(a, scope, pos)?;
+            check_expr(b, scope, pos)
         }
     }
 }
@@ -250,6 +275,52 @@ mod tests {
         let p = parse("task 0 sends a mystery byte message to task 1.").unwrap();
         let e = check(&p).unwrap_err();
         assert!(e.message.contains("mystery"));
+    }
+
+    #[test]
+    fn errors_carry_sentence_positions() {
+        // The bad sentence starts on line 2 — the error must point there,
+        // not at the 0:0 placeholder.
+        let p = parse(
+            "all tasks synchronize.\n\
+             task 0 sends a mystery byte message to task 1.",
+        )
+        .unwrap();
+        let e = check(&p).unwrap_err();
+        assert_eq!(e.pos.line, 2, "got {}", e);
+        assert!(e.to_string().starts_with("2:"), "got {}", e);
+    }
+
+    #[test]
+    fn param_errors_carry_positions() {
+        let p = parse(
+            "n is \"a\" and comes from \"--n\" with default 1.\n\
+             n is \"b\" and comes from \"--m\" with default 2.",
+        )
+        .unwrap();
+        let e = check(&p).unwrap_err();
+        assert_eq!(e.pos.line, 2, "got {}", e);
+    }
+
+    #[test]
+    fn assert_errors_carry_positions() {
+        let p = parse(
+            "all tasks synchronize.\n\
+             Assert that \"x\" with nope > 0.",
+        )
+        .unwrap();
+        let e = check(&p).unwrap_err();
+        assert_eq!(e.pos.line, 2, "got {}", e);
+    }
+
+    #[test]
+    fn check_report_shares_diagnostic_format() {
+        let p = parse("task 0 sends a mystery byte message to task 1.").unwrap();
+        let r = check_report(&p);
+        assert!(r.has_errors());
+        let line = r.render();
+        assert!(line.starts_with("error[compile] 1:"), "got {line}");
+        assert!(check_report(&parse("all tasks synchronize.").unwrap()).is_empty());
     }
 
     #[test]
@@ -290,10 +361,8 @@ mod tests {
         let p = parse("all tasks t send a t byte message to task t+1.").unwrap();
         check(&p).unwrap();
         // …but not after the sentence.
-        let p = parse(
-            "all tasks t synchronize then task t sends a 4 byte message to task 0.",
-        )
-        .unwrap();
+        let p =
+            parse("all tasks t synchronize then task t sends a 4 byte message to task 0.").unwrap();
         assert!(check(&p).is_err());
     }
 

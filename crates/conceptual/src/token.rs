@@ -1,9 +1,10 @@
 //! Token definitions for the coNCePTuaL-style language.
 
+use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Source position (1-based line and column) for diagnostics.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
 pub struct Pos {
     pub line: u32,
     pub col: u32,
@@ -48,8 +49,8 @@ pub enum Tok {
     /// `>>` and `<<` — shifts.
     Shr,
     Shl,
-    Eq,        // =
-    Ne,        // <>
+    Eq, // =
+    Ne, // <>
     Lt,
     Le,
     Gt,

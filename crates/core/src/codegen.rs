@@ -293,8 +293,7 @@ mod tests {
 
     #[test]
     fn renders_compute_as_union_compute() {
-        let skel =
-            translate_source("all tasks compute for 129 milliseconds.", "c").unwrap();
+        let skel = translate_source("all tasks compute for 129 milliseconds.", "c").unwrap();
         let c = render_c(&skel);
         assert!(c.contains("UNION_Compute((129 * 1000000))"), "{c}");
     }

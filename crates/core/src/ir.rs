@@ -62,13 +62,7 @@ pub enum LeafOp {
     /// `count` messages of `bytes` bytes to the rank(s) selected by `dst`
     /// (evaluated with the source's selector variable bound). Receivers
     /// post matching receives — coNCePTuaL's implicit-receive semantics.
-    Message {
-        src: Sel,
-        dst: Sel,
-        count: Expr,
-        bytes: Expr,
-        mode: MsgMode,
-    },
+    Message { src: Sel, dst: Sel, count: Expr, bytes: Expr, mode: MsgMode },
     /// One-to-many broadcast rooted at `root` over all ranks.
     Multicast { root: Expr, bytes: Expr },
     /// Reduction over all ranks.
@@ -104,15 +98,27 @@ pub enum Instr {
     },
     /// Loop back-edge: advance the counter and jump to `start + 1` while
     /// iterations remain.
-    LoopEnd { start: usize },
+    LoopEnd {
+        start: usize,
+    },
     /// If the condition is false, jump to `else_pc`.
-    Branch { cond: Cond, else_pc: usize },
+    Branch {
+        cond: Cond,
+        else_pc: usize,
+    },
     /// Unconditional jump.
-    Jump { pc: usize },
+    Jump {
+        pc: usize,
+    },
     /// Push a `let` binding.
-    Bind { var: String, value: Expr },
+    Bind {
+        var: String,
+        value: Expr,
+    },
     /// Pop the innermost binding of `var`.
-    Unbind { var: String },
+    Unbind {
+        var: String,
+    },
 }
 
 /// A compiled skeleton: name + parameter declarations + bytecode. This is
@@ -269,12 +275,7 @@ impl Builder {
     }
 
     /// `for i in 0..reps { body }` binding `var` to the iteration index.
-    pub fn loop_idx(
-        self,
-        var: &str,
-        reps: Expr,
-        body: impl FnOnce(Builder) -> Builder,
-    ) -> Builder {
+    pub fn loop_idx(self, var: &str, reps: Expr, body: impl FnOnce(Builder) -> Builder) -> Builder {
         self.loop_var(reps, Some(var.to_string()), body)
     }
 
@@ -334,9 +335,7 @@ mod tests {
     #[test]
     fn nested_loops() {
         let skel = Builder::new("x")
-            .loop_idx("i", Expr::lit(2), |b| {
-                b.loop_idx("j", Expr::lit(3), |b| b.barrier())
-            })
+            .loop_idx("i", Expr::lit(2), |b| b.loop_idx("j", Expr::lit(3), |b| b.barrier()))
             .build()
             .unwrap();
         let Instr::LoopStart { end, .. } = &skel.code[0] else { panic!() };
@@ -347,11 +346,8 @@ mod tests {
 
     #[test]
     fn validate_catches_bad_jumps() {
-        let skel = Skeleton {
-            name: "bad".into(),
-            params: vec![],
-            code: vec![Instr::Jump { pc: 99 }],
-        };
+        let skel =
+            Skeleton { name: "bad".into(), params: vec![], code: vec![Instr::Jump { pc: 99 }] };
         assert!(skel.validate().is_err());
     }
 }

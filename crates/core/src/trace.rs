@@ -54,11 +54,7 @@ impl Trace {
     /// trace-driven simulation.
     pub fn record(inst: &Arc<crate::vm::SkeletonInstance>, seed: u64) -> Trace {
         let n = inst.num_tasks;
-        Trace {
-            ops: (0..n)
-                .map(|r| RankVm::new(inst.clone(), r, seed).collect())
-                .collect(),
-        }
+        Trace { ops: (0..n).map(|r| RankVm::new(inst.clone(), r, seed).collect()).collect() }
     }
 
     /// Serialize as JSON lines (one record per line, DUMPI-style: flat,
@@ -251,10 +247,7 @@ mod tests {
         let trace = Trace::record(&inst, 1);
         let skeleton_size = serde_json::to_vec(&skel).unwrap().len() as u64;
         let trace_size = trace.jsonl_size();
-        assert!(
-            trace_size > 50 * skeleton_size,
-            "trace {trace_size} vs skeleton {skeleton_size}"
-        );
+        assert!(trace_size > 50 * skeleton_size, "trace {trace_size} vs skeleton {skeleton_size}");
     }
 
     #[test]
@@ -277,9 +270,7 @@ mod tests {
     #[test]
     fn synthetic_randomness_is_captured_by_the_trace() {
         let skel = crate::ir::Builder::new("ur")
-            .loop_n(conceptual::Expr::lit(5), |b| {
-                b.send_random(conceptual::Expr::lit(100), true)
-            })
+            .loop_n(conceptual::Expr::lit(5), |b| b.send_random(conceptual::Expr::lit(100), true))
             .build()
             .unwrap();
         let inst = SkeletonInstance::new(&skel, 8, &[]).unwrap();

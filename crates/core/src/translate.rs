@@ -21,8 +21,7 @@ pub fn translate(prog: &Program, name: &str) -> Result<Skeleton, CompileError> {
         lower_stmt(s, &mut code)?;
     }
     let skel = Skeleton { name: name.to_string(), params: prog.params.clone(), code };
-    skel.validate()
-        .map_err(|e| CompileError::new(Default::default(), e))?;
+    skel.validate().map_err(|e| CompileError::new(Default::default(), e))?;
     Ok(skel)
 }
 
@@ -141,10 +140,8 @@ fn lower_stmt(stmt: &Stmt, code: &mut Vec<Instr>) -> Result<(), CompileError> {
             }));
         }
         Stmt::Receive { .. } => {
-            return err(
-                "explicit `receives` clauses are not needed: Union generates the \
-                 matching receive for every send (implicit-receive semantics)",
-            );
+            return err("explicit `receives` clauses are not needed: Union generates the \
+                 matching receive for every send (implicit-receive semantics)");
         }
         Stmt::Multicast { src, size, dst } => {
             let TaskSel::Single(root) = src else {
@@ -153,10 +150,7 @@ fn lower_stmt(stmt: &Stmt, code: &mut Vec<Instr>) -> Result<(), CompileError> {
             if !matches!(dst, TaskSel::All(_) | TaskSel::AllOthers) {
                 return err("multicast target must be `all tasks` or `all other tasks`");
             }
-            code.push(Instr::Leaf(LeafOp::Multicast {
-                root: root.clone(),
-                bytes: size.clone(),
-            }));
+            code.push(Instr::Leaf(LeafOp::Multicast { root: root.clone(), bytes: size.clone() }));
         }
         Stmt::Reduce { tasks, size, target } => {
             require_all(tasks, "reduction")?;
@@ -200,10 +194,7 @@ fn lower_stmt(stmt: &Stmt, code: &mut Vec<Instr>) -> Result<(), CompileError> {
         Stmt::Touch(tasks, _size) => {
             // Memory touching has no network effect; model as zero-cost
             // compute to preserve control flow.
-            code.push(Instr::Leaf(LeafOp::Compute {
-                tasks: sel_of(tasks),
-                ns: Expr::lit(0),
-            }));
+            code.push(Instr::Leaf(LeafOp::Compute { tasks: sel_of(tasks), ns: Expr::lit(0) }));
         }
         Stmt::Empty => {}
     }
@@ -232,10 +223,7 @@ mod tests {
         assert_eq!(skel.code.len(), 6);
         assert!(matches!(skel.code[0], Instr::LoopStart { .. }));
         assert!(matches!(skel.code[4], Instr::LoopEnd { .. }));
-        assert!(matches!(
-            skel.code[5],
-            Instr::Leaf(LeafOp::Aggregates { .. })
-        ));
+        assert!(matches!(skel.code[5], Instr::Leaf(LeafOp::Aggregates { .. })));
     }
 
     #[test]
@@ -264,37 +252,29 @@ mod tests {
     #[test]
     fn rejects_subset_collectives() {
         assert!(translate_source("task 0 synchronizes.", "t").is_err());
-        assert!(
-            translate_source("tasks t such that t < 4 reduce a 8 byte message to task 0.", "t")
-                .is_err()
-        );
+        assert!(translate_source(
+            "tasks t such that t < 4 reduce a 8 byte message to task 0.",
+            "t"
+        )
+        .is_err());
     }
 
     #[test]
     fn rejects_explicit_receives() {
-        assert!(
-            translate_source("task 1 receives a 4 byte message from task 0.", "t").is_err()
-        );
+        assert!(translate_source("task 1 receives a 4 byte message from task 0.", "t").is_err());
     }
 
     #[test]
     fn multicast_requires_single_root() {
-        assert!(translate_source(
-            "all tasks multicast a 4 byte message to all tasks.",
-            "t"
-        )
-        .is_err());
-        assert!(translate_source(
-            "task 0 multicasts a 4 byte message to task 1.",
-            "t"
-        )
-        .is_err());
+        assert!(
+            translate_source("all tasks multicast a 4 byte message to all tasks.", "t").is_err()
+        );
+        assert!(translate_source("task 0 multicasts a 4 byte message to task 1.", "t").is_err());
     }
 
     #[test]
     fn compute_units_scale_to_ns() {
-        let skel =
-            translate_source("all tasks compute for 129 milliseconds.", "t").unwrap();
+        let skel = translate_source("all tasks compute for 129 milliseconds.", "t").unwrap();
         let Instr::Leaf(LeafOp::Compute { ns, .. }) = &skel.code[0] else { panic!() };
         assert_eq!(ns, &Expr::lit(129).mul(Expr::lit(1_000_000)));
     }

@@ -124,11 +124,8 @@ fn group_ranks(bytes: &[u64]) -> Vec<(String, usize)> {
     let mut start = 0usize;
     for i in 1..=bytes.len() {
         if i == bytes.len() || bytes[i] != bytes[start] {
-            let label = if i - start == 1 {
-                format!("{start}")
-            } else {
-                format!("{start} to {}", i - 1)
-            };
+            let label =
+                if i - start == 1 { format!("{start}") } else { format!("{start} to {}", i - 1) };
             out.push((label, start));
             start = i;
         }
@@ -181,10 +178,7 @@ mod tests {
 
     #[test]
     fn table_rendering_groups_ranks() {
-        let v = validate_src(
-            "task 0 multicasts a 100 byte message to all other tasks.",
-            4,
-        );
+        let v = validate_src("task 0 multicasts a 100 byte message to all other tasks.", 4);
         let t = Validation::table5(&v, &v);
         assert!(t.contains("| 0 |"), "{t}");
         assert!(t.contains("| 1 to 3 |"), "{t}");
@@ -192,14 +186,9 @@ mod tests {
 
     #[test]
     fn control_flow_capture() {
-        let v = validate_src(
-            "task 0 sends a 4 byte message to task 1 then all tasks synchronize.",
-            2,
-        );
-        assert_eq!(
-            v.control_flow,
-            vec!["MPI_Init", "MPI_Send", "MPI_Barrier", "MPI_Finalize"]
-        );
+        let v =
+            validate_src("task 0 sends a 4 byte message to task 1 then all tasks synchronize.", 2);
+        assert_eq!(v.control_flow, vec!["MPI_Init", "MPI_Send", "MPI_Barrier", "MPI_Finalize"]);
     }
 
     #[test]

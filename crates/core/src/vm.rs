@@ -76,8 +76,7 @@ impl SkeletonInstance {
     fn resolve_static_messages(&mut self) -> Result<(), String> {
         let n = self.num_tasks;
         for pc in 0..self.code.len() {
-            let Instr::Leaf(LeafOp::Message { src, dst, count, bytes, .. }) = &self.code[pc]
-            else {
+            let Instr::Leaf(LeafOp::Message { src, dst, count, bytes, .. }) = &self.code[pc] else {
                 continue;
             };
             if !message_is_static(src, dst, count, bytes, &self.base_env) {
@@ -195,8 +194,12 @@ fn cond_vars(c: &Cond, out: &mut HashSet<String>) {
 /// Enumerate (src, dst, bytes, copies) pairs of a Message leaf, calling
 /// `emit` for each. `only_src` restricts enumeration to one source rank
 /// (used on the dynamic path for the send side).
+///
+/// Public so `union-lint`'s symbolic expander shares the exact pair
+/// semantics of the simulator — including the deliberate silent skip of
+/// out-of-range `Single` destinations (mesh edges).
 #[allow(clippy::too_many_arguments)]
-fn enumerate_pairs(
+pub fn enumerate_pairs(
     src: &Sel,
     dst: &Sel,
     count: &Expr,
@@ -404,10 +407,7 @@ impl RankVm {
                     }
                 }
                 Instr::LoopEnd { start } => {
-                    let frame = self
-                        .loops
-                        .last_mut()
-                        .expect("LoopEnd without matching LoopStart");
+                    let frame = self.loops.last_mut().expect("LoopEnd without matching LoopStart");
                     debug_assert_eq!(frame.start, start);
                     if frame.remaining > 0 {
                         frame.remaining -= 1;
@@ -608,14 +608,20 @@ impl RankVm {
             // require scanning all potential sources.
             let mut env = self.env.clone();
             let rank_u = rank;
-            enumerate_pairs(src, dst, count, bytes, n, &mut env, Some(rank_u), &mut |s,
-                                                                                     d,
-                                                                                     b,
-                                                                                     c| {
-                if s == rank_u {
-                    sends.push((d, b, c));
-                }
-            })
+            enumerate_pairs(
+                src,
+                dst,
+                count,
+                bytes,
+                n,
+                &mut env,
+                Some(rank_u),
+                &mut |s, d, b, c| {
+                    if s == rank_u {
+                        sends.push((d, b, c));
+                    }
+                },
+            )
             .unwrap_or_else(|e| panic!("{}[rank {rank} pc {pc}]: {e}", self.inst.name));
             // Receive side: enumerate every source unless src is Single.
             let mut env = self.env.clone();
@@ -743,10 +749,8 @@ mod tests {
         )
         .unwrap();
         let inst = SkeletonInstance::new(&skel, 2, &["--reps", "5"]).unwrap();
-        let sends = ops(RankVm::new(inst, 0, 1))
-            .iter()
-            .filter(|o| matches!(o, MpiOp::Send { .. }))
-            .count();
+        let sends =
+            ops(RankVm::new(inst, 0, 1)).iter().filter(|o| matches!(o, MpiOp::Send { .. })).count();
         assert_eq!(sends, 5);
     }
 
@@ -852,10 +856,7 @@ mod tests {
                 assert!(*dst < 8);
             }
         }
-        assert_eq!(
-            a.iter().filter(|o| matches!(o, MpiOp::SyntheticSend { .. })).count(),
-            10
-        );
+        assert_eq!(a.iter().filter(|o| matches!(o, MpiOp::SyntheticSend { .. })).count(), 10);
     }
 
     #[test]
@@ -880,11 +881,9 @@ mod tests {
 
     #[test]
     fn such_that_selectors() {
-        let skel = translate_source(
-            "tasks t such that t is even send a 4 byte message to task t+1.",
-            "t",
-        )
-        .unwrap();
+        let skel =
+            translate_source("tasks t such that t is even send a 4 byte message to task t+1.", "t")
+                .unwrap();
         let inst = SkeletonInstance::new(&skel, 4, &[]).unwrap();
         let r0 = ops(RankVm::new(inst.clone(), 0, 1));
         assert!(r0.contains(&MpiOp::Send { dst: 1, bytes: 4, tag: 0 }));

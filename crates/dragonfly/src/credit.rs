@@ -18,7 +18,7 @@
 
 use crate::config::LinkClass;
 use crate::packet::Packet;
-use crate::router::{Forward, Routing, RouterState};
+use crate::router::{Forward, RouterState, Routing};
 use crate::topology::{Port, RouterId, Topology};
 use rand::rngs::SmallRng;
 use ross::{SimDuration, SimTime};
@@ -176,12 +176,7 @@ fn transmit_now(
         let up_class = topo.ports(pkt.up_router)[pkt.up_port as usize].class;
         // The credit travels back over the same link.
         let at = now + SimDuration::from_ns(topo.cfg.latency_ns(up_class));
-        out.push(VcAction::Credit {
-            router: pkt.up_router,
-            port: pkt.up_port,
-            vc: pkt.vc,
-            at,
-        });
+        out.push(VcAction::Credit { router: pkt.up_router, port: pkt.up_port, vc: pkt.vc, at });
     }
     // Stamp the coordinates of *this* hop before handing the packet on.
     pkt.vc = credit.next_vc(&pkt);

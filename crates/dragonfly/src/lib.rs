@@ -24,7 +24,7 @@ pub mod topology;
 pub use config::{DragonflyConfig, Flavor, LinkClass};
 pub use credit::{credit_arrived, forward_vc, CreditState, FlowControl, VcAction};
 pub use packet::Packet;
-pub use router::{Forward, Routing, RouterState, WindowCounters};
+pub use router::{Forward, RouterState, Routing, WindowCounters};
 pub use topology::{GroupId, NodeId, Peer, Port, PortInfo, RouterId, Topology};
 
 #[cfg(test)]

@@ -7,7 +7,6 @@
 //! of now — is the congestion signal used by adaptive routing, standing in
 //! for CODES' VC-occupancy signal. Buffers are unbounded.
 
-
 use crate::packet::Packet;
 use crate::topology::{Peer, Port, RouterId, Topology};
 use rand::rngs::SmallRng;
@@ -221,7 +220,13 @@ impl RouterState {
     /// Occupy `port` for the packet's serialization time; returns the
     /// arrival time at the peer (serialization + propagation + peer router
     /// delay).
-    pub(crate) fn occupy(&mut self, now: SimTime, port: Port, bytes: u32, topo: &Topology) -> SimTime {
+    pub(crate) fn occupy(
+        &mut self,
+        now: SimTime,
+        port: Port,
+        bytes: u32,
+        topo: &Topology,
+    ) -> SimTime {
         let info = topo.ports(self.id)[port as usize];
         let ser = SimDuration::transfer_time(bytes as u64, topo.cfg.bandwidth(info.class));
         let start = self.busy_until[port as usize].max(now);
@@ -424,8 +429,7 @@ mod tests {
             let n = topo.cfg.total_nodes();
             for src in [0u32, 9] {
                 for dst in 0..n {
-                    let hops =
-                        walk(&topo, &mut routers, &mut rng, Routing::Adaptive, src, dst);
+                    let hops = walk(&topo, &mut routers, &mut rng, Routing::Adaptive, src, dst);
                     assert!(hops <= 2 * 5 + 1, "{src}->{dst} took {hops} hops");
                 }
             }
@@ -434,10 +438,9 @@ mod tests {
 
     #[test]
     fn full_scale_minimal_hop_bounds() {
-        for (cfg, bound) in [
-            (DragonflyConfig::dragonfly_1d(), 3),
-            (DragonflyConfig::dragonfly_2d(), 5),
-        ] {
+        for (cfg, bound) in
+            [(DragonflyConfig::dragonfly_1d(), 3), (DragonflyConfig::dragonfly_2d(), 5)]
+        {
             let (topo, mut routers, mut rng) = setup(cfg);
             let n = topo.cfg.total_nodes();
             // Spot-check a spread of pairs.

@@ -73,8 +73,8 @@ impl Topology {
                     for peer_l in 0..rpg {
                         if peer_l != rl {
                             let peer = group * rpg + peer_l;
-                            let peer_port = npr as u16
-                                + if rl < peer_l { rl } else { rl - 1 } as u16;
+                            let peer_port =
+                                npr as u16 + if rl < peer_l { rl } else { rl - 1 } as u16;
                             v.push(PortInfo {
                                 class: LinkClass::Local,
                                 peer: Peer::Router { router: peer, port: peer_port },
@@ -88,8 +88,7 @@ impl Topology {
                     for c in 0..cfg.cols {
                         if c != col {
                             let peer = group * rpg + row * cfg.cols + c;
-                            let peer_port =
-                                npr as u16 + if col < c { col } else { col - 1 } as u16;
+                            let peer_port = npr as u16 + if col < c { col } else { col - 1 } as u16;
                             v.push(PortInfo {
                                 class: LinkClass::Local,
                                 peer: Peer::Router { router: peer, port: peer_port },
@@ -190,9 +189,7 @@ impl Topology {
         let (fl, tl) = (from % rpg, to % rpg);
         let npr = self.cfg.nodes_per_router as u16;
         match self.cfg.flavor {
-            Flavor::OneD => {
-                Some(npr + if tl < fl { tl } else { tl - 1 } as u16)
-            }
+            Flavor::OneD => Some(npr + if tl < fl { tl } else { tl - 1 } as u16),
             Flavor::TwoD => {
                 let (fr, fc) = (fl / self.cfg.cols, fl % self.cfg.cols);
                 let (tr, tc) = (tl / self.cfg.cols, tl % self.cfg.cols);
@@ -200,8 +197,7 @@ impl Topology {
                     Some(npr + if tc < fc { tc } else { tc - 1 } as u16)
                 } else if fc == tc {
                     Some(
-                        npr + (self.cfg.cols - 1) as u16
-                            + if tr < fr { tr } else { tr - 1 } as u16,
+                        npr + (self.cfg.cols - 1) as u16 + if tr < fr { tr } else { tr - 1 } as u16,
                     )
                 } else {
                     None
@@ -364,8 +360,7 @@ mod tests {
                 for b in 0..topo.cfg.groups {
                     for &(r, p) in topo.gateways(a, b) {
                         assert_eq!(topo.router_group(r), a);
-                        let Peer::Router { router, .. } = topo.ports(r)[p as usize].peer
-                        else {
+                        let Peer::Router { router, .. } = topo.ports(r)[p as usize].peer else {
                             panic!()
                         };
                         assert_eq!(topo.router_group(router), b);

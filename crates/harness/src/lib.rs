@@ -5,6 +5,7 @@
 //! experiment index and EXPERIMENTS.md for recorded paper-vs-measured
 //! results.
 
+pub mod lint;
 pub mod report;
 pub mod sweep;
 

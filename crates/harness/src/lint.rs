@@ -1,0 +1,115 @@
+//! Glue between `union-lint` and the assembled experiment: install the
+//! skeleton analysis as the registry's pre-instantiation hook, extract
+//! the LP delay graph from a built topology, and validate `par:T:L`
+//! schedules against it before a sweep starts (DESIGN.md §7).
+
+use crate::sweep::SweepConfig;
+use dragonfly::Topology;
+use ross::Scheduler;
+use std::sync::Arc;
+use union_core::SkeletonRegistry;
+use union_lint::model::{DelayEdge, ModelGraph};
+use union_lint::{LintOptions, Report};
+
+/// Install `union-lint`'s skeleton analysis on a registry: from then on,
+/// every `instantiate`/`spawn_job` rejects skeletons with Error-severity
+/// findings. `allow_lint` is the `--allow-lint` escape hatch.
+pub fn install_linter(reg: &mut SkeletonRegistry, allow_lint: bool) {
+    reg.set_linter(Arc::new(|skel, num_tasks, args| {
+        let r = union_lint::lint_skeleton(skel, num_tasks, args, &LintOptions::default());
+        if r.has_errors() {
+            Err(r.render())
+        } else {
+            Ok(())
+        }
+    }));
+    reg.set_allow_lint(allow_lint);
+}
+
+/// The static LP delay graph of a built topology, with the partition
+/// assignment the conservative-parallel scheduler would use.
+pub fn model_graph(topo: &Topology) -> ModelGraph {
+    let edges = codes::lp_delay_edges(topo)
+        .into_iter()
+        .map(|e| DelayEdge {
+            src_lp: e.src_lp,
+            dst_lp: e.dst_lp,
+            delay_ns: e.delay_ns,
+            kind: e.kind,
+        })
+        .collect();
+    ModelGraph::new(codes::partition_blocks(topo), edges).with_names(codes::lp_names(topo))
+}
+
+/// Tier-B validation of a sweep configuration: for a conservative-parallel
+/// schedule, check the lookahead window against the minimum cross-partition
+/// delay of every selected network. Empty report = safe (or not `par`).
+pub fn check_sched_lookahead(cfg: &SweepConfig) -> Report {
+    let Scheduler::ConservativeParallel { lookahead, .. } = cfg.sched else {
+        return Report::new();
+    };
+    let mut out = Report::new();
+    for &net in &cfg.nets {
+        let mut net_cfg = net.config(cfg.profile);
+        net_cfg.flow = cfg.flow;
+        let graph = model_graph(&Topology::build(net_cfg));
+        for d in graph.check_lookahead(lookahead.as_ns()).iter() {
+            let mut d = d.clone();
+            d.message = format!("{} network: {}", net.label(), d.message);
+            out.push(d);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sweep::SweepConfig;
+    use ross::SimDuration;
+
+    #[test]
+    fn tiny_model_accepts_min_delay_and_rejects_above() {
+        let topo = Topology::build(dragonfly::DragonflyConfig::tiny_1d());
+        let g = model_graph(&topo);
+        let (min, e) = g.min_cross_partition_delay().expect("multi-router model");
+        // Partitions are router-rooted, so node<->router edges are
+        // internal and the binding edge is router-to-router.
+        assert!(e.kind == "packet" || e.kind == "credit");
+        assert!(g.check_lookahead(min).is_empty());
+        assert!(g.check_lookahead(min + 1).has_errors());
+    }
+
+    #[test]
+    fn sweep_par_lookahead_is_validated_per_net() {
+        let mut cfg = SweepConfig::smoke();
+        cfg.sched =
+            Scheduler::ConservativeParallel { threads: 2, lookahead: SimDuration::from_ns(1) };
+        assert!(check_sched_lookahead(&cfg).is_empty());
+        cfg.sched = Scheduler::ConservativeParallel {
+            threads: 2,
+            lookahead: SimDuration::from_ns(u64::MAX),
+        };
+        let r = check_sched_lookahead(&cfg);
+        assert!(r.has_errors(), "{r}");
+        // The diagnostic must name the offending LP pair.
+        assert!(r.iter().any(|d| d.message.contains(" -> ")), "{r}");
+        cfg.sched = Scheduler::Sequential;
+        assert!(check_sched_lookahead(&cfg).is_empty());
+    }
+
+    #[test]
+    fn registry_hook_rejects_deadlocking_skeleton() {
+        let mut reg = SkeletonRegistry::new();
+        reg.register(
+            union_core::translate_source(union_lint::fixtures::SEND_SEND_DEADLOCK, "bad").unwrap(),
+        );
+        install_linter(&mut reg, false);
+        let err = reg.instantiate("bad", 2, &[]).err().unwrap();
+        assert!(err.contains("rejected by lint"), "{err}");
+        assert!(err.contains("deadlock"), "{err}");
+        // --allow-lint downgrades the rejection to pass-through.
+        reg.set_allow_lint(true);
+        assert!(reg.instantiate("bad", 2, &[]).is_ok());
+    }
+}

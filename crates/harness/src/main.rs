@@ -9,6 +9,8 @@
 //! union-exp table6 [sweep opts]        # link loads (1D vs 2D)
 //! union-exp all [sweep opts]           # everything above
 //! union-exp skeleton <name>            # print the generated C skeleton
+//! union-exp lint [--fixture N|--file F] # static analysis (union-lint);
+//!                                       # exit 0 clean / 1 findings / 2 usage
 //!
 //! sweep opts:
 //!   --profile quick|paper   (default quick)
@@ -41,13 +43,16 @@ fn main() {
         "fig7" | "fig9" | "table6" | "all" => sweep_cmd(cmd, rest),
         "fig8" => fig8(rest),
         "skeleton" => skeleton(rest),
+        "lint" => lint_cmd(rest),
         _ => {
             eprintln!(
-                "usage: union-exp <table1|table2|validate|fig7|fig8|fig9|table6|all|skeleton> [opts]\n\
+                "usage: union-exp <table1|table2|validate|fig7|fig8|fig9|table6|all|skeleton|lint> [opts]\n\
                  sweep opts: --profile quick|paper  --iters N  --scale N  --seed N\n\
                  \x20           --sched seq|cons:T|opt:T|par:T:L  (T threads, L ns lookahead)\n\
                  \x20           --nets 1d,2d  --placements RN,RR,RG  --routings MIN,ADP\n\
-                 \x20           --workloads 1,2,3  --no-baselines  --json FILE"
+                 \x20           --workloads 1,2,3  --no-baselines  --json FILE  --allow-lint\n\
+                 lint opts:  [--fixture NAME | --file PROG.ncptl [--ranks N] | sweep opts]\n\
+                 \x20           exit 0 = clean, 1 = findings, 2 = usage error"
             );
             std::process::exit(2);
         }
@@ -77,18 +82,12 @@ fn table1(rest: &[String]) {
         let r = sim.run(ross::Scheduler::Sequential, ross::SimTime::MAX);
         (r, t.elapsed().as_secs_f64())
     };
-    let mk = || {
-        codes::SimulationBuilder::new(dragonfly::DragonflyConfig::small_1d()).seed(2)
-    };
-    let (r_skel, t_skel) = run(mk().job(
-        cfg.name(),
-        (0..ranks).map(|r| RankVm::new(inst.clone(), r, 1)).collect(),
-    ));
+    let mk = || codes::SimulationBuilder::new(dragonfly::DragonflyConfig::small_1d()).seed(2);
+    let (r_skel, t_skel) =
+        run(mk().job(cfg.name(), (0..ranks).map(|r| RankVm::new(inst.clone(), r, 1)).collect()));
     let (r_trace, t_trace) = run(mk().job_trace(cfg.name(), &trace));
 
-    let lat = |r: &codes::SimResults| {
-        r.apps[0].latency.iter().map(|l| l.sum_ns).sum::<u64>()
-    };
+    let lat = |r: &codes::SimResults| r.apps[0].latency.iter().map(|l| l.sum_ns).sum::<u64>();
     println!("Table I — workload mechanisms compared on NN ({ranks} ranks, {iters} iters)");
     println!("| Feature | Trace Replay | Union |");
     println!("|---|---|---|");
@@ -102,9 +101,7 @@ fn table1(rest: &[String]) {
     println!("| Scaling application size | re-trace per size | rebind num_tasks |");
     println!("| Automatic skeletonization | n/a | Yes (translator) |");
     println!("| Integration to CODES | file ingest | automated registry |");
-    println!(
-        "| Simulation wall time | {t_trace:.2}s | {t_skel:.2}s |"
-    );
+    println!("| Simulation wall time | {t_trace:.2}s | {t_skel:.2}s |");
     println!(
         "| Identical simulation results | {} |  |",
         if lat(&r_skel) == lat(&r_trace) { "yes (verified)" } else { "NO (bug!)" }
@@ -149,24 +146,41 @@ fn parse_sched(s: &str) -> Result<Scheduler, String> {
     } else if let Some(rest) = s.strip_prefix("opt:") {
         Ok(Scheduler::Optimistic(threads(rest, s)?))
     } else if let Some(rest) = s.strip_prefix("par:") {
-        let (t, l) = rest.split_once(':').ok_or_else(|| {
-            format!("scheduler spec `{s}` must be par:<threads>:<lookahead-ns>")
-        })?;
-        let lookahead_ns: u64 = l
-            .parse()
-            .map_err(|_| format!("bad lookahead `{l}` in scheduler spec `{s}`"))?;
+        let (t, l) = rest
+            .split_once(':')
+            .ok_or_else(|| format!("scheduler spec `{s}` must be par:<threads>:<lookahead-ns>"))?;
+        let lookahead_ns: u64 =
+            l.parse().map_err(|_| format!("bad lookahead `{l}` in scheduler spec `{s}`"))?;
         Ok(Scheduler::ConservativeParallel {
             threads: threads(t, s)?,
             lookahead: ross::SimDuration::from_ns(lookahead_ns),
         })
     } else {
-        Err(format!(
-            "unknown scheduler `{s}` (expected seq, cons:T, opt:T, or par:T:L)"
-        ))
+        Err(format!("unknown scheduler `{s}` (expected seq, cons:T, opt:T, or par:T:L)"))
     }
 }
 
+/// Parse sweep options and validate them with `union-lint` before any
+/// simulation starts: a `par:T:L` window exceeding the statically
+/// computed minimum cross-partition delay is rejected here (exit 2)
+/// rather than panicking mid-run. `--allow-lint` overrides.
 fn sweep_config(rest: &[String]) -> SweepConfig {
+    let cfg = parse_sweep(rest);
+    let r = harness::lint::check_sched_lookahead(&cfg);
+    if !r.is_empty() {
+        eprint!("{r}");
+        if r.has_errors() && !has(rest, "--allow-lint") {
+            eprintln!(
+                "union-exp: parallel schedule rejected by union-lint \
+                 (use --allow-lint to override)"
+            );
+            std::process::exit(2);
+        }
+    }
+    cfg
+}
+
+fn parse_sweep(rest: &[String]) -> SweepConfig {
     let mut cfg = SweepConfig::quick();
     cfg.profile = match opt_str(rest, "--profile", "quick") {
         "paper" => Profile::Paper,
@@ -279,9 +293,7 @@ fn sweep_cmd(cmd: &str, rest: &[String]) {
     if cmd == "all" {
         print!("{}", report::engine_stats(&records));
     }
-    if let Some(path) =
-        rest.iter().position(|a| a == "--json").and_then(|i| rest.get(i + 1))
-    {
+    if let Some(path) = rest.iter().position(|a| a == "--json").and_then(|i| rest.get(i + 1)) {
         dump_json(path, &records);
     }
 }
@@ -306,12 +318,9 @@ fn fig8(rest: &[String]) {
         let alexnet_idx =
             apps.iter().position(|a| a.name() == "AlexNet").expect("AlexNet in W3") as u32;
         // Recompute the layout used by the run to find AlexNet's routers.
-        let requests: Vec<placement::JobRequest> = apps
-            .iter()
-            .map(|a| placement::JobRequest::new(a.name(), a.ranks))
-            .collect();
-        let layout =
-            placement::Layout::place(&topo, &requests, r.key.placement, cfg.seed).unwrap();
+        let requests: Vec<placement::JobRequest> =
+            apps.iter().map(|a| placement::JobRequest::new(a.name(), a.ranks)).collect();
+        let layout = placement::Layout::place(&topo, &requests, r.key.placement, cfg.seed).unwrap();
         let routers = layout.routers_of_job(&topo, alexnet_idx);
         let series = results.series_over(&routers, cfg.window_ns);
         let names: Vec<String> = apps.iter().map(|a| a.name().to_string()).collect();
@@ -340,6 +349,61 @@ fn skeleton(rest: &[String]) {
             eprintln!("unknown skeleton `{name}`; available: {:?}", reg.names());
             std::process::exit(2);
         }
+    }
+}
+
+/// `union-exp lint` — run `union-lint`'s static analysis without
+/// simulating anything. Default: every bundled workload skeleton at the
+/// configuration a sweep would instantiate, plus the model-level
+/// lookahead check when `--sched par:T:L` is given. `--fixture NAME`
+/// lints a seeded-bug fixture; `--file PROG.ncptl` lints a DSL program.
+/// Exit codes: 0 = clean (infos allowed), 1 = findings at Warning or
+/// above, 2 = usage error.
+fn lint_cmd(rest: &[String]) {
+    use union_lint::{fixtures, LintOptions, Severity};
+    let opts = LintOptions::default();
+    let mut reports: Vec<(String, union_lint::Report)> = Vec::new();
+    if let Some(name) = rest.iter().position(|a| a == "--fixture").and_then(|i| rest.get(i + 1)) {
+        match fixtures::lint(name, &opts) {
+            Some(r) => reports.push((format!("fixture {name}"), r)),
+            None => {
+                eprintln!("unknown fixture `{name}`; available: {:?}", fixtures::NAMES);
+                std::process::exit(2);
+            }
+        }
+    } else if let Some(path) = rest.iter().position(|a| a == "--file").and_then(|i| rest.get(i + 1))
+    {
+        let ranks: u32 = opt(rest, "--ranks", 4);
+        let src = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("union-exp: cannot read `{path}`: {e}");
+            std::process::exit(2);
+        });
+        reports.push((
+            format!("{path} ({ranks} ranks)"),
+            union_lint::lint_source(&src, path, ranks, &[], &opts),
+        ));
+    } else {
+        let cfg = parse_sweep(rest);
+        for kind in workloads::AppKind::ALL {
+            let app = workloads::app(kind, cfg.profile, cfg.iters, cfg.scale);
+            let args: Vec<&str> = app.args.iter().map(|s| s.as_str()).collect();
+            let r = union_lint::lint_skeleton(&app.skeleton, app.ranks, &args, &opts);
+            reports.push((format!("{} ({} ranks)", app.name(), app.ranks), r));
+        }
+        reports.push(("model/lookahead".to_string(), harness::lint::check_sched_lookahead(&cfg)));
+    }
+    let mut worst = None;
+    for (label, r) in &reports {
+        match r.max_severity() {
+            None => println!("{label}: clean"),
+            some => {
+                print!("{label}:\n{r}");
+                worst = worst.max(some);
+            }
+        }
+    }
+    if worst >= Some(Severity::Warning) {
+        std::process::exit(1);
     }
 }
 

@@ -87,10 +87,8 @@ pub fn fig9(records: &[RunRecord]) -> String {
         out,
         "Fig 9 — communication time per rank (ms): min/median/max, mean, slowdown vs baseline"
     );
-    let _ = writeln!(
-        out,
-        "| Net | App | Workload | Plc | Rt | min | med | max | mean | slowdown |"
-    );
+    let _ =
+        writeln!(out, "| Net | App | Workload | Plc | Rt | min | med | max | mean | slowdown |");
     let _ = writeln!(out, "|---|---|---|---|---|---|---|---|---|---|");
     for r in records {
         for a in &r.apps {
@@ -127,10 +125,7 @@ pub fn fig9(records: &[RunRecord]) -> String {
 /// Workload3 with RG placement and adaptive routing, on both networks).
 pub fn table6(records: &[RunRecord]) -> String {
     let mut out = String::new();
-    let _ = writeln!(
-        out,
-        "Table VI — link loads (Workload3, RG placement, adaptive routing)"
-    );
+    let _ = writeln!(out, "Table VI — link loads (Workload3, RG placement, adaptive routing)");
     let _ = writeln!(
         out,
         "| Dragonfly | Glink Load | Llink Load | per Glink | per Llink | global share |"
@@ -162,12 +157,7 @@ pub fn table6(records: &[RunRecord]) -> String {
 
 /// Fig 8: windowed per-app bytes over the routers serving one job.
 /// `series[w][app]` in bytes; apps named by `names`.
-pub fn fig8(
-    label: &str,
-    window_ns: u64,
-    series: &metrics::TimeSeries,
-    names: &[String],
-) -> String {
+pub fn fig8(label: &str, window_ns: u64, series: &metrics::TimeSeries, names: &[String]) -> String {
     let mut out = String::new();
     let _ = writeln!(
         out,

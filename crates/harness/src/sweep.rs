@@ -177,10 +177,7 @@ impl SweepConfig {
 
 /// The applications participating in a workload (for baseline selection).
 fn apps_of(workload: u8) -> Vec<AppKind> {
-    workloads::workload(workload, Profile::Quick, 1, 64)
-        .into_iter()
-        .map(|a| a.kind)
-        .collect()
+    workloads::workload(workload, Profile::Quick, 1, 64).into_iter().map(|a| a.kind).collect()
 }
 
 /// Run one configuration and summarize it.
@@ -248,12 +245,7 @@ pub fn run_sweep(cfg: &SweepConfig, mut progress: impl FnMut(&str)) -> Vec<RunRe
         for &placement in &cfg.placements {
             for &routing in &cfg.routings {
                 for &k in &baseline_kinds {
-                    let key = RunKey {
-                        net,
-                        workload: Workload::Baseline(k),
-                        placement,
-                        routing,
-                    };
+                    let key = RunKey { net, workload: Workload::Baseline(k), placement, routing };
                     progress(&format!("{} [{}]", key.label(), k.label()));
                     match run_one(cfg, key) {
                         Ok(r) => records.push(r),
@@ -261,8 +253,7 @@ pub fn run_sweep(cfg: &SweepConfig, mut progress: impl FnMut(&str)) -> Vec<RunRe
                     }
                 }
                 for &w in &cfg.workloads {
-                    let key =
-                        RunKey { net, workload: Workload::Mix(w), placement, routing };
+                    let key = RunKey { net, workload: Workload::Mix(w), placement, routing };
                     progress(&key.label());
                     match run_one(cfg, key) {
                         Ok(r) => records.push(r),

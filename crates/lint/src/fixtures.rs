@@ -1,0 +1,83 @@
+//! Seeded bad inputs: one fixture per defect class the skeleton linter
+//! exists to catch. The harness exposes these via `union lint --fixture`
+//! so the analysis can be demonstrated (and regression-tested) without
+//! hand-writing a broken workload.
+//!
+//! Two fixtures are real coNCePTuaL programs. The collective-order
+//! mismatch is deliberately a *trace*: skeleton collectives are emitted
+//! unconditionally under rank-uniform control flow, so a divergent
+//! collective sequence cannot be expressed in the DSL or IR — it can only
+//! arrive through recorded per-rank history, which is exactly what the
+//! trace path replays.
+
+use union_core::{MpiOp, Trace};
+
+use crate::{lint_source, lint_trace, LintOptions, Report};
+
+/// Names accepted by [`lint`], in display order.
+pub const NAMES: &[&str] = &["send-send-deadlock", "collective-mismatch", "rank-out-of-range"];
+
+/// Two ranks, each issuing a blocking 1 MiB send to the other before
+/// either posts a receive. Above the eager threshold both sends
+/// rendezvous, so neither rank ever reaches its receive: the classic
+/// send/send deadlock (expected: `error[deadlock]`).
+pub const SEND_SEND_DEADLOCK: &str = "all tasks t send a 1048576 byte message to task (1 - t).";
+
+/// An all-tasks reduction rooted at `num_tasks` — one past the last valid
+/// rank (expected: `error[out-of-range]`).
+pub const RANK_OUT_OF_RANGE: &str = "all tasks reduce a 8 byte message to task num_tasks.";
+
+/// A two-rank trace whose ranks disagree on collective order: rank 0
+/// enters the barrier first, rank 1 enters the allreduce first
+/// (expected: `error[collective-divergence]`).
+pub fn collective_mismatch_trace() -> Trace {
+    Trace {
+        ops: vec![
+            vec![MpiOp::Init, MpiOp::Barrier, MpiOp::Allreduce { bytes: 8 }, MpiOp::Finalize],
+            vec![MpiOp::Init, MpiOp::Allreduce { bytes: 8 }, MpiOp::Barrier, MpiOp::Finalize],
+        ],
+    }
+}
+
+/// Run the named fixture through the linter. `None` for unknown names.
+pub fn lint(name: &str, opts: &LintOptions) -> Option<Report> {
+    match name {
+        "send-send-deadlock" => {
+            Some(lint_source(SEND_SEND_DEADLOCK, "send-send-deadlock", 2, &[], opts))
+        }
+        "collective-mismatch" => Some(lint_trace(&collective_mismatch_trace(), opts)),
+        "rank-out-of-range" => {
+            Some(lint_source(RANK_OUT_OF_RANGE, "rank-out-of-range", 4, &[], opts))
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Severity;
+
+    /// Each fixture yields exactly the finding it was seeded with, at
+    /// Error severity.
+    #[test]
+    fn fixtures_produce_their_expected_finding() {
+        let opts = LintOptions::default();
+        for (name, code) in [
+            ("send-send-deadlock", "deadlock"),
+            ("collective-mismatch", "collective-divergence"),
+            ("rank-out-of-range", "out-of-range"),
+        ] {
+            let r = lint(name, &opts).unwrap();
+            assert_eq!(r.len(), 1, "{name}: {r}");
+            let d = r.iter().next().unwrap();
+            assert_eq!(d.code, code, "{name}: {r}");
+            assert_eq!(d.severity, Severity::Error, "{name}");
+        }
+    }
+
+    #[test]
+    fn unknown_fixture_is_none() {
+        assert!(lint("nope", &LintOptions::default()).is_none());
+    }
+}

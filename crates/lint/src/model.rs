@@ -1,0 +1,158 @@
+//! Model-level analysis: lookahead validation for conservative-parallel
+//! schedules.
+//!
+//! The conservative protocol is only correct when every event crossing a
+//! partition boundary is scheduled at least one lookahead window into the
+//! future. The engine enforces this at runtime with a hard panic — hours
+//! into a run. This pass computes, *statically*, the minimum delay of any
+//! LP-to-LP edge that crosses a partition, and rejects a `par:T:L`
+//! schedule whose window exceeds it before the simulation starts.
+//!
+//! The graph is plain data (LP indices, block assignments, delays in
+//! nanoseconds) so this crate stays independent of the network-model
+//! crates; the harness extracts edges from the assembled CODES model.
+
+use conceptual::{Diagnostic, Report};
+
+/// One static LP-to-LP scheduling edge: "src may send dst an event no
+/// sooner than `delay_ns` after now".
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DelayEdge {
+    pub src_lp: u32,
+    pub dst_lp: u32,
+    pub delay_ns: u64,
+    /// Edge class, for diagnostics (e.g. `"packet"`, `"credit"`).
+    pub kind: &'static str,
+}
+
+/// The delay graph of an assembled model, with its partition (scheduler
+/// block) assignment.
+#[derive(Clone, Debug)]
+pub struct ModelGraph {
+    /// `block_of[lp]` = the scheduler block the LP belongs to. LPs in the
+    /// same block always execute on one thread, so only edges between
+    /// different blocks constrain the lookahead window.
+    pub block_of: Vec<u32>,
+    pub edges: Vec<DelayEdge>,
+    /// Human-readable LP names for diagnostics, indexed by LP id
+    /// (empty = use `lp N`).
+    pub names: Vec<String>,
+}
+
+impl ModelGraph {
+    pub fn new(block_of: Vec<u32>, edges: Vec<DelayEdge>) -> ModelGraph {
+        ModelGraph { block_of, edges, names: Vec::new() }
+    }
+
+    pub fn with_names(mut self, names: Vec<String>) -> ModelGraph {
+        self.names = names;
+        self
+    }
+
+    fn name(&self, lp: u32) -> String {
+        self.names.get(lp as usize).cloned().unwrap_or_else(|| format!("lp {lp}"))
+    }
+
+    fn is_cross(&self, e: &DelayEdge) -> bool {
+        let (s, d) = (e.src_lp as usize, e.dst_lp as usize);
+        match (self.block_of.get(s), self.block_of.get(d)) {
+            (Some(a), Some(b)) => a != b,
+            // An edge to an unknown LP crosses by definition — be
+            // conservative rather than silently ignoring it.
+            _ => true,
+        }
+    }
+
+    /// Minimum delay over all cross-partition edges, with the edge that
+    /// attains it. `None` when no edge crosses a partition (single-block
+    /// models can use any window).
+    pub fn min_cross_partition_delay(&self) -> Option<(u64, &DelayEdge)> {
+        self.edges
+            .iter()
+            .filter(|e| self.is_cross(e))
+            .map(|e| (e.delay_ns, e))
+            .min_by_key(|(d, _)| *d)
+    }
+
+    /// Validate a conservative-parallel lookahead window (ns) against the
+    /// graph. Errors name the offending LP pair.
+    pub fn check_lookahead(&self, window_ns: u64) -> Report {
+        let mut report = Report::new();
+        for e in self.edges.iter().filter(|e| self.is_cross(e) && e.delay_ns == 0) {
+            report.push(Diagnostic::error(
+                "zero-delay",
+                format!(
+                    "zero-delay {} edge crosses partitions: {} -> {}; no positive lookahead \
+                     window is safe for this model",
+                    e.kind,
+                    self.name(e.src_lp),
+                    self.name(e.dst_lp)
+                ),
+            ));
+        }
+        if let Some((min, e)) = self.min_cross_partition_delay() {
+            if min > 0 && window_ns > min {
+                report.push(Diagnostic::error(
+                    "lookahead",
+                    format!(
+                        "lookahead window {window_ns} ns exceeds the minimum cross-partition \
+                         delay {min} ns ({} edge {} -> {}); the conservative scheduler would \
+                         violate causality",
+                        e.kind,
+                        self.name(e.src_lp),
+                        self.name(e.dst_lp)
+                    ),
+                ));
+            }
+        }
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Severity;
+
+    fn edge(src: u32, dst: u32, delay: u64) -> DelayEdge {
+        DelayEdge { src_lp: src, dst_lp: dst, delay_ns: delay, kind: "packet" }
+    }
+
+    #[test]
+    fn min_delay_ignores_intra_partition_edges() {
+        // LPs 0,1 in block 0; LP 2 in block 1. The 5 ns edge is internal.
+        let g =
+            ModelGraph::new(vec![0, 0, 1], vec![edge(0, 1, 5), edge(1, 2, 120), edge(2, 0, 90)]);
+        let (min, e) = g.min_cross_partition_delay().unwrap();
+        assert_eq!(min, 90);
+        assert_eq!((e.src_lp, e.dst_lp), (2, 0));
+    }
+
+    #[test]
+    fn single_block_has_no_constraint() {
+        let g = ModelGraph::new(vec![0, 0], vec![edge(0, 1, 1)]);
+        assert!(g.min_cross_partition_delay().is_none());
+        assert!(g.check_lookahead(u64::MAX).is_empty());
+    }
+
+    #[test]
+    fn oversized_window_is_rejected_with_lp_pair() {
+        let g = ModelGraph::new(vec![0, 1], vec![edge(0, 1, 100)])
+            .with_names(vec!["node 0".into(), "router 0".into()]);
+        let r = g.check_lookahead(150);
+        assert_eq!(r.len(), 1, "{r}");
+        let d = r.iter().next().unwrap();
+        assert_eq!(d.code, "lookahead");
+        assert_eq!(d.severity, Severity::Error);
+        assert!(d.message.contains("node 0 -> router 0"), "{}", d.message);
+        assert!(g.check_lookahead(100).is_empty(), "window == min delay is safe");
+        assert!(g.check_lookahead(1).is_empty());
+    }
+
+    #[test]
+    fn zero_delay_cross_edge_is_always_an_error() {
+        let g = ModelGraph::new(vec![0, 1], vec![edge(0, 1, 0)]);
+        let r = g.check_lookahead(1);
+        assert!(r.iter().any(|d| d.code == "zero-delay"), "{r}");
+    }
+}

@@ -1,0 +1,554 @@
+//! Stream-level analysis: collective divergence, deadlock detection, and
+//! dead-code reporting over per-rank op streams.
+//!
+//! The input is whatever produced the streams — the symbolic expander for
+//! skeletons, or a recorded [`union_core::Trace`] for trace replay. The
+//! passes run in a strict order so each finding is reported once, by the
+//! most specific check that can see it:
+//!
+//! 1. expansion failures (bad roots, bad sources, evaluation errors);
+//! 2. collective-sequence divergence (a cross-rank property the deadlock
+//!    machine would otherwise report as an opaque cycle);
+//! 3. the message-matching machine: unmatched blocking operations and
+//!    wait-for cycles;
+//! 4. dead code — only when every rank expanded completely and nothing
+//!    above fired, since a truncated or failed expansion makes "never
+//!    executed" unknowable.
+//!
+//! The matching machine models the same MPI semantics the simulator's MPI
+//! layer uses: eager sends (≤ `LintOptions::eager_max`) complete
+//! immediately, larger sends rendezvous (block until matched), receives
+//! match by source rank (tags are per-instruction and already agree when
+//! sources do), collectives park until every rank arrives.
+
+use conceptual::{Diagnostic, Report};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use union_core::MpiOp;
+
+use crate::expand::{ExpandStatus, ExpandedRank};
+use crate::LintOptions;
+
+/// Analyze a set of per-rank streams. `code_len` enables the dead-code
+/// pass (skeleton expansions only; trace streams have no program to map
+/// back to).
+pub(crate) fn analyze(
+    streams: &[ExpandedRank],
+    code_len: Option<usize>,
+    opts: &LintOptions,
+) -> Report {
+    let mut report = Report::new();
+
+    // 1. Expansion failures. Identical messages across ranks (the common
+    // case: every rank fails on the same bad root) collapse to one
+    // finding attributed to the lowest failing rank.
+    let mut seen: BTreeSet<&str> = BTreeSet::new();
+    for s in streams {
+        if let ExpandStatus::Failed { pc, message } = &s.status {
+            if seen.insert(message) {
+                let code = if message.contains("out of range") { "out-of-range" } else { "eval" };
+                report.push(Diagnostic::error(code, message.clone()).on_rank(s.rank).at_pc(*pc));
+            }
+        }
+    }
+    if !report.is_empty() {
+        return report;
+    }
+
+    let truncated = streams.iter().any(|s| s.status == ExpandStatus::Truncated);
+    if truncated {
+        let t = streams.iter().find(|s| s.status == ExpandStatus::Truncated).unwrap();
+        report.push(
+            Diagnostic::info(
+                "budget",
+                format!(
+                    "expansion budget exhausted after {} ops; analysis covers only the \
+                     expanded prefix (raise the budget to lint this configuration fully)",
+                    t.ops.len()
+                ),
+            )
+            .on_rank(t.rank),
+        );
+    }
+
+    // 2. Collective divergence. With truncated streams only the common
+    // prefix is comparable.
+    if let Some(d) = check_collectives(streams, truncated) {
+        report.push(d);
+        return report;
+    }
+    if truncated {
+        return report;
+    }
+
+    // 3. Deadlock / unmatched-operation analysis.
+    let mut machine = Machine::new(streams, opts.eager_max);
+    machine.run();
+    machine.report(&mut report);
+
+    // 4. Dead code, only on a fully clean, fully expanded program.
+    if report.is_empty() {
+        if let Some(len) = code_len {
+            let mut visited: BTreeSet<usize> = BTreeSet::new();
+            for s in streams {
+                visited.extend(&s.visited);
+            }
+            let mut pc = 0;
+            while pc < len {
+                if visited.contains(&pc) {
+                    pc += 1;
+                    continue;
+                }
+                let start = pc;
+                while pc < len && !visited.contains(&pc) {
+                    pc += 1;
+                }
+                let msg = if pc - start == 1 {
+                    format!(
+                        "instruction {start} is never executed by any rank at this configuration"
+                    )
+                } else {
+                    format!(
+                        "instructions {start}..={} are never executed by any rank at this configuration",
+                        pc - 1
+                    )
+                };
+                report.push(Diagnostic::warning("dead-code", msg).at_pc(start));
+            }
+        }
+    }
+    report
+}
+
+/// Signature of one collective call; all ranks must issue equal
+/// signatures in the same order.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum CollSig {
+    Barrier,
+    Allreduce(u64),
+    Reduce(u32, u64),
+    Bcast(u32, u64),
+}
+
+impl CollSig {
+    fn of(op: &MpiOp) -> Option<CollSig> {
+        match op {
+            MpiOp::Barrier => Some(CollSig::Barrier),
+            MpiOp::Allreduce { bytes } => Some(CollSig::Allreduce(*bytes)),
+            MpiOp::Reduce { root, bytes } => Some(CollSig::Reduce(*root, *bytes)),
+            MpiOp::Bcast { root, bytes } => Some(CollSig::Bcast(*root, *bytes)),
+            _ => None,
+        }
+    }
+
+    fn desc(&self) -> String {
+        match self {
+            CollSig::Barrier => "Barrier".into(),
+            CollSig::Allreduce(b) => format!("Allreduce({b} B)"),
+            CollSig::Reduce(r, b) => format!("Reduce(root {r}, {b} B)"),
+            CollSig::Bcast(r, b) => format!("Bcast(root {r}, {b} B)"),
+        }
+    }
+}
+
+/// Compare every rank's ordered collective sequence against rank 0's.
+/// Returns the first divergence found.
+fn check_collectives(streams: &[ExpandedRank], prefix_only: bool) -> Option<Diagnostic> {
+    if streams.len() < 2 {
+        return None;
+    }
+    let seqs: Vec<Vec<(usize, CollSig)>> = streams
+        .iter()
+        .map(|s| s.ops.iter().filter_map(|(pc, op)| CollSig::of(op).map(|c| (*pc, c))).collect())
+        .collect();
+    let prefix = seqs.iter().map(|s| s.len()).min().unwrap_or(0);
+    for (r, b) in seqs.iter().enumerate().skip(1) {
+        let a = &seqs[0];
+        for i in 0..a.len().min(b.len()).min(if prefix_only { prefix } else { usize::MAX }) {
+            if a[i].1 != b[i].1 {
+                return Some(
+                    Diagnostic::error(
+                        "collective-divergence",
+                        format!(
+                            "collective sequence diverges at collective #{i}: rank 0 issues {} \
+                             but rank {r} issues {}",
+                            a[i].1.desc(),
+                            b[i].1.desc()
+                        ),
+                    )
+                    .on_rank(r as u32)
+                    .at_pc(b[i].0),
+                );
+            }
+        }
+        if !prefix_only && a.len() != b.len() {
+            return Some(
+                Diagnostic::error(
+                    "collective-divergence",
+                    format!(
+                        "rank 0 issues {} collective(s) but rank {r} issues {}",
+                        a.len(),
+                        b.len()
+                    ),
+                )
+                .on_rank(r as u32),
+            );
+        }
+    }
+    None
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Tok {
+    Eager,
+    Rendezvous,
+}
+
+/// The message-matching machine: advances every rank as far as MPI
+/// semantics allow, then reads off who is permanently blocked and why.
+struct Machine<'a> {
+    streams: &'a [ExpandedRank],
+    eager_max: u64,
+    /// `ip[r]` = index into `streams[r].ops` of the next op to execute.
+    ip: Vec<usize>,
+    /// In-flight messages not yet matched to a receive, keyed `(src, dst)`.
+    channels: BTreeMap<(u32, u32), VecDeque<Tok>>,
+    /// Posted nonblocking receives not yet matched, keyed `(src, dst)`.
+    pending: BTreeMap<(u32, u32), u32>,
+    /// Per-rank count of posted-but-unmatched nonblocking receives.
+    outstanding: Vec<u32>,
+    /// `sent_offer[r]`: r has published a rendezvous token and is blocked.
+    sent_offer: Vec<bool>,
+    /// `offer_taken[r]`: r's published rendezvous token was consumed.
+    offer_taken: Vec<bool>,
+    /// `parked[r]`: r has arrived at its next collective.
+    parked: Vec<bool>,
+}
+
+impl<'a> Machine<'a> {
+    fn new(streams: &'a [ExpandedRank], eager_max: u64) -> Machine<'a> {
+        let n = streams.len();
+        Machine {
+            streams,
+            eager_max,
+            ip: vec![0; n],
+            channels: BTreeMap::new(),
+            pending: BTreeMap::new(),
+            outstanding: vec![0; n],
+            sent_offer: vec![false; n],
+            offer_taken: vec![false; n],
+            parked: vec![false; n],
+        }
+    }
+
+    /// A message from `s` arrives at `d`: match a posted receive if one
+    /// exists, otherwise buffer it.
+    fn deliver(&mut self, s: u32, d: u32, tok: Tok) {
+        if let Some(p) = self.pending.get_mut(&(s, d)) {
+            if *p > 0 {
+                *p -= 1;
+                self.outstanding[d as usize] -= 1;
+                if tok == Tok::Rendezvous {
+                    self.offer_taken[s as usize] = true;
+                }
+                return;
+            }
+        }
+        self.channels.entry((s, d)).or_default().push_back(tok);
+    }
+
+    /// Try to consume a buffered message from `s` at `d`.
+    fn pop(&mut self, s: u32, d: u32) -> bool {
+        if let Some(q) = self.channels.get_mut(&(s, d)) {
+            if let Some(tok) = q.pop_front() {
+                if tok == Tok::Rendezvous {
+                    self.offer_taken[s as usize] = true;
+                }
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Execute one op of rank `r` if semantics allow. Returns whether the
+    /// rank made progress.
+    fn try_step(&mut self, r: usize) -> bool {
+        let ops = &self.streams[r].ops;
+        let Some((_, op)) = ops.get(self.ip[r]) else {
+            return false; // terminated
+        };
+        let rank = r as u32;
+        match *op {
+            // Local / one-sided ops never block the matching machine.
+            MpiOp::Init
+            | MpiOp::Finalize
+            | MpiOp::Compute { .. }
+            | MpiOp::SyntheticSend { .. }
+            | MpiOp::ResetCounters
+            | MpiOp::LogCounters
+            | MpiOp::Aggregates => {
+                self.ip[r] += 1;
+                true
+            }
+            MpiOp::Isend { dst, bytes, .. } => {
+                // Nonblocking: completes locally regardless of size.
+                let _ = bytes;
+                self.deliver(rank, dst, Tok::Eager);
+                self.ip[r] += 1;
+                true
+            }
+            MpiOp::Send { dst, bytes, .. } => {
+                if bytes <= self.eager_max {
+                    self.deliver(rank, dst, Tok::Eager);
+                    self.ip[r] += 1;
+                    true
+                } else if self.sent_offer[r] {
+                    if self.offer_taken[r] {
+                        self.sent_offer[r] = false;
+                        self.offer_taken[r] = false;
+                        self.ip[r] += 1;
+                        true
+                    } else {
+                        false
+                    }
+                } else if self.pending.get(&(rank, dst)).is_some_and(|&p| p > 0) {
+                    *self.pending.get_mut(&(rank, dst)).unwrap() -= 1;
+                    self.outstanding[dst as usize] -= 1;
+                    self.ip[r] += 1;
+                    true
+                } else {
+                    self.channels.entry((rank, dst)).or_default().push_back(Tok::Rendezvous);
+                    self.sent_offer[r] = true;
+                    false
+                }
+            }
+            MpiOp::Irecv { src, .. } => {
+                if !self.pop(src, rank) {
+                    *self.pending.entry((src, rank)).or_insert(0) += 1;
+                    self.outstanding[r] += 1;
+                }
+                self.ip[r] += 1;
+                true
+            }
+            MpiOp::Recv { src, .. } => {
+                if self.pop(src, rank) {
+                    self.ip[r] += 1;
+                    true
+                } else {
+                    false
+                }
+            }
+            MpiOp::WaitAll => {
+                if self.outstanding[r] == 0 {
+                    self.ip[r] += 1;
+                    true
+                } else {
+                    false
+                }
+            }
+            MpiOp::Barrier
+            | MpiOp::Allreduce { .. }
+            | MpiOp::Reduce { .. }
+            | MpiOp::Bcast { .. } => {
+                self.parked[r] = true;
+                false
+            }
+        }
+    }
+
+    fn run(&mut self) {
+        let n = self.streams.len();
+        loop {
+            let mut progress = false;
+            for r in 0..n {
+                while self.try_step(r) {
+                    progress = true;
+                }
+            }
+            // Collective release: signatures were already checked equal,
+            // so arrival of every rank is the only condition.
+            if n > 0 && (0..n).all(|r| self.parked[r]) {
+                for r in 0..n {
+                    self.parked[r] = false;
+                    self.ip[r] += 1;
+                }
+                progress = true;
+            }
+            if !progress {
+                break;
+            }
+        }
+    }
+
+    /// What is rank `r` (stuck at `ip[r]`) blocked on?
+    fn blocked_desc(&self, r: usize) -> String {
+        let (pc, op) = &self.streams[r].ops[self.ip[r]];
+        match op {
+            MpiOp::Send { dst, bytes, .. } => {
+                format!("blocked in a rendezvous send of {bytes} B to rank {dst} (pc {pc})")
+            }
+            MpiOp::Recv { src, .. } => {
+                format!("waiting for a message from rank {src} (pc {pc})")
+            }
+            MpiOp::WaitAll => {
+                let srcs: Vec<String> = self
+                    .pending
+                    .iter()
+                    .filter(|(&(_, d), &c)| d == r as u32 && c > 0)
+                    .map(|(&(s, _), _)| s.to_string())
+                    .collect();
+                format!("waiting on unmatched receives from rank(s) {} (pc {pc})", srcs.join(", "))
+            }
+            op => {
+                let sig = CollSig::of(op).map(|c| c.desc()).unwrap_or_else(|| "op".into());
+                format!("waiting in {sig} (pc {pc})")
+            }
+        }
+    }
+
+    /// Ranks rank `r` is waiting on.
+    fn waits_for(&self, r: usize) -> Vec<usize> {
+        let n = self.streams.len();
+        let (_, op) = &self.streams[r].ops[self.ip[r]];
+        match op {
+            MpiOp::Send { dst, .. } => vec![*dst as usize],
+            MpiOp::Recv { src, .. } => vec![*src as usize],
+            MpiOp::WaitAll => self
+                .pending
+                .iter()
+                .filter(|(&(_, d), &c)| d == r as u32 && c > 0)
+                .map(|(&(s, _), _)| s as usize)
+                .collect(),
+            op if CollSig::of(op).is_some() => (0..n).filter(|&q| !self.parked[q]).collect(),
+            _ => Vec::new(),
+        }
+    }
+
+    fn report(&self, report: &mut Report) {
+        let n = self.streams.len();
+        let stuck: Vec<usize> =
+            (0..n).filter(|&r| self.ip[r] < self.streams[r].ops.len()).collect();
+
+        if stuck.is_empty() {
+            // Everyone terminated — flag leftover unmatched traffic.
+            for (&(s, d), q) in &self.channels {
+                if !q.is_empty() {
+                    report.push(Diagnostic::warning(
+                        "unmatched-send",
+                        format!(
+                            "{} message(s) from rank {s} to rank {d} are sent but never received",
+                            q.len()
+                        ),
+                    ));
+                }
+            }
+            for (&(s, d), &c) in &self.pending {
+                if c > 0 {
+                    report.push(
+                        Diagnostic::warning(
+                            "unmatched-recv",
+                            format!(
+                                "rank {d} posts {c} receive(s) from rank {s} that are never \
+                                 matched by a send"
+                            ),
+                        )
+                        .on_rank(d),
+                    );
+                }
+            }
+            return;
+        }
+
+        // Wait-for graph over ranks; terminated ranks are sinks.
+        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for &r in &stuck {
+            adj[r] = self.waits_for(r);
+        }
+        if let Some(cycle) = find_cycle(&adj) {
+            let (pc0, _) = self.streams[cycle[0]].ops[self.ip[cycle[0]]];
+            if cycle.len() == 1 {
+                let r = cycle[0];
+                report.push(
+                    Diagnostic::error(
+                        "self-block",
+                        format!("rank {r} waits on itself: {}", self.blocked_desc(r)),
+                    )
+                    .on_rank(r as u32)
+                    .at_pc(pc0),
+                );
+            } else {
+                let chain: Vec<String> =
+                    cycle.iter().chain(cycle.first()).map(|r| r.to_string()).collect();
+                let hops: Vec<String> =
+                    cycle.iter().map(|&r| format!("rank {r} {}", self.blocked_desc(r))).collect();
+                report.push(
+                    Diagnostic::error(
+                        "deadlock",
+                        format!(
+                            "communication deadlock, wait-for cycle {}: {}",
+                            chain.join(" -> "),
+                            hops.join("; ")
+                        ),
+                    )
+                    .on_rank(cycle[0] as u32)
+                    .at_pc(pc0),
+                );
+            }
+            return;
+        }
+
+        // No cycle: blocked on operations that can never be matched
+        // (e.g. the peer already terminated).
+        let r0 = stuck[0];
+        let (pc0, _) = self.streams[r0].ops[self.ip[r0]];
+        report.push(
+            Diagnostic::error(
+                "unmatched",
+                format!(
+                    "{} rank(s) block forever with no matching operation: rank {r0} {}",
+                    stuck.len(),
+                    self.blocked_desc(r0)
+                ),
+            )
+            .on_rank(r0 as u32)
+            .at_pc(pc0),
+        );
+    }
+}
+
+/// First directed cycle in `adj`, as the list of nodes on it.
+fn find_cycle(adj: &[Vec<usize>]) -> Option<Vec<usize>> {
+    let n = adj.len();
+    let mut color = vec![0u8; n]; // 0 = unvisited, 1 = on path, 2 = done
+    for start in 0..n {
+        if color[start] != 0 {
+            continue;
+        }
+        let mut path = vec![start];
+        let mut iters = vec![0usize];
+        color[start] = 1;
+        while let Some(&node) = path.last() {
+            let i = *iters.last().unwrap();
+            if i < adj[node].len() {
+                *iters.last_mut().unwrap() += 1;
+                let next = adj[node][i];
+                match color[next] {
+                    1 => {
+                        let pos = path.iter().position(|&x| x == next).unwrap();
+                        return Some(path[pos..].to_vec());
+                    }
+                    0 => {
+                        color[next] = 1;
+                        path.push(next);
+                        iters.push(0);
+                    }
+                    _ => {}
+                }
+            } else {
+                color[node] = 2;
+                path.pop();
+                iters.pop();
+            }
+        }
+    }
+    None
+}

@@ -1,0 +1,30 @@
+//! Every bundled workload skeleton must lint clean — no errors, no
+//! warnings, no infos — at its Quick-profile configuration. A finding
+//! here means either a workload regressed or the analysis grew a false
+//! positive; both are bugs.
+
+use union_lint::{lint_skeleton, lint_trace, LintOptions};
+use workloads::{app, AppKind, Profile};
+
+#[test]
+fn all_bundled_workloads_lint_clean() {
+    let opts = LintOptions::default();
+    for kind in AppKind::ALL {
+        let cfg = app(kind, Profile::Quick, 2, 4096);
+        let args: Vec<&str> = cfg.args.iter().map(|s| s.as_str()).collect();
+        let r = lint_skeleton(&cfg.skeleton, cfg.ranks, &args, &opts);
+        assert!(r.is_empty(), "{kind:?} at {} ranks:\n{r}", cfg.ranks);
+    }
+}
+
+#[test]
+fn recorded_workload_trace_lints_clean() {
+    // The trace path sees exactly what the simulator would execute; a
+    // recorded clean skeleton must stay clean through it.
+    let cfg = app(AppKind::NearestNeighbor, Profile::Quick, 2, 4096);
+    let args: Vec<&str> = cfg.args.iter().map(|s| s.as_str()).collect();
+    let inst = union_core::SkeletonInstance::new(&cfg.skeleton, cfg.ranks, &args).unwrap();
+    let trace = union_core::Trace::record(&inst, 42);
+    let r = lint_trace(&trace, &LintOptions::default());
+    assert!(r.is_empty(), "{r}");
+}

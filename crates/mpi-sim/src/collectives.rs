@@ -361,10 +361,7 @@ mod tests {
             .sum();
         let expect = 2 * p * (n as u64 - 1) / n as u64;
         let tolerance = p / 8;
-        assert!(
-            sent.abs_diff(expect) < tolerance,
-            "sent {sent}, expected ≈{expect}"
-        );
+        assert!(sent.abs_diff(expect) < tolerance, "sent {sent}, expected ≈{expect}");
     }
 
     #[test]
@@ -419,8 +416,7 @@ mod tests {
         for n in [5u32, 8] {
             for r in 0..n {
                 for op in expand(&MpiOp::Allreduce { bytes: 1 << 20 }, r, n, 77) {
-                    if let MpiOp::Isend { tag, .. } | MpiOp::Recv { src: _, bytes: _, tag } = op
-                    {
+                    if let MpiOp::Isend { tag, .. } | MpiOp::Recv { src: _, bytes: _, tag } = op {
                         assert!(tag & COLL_FLAG != 0);
                     }
                 }

@@ -310,8 +310,7 @@ impl MpiRank {
     }
 
     fn block_on(&mut self, now_ns: u64, reqs: Vec<u64>) {
-        let pending: Vec<u64> =
-            reqs.into_iter().filter(|r| self.outstanding.contains(r)).collect();
+        let pending: Vec<u64> = reqs.into_iter().filter(|r| self.outstanding.contains(r)).collect();
         if !pending.is_empty() {
             self.state = State::Blocked(pending);
             self.comm.block(now_ns);
@@ -365,8 +364,7 @@ impl MpiRank {
                 created_ns: now_ns,
             }));
         } else {
-            self.rdv_out
-                .push((seq, RdvOut { dst, tag, payload: bytes, req, created_ns: now_ns }));
+            self.rdv_out.push((seq, RdvOut { dst, tag, payload: bytes, req, created_ns: now_ns }));
             out.push(Action::Send(MpiMsg {
                 src: self.rank,
                 dst,
@@ -392,9 +390,7 @@ impl MpiRank {
         let req = self.next_req();
         self.outstanding.push(req);
         // Check the unexpected queue first (FIFO per (src, tag)).
-        if let Some(i) =
-            self.unexpected.iter().position(|u| u.src == src && u.tag == tag)
-        {
+        if let Some(i) = self.unexpected.iter().position(|u| u.src == src && u.tag == tag) {
             let u = self.unexpected.remove(i);
             match u.kind {
                 UnexKind::Eager => {
@@ -429,10 +425,8 @@ impl MpiRank {
         match msg.kind {
             MsgKind::Eager => {
                 self.latency.record(now_ns.saturating_sub(msg.created_ns));
-                if let Some(i) = self
-                    .posted
-                    .iter()
-                    .position(|p| p.src == msg.src && p.tag == msg.tag)
+                if let Some(i) =
+                    self.posted.iter().position(|p| p.src == msg.src && p.tag == msg.tag)
                 {
                     let p = self.posted.remove(i);
                     self.complete_req(p.req);
@@ -445,10 +439,8 @@ impl MpiRank {
                 }
             }
             MsgKind::Rts => {
-                if let Some(i) = self
-                    .posted
-                    .iter()
-                    .position(|p| p.src == msg.src && p.tag == msg.tag)
+                if let Some(i) =
+                    self.posted.iter().position(|p| p.src == msg.src && p.tag == msg.tag)
                 {
                     let p = self.posted.remove(i);
                     self.rdv_in.push(((msg.src, msg.seq), p.req));
@@ -620,11 +612,8 @@ mod tests {
 
     #[test]
     fn comm_time_accumulates_only_when_blocked() {
-        let skel = Builder::new("b")
-            .compute_ns(conceptual::Expr::lit(1000))
-            .barrier()
-            .build()
-            .unwrap();
+        let skel =
+            Builder::new("b").compute_ns(conceptual::Expr::lit(1000)).barrier().build().unwrap();
         let inst = SkeletonInstance::new(&skel, 2, &[]).unwrap();
         let ranks: Vec<MpiRank> =
             (0..2).map(|r| MpiRank::new(RankVm::new(inst.clone(), r, 1), 1024)).collect();
@@ -639,9 +628,7 @@ mod tests {
     #[test]
     fn synthetic_traffic_needs_no_match() {
         let skel = Builder::new("ur")
-            .loop_n(conceptual::Expr::lit(4), |b| {
-                b.send_random(conceptual::Expr::lit(10240), true)
-            })
+            .loop_n(conceptual::Expr::lit(4), |b| b.send_random(conceptual::Expr::lit(10240), true))
             .build()
             .unwrap();
         let inst = SkeletonInstance::new(&skel, 4, &[]).unwrap();

@@ -105,10 +105,7 @@ impl Layout {
                 let mut groups: Vec<u32> = (0..topo.cfg.groups).collect();
                 groups.shuffle(&mut rng);
                 let npg = topo.cfg.nodes_per_group();
-                groups
-                    .into_iter()
-                    .flat_map(|g| (0..npg).map(move |i| g * npg + i))
-                    .collect()
+                groups.into_iter().flat_map(|g| (0..npg).map(move |i| g * npg + i)).collect()
             }
         };
 
@@ -137,10 +134,8 @@ impl Layout {
     /// The set of routers serving a job (sorted, deduplicated) — the
     /// router clusters used by the Fig 8 analysis.
     pub fn routers_of_job(&self, topo: &Topology, job: u32) -> Vec<u32> {
-        let mut v: Vec<u32> = self.rank_to_node[job as usize]
-            .iter()
-            .map(|&n| topo.node_router(n))
-            .collect();
+        let mut v: Vec<u32> =
+            self.rank_to_node[job as usize].iter().map(|&n| topo.node_router(n)).collect();
         v.sort_unstable();
         v.dedup();
         v
@@ -148,10 +143,8 @@ impl Layout {
 
     /// The set of groups serving a job.
     pub fn groups_of_job(&self, topo: &Topology, job: u32) -> Vec<u32> {
-        let mut v: Vec<u32> = self.rank_to_node[job as usize]
-            .iter()
-            .map(|&n| topo.node_group(n))
-            .collect();
+        let mut v: Vec<u32> =
+            self.rank_to_node[job as usize].iter().map(|&n| topo.node_group(n)).collect();
         v.sort_unstable();
         v.dedup();
         v
@@ -195,13 +188,8 @@ mod tests {
     #[test]
     fn random_routers_fills_routers_consecutively() {
         let topo = topo();
-        let l = Layout::place(
-            &topo,
-            &[JobRequest::new("a", 8)],
-            Placement::RandomRouters,
-            7,
-        )
-        .unwrap();
+        let l =
+            Layout::place(&topo, &[JobRequest::new("a", 8)], Placement::RandomRouters, 7).unwrap();
         // 8 ranks over 2-node routers = exactly 4 routers, fully used.
         let routers = l.routers_of_job(&topo, 0);
         assert_eq!(routers.len(), 4);
@@ -210,17 +198,12 @@ mod tests {
     #[test]
     fn random_groups_confines_job_to_few_groups() {
         let topo = topo(); // 8 nodes per group
-        let l = Layout::place(
-            &topo,
-            &[JobRequest::new("a", 16)],
-            Placement::RandomGroups,
-            7,
-        )
-        .unwrap();
+        let l =
+            Layout::place(&topo, &[JobRequest::new("a", 16)], Placement::RandomGroups, 7).unwrap();
         assert_eq!(l.groups_of_job(&topo, 0).len(), 2);
         // Random nodes would scatter much wider with high probability.
-        let l = Layout::place(&topo, &[JobRequest::new("a", 16)], Placement::RandomNodes, 7)
-            .unwrap();
+        let l =
+            Layout::place(&topo, &[JobRequest::new("a", 16)], Placement::RandomNodes, 7).unwrap();
         assert!(l.groups_of_job(&topo, 0).len() > 2);
     }
 
@@ -237,12 +220,7 @@ mod tests {
     #[test]
     fn rejects_oversubscription() {
         let topo = topo();
-        assert!(Layout::place(
-            &topo,
-            &[JobRequest::new("big", 100)],
-            Placement::RandomNodes,
-            1
-        )
-        .is_err());
+        assert!(Layout::place(&topo, &[JobRequest::new("big", 100)], Placement::RandomNodes, 1)
+            .is_err());
     }
 }

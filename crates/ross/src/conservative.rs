@@ -133,7 +133,8 @@ impl<L: Lp> Simulation<L> {
                             break;
                         }
                         local_rounds += 1;
-                        let window_end = gmin.saturating_add(lookahead.0).min(until.0.saturating_add(1));
+                        let window_end =
+                            gmin.saturating_add(lookahead.0).min(until.0.saturating_add(1));
 
                         // Process all local events inside [gmin, window_end).
                         while let Some(Reverse(top)) = heap.peek() {
@@ -146,22 +147,24 @@ impl<L: Lp> Simulation<L> {
                             debug_assert!(env.recv_time >= metas[li].now);
                             metas[li].now = env.recv_time;
                             metas[li].processed += 1;
-                            let mut ctx = Ctx {
-                                now: env.recv_time,
-                                me: env.dst,
-                                lookahead,
-                                out: &mut out,
-                            };
+                            let mut ctx =
+                                Ctx { now: env.recv_time, me: env.dst, lookahead, out: &mut out };
                             lps[li].handle(&env, &mut ctx);
                             local_committed += 1;
-                            seal_outgoing(env.dst, env.recv_time, &mut metas[li], &mut out, |new| {
-                                let o = owner(ranges, new.dst as usize);
-                                if o == t {
-                                    heap.push(Reverse(new));
-                                } else {
-                                    mailboxes[o].lock().push(new);
-                                }
-                            });
+                            seal_outgoing(
+                                env.dst,
+                                env.recv_time,
+                                &mut metas[li],
+                                &mut out,
+                                |new| {
+                                    let o = owner(ranges, new.dst as usize);
+                                    if o == t {
+                                        heap.push(Reverse(new));
+                                    } else {
+                                        mailboxes[o].lock().push(new);
+                                    }
+                                },
+                            );
                         }
                         // All sends for this round must be visible before the
                         // next round's mailbox drain.

@@ -154,18 +154,14 @@ impl<L: Lp> Simulation<L> {
                 break;
             }
             self.pending.pop();
-            clock = env.recv_time;
+            debug_check_monotonic(&mut clock, env.recv_time);
             let dst = env.dst as usize;
             debug_assert!(env.recv_time >= self.meta[dst].now, "causality violation");
             self.meta[dst].now = env.recv_time;
             self.meta[dst].processed += 1;
 
-            let mut ctx = Ctx {
-                now: env.recv_time,
-                me: env.dst,
-                lookahead: self.lookahead,
-                out: &mut out,
-            };
+            let mut ctx =
+                Ctx { now: env.recv_time, me: env.dst, lookahead: self.lookahead, out: &mut out };
             self.lps[dst].handle(&env, &mut ctx);
             stats.committed += 1;
 
@@ -194,6 +190,16 @@ impl<L: Lp> Simulation<L> {
     }
 }
 
+/// Debug guard on dequeue order: timestamps pulled off an in-order event
+/// queue must be non-decreasing, and a violation means the `Ord` on
+/// [`Envelope`] (or a scheduler's merge of queues) regressed. Advances
+/// `last` to `t` so callers can use it as their running clock.
+#[inline]
+pub(crate) fn debug_check_monotonic(last: &mut SimTime, t: SimTime) {
+    debug_assert!(t >= *last, "non-monotonic dequeue: {} ns after {} ns", t.as_ns(), last.as_ns());
+    *last = t;
+}
+
 /// Helper shared by the parallel schedulers: turn buffered outgoing sends
 /// into envelopes, updating the sender's meta counters.
 pub(crate) fn seal_outgoing<E>(
@@ -216,5 +222,27 @@ pub(crate) fn seal_outgoing<E>(
         meta.tiebreak += 1;
         meta.uid_seq += 1;
         push(env);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monotonic_dequeue_advances_the_clock() {
+        let mut clock = SimTime::ZERO;
+        debug_check_monotonic(&mut clock, SimTime::from_ns(5));
+        debug_check_monotonic(&mut clock, SimTime::from_ns(5));
+        debug_check_monotonic(&mut clock, SimTime::from_ns(9));
+        assert_eq!(clock, SimTime::from_ns(9));
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "non-monotonic")]
+    fn decreasing_dequeue_timestamp_is_caught() {
+        let mut clock = SimTime::from_ns(10);
+        debug_check_monotonic(&mut clock, SimTime::from_ns(9));
     }
 }

@@ -89,9 +89,7 @@ impl Scheduler {
         match self {
             Scheduler::Sequential => sim.run_sequential(until),
             Scheduler::Conservative(n) => sim.run_conservative(n, until),
-            Scheduler::Optimistic(n) => {
-                sim.run_optimistic(n, OptimisticConfig::default(), until)
-            }
+            Scheduler::Optimistic(n) => sim.run_optimistic(n, OptimisticConfig::default(), until),
             Scheduler::ConservativeParallel { threads, lookahead } => {
                 sim.run_conservative_parallel(threads, lookahead, until)
             }
@@ -180,11 +178,8 @@ mod tests {
         let mut a = phold_sim(16, 99);
         let mut b = phold_sim(16, 99);
         let sa = a.run_sequential(SimTime::MAX);
-        let sb = b.run_optimistic(
-            4,
-            OptimisticConfig { batch: 64, snapshot_interval: 3 },
-            SimTime::MAX,
-        );
+        let sb =
+            b.run_optimistic(4, OptimisticConfig { batch: 64, snapshot_interval: 3 }, SimTime::MAX);
         assert_eq!(sa.committed, sb.committed, "stats: {sb:?}");
         assert_eq!(fingerprint(&a), fingerprint(&b));
     }
@@ -194,11 +189,7 @@ mod tests {
         let mut a = phold_sim(8, 3);
         let mut b = phold_sim(8, 3);
         a.run_sequential(SimTime::MAX);
-        b.run_optimistic(
-            3,
-            OptimisticConfig { batch: 16, snapshot_interval: 1 },
-            SimTime::MAX,
-        );
+        b.run_optimistic(3, OptimisticConfig { batch: 16, snapshot_interval: 1 }, SimTime::MAX);
         assert_eq!(fingerprint(&a), fingerprint(&b));
     }
 
@@ -216,11 +207,7 @@ mod tests {
 
     #[test]
     fn scheduler_enum_dispatches() {
-        for sched in [
-            Scheduler::Sequential,
-            Scheduler::Conservative(2),
-            Scheduler::Optimistic(2),
-        ] {
+        for sched in [Scheduler::Sequential, Scheduler::Conservative(2), Scheduler::Optimistic(2)] {
             let mut sim = phold_sim(4, 11);
             let stats = sched.run(&mut sim, SimTime::MAX);
             assert!(stats.committed > 0);

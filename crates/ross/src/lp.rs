@@ -92,7 +92,7 @@ pub(crate) struct LpMeta {
 }
 
 impl LpMeta {
-    pub fn new() -> Self {
+    pub(crate) fn new() -> Self {
         LpMeta { tiebreak: 0, uid_seq: 0, now: SimTime::ZERO, processed: 0 }
     }
 }

@@ -25,24 +25,20 @@ unsafe impl<T: Send> Send for Mailbox<T> {}
 unsafe impl<T: Send> Sync for Mailbox<T> {}
 
 impl<T> Mailbox<T> {
-    pub fn new() -> Mailbox<T> {
+    pub(crate) fn new() -> Mailbox<T> {
         Mailbox { head: AtomicPtr::new(ptr::null_mut()) }
     }
 
     /// Push one item; callable concurrently from any thread.
-    pub fn push(&self, item: T) {
+    pub(crate) fn push(&self, item: T) {
         let node = Box::into_raw(Box::new(Node { item, next: ptr::null_mut() }));
         let mut head = self.head.load(Ordering::Relaxed);
         loop {
             // Safety: `node` came from Box::into_raw above and is not yet
             // shared with any other thread.
             unsafe { (*node).next = head };
-            match self.head.compare_exchange_weak(
-                head,
-                node,
-                Ordering::Release,
-                Ordering::Relaxed,
-            ) {
+            match self.head.compare_exchange_weak(head, node, Ordering::Release, Ordering::Relaxed)
+            {
                 Ok(_) => return,
                 Err(current) => head = current,
             }
@@ -52,7 +48,7 @@ impl<T> Mailbox<T> {
     /// Take every item currently in the mailbox. Intended for the owning
     /// consumer at a synchronization point; concurrent pushes that lose
     /// the race simply land in the next drain.
-    pub fn drain_into(&self, out: &mut Vec<T>) {
+    pub(crate) fn drain_into(&self, out: &mut Vec<T>) {
         let mut cur = self.head.swap(ptr::null_mut(), Ordering::Acquire);
         while !cur.is_null() {
             // Safety: we own the whole detached chain exclusively.

@@ -306,8 +306,15 @@ impl<L: Lp + Clone> Simulation<L> {
                         loop {
                             while let Some(m) = locals.pop_front() {
                                 ingest(
-                                    m, base_lp, lookahead, &mut rts, &mut heap,
-                                    &mut tombstones, &mut scratch, &mut stats, &mut antis,
+                                    m,
+                                    base_lp,
+                                    lookahead,
+                                    &mut rts,
+                                    &mut heap,
+                                    &mut tombstones,
+                                    &mut scratch,
+                                    &mut stats,
+                                    &mut antis,
                                 );
                                 for (dst, uid) in antis.drain(..) {
                                     stats.anti += 1;
@@ -319,8 +326,15 @@ impl<L: Lp + Clone> Simulation<L> {
                             in_flight.fetch_sub(msgs.len() as i64, Ordering::SeqCst);
                             for m in msgs {
                                 ingest(
-                                    m, base_lp, lookahead, &mut rts, &mut heap,
-                                    &mut tombstones, &mut scratch, &mut stats, &mut antis,
+                                    m,
+                                    base_lp,
+                                    lookahead,
+                                    &mut rts,
+                                    &mut heap,
+                                    &mut tombstones,
+                                    &mut scratch,
+                                    &mut stats,
+                                    &mut antis,
                                 );
                                 for (dst, uid) in antis.drain(..) {
                                     stats.anti += 1;
@@ -392,8 +406,15 @@ impl<L: Lp + Clone> Simulation<L> {
                             // Stragglers delivered by local sends first.
                             while let Some(m) = locals.pop_front() {
                                 ingest(
-                                    m, base_lp, lookahead, &mut rts, &mut heap,
-                                    &mut tombstones, &mut scratch, &mut stats, &mut antis,
+                                    m,
+                                    base_lp,
+                                    lookahead,
+                                    &mut rts,
+                                    &mut heap,
+                                    &mut tombstones,
+                                    &mut scratch,
+                                    &mut stats,
+                                    &mut antis,
                                 );
                                 for (dst, uid) in antis.drain(..) {
                                     stats.anti += 1;
@@ -502,8 +523,7 @@ impl<L: Lp + Clone> Simulation<L> {
                 stats.rollbacks += oc.stats.rollbacks;
                 stats.anti_messages += oc.stats.anti;
                 stats.rounds = stats.rounds.max(oc.stats.epochs);
-                stats.end_time =
-                    stats.end_time.max(SimTime(oc.final_gvt.min(until.0)));
+                stats.end_time = stats.end_time.max(SimTime(oc.final_gvt.min(until.0)));
             }
         }
         self.lps = lps.into_iter().map(|o| o.expect("missing LP after run")).collect();

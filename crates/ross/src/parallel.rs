@@ -87,8 +87,7 @@ impl<L: Lp> Simulation<L> {
         // Partitions are not contiguous in general: move LP state and
         // meta into per-thread vectors (reassembled below).
         let mut lps_by_thread: Vec<Vec<L>> = (0..n_threads).map(|_| Vec::new()).collect();
-        let mut meta_by_thread: Vec<Vec<LpMeta>> =
-            (0..n_threads).map(|_| Vec::new()).collect();
+        let mut meta_by_thread: Vec<Vec<LpMeta>> = (0..n_threads).map(|_| Vec::new()).collect();
         for (gid, lp) in std::mem::take(&mut self.lps).into_iter().enumerate() {
             lps_by_thread[owner_of[gid] as usize].push(lp);
         }
@@ -169,8 +168,7 @@ impl<L: Lp> Simulation<L> {
                             heap.peek().map(|Reverse(e)| e.recv_time.0).unwrap_or(u64::MAX);
                         mins[t].store(local_min, Ordering::Relaxed);
                         barrier.wait();
-                        let gmin =
-                            mins.iter().map(|m| m.load(Ordering::Relaxed)).min().unwrap();
+                        let gmin = mins.iter().map(|m| m.load(Ordering::Relaxed)).min().unwrap();
                         if gmin == u64::MAX || gmin > until.0 {
                             break;
                         }
@@ -206,12 +204,8 @@ impl<L: Lp> Simulation<L> {
                             }
                             metas[li].now = env.recv_time;
                             metas[li].processed += 1;
-                            let mut ctx = Ctx {
-                                now: env.recv_time,
-                                me: env.dst,
-                                lookahead,
-                                out: &mut out,
-                            };
+                            let mut ctx =
+                                Ctx { now: env.recv_time, me: env.dst, lookahead, out: &mut out };
                             lps[li].handle(&env, &mut ctx);
                             local_committed += 1;
                             seal_outgoing(
@@ -252,9 +246,7 @@ impl<L: Lp> Simulation<L> {
         for (t, slot) in results.iter().enumerate() {
             let (lps, metas, leftover) =
                 slot.lock().take().expect("worker thread did not report results");
-            for ((&gid, lp), meta) in
-                assignment.locals[t].iter().zip(lps).zip(metas)
-            {
+            for ((&gid, lp), meta) in assignment.locals[t].iter().zip(lps).zip(metas) {
                 lp_slots[gid as usize] = Some(lp);
                 meta_slots[gid as usize] = Some(meta);
             }
@@ -393,9 +385,7 @@ mod tests {
         let sa = a.run_sequential(SimTime::MAX);
         let mut b = phold_sim(12, 9);
         // Deliberately lopsided, non-contiguous blocks.
-        b.set_partition(Partition::from_blocks(vec![
-            5, 1, 5, 1, 5, 1, 9, 9, 5, 1, 9, 5,
-        ]));
+        b.set_partition(Partition::from_blocks(vec![5, 1, 5, 1, 5, 1, 9, 9, 5, 1, 9, 5]));
         let sb = b.run_conservative_parallel(3, SimDuration::from_ns(50), SimTime::MAX);
         assert_eq!(sa.committed, sb.committed);
         assert_eq!(fingerprint(&a), fingerprint(&b));
@@ -416,8 +406,7 @@ mod tests {
     #[test]
     fn counts_remote_events() {
         let mut sim = phold_sim(16, 2);
-        let stats =
-            sim.run_conservative_parallel(4, SimDuration::from_ns(50), SimTime::MAX);
+        let stats = sim.run_conservative_parallel(4, SimDuration::from_ns(50), SimTime::MAX);
         assert!(stats.remote_events > 0, "PHOLD traffic must cross partitions");
         assert!(stats.remote_events <= stats.committed + sim.pending_events() as u64);
     }
@@ -427,10 +416,8 @@ mod tests {
         let mut a = phold_sim(8, 31);
         let sa = Scheduler::Sequential.run(&mut a, SimTime::MAX);
         let mut b = phold_sim(8, 31);
-        let sched = Scheduler::ConservativeParallel {
-            threads: 4,
-            lookahead: SimDuration::from_ns(50),
-        };
+        let sched =
+            Scheduler::ConservativeParallel { threads: 4, lookahead: SimDuration::from_ns(50) };
         let sb = sched.run(&mut b, SimTime::MAX);
         assert_eq!(sa.committed, sb.committed);
         assert_eq!(fingerprint(&a), fingerprint(&b));

@@ -44,6 +44,17 @@ pub enum AppKind {
 }
 
 impl AppKind {
+    /// Every bundled application, in registry order.
+    pub const ALL: [AppKind; 7] = [
+        AppKind::Cosmoflow,
+        AppKind::Alexnet,
+        AppKind::NearestNeighbor,
+        AppKind::Milc,
+        AppKind::Nekbone,
+        AppKind::Lammps,
+        AppKind::UniformRandom,
+    ];
+
     pub fn label(self) -> &'static str {
         match self {
             AppKind::Cosmoflow => "Cosmoflow",

@@ -163,8 +163,8 @@ mod tests {
         let skel = alexnet();
         let inst = SkeletonInstance::new(&skel, n, &[]).unwrap();
         let v = Validation::collect(n, |r| RankVm::new(inst.clone(), r, 1));
-        let bcast_total: u64 = 11 * alexnet_reference::INIT_BYTES
-            + alexnet_reference::UPDATES * (25 + 10 * 4);
+        let bcast_total: u64 =
+            11 * alexnet_reference::INIT_BYTES + alexnet_reference::UPDATES * (25 + 10 * 4);
         assert_eq!(v.bytes_per_rank[1] - v.bytes_per_rank[0], bcast_total);
         assert!(v.bytes_per_rank[1..].iter().all(|&b| b == v.bytes_per_rank[1]));
         // Startup broadcast volume ≈ 2.47e8 (Table V's per-rank delta).

@@ -19,12 +19,8 @@ fn torus_neighbor(dims: &[i64], dim: usize, delta: i64) -> Expr {
     let d = dims[dim];
     let c = t().rem(Expr::lit(stride * d));
     // c_full = (t / stride) mod d
-    let coord = Expr::Bin(
-        conceptual::BinOp::Div,
-        Box::new(t()),
-        Box::new(Expr::lit(stride)),
-    )
-    .rem(Expr::lit(d));
+    let coord = Expr::Bin(conceptual::BinOp::Div, Box::new(t()), Box::new(Expr::lit(stride)))
+        .rem(Expr::lit(d));
     let _ = c;
     let wrapped = coord.clone().add(Expr::lit(delta)).rem(Expr::lit(d));
     t().sub(coord.mul(Expr::lit(stride))).add(wrapped.mul(Expr::lit(stride)))
@@ -48,13 +44,10 @@ pub fn nearest_neighbor() -> Skeleton {
         parse_expr(&format!("MESH_NEIGHBOR(nx, ny, nz, t, {dx}, {dy}, {dz})")).unwrap()
     };
     b = b.loop_n(Expr::var("iters"), |mut b| {
-        for (dx, dy, dz) in
-            [(1, 0, 0), (-1, 0, 0), (0, 1, 0), (0, -1, 0), (0, 0, 1), (0, 0, -1)]
-        {
+        for (dx, dy, dz) in [(1, 0, 0), (-1, 0, 0), (0, 1, 0), (0, -1, 0), (0, 0, 1), (0, 0, -1)] {
             b = b.send_nb(neighbor(dx, dy, dz), Expr::var("bytes"));
         }
-        b.await_all()
-            .compute_ns(Expr::var("compute_us").mul(Expr::lit(1000)))
+        b.await_all().compute_ns(Expr::var("compute_us").mul(Expr::lit(1000)))
     });
     b.build().expect("nn skeleton")
 }
@@ -84,8 +77,7 @@ pub fn milc_with_dim(dim: i64) -> Skeleton {
                 b = b.send_nb(torus_neighbor(&dims, d, delta), Expr::var("bytes"));
             }
         }
-        b.await_all()
-            .compute_ns(Expr::var("compute_us").mul(Expr::lit(1000)))
+        b.await_all().compute_ns(Expr::var("compute_us").mul(Expr::lit(1000)))
     });
     b.build().expect("milc skeleton")
 }
@@ -110,9 +102,7 @@ pub fn nekbone() -> Skeleton {
     b = b.loop_n(Expr::var("iters"), |mut b| {
         // CG: dot product, halo (gather/scatter), preconditioner dot.
         b = b.allreduce(Expr::lit(8));
-        for (dx, dy, dz) in
-            [(1, 0, 0), (-1, 0, 0), (0, 1, 0), (0, -1, 0), (0, 0, 1), (0, 0, -1)]
-        {
+        for (dx, dy, dz) in [(1, 0, 0), (-1, 0, 0), (0, 1, 0), (0, -1, 0), (0, 0, 1), (0, 0, -1)] {
             b = b.send_nb(neighbor(dx, dy, dz), Expr::var("bytes"));
         }
         b.await_all()
@@ -149,8 +139,7 @@ pub fn lammps() -> Skeleton {
                 .send_irecv(neighbor(dx, dy, dz), Expr::var("bytes"))
                 .send_irecv(neighbor(-dx, -dy, -dz), Expr::var("bytes"));
         }
-        b.compute_ns(Expr::var("compute_us").mul(Expr::lit(1000)))
-            .allreduce(Expr::lit(8))
+        b.compute_ns(Expr::var("compute_us").mul(Expr::lit(1000))).allreduce(Expr::lit(8))
     });
     b.build().expect("lammps skeleton")
 }
@@ -177,14 +166,15 @@ mod tests {
     #[test]
     fn nn_edge_ranks_have_fewer_neighbors() {
         let skel = nearest_neighbor();
-        let inst =
-            SkeletonInstance::new(&skel, 27, &["--nx", "3", "--ny", "3", "--nz", "3", "--iters", "1"])
-                .unwrap();
+        let inst = SkeletonInstance::new(
+            &skel,
+            27,
+            &["--nx", "3", "--ny", "3", "--nz", "3", "--iters", "1"],
+        )
+        .unwrap();
         let corner: Vec<MpiOp> = RankVm::new(inst.clone(), 0, 1).collect();
         let center: Vec<MpiOp> = RankVm::new(inst.clone(), 13, 1).collect();
-        let sends = |v: &[MpiOp]| {
-            v.iter().filter(|o| matches!(o, MpiOp::Isend { .. })).count()
-        };
+        let sends = |v: &[MpiOp]| v.iter().filter(|o| matches!(o, MpiOp::Isend { .. })).count();
         assert_eq!(sends(&corner), 3);
         assert_eq!(sends(&center), 6);
     }

@@ -27,18 +27,14 @@ fn run(placement: Placement, with_interference: bool) -> SimResults {
     if with_interference {
         let ml = app(AppKind::Cosmoflow, Profile::Quick, 3, 16);
         let milc = app(AppKind::Milc, Profile::Quick, 12, 4);
-        b = b
-            .job(ml.name(), ml.vms(1).unwrap())
-            .job(milc.name(), milc.vms(1).unwrap());
+        b = b.job(ml.name(), ml.vms(1).unwrap()).job(milc.name(), milc.vms(1).unwrap());
     }
     b.build().unwrap().run(Scheduler::Sequential, SimTime::MAX)
 }
 
 fn main() {
     println!("Nekbone (27 ranks) vs Cosmoflow + MILC interference on a 544-node 1D dragonfly\n");
-    println!(
-        "| placement | avg latency alone (us) | avg latency co-run (us) | slowdown |"
-    );
+    println!("| placement | avg latency alone (us) | avg latency co-run (us) | slowdown |");
     println!("|---|---|---|---|");
     for placement in Placement::all() {
         let alone = run(placement, false);

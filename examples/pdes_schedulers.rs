@@ -18,11 +18,7 @@ fn main() {
     println!("|---|---|---|---|---|---|");
 
     let mut reference: Option<u64> = None;
-    for sched in [
-        Scheduler::Sequential,
-        Scheduler::Conservative(4),
-        Scheduler::Optimistic(4),
-    ] {
+    for sched in [Scheduler::Sequential, Scheduler::Conservative(4), Scheduler::Optimistic(4)] {
         // Rebuild the identical simulation for each scheduler.
         let mut b = SimulationBuilder::new(DragonflyConfig::small_1d())
             .routing(Routing::Adaptive)

@@ -73,22 +73,14 @@ impl Default for Criterion {
 }
 
 impl Criterion {
-    pub fn bench_function<F: FnMut(&mut Bencher<'_>)>(
-        &mut self,
-        id: &str,
-        f: F,
-    ) -> &mut Self {
+    pub fn bench_function<F: FnMut(&mut Bencher<'_>)>(&mut self, id: &str, f: F) -> &mut Self {
         let sample_size = self.sample_size;
         run_bench(self.test_mode, sample_size, id, f);
         self
     }
 
     pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
-        BenchmarkGroup {
-            name: name.to_string(),
-            sample_size: self.sample_size,
-            parent: self,
-        }
+        BenchmarkGroup { name: name.to_string(), sample_size: self.sample_size, parent: self }
     }
 }
 
@@ -136,6 +128,9 @@ fn run_bench<F: FnMut(&mut Bencher<'_>)>(test_mode: bool, sample_size: usize, id
 #[macro_export]
 macro_rules! criterion_group {
     ($group:ident, $($target:path),+ $(,)?) => {
+        // `pub` mirrors real criterion's expansion; groups live in bench
+        // binaries where nothing is nameable from outside.
+        #[allow(unreachable_pub)]
         pub fn $group() {
             let mut criterion = $crate::Criterion::default();
             $( $target(&mut criterion); )+

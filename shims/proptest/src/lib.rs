@@ -169,7 +169,10 @@ macro_rules! prop_assert_eq {
         $crate::prop_assert!(
             *__l == *__r,
             "assert_eq failed: {} != {}\n  left: {:?}\n right: {:?}",
-            stringify!($left), stringify!($right), __l, __r
+            stringify!($left),
+            stringify!($right),
+            __l,
+            __r
         );
     }};
 }

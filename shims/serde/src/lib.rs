@@ -118,10 +118,10 @@ pub trait Deserialize: Sized {
 /// by hand-written JSON).
 pub fn field<T: Deserialize>(obj: &[(String, Value)], key: &str) -> Result<T, Error> {
     match obj.iter().find(|(k, _)| k == key) {
-        Some((_, v)) => T::from_value(v)
-            .map_err(|e| Error::msg(format!("field `{key}`: {e}"))),
-        None => T::from_value(&Value::Null)
-            .map_err(|_| Error::msg(format!("missing field `{key}`"))),
+        Some((_, v)) => T::from_value(v).map_err(|e| Error::msg(format!("field `{key}`: {e}"))),
+        None => {
+            T::from_value(&Value::Null).map_err(|_| Error::msg(format!("missing field `{key}`")))
+        }
     }
 }
 
@@ -245,11 +245,7 @@ macro_rules! ser_tuple {
         }
     )+};
 }
-ser_tuple!(
-    (A.0, B.1),
-    (A.0, B.1, C.2),
-    (A.0, B.1, C.2, D.3),
-);
+ser_tuple!((A.0, B.1), (A.0, B.1, C.2), (A.0, B.1, C.2, D.3),);
 
 impl<V: Serialize> Serialize for BTreeMap<String, V> {
     fn to_value(&self) -> Value {
@@ -377,11 +373,7 @@ macro_rules! de_tuple {
         }
     )+};
 }
-de_tuple!(
-    (2, A.0, B.1),
-    (3, A.0, B.1, C.2),
-    (4, A.0, B.1, C.2, D.3),
-);
+de_tuple!((2, A.0, B.1), (3, A.0, B.1, C.2), (4, A.0, B.1, C.2, D.3),);
 
 impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
     fn from_value(v: &Value) -> Result<Self, Error> {

@@ -174,9 +174,7 @@ fn parse_item(input: TokenStream) -> Item {
         skip_attrs(&toks, &mut i);
         skip_vis(&toks, &mut i);
         match &toks[i] {
-            TokenTree::Ident(id) if id.to_string() == "struct" || id.to_string() == "enum" => {
-                break
-            }
+            TokenTree::Ident(id) if id.to_string() == "struct" || id.to_string() == "enum" => break,
             _ => i += 1, // e.g. `union` would land here; unsupported shapes panic below
         }
     }
@@ -314,9 +312,8 @@ fn ser_struct_body(fields: &Fields) -> String {
     match fields {
         Fields::Unit => "serde::Value::Null".to_string(),
         Fields::Named(fs) => {
-            let mut out = String::from(
-                "let mut __obj: Vec<(String, serde::Value)> = Vec::new();\n",
-            );
+            let mut out =
+                String::from("let mut __obj: Vec<(String, serde::Value)> = Vec::new();\n");
             for f in fs.iter().filter(|f| !f.skip) {
                 let n = f.name.as_ref().unwrap();
                 out.push_str(&format!(
@@ -350,9 +347,7 @@ fn ser_enum_body(variants: &[Variant]) -> String {
         let vn = &v.name;
         match &v.fields {
             Fields::Unit => {
-                arms.push_str(&format!(
-                    "Self::{vn} => serde::Value::Str(\"{vn}\".to_string()),\n"
-                ));
+                arms.push_str(&format!("Self::{vn} => serde::Value::Str(\"{vn}\".to_string()),\n"));
             }
             Fields::Tuple(fs) => {
                 let pat: Vec<String> = fs
@@ -396,9 +391,8 @@ fn ser_enum_body(variants: &[Variant]) -> String {
                         }
                     })
                     .collect();
-                let mut inner = String::from(
-                    "{ let mut __fobj: Vec<(String, serde::Value)> = Vec::new();\n",
-                );
+                let mut inner =
+                    String::from("{ let mut __fobj: Vec<(String, serde::Value)> = Vec::new();\n");
                 for f in fs.iter().filter(|f| !f.skip) {
                     let n = f.name.as_ref().unwrap();
                     inner.push_str(&format!(
@@ -465,8 +459,7 @@ fn de_struct_body(name: &str, fields: &Fields) -> String {
 
 /// Build `Ctor(a, b, ...)` deserialization from value expr `src`.
 fn de_tuple_ctor(fs: &[Field], ctor: &str, src: &str, what: &str) -> String {
-    let live: Vec<usize> =
-        fs.iter().enumerate().filter(|(_, f)| !f.skip).map(|(i, _)| i).collect();
+    let live: Vec<usize> = fs.iter().enumerate().filter(|(_, f)| !f.skip).map(|(i, _)| i).collect();
     let arg = |expr: String, idx: usize| -> String {
         if fs[idx].skip {
             "Default::default()".to_string()
@@ -476,8 +469,7 @@ fn de_tuple_ctor(fs: &[Field], ctor: &str, src: &str, what: &str) -> String {
     };
     match live.len() {
         0 => {
-            let args: Vec<String> =
-                fs.iter().map(|_| "Default::default()".to_string()).collect();
+            let args: Vec<String> = fs.iter().map(|_| "Default::default()".to_string()).collect();
             format!("Ok({ctor}({}))", args.join(", "))
         }
         1 => {
@@ -499,8 +491,7 @@ fn de_tuple_ctor(fs: &[Field], ctor: &str, src: &str, what: &str) -> String {
                     if fs[i].skip {
                         "Default::default()".to_string()
                     } else {
-                        let e =
-                            format!("serde::Deserialize::from_value(&__a[{next}])?");
+                        let e = format!("serde::Deserialize::from_value(&__a[{next}])?");
                         next += 1;
                         e
                     }
@@ -590,15 +581,11 @@ fn de_enum_body(name: &str, variants: &[Variant]) -> String {
 #[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let item = parse_item(input);
-    gen_serialize(&item)
-        .parse()
-        .expect("serde shim derive: generated invalid Serialize impl")
+    gen_serialize(&item).parse().expect("serde shim derive: generated invalid Serialize impl")
 }
 
 #[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let item = parse_item(input);
-    gen_deserialize(&item)
-        .parse()
-        .expect("serde shim derive: generated invalid Deserialize impl")
+    gen_deserialize(&item).parse().expect("serde shim derive: generated invalid Deserialize impl")
 }

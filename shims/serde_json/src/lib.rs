@@ -246,10 +246,7 @@ impl<'a> Parser<'a> {
                             } else {
                                 hi
                             };
-                            out.push(
-                                char::from_u32(cp)
-                                    .ok_or_else(|| self.err("bad \\u escape"))?,
-                            );
+                            out.push(char::from_u32(cp).ok_or_else(|| self.err("bad \\u escape"))?);
                         }
                         _ => return Err(self.err("unknown escape")),
                     }

@@ -153,11 +153,7 @@ fn all_registered_skeletons_render_c() {
     let reg = workloads::registry();
     for name in reg.names() {
         let c = union_core::codegen::render_c(reg.get(name).unwrap());
-        assert_eq!(
-            c.matches('{').count(),
-            c.matches('}').count(),
-            "unbalanced braces in {name}"
-        );
+        assert_eq!(c.matches('{').count(), c.matches('}').count(), "unbalanced braces in {name}");
         assert!(c.contains("UNION_MPI_Init"));
         assert!(c.contains(&format!(".program_name = \"{name}\"")));
     }
@@ -169,12 +165,10 @@ fn all_registered_skeletons_render_c() {
 fn same_skeleton_rebinds_to_any_size() {
     let skel = workloads::nearest_neighbor();
     for (n, dims) in [(8u32, ["2", "2", "2"]), (27, ["3", "3", "3"]), (64, ["4", "4", "4"])] {
-        let args =
-            ["--nx", dims[0], "--ny", dims[1], "--nz", dims[2], "--iters", "1"];
+        let args = ["--nx", dims[0], "--ny", dims[1], "--nz", dims[2], "--iters", "1"];
         let inst = SkeletonInstance::new(&skel, n, &args).unwrap();
-        let interior_sends = RankVm::new(inst.clone(), 0, 1)
-            .filter(|o| matches!(o, MpiOp::Isend { .. }))
-            .count();
+        let interior_sends =
+            RankVm::new(inst.clone(), 0, 1).filter(|o| matches!(o, MpiOp::Isend { .. })).count();
         assert_eq!(interior_sends, 3, "corner rank always has 3 neighbors");
     }
 }

@@ -110,7 +110,14 @@ fn schedulers_agree_on_hybrid_workload() {
                         let _ = i;
                     }
                 }
-                cfg.args.extend(["--nx".into(), "3".into(), "--ny".into(), "2".into(), "--nz".into(), "4".into()]);
+                cfg.args.extend([
+                    "--nx".into(),
+                    "3".into(),
+                    "--ny".into(),
+                    "2".into(),
+                    "--nz".into(),
+                    "4".into(),
+                ]);
             }
             b = b.job(cfg.name(), cfg.vms(1).unwrap());
         }
@@ -141,14 +148,9 @@ fn smoke_sweep_has_expected_records() {
     assert_eq!(mix.apps.len(), 5);
     for a in &mix.apps {
         assert!(a.done, "{} unfinished in mix", a.name);
-        let base = sweep::baseline_of(
-            &records,
-            mix.key.net,
-            &a.name,
-            mix.key.placement,
-            mix.key.routing,
-        )
-        .unwrap();
+        let base =
+            sweep::baseline_of(&records, mix.key.net, &a.name, mix.key.placement, mix.key.routing)
+                .unwrap();
         assert!(base.done);
     }
 }

@@ -127,9 +127,8 @@ fn adaptive_routing_helps_under_load() {
         0,
     );
     // Use the worst app makespan as the congestion proxy.
-    let worst = |r: &SimResults| {
-        r.apps.iter().map(|a| a.makespan_ns().unwrap()).max().unwrap() as f64
-    };
+    let worst =
+        |r: &SimResults| r.apps.iter().map(|a| a.makespan_ns().unwrap()).max().unwrap() as f64;
     assert!(
         worst(&adp) <= worst(&min) * 1.10,
         "ADP {:.1}ms should not lose badly to MIN {:.1}ms",
@@ -206,10 +205,7 @@ fn rg_reduces_foreign_traffic_on_job_routers() {
     };
     let rg = foreign(Placement::RandomGroups);
     let rr = foreign(Placement::RandomRouters);
-    assert!(
-        rg < rr,
-        "foreign bytes on job routers: RG {rg} should be below RR {rr}"
-    );
+    assert!(rg < rr, "foreign bytes on job routers: RG {rg} should be below RR {rr}");
 }
 
 /// Finding (§VI-B): ML applications absorb latency variation better —

@@ -30,10 +30,7 @@ fn fingerprint(r: &SimResults) -> Fingerprint {
             .map(|a| {
                 (
                     a.name.clone(),
-                    a.latency
-                        .iter()
-                        .map(|l| (l.count, l.sum_ns, l.min_ns, l.max_ns))
-                        .collect(),
+                    a.latency.iter().map(|l| (l.count, l.sum_ns, l.min_ns, l.max_ns)).collect(),
                     a.comm.iter().map(|c| c.total_ns).collect(),
                     a.finished_at_ns.clone(),
                     a.bytes_sent,
@@ -65,9 +62,7 @@ fn run(sched: Scheduler) -> Fingerprint {
         let mut cfg = app(kind, Profile::Quick, 2, 64);
         if kind == AppKind::NearestNeighbor {
             cfg.ranks = 24;
-            cfg.args.extend(
-                ["--nx", "3", "--ny", "2", "--nz", "4"].iter().map(|s| s.to_string()),
-            );
+            cfg.args.extend(["--nx", "3", "--ny", "2", "--nz", "4"].iter().map(|s| s.to_string()));
         } else {
             cfg.ranks = 16;
         }
@@ -114,19 +109,14 @@ fn parallel_run_survives_rescheduling_midway() {
         let mut cfg = app(kind, Profile::Quick, 2, 64);
         if kind == AppKind::NearestNeighbor {
             cfg.ranks = 24;
-            cfg.args.extend(
-                ["--nx", "3", "--ny", "2", "--nz", "4"].iter().map(|s| s.to_string()),
-            );
+            cfg.args.extend(["--nx", "3", "--ny", "2", "--nz", "4"].iter().map(|s| s.to_string()));
         } else {
             cfg.ranks = 16;
         }
         b = b.job(cfg.name(), cfg.vms(1).unwrap());
     }
     let mut sim = b.build().unwrap();
-    let par = Scheduler::ConservativeParallel {
-        threads: 3,
-        lookahead: SimDuration::from_ns(100),
-    };
+    let par = Scheduler::ConservativeParallel { threads: 3, lookahead: SimDuration::from_ns(100) };
     sim.run(par, SimTime::from_us(50));
     let r = sim.run(Scheduler::Sequential, SimTime::MAX);
     let mut fp = fingerprint(&r);
