@@ -4,45 +4,9 @@
 //! in optimistic mode).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
-use ross::{Ctx, Envelope, Lp, OptimisticConfig, SimDuration, SimTime, Simulation};
-
-#[derive(Clone)]
-struct Phold {
-    rng: SmallRng,
-    n_lps: u32,
-    horizon: SimTime,
-    hits: u64,
-}
-
-impl Lp for Phold {
-    type Event = u32;
-    fn handle(&mut self, _ev: &Envelope<u32>, ctx: &mut Ctx<'_, u32>) {
-        self.hits += 1;
-        if ctx.now() < self.horizon {
-            let dst = self.rng.gen_range(0..self.n_lps);
-            let delay = SimDuration::from_ns(self.rng.gen_range(100..1000));
-            ctx.send(dst, delay, 0);
-        }
-    }
-}
-
-fn phold(n_lps: u32) -> Simulation<Phold> {
-    let lps = (0..n_lps)
-        .map(|i| Phold {
-            rng: SmallRng::seed_from_u64(i as u64),
-            n_lps,
-            horizon: SimTime::from_us(500),
-            hits: 0,
-        })
-        .collect();
-    let mut sim = Simulation::new(lps, SimDuration::from_ns(100));
-    for i in 0..n_lps {
-        sim.schedule(i, SimTime::from_ns(i as u64), 0);
-    }
-    sim
-}
+use ross::{OptimisticConfig, SimDuration, SimTime};
+use std::sync::Arc;
+use union_bench::phold;
 
 fn bench_schedulers(c: &mut Criterion) {
     let mut g = c.benchmark_group("engine/phold-64lp");
@@ -100,5 +64,38 @@ fn bench_snapshot_interval(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_schedulers, bench_snapshot_interval);
+fn bench_telemetry_overhead(c: &mut Criterion) {
+    // The telemetry layer's cost contract: attaching a recorder must be
+    // nearly free (counters are plain u64s, timing scopes only fire when a
+    // recorder is present). Compare these series — "on" must stay within
+    // ~2% of "off"; the ignored `telemetry_overhead_under_two_percent`
+    // test in the crate enforces that bound.
+    let mut g = c.benchmark_group("engine/telemetry-overhead");
+    g.sample_size(10);
+    for (label, telemetry) in [("off", false), ("on", true)] {
+        g.bench_function(BenchmarkId::new("sequential", label), |b| {
+            b.iter(|| {
+                let mut sim = phold(64);
+                if telemetry {
+                    sim.set_telemetry(Some(Arc::new(telemetry::Recorder::new())));
+                }
+                sim.run_sequential(SimTime::MAX).committed
+            })
+        });
+    }
+    for (label, telemetry) in [("off", false), ("on", true)] {
+        g.bench_function(BenchmarkId::new("conservative-2t", label), |b| {
+            b.iter(|| {
+                let mut sim = phold(64);
+                if telemetry {
+                    sim.set_telemetry(Some(Arc::new(telemetry::Recorder::new())));
+                }
+                sim.run_conservative(2, SimTime::MAX).committed
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_schedulers, bench_snapshot_interval, bench_telemetry_overhead);
 criterion_main!(benches);

@@ -61,6 +61,7 @@ struct Nic {
     /// A pulse event is in flight.
     pulsing: bool,
     pub injected_bytes: u64,
+    pub injected_packets: u64,
 }
 
 /// The node LP.
@@ -72,11 +73,30 @@ pub struct NodeLp {
     pub proc: Option<Proc>,
     /// Partial message reassembly: (src_node, msg_id) → bytes received.
     assembly: HashMap<(u32, u64), u64>,
+    /// Packets fully received at this node (telemetry).
+    pub delivered_packets: u64,
 }
 
 impl NodeLp {
     pub fn new(node: u32, shared: Arc<Shared>, proc: Option<Proc>) -> NodeLp {
-        NodeLp { node, shared, nic: Nic::default(), proc, assembly: HashMap::new() }
+        NodeLp {
+            node,
+            shared,
+            nic: Nic::default(),
+            proc,
+            assembly: HashMap::new(),
+            delivered_packets: 0,
+        }
+    }
+
+    /// Bytes this node's NIC pushed into the network.
+    pub fn injected_bytes(&self) -> u64 {
+        self.nic.injected_bytes
+    }
+
+    /// Packets this node's NIC pushed into the network.
+    pub fn injected_packets(&self) -> u64 {
+        self.nic.injected_packets
     }
 
     pub fn handle_event(&mut self, now: SimTime, ev: &Event, ctx: &mut Ctx<'_, Event>) {
@@ -164,6 +184,7 @@ impl NodeLp {
         pkt.bytes = chunk;
         cur.emitted += chunk as u64;
         self.nic.injected_bytes += chunk as u64;
+        self.nic.injected_packets += 1;
         let ser = SimDuration::transfer_time(chunk as u64, cfg.terminal_gib_s);
         let router = self.shared.topo.node_router(self.node);
         ctx.send(
@@ -200,6 +221,7 @@ impl NodeLp {
     }
 
     fn receive_packet(&mut self, now: SimTime, ctx: &mut Ctx<'_, Event>, pkt: &Packet) {
+        self.delivered_packets += 1;
         let key = (pkt.src_node, pkt.msg_id);
         let acc = self.assembly.entry(key).or_insert(0);
         *acc += pkt.bytes as u64;

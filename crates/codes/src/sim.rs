@@ -54,6 +54,7 @@ pub struct SimulationBuilder {
     eager_max: u64,
     window_ns: u64,
     jobs: Vec<JobSpec>,
+    telemetry: Option<Arc<telemetry::Recorder>>,
 }
 
 impl SimulationBuilder {
@@ -66,7 +67,15 @@ impl SimulationBuilder {
             eager_max: 16 * 1024,
             window_ns: 0,
             jobs: Vec::new(),
+            telemetry: None,
         }
+    }
+
+    /// Attach a telemetry recorder: schedulers append per-run records and
+    /// the harvest appends one `network` record per run.
+    pub fn telemetry(mut self, recorder: Arc<telemetry::Recorder>) -> Self {
+        self.telemetry = Some(recorder);
+        self
     }
 
     pub fn routing(mut self, r: Routing) -> Self {
@@ -163,10 +172,11 @@ impl SimulationBuilder {
 
         let mut sim = Simulation::new(lps, shared.lookahead);
         sim.set_partition(Partition::from_blocks(partition_blocks(&shared.topo)));
+        sim.set_telemetry(self.telemetry.clone());
         for lp in start_lps {
             sim.schedule(lp, SimTime::ZERO, Event::Start);
         }
-        Ok(CodesSim { sim, shared })
+        Ok(CodesSim { sim, shared, telemetry: self.telemetry })
     }
 }
 
@@ -280,6 +290,7 @@ pub fn lp_names(topo: &Topology) -> Vec<String> {
 pub struct CodesSim {
     sim: Simulation<CodesLp>,
     shared: Arc<Shared>,
+    telemetry: Option<Arc<telemetry::Recorder>>,
 }
 
 /// Per-application outcome.
@@ -325,7 +336,9 @@ impl SimResults {
         let mut ts = TimeSeries::default();
         for (r, counts) in &self.router_windows {
             if routers.binary_search(r).is_ok() {
-                ts.accumulate(window_ns, counts);
+                // Every router in one run is binned at the same window
+                // size, so a mismatch here is a harvest bug, not input.
+                ts.accumulate(window_ns, counts).expect("routers share one window size");
             }
         }
         ts
@@ -342,6 +355,12 @@ impl CodesSim {
 
     pub fn shared(&self) -> &Shared {
         &self.shared
+    }
+
+    /// Attach (or detach) a telemetry recorder after construction.
+    pub fn set_telemetry(&mut self, recorder: Option<Arc<telemetry::Recorder>>) {
+        self.sim.set_telemetry(recorder.clone());
+        self.telemetry = recorder;
     }
 
     /// Pending event count (nonzero after a bounded run that stopped
@@ -371,10 +390,14 @@ impl CodesSim {
             .collect();
         let mut link_load = LinkLoad::default();
         let mut router_windows = Vec::new();
+        let mut net = telemetry::NetworkRecord::new();
 
         for lp in self.sim.lps() {
             match lp {
                 CodesLp::Node(n) => {
+                    net.packets_injected += n.injected_packets();
+                    net.packets_delivered += n.delivered_packets;
+                    net.bytes_injected += n.injected_bytes();
                     if let Some(p) = &n.proc {
                         let a = &mut apps[p.app as usize];
                         let r = p.mpi.rank() as usize;
@@ -386,6 +409,9 @@ impl CodesSim {
                     }
                 }
                 CodesLp::Router(r) => {
+                    if let Some(c) = &r.credit {
+                        net.credit_stalls += c.stalls;
+                    }
                     for (port, info) in self.shared.topo.ports(r.state.id).iter().enumerate() {
                         let bytes = r.state.port_bytes[port];
                         match info.class {
@@ -409,6 +435,20 @@ impl CodesSim {
             }
         }
         let _ = napps;
+        if let Some(rec) = &self.telemetry {
+            net.apps = apps
+                .iter()
+                .map(|a| telemetry::AppProgressRecord {
+                    app: a.name.clone(),
+                    ranks: a.finished_at_ns.len() as u64,
+                    ranks_finished: a.finished_at_ns.iter().filter(|f| f.is_some()).count() as u64,
+                    bytes_sent: a.bytes_sent,
+                    ops_executed: a.ops_executed,
+                    makespan_ns: a.makespan_ns(),
+                })
+                .collect();
+            rec.emit(&net);
+        }
         SimResults { apps, link_load, router_windows, stats }
     }
 }

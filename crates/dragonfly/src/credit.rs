@@ -73,6 +73,9 @@ pub struct CreditState {
     pub queued_now: u32,
     /// Peak of `queued_now` (diagnostics).
     pub peak_queued: u32,
+    /// Cumulative count of packets that had to wait for a credit
+    /// (telemetry: each stall is one packet parked in `waiting`).
+    pub stalls: u64,
 }
 
 impl CreditState {
@@ -83,6 +86,7 @@ impl CreditState {
             waiting: vec![vec![VecDeque::new(); vcs as usize]; n_ports],
             queued_now: 0,
             peak_queued: 0,
+            stalls: 0,
         }
     }
 
@@ -151,6 +155,7 @@ fn try_transmit(
             credit.waiting[port as usize][vc].push_back(pkt);
             credit.queued_now += 1;
             credit.peak_queued = credit.peak_queued.max(credit.queued_now);
+            credit.stalls += 1;
             return;
         }
         credit.credits[port as usize][vc] -= 1;

@@ -17,11 +17,15 @@
 //!   --iters N               iterations per app (default 2)
 //!   --scale N               payload divisor (default 16)
 //!   --seed N
-//!   --sched seq|cons:T|opt:T|par:T:L   (par = conservative-parallel,
-//!                                       T threads, L ns lookahead window)
+//!   --sched seq|cons:T|opt:T[:B:I]|par:T:L   (par = conservative-parallel,
+//!                                       T threads, L ns lookahead window;
+//!                                       opt:T:B:I = batch B, snapshot
+//!                                       interval I)
 //!   --nets 1d,2d  --placements RN,RR,RG  --routings MIN,ADP
 //!   --workloads 1,2,3  --no-baselines
 //!   --json FILE             dump records as JSON
+//!   --telemetry FILE        write run telemetry as JSONL and print a
+//!                           summary (first record is the run manifest)
 //! ```
 
 use dragonfly::Routing;
@@ -48,9 +52,11 @@ fn main() {
             eprintln!(
                 "usage: union-exp <table1|table2|validate|fig7|fig8|fig9|table6|all|skeleton|lint> [opts]\n\
                  sweep opts: --profile quick|paper  --iters N  --scale N  --seed N\n\
-                 \x20           --sched seq|cons:T|opt:T|par:T:L  (T threads, L ns lookahead)\n\
+                 \x20           --sched seq|cons:T|opt:T[:B:I]|par:T:L  (T threads, L ns lookahead,\n\
+                 \x20           B batch, I snapshot interval)\n\
                  \x20           --nets 1d,2d  --placements RN,RR,RG  --routings MIN,ADP\n\
                  \x20           --workloads 1,2,3  --no-baselines  --json FILE  --allow-lint\n\
+                 \x20           --telemetry FILE  (JSONL run telemetry + summary)\n\
                  lint opts:  [--fixture NAME | --file PROG.ncptl [--ranks N] | sweep opts]\n\
                  \x20           exit 0 = clean, 1 = findings, 2 = usage error"
             );
@@ -128,10 +134,12 @@ fn has(rest: &[String], flag: &str) -> bool {
     rest.iter().any(|a| a == flag)
 }
 
-/// Parse a `--sched` spec: `seq`, `cons:T`, `opt:T`, or `par:T:L` where
-/// `T` is the worker-thread count and `L` the lookahead window in ns
-/// (`par:4:500` = 4 workers, 500 ns windows). Malformed specs are
-/// reported, not silently defaulted.
+/// Parse a `--sched` spec: `seq`, `cons:T`, `opt:T` or `opt:T:B:I`, or
+/// `par:T:L` where `T` is the worker-thread count, `L` the lookahead
+/// window in ns (`par:4:500` = 4 workers, 500 ns windows), `B` the
+/// optimistic batch size and `I` the snapshot interval
+/// (`opt:4:32:4` = 4 workers, 32-event batches, snapshot every 4 events).
+/// Malformed specs are reported, not silently defaulted.
 fn parse_sched(s: &str) -> Result<Scheduler, String> {
     fn threads(t: &str, spec: &str) -> Result<usize, String> {
         t.parse::<usize>()
@@ -144,7 +152,29 @@ fn parse_sched(s: &str) -> Result<Scheduler, String> {
     } else if let Some(t) = s.strip_prefix("cons:") {
         Ok(Scheduler::Conservative(threads(t, s)?))
     } else if let Some(rest) = s.strip_prefix("opt:") {
-        Ok(Scheduler::Optimistic(threads(rest, s)?))
+        let mut parts = rest.split(':');
+        let t = threads(parts.next().unwrap_or(""), s)?;
+        match (parts.next(), parts.next(), parts.next()) {
+            (None, ..) => Ok(Scheduler::Optimistic(t)),
+            (Some(b), Some(i), None) => {
+                let batch = b
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| format!("bad batch `{b}` in scheduler spec `{s}`"))?;
+                let snapshot_interval =
+                    i.parse::<u64>().ok().filter(|&n| n >= 1).ok_or_else(|| {
+                        format!("bad snapshot interval `{i}` in scheduler spec `{s}`")
+                    })?;
+                Ok(Scheduler::OptimisticWith {
+                    threads: t,
+                    config: ross::OptimisticConfig { batch, snapshot_interval },
+                })
+            }
+            _ => Err(format!(
+                "scheduler spec `{s}` must be opt:<threads> or opt:<threads>:<batch>:<interval>"
+            )),
+        }
     } else if let Some(rest) = s.strip_prefix("par:") {
         let (t, l) = rest
             .split_once(':')
@@ -156,7 +186,7 @@ fn parse_sched(s: &str) -> Result<Scheduler, String> {
             lookahead: ross::SimDuration::from_ns(lookahead_ns),
         })
     } else {
-        Err(format!("unknown scheduler `{s}` (expected seq, cons:T, opt:T, or par:T:L)"))
+        Err(format!("unknown scheduler `{s}` (expected seq, cons:T, opt:T, opt:T:B:I, or par:T:L)"))
     }
 }
 
@@ -275,8 +305,80 @@ fn validate(cmd: &str, rest: &[String]) {
     }
 }
 
+/// `git describe` of the working tree for the run manifest, or `unknown`
+/// when git (or the repository) is unavailable.
+fn git_describe() -> String {
+    std::process::Command::new("git")
+        .args(["describe", "--always", "--dirty"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// When `--telemetry FILE` is given: create a recorder, emit the run
+/// manifest as its first record, attach it to the sweep, and return it
+/// with the output path for [`telemetry_finish`].
+fn telemetry_setup(
+    cmd: &str,
+    rest: &[String],
+    cfg: &mut SweepConfig,
+) -> Option<(std::sync::Arc<telemetry::Recorder>, String)> {
+    let path = rest.iter().position(|a| a == "--telemetry").and_then(|i| rest.get(i + 1))?.clone();
+    let rec = std::sync::Arc::new(telemetry::Recorder::new());
+    let sched = opt_str(rest, "--sched", "seq");
+    let mut manifest =
+        telemetry::ManifestRecord::new(cmd, rest.to_vec(), cfg.seed, sched, &git_describe());
+    manifest.config = serde::Value::Object(vec![
+        (
+            "profile".to_string(),
+            serde::Value::Str(
+                match cfg.profile {
+                    Profile::Paper => "paper",
+                    Profile::Quick => "quick",
+                }
+                .to_string(),
+            ),
+        ),
+        ("iters".to_string(), serde::Value::Int(cfg.iters)),
+        ("scale".to_string(), serde::Value::Int(cfg.scale)),
+        (
+            "nets".to_string(),
+            serde::Value::Array(
+                cfg.nets.iter().map(|n| serde::Value::Str(n.label().to_string())).collect(),
+            ),
+        ),
+        (
+            "workloads".to_string(),
+            serde::Value::Array(
+                cfg.workloads.iter().map(|&w| serde::Value::Int(w as i64)).collect(),
+            ),
+        ),
+        ("baselines".to_string(), serde::Value::Bool(cfg.baselines)),
+    ]);
+    rec.emit(&manifest);
+    cfg.telemetry = Some(rec.clone());
+    Some((rec, path))
+}
+
+/// Close out a telemetry run: stamp the total wall time, write the JSONL
+/// file, and print the summary table.
+fn telemetry_finish(telem: Option<(std::sync::Arc<telemetry::Recorder>, String)>) {
+    let Some((rec, path)) = telem else { return };
+    rec.emit(&telemetry::PhaseRecord::new("total", rec.elapsed_ns()));
+    if let Err(e) = rec.write_jsonl(std::path::Path::new(&path)) {
+        eprintln!("union-exp: cannot write telemetry file `{path}`: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("wrote {path} ({} records)", rec.len());
+    print!("{}", report::telemetry_summary(&rec));
+}
+
 fn sweep_cmd(cmd: &str, rest: &[String]) {
-    let cfg = sweep_config(rest);
+    let mut cfg = sweep_config(rest);
+    let telem = telemetry_setup(cmd, rest, &mut cfg);
     let records = sweep::run_sweep(&cfg, |label| eprintln!("running {label}…"));
     if cmd == "fig7" || cmd == "all" {
         print!("{}", report::fig7(&records));
@@ -296,6 +398,7 @@ fn sweep_cmd(cmd: &str, rest: &[String]) {
     if let Some(path) = rest.iter().position(|a| a == "--json").and_then(|i| rest.get(i + 1)) {
         dump_json(path, &records);
     }
+    telemetry_finish(telem);
 }
 
 /// Fig 8: Workload3 on 1D with adaptive routing; compare the byte series
@@ -309,6 +412,7 @@ fn fig8(rest: &[String]) {
     cfg.nets = vec![Net::OneD];
     cfg.routings = vec![Routing::Adaptive];
     cfg.placements = vec![Placement::RandomGroups, Placement::RandomRouters];
+    let telem = telemetry_setup("fig8", rest, &mut cfg);
     let records = sweep::run_sweep(&cfg, |label| eprintln!("running {label}…"));
     for r in &records {
         let Some(results) = &r.results else { continue };
@@ -337,6 +441,7 @@ fn fig8(rest: &[String]) {
             metrics::fmt_bytes(other_peak as f64)
         );
     }
+    telemetry_finish(telem);
 }
 
 /// Print the generated Fig-5-style C skeleton of a registered workload.

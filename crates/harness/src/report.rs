@@ -181,6 +181,69 @@ pub fn fig8(label: &str, window_ns: u64, series: &metrics::TimeSeries, names: &[
 }
 
 /// Engine run statistics summary (events, rollbacks, rates).
+/// End-of-run telemetry summary: one row per scheduler record, network
+/// totals, and phase timings — parsed back out of the recorder's JSONL
+/// buffer so this renders exactly what the file will contain.
+pub fn telemetry_summary(rec: &telemetry::Recorder) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Telemetry — {} records, {} dropped", rec.len(), rec.dropped());
+    let _ = writeln!(
+        out,
+        "| Scheduler | Thr | Committed | Rolled back | Anti | Annihilated | Rounds | Wall ms |"
+    );
+    let _ = writeln!(out, "|---|---|---|---|---|---|---|---|");
+    let mut nets = (0u64, 0u64, 0u64, 0u64);
+    let mut phases: Vec<(String, u64)> = Vec::new();
+    for line in rec.lines() {
+        let Ok(v) = serde_json::from_str::<serde::Value>(&line) else { continue };
+        let g = |k: &str| v.get(k).and_then(|x| x.as_u64()).unwrap_or(0);
+        match v.get("record").and_then(|r| r.as_str()) {
+            Some("scheduler") => {
+                let _ = writeln!(
+                    out,
+                    "| {} | {} | {} | {} | {} | {} | {} | {:.1} |",
+                    v.get("scheduler").and_then(|s| s.as_str()).unwrap_or("?"),
+                    g("threads"),
+                    g("committed"),
+                    g("rolled_back"),
+                    g("anti_messages"),
+                    g("annihilated"),
+                    g("rounds"),
+                    g("wall_ns") as f64 / 1e6,
+                );
+            }
+            Some("network") => {
+                nets.0 += g("packets_injected");
+                nets.1 += g("packets_delivered");
+                nets.2 += g("bytes_injected");
+                nets.3 += g("credit_stalls");
+            }
+            Some("phase") => {
+                let name = v.get("phase").and_then(|p| p.as_str()).unwrap_or("?").to_string();
+                phases.push((name, g("wall_ns")));
+            }
+            _ => {}
+        }
+    }
+    let _ = writeln!(
+        out,
+        "network: {} packets injected, {} delivered, {} on the wire, {} credit stalls",
+        nets.0,
+        nets.1,
+        fmt_bytes(nets.2 as f64),
+        nets.3,
+    );
+    if let Some((name, wall)) = phases.last().filter(|(n, _)| n == "total") {
+        let _ = writeln!(
+            out,
+            "{} phases, {name} wall time {:.2} s",
+            phases.len().saturating_sub(1),
+            *wall as f64 / 1e9
+        );
+    }
+    out
+}
+
 pub fn engine_stats(records: &[RunRecord]) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "| Run | events | wall(s) | ev/s | rollbacks |");

@@ -135,6 +135,8 @@ pub struct SweepConfig {
     pub keep_results: bool,
     /// Router flow-control model.
     pub flow: FlowControl,
+    /// Telemetry sink: every run appends scheduler/network/phase records.
+    pub telemetry: Option<std::sync::Arc<telemetry::Recorder>>,
 }
 
 impl SweepConfig {
@@ -157,6 +159,7 @@ impl SweepConfig {
             until: SimTime::MAX,
             keep_results: false,
             flow: FlowControl::BusyUntil,
+            telemetry: None,
         }
     }
 
@@ -195,11 +198,18 @@ pub fn run_one(cfg: &SweepConfig, key: RunKey) -> Result<RunRecord, String> {
         .placement(key.placement)
         .seed(cfg.seed)
         .window_ns(cfg.window_ns);
+    if let Some(rec) = &cfg.telemetry {
+        b = b.telemetry(rec.clone());
+    }
     for a in &apps {
         b = b.job(a.name(), a.vms(cfg.seed)?);
     }
     let mut sim = b.build()?;
+    let t0 = std::time::Instant::now();
     let results = sim.run(cfg.sched, cfg.until);
+    if let Some(rec) = &cfg.telemetry {
+        rec.emit(&telemetry::PhaseRecord::new(&key.label(), t0.elapsed().as_nanos() as u64));
+    }
     let outcomes = results
         .apps
         .iter()

@@ -24,16 +24,21 @@ pub struct Boxplot {
     pub max: f64,
     pub mean: f64,
     pub count: u64,
+    /// Samples dropped because they were NaN (`count` excludes them).
+    pub nan_count: u64,
 }
 
 impl Boxplot {
     /// Summarize a set of samples. Empty input yields an all-zero box.
+    /// NaN samples carry no ordering information: they are dropped from
+    /// the summary and flagged in [`Boxplot::nan_count`].
     pub fn from_samples(samples: &[f64]) -> Boxplot {
-        if samples.is_empty() {
-            return Boxplot::default();
+        let mut s: Vec<f64> = samples.iter().copied().filter(|v| !v.is_nan()).collect();
+        let nan_count = (samples.len() - s.len()) as u64;
+        if s.is_empty() {
+            return Boxplot { nan_count, ..Boxplot::default() };
         }
-        let mut s: Vec<f64> = samples.to_vec();
-        s.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        s.sort_by(f64::total_cmp);
         let q = |p: f64| -> f64 {
             // Linear interpolation between closest ranks (type-7 quantile,
             // the numpy default).
@@ -50,6 +55,7 @@ impl Boxplot {
             max: *s.last().unwrap(),
             mean: s.iter().sum::<f64>() / s.len() as f64,
             count: s.len() as u64,
+            nan_count,
         }
     }
 
@@ -178,25 +184,58 @@ pub struct TimeSeries {
     pub bytes: Vec<Vec<u64>>,
 }
 
+/// Rejected [`TimeSeries::accumulate`] input: the counters were binned at
+/// a different window size, so summing them would silently mix units.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WindowMismatch {
+    pub expected_ns: u64,
+    pub got_ns: u64,
+}
+
+impl std::fmt::Display for WindowMismatch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "window mismatch: series is binned at {} ns but counters use {} ns",
+            self.expected_ns, self.got_ns
+        )
+    }
+}
+
+impl std::error::Error for WindowMismatch {}
+
 impl TimeSeries {
     /// Sum windowed counters (e.g. from several routers) into one series.
-    pub fn accumulate(&mut self, window_ns: u64, counts: &[Vec<u64>]) {
+    ///
+    /// The first call fixes the window size; later calls with a different
+    /// `window_ns` are rejected (mixing bin sizes would silently corrupt
+    /// the series). Rows may be ragged — each row only needs to cover the
+    /// apps that router actually saw; missing columns count as zero.
+    pub fn accumulate(
+        &mut self,
+        window_ns: u64,
+        counts: &[Vec<u64>],
+    ) -> Result<(), WindowMismatch> {
         if self.window_ns == 0 {
             self.window_ns = window_ns;
         }
-        debug_assert_eq!(self.window_ns, window_ns);
+        if self.window_ns != window_ns {
+            return Err(WindowMismatch { expected_ns: self.window_ns, got_ns: window_ns });
+        }
         if self.bytes.len() < counts.len() {
-            let napps = counts.first().map(|c| c.len()).unwrap_or(0);
-            self.bytes.resize_with(counts.len(), || vec![0; napps]);
+            self.bytes.resize_with(counts.len(), Vec::new);
         }
         for (w, apps) in counts.iter().enumerate() {
+            // Size each row independently: routers report only the apps
+            // they routed for, so rows legitimately differ in length.
+            if self.bytes[w].len() < apps.len() {
+                self.bytes[w].resize(apps.len(), 0);
+            }
             for (a, &b) in apps.iter().enumerate() {
-                if self.bytes[w].len() <= a {
-                    self.bytes[w].resize(a + 1, 0);
-                }
                 self.bytes[w][a] += b;
             }
         }
+        Ok(())
     }
 
     /// Peak bytes per window for one app.
@@ -329,13 +368,59 @@ mod tests {
     #[test]
     fn time_series_accumulates_across_routers() {
         let mut ts = TimeSeries::default();
-        ts.accumulate(500, &[vec![10, 0], vec![5, 1]]);
-        ts.accumulate(500, &[vec![1, 1]]);
+        ts.accumulate(500, &[vec![10, 0], vec![5, 1]]).unwrap();
+        ts.accumulate(500, &[vec![1, 1]]).unwrap();
         assert_eq!(ts.bytes[0], vec![11, 1]);
         assert_eq!(ts.bytes[1], vec![5, 1]);
         assert_eq!(ts.peak(0), 11);
         assert_eq!(ts.total(0), 16);
         assert_eq!(ts.total(1), 2);
+    }
+
+    #[test]
+    fn time_series_rejects_mismatched_windows() {
+        let mut ts = TimeSeries::default();
+        ts.accumulate(500, &[vec![10]]).unwrap();
+        // A second source binned at 250 ns must be rejected — in every
+        // build profile, not just with debug assertions — and must leave
+        // the series untouched.
+        let err = ts.accumulate(250, &[vec![7]]).unwrap_err();
+        assert_eq!(err, WindowMismatch { expected_ns: 500, got_ns: 250 });
+        assert!(err.to_string().contains("500"), "{err}");
+        assert_eq!(ts.bytes[0], vec![10]);
+        assert_eq!(ts.window_ns, 500);
+    }
+
+    #[test]
+    fn time_series_handles_ragged_rows() {
+        let mut ts = TimeSeries::default();
+        // First router reports one app; the second reports three apps and
+        // an extra window. Rows must be sized independently (sizing every
+        // row from the first one used to leave later columns unallocated).
+        ts.accumulate(500, &[vec![1]]).unwrap();
+        ts.accumulate(500, &[vec![2, 3, 4], vec![5]]).unwrap();
+        assert_eq!(ts.bytes[0], vec![3, 3, 4]);
+        assert_eq!(ts.bytes[1], vec![5]);
+        // Ragged rows within one call, widest row last.
+        let mut ts2 = TimeSeries::default();
+        ts2.accumulate(500, &[vec![1], vec![2, 3]]).unwrap();
+        assert_eq!(ts2.bytes[0], vec![1]);
+        assert_eq!(ts2.bytes[1], vec![2, 3]);
+    }
+
+    #[test]
+    fn boxplot_ignores_and_flags_nan() {
+        // NaNs used to panic inside sort_by(partial_cmp().unwrap()).
+        let b = Boxplot::from_samples(&[3.0, f64::NAN, 1.0, 2.0]);
+        assert_eq!((b.min, b.median, b.max), (1.0, 2.0, 3.0));
+        assert_eq!(b.mean, 2.0);
+        assert_eq!(b.count, 3);
+        assert_eq!(b.nan_count, 1);
+        // All-NaN input degrades to the empty box, with the drop flagged.
+        let all = Boxplot::from_samples(&[f64::NAN, f64::NAN]);
+        assert_eq!(all.count, 0);
+        assert_eq!(all.nan_count, 2);
+        assert_eq!((all.min, all.max), (0.0, 0.0));
     }
 
     #[test]

@@ -24,9 +24,21 @@ use union_core::MpiOp;
 /// back-to-back collectives and `round` the phases within one.
 pub const COLL_FLAG: u32 = 0x8000_0000;
 
+/// The internal tag encodes only the low 15 bits of the collective
+/// sequence number, so collective `seq` and `seq + 0x8000` reuse the same
+/// tags. [`epoch_fence`] is interposed at every wrap of this mask so two
+/// collectives with equal masked sequence numbers can never be in flight
+/// at once.
+pub const SEQ_MASK: u32 = 0x7FFF;
+
+/// Round-number namespace reserved for the epoch fence. Algorithm rounds
+/// stay far below it: ⌈log₂ n⌉ rounds for barrier/recursive doubling
+/// (< 32), and `0x100`/`0x101` for the non-power-of-two fold.
+const FENCE_ROUND: u32 = 0x8000;
+
 #[inline]
 fn tag(seq: u32, round: u32) -> u32 {
-    COLL_FLAG | ((seq & 0x7FFF) << 16) | (round & 0xFFFF)
+    COLL_FLAG | ((seq & SEQ_MASK) << 16) | (round & 0xFFFF)
 }
 
 /// Control payload for barrier/fold messages.
@@ -51,6 +63,35 @@ pub fn expand(op: &MpiOp, rank: u32, n: u32, seq: u32) -> Vec<MpiOp> {
         }
         _ => panic!("not a collective: {op:?}"),
     }
+}
+
+/// Tag-epoch fence: a dissemination barrier in the reserved
+/// [`FENCE_ROUND`] namespace, injected after the collective whose masked
+/// sequence number is [`SEQ_MASK`] (the last of a tag epoch).
+///
+/// Soundness: every collective expansion consumes all messages addressed
+/// to it with blocking `Recv`s, so a rank enters the fence only after all
+/// prior-epoch messages addressed to it have been matched. A rank leaves
+/// the dissemination barrier only after (transitively) hearing from every
+/// other rank, i.e. only once *all* ranks have entered it — at which point
+/// no prior-epoch collective message is still unconsumed anywhere and the
+/// reused tags cannot cross-match.
+pub fn epoch_fence(rank: u32, n: u32, seq: u32) -> Vec<MpiOp> {
+    let mut ops = Vec::new();
+    if n <= 1 {
+        return ops;
+    }
+    let mut k = 0u32;
+    let mut dist = 1u32;
+    while dist < n {
+        let to = (rank + dist) % n;
+        let from = (rank + n - dist % n) % n;
+        ops.push(MpiOp::Isend { dst: to, bytes: CTRL_BYTES, tag: tag(seq, FENCE_ROUND + k) });
+        ops.push(MpiOp::Recv { src: from, bytes: CTRL_BYTES, tag: tag(seq, FENCE_ROUND + k) });
+        dist *= 2;
+        k += 1;
+    }
+    ops
 }
 
 /// Dissemination barrier.
@@ -409,6 +450,60 @@ mod tests {
         assert_eq!(binomial_parent(7), 6);
         assert_eq!(binomial_parent(6), 4);
         assert_eq!(binomial_parent(4), 0);
+    }
+
+    #[test]
+    fn tag_space_wraps_at_32768_collectives() {
+        // The hazard the epoch fence exists for: collective `s` and
+        // `s + 0x8000` encode identical tags for every round.
+        assert_eq!(tag(0, 0), tag(SEQ_MASK + 1, 0));
+        assert_eq!(tag(1, 3), tag(0x8001, 3));
+        // Within one epoch, sequence numbers stay distinct.
+        assert_ne!(tag(0, 0), tag(SEQ_MASK, 0));
+    }
+
+    #[test]
+    fn epoch_fence_matched_for_any_n() {
+        for n in [1u32, 2, 3, 5, 8, 13, 16, 100] {
+            check_matched(n, |r| epoch_fence(r, n, SEQ_MASK));
+        }
+    }
+
+    #[test]
+    fn epoch_fence_tags_disjoint_from_all_algorithms() {
+        // The fence reuses the just-finished epoch's masked seq, so its
+        // round namespace must never overlap any algorithm's rounds —
+        // for the same seq or any other seq in the epoch.
+        let n = 13u32;
+        let seq = SEQ_MASK;
+        let fence_tags: std::collections::HashSet<u32> = (0..n)
+            .flat_map(|r| epoch_fence(r, n, seq))
+            .filter_map(|o| match o {
+                MpiOp::Isend { tag, .. } | MpiOp::Recv { tag, .. } => Some(tag),
+                _ => None,
+            })
+            .collect();
+        let colls = [
+            MpiOp::Barrier,
+            MpiOp::Bcast { root: 3, bytes: 4096 },
+            MpiOp::Reduce { root: 1, bytes: 4096 },
+            MpiOp::Allreduce { bytes: 64 },
+            MpiOp::Allreduce { bytes: 1 << 20 },
+        ];
+        for coll in &colls {
+            for s in [0u32, 1, seq] {
+                for r in 0..n {
+                    for op in expand(coll, r, n, s) {
+                        if let MpiOp::Isend { tag, .. } | MpiOp::Recv { tag, .. } = op {
+                            assert!(
+                                !fence_tags.contains(&tag),
+                                "fence tag collides with {coll:?} seq={s}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
     }
 
     #[test]

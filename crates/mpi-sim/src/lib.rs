@@ -137,6 +137,8 @@ pub struct MpiRank {
     pub comm: CommTimer,
     pub latency: LatencyRecorder,
     pub bytes_sent: u64,
+    /// Tag-epoch fences injected at `SEQ_MASK` wrap boundaries.
+    pub coll_fences: u64,
     pub finished_at_ns: Option<u64>,
     pub ops_executed: u64,
 }
@@ -175,6 +177,7 @@ impl MpiRank {
             comm: CommTimer::default(),
             latency: LatencyRecorder::default(),
             bytes_sent: 0,
+            coll_fences: 0,
             finished_at_ns: None,
             ops_executed: 0,
         }
@@ -276,6 +279,19 @@ impl MpiRank {
                 | MpiOp::Barrier => {
                     let seq = self.coll_seq;
                     self.coll_seq = self.coll_seq.wrapping_add(1);
+                    // Internal tags carry only `seq & SEQ_MASK`: fence the
+                    // epoch boundary so a collective can never cross-match
+                    // one from 32768 collectives earlier. All ranks issue
+                    // collectives in the same order, so every rank injects
+                    // the fence at the same sequence number and the fence
+                    // barrier is itself matched.
+                    if seq & collectives::SEQ_MASK == collectives::SEQ_MASK {
+                        self.coll_fences += 1;
+                        let fence = collectives::epoch_fence(self.rank, self.n, seq);
+                        for e in fence.into_iter().rev() {
+                            self.queue.push_front(e);
+                        }
+                    }
                     let expansion = collectives::expand(&op, self.rank, self.n, seq);
                     for e in expansion.into_iter().rev() {
                         self.queue.push_front(e);
@@ -549,6 +565,87 @@ mod tests {
         let skel = translate_source(src, "t").unwrap();
         let inst = SkeletonInstance::new(&skel, n, &[]).unwrap();
         (0..n).map(|r| MpiRank::new(RankVm::new(inst.clone(), r, 1), eager)).collect()
+    }
+
+    /// Wrap-boundary regression: the 32768th collective reuses the tags
+    /// of the 1st (`SEQ_MASK` wrap), so an epoch fence must stop any rank
+    /// from entering the next tag epoch while old-epoch messages are
+    /// still unconsumed. Without the fence, a bcast root — whose sends
+    /// complete at injection — races arbitrarily far ahead of a receiver
+    /// stuck behind one slow message, and a new-epoch message can match
+    /// the receiver's still-posted old-epoch `Recv`.
+    #[test]
+    fn tag_epoch_fence_blocks_next_epoch_until_prior_messages_land() {
+        let mut ranks = ranks_for(
+            "for 4 repetitions { task 0 multicasts an 8 byte message to all other tasks }.",
+            2,
+            1 << 20,
+        );
+        // Start two collectives before the wrap so the run crosses it.
+        for r in ranks.iter_mut() {
+            r.coll_seq = collectives::SEQ_MASK - 1;
+        }
+        let mut actions: Vec<Action> = Vec::new();
+        let mut inflight: VecDeque<(usize, Action)> = VecDeque::new();
+        for r in ranks.iter_mut() {
+            actions.clear();
+            r.start(0, &mut actions);
+            let who = r.rank() as usize;
+            inflight.extend(actions.drain(..).map(|a| (who, a)));
+        }
+        // Loopback, except the root's first bcast payload stays in the
+        // network until everything else has drained.
+        let mut held: Option<MpiMsg> = None;
+        let mut already_held = false;
+        let mut steps = 0u64;
+        loop {
+            while let Some((who, action)) = inflight.pop_front() {
+                steps += 1;
+                assert!(steps < 100_000, "runaway");
+                actions.clear();
+                match action {
+                    Action::Compute { .. } => {
+                        ranks[who].on_compute_done(steps, &mut actions);
+                        inflight.extend(actions.drain(..).map(|a| (who, a)));
+                    }
+                    Action::Send(msg) => {
+                        ranks[who].on_injected(steps, msg.seq, &mut actions);
+                        inflight.extend(actions.drain(..).map(|a| (who, a)));
+                        if !already_held && who == 0 {
+                            already_held = true;
+                            held = Some(msg);
+                        } else {
+                            actions.clear();
+                            let dst = msg.dst as usize;
+                            ranks[dst].on_delivery(steps, &msg, &mut actions);
+                            inflight.extend(actions.drain(..).map(|a| (dst, a)));
+                        }
+                    }
+                }
+            }
+            match held.take() {
+                Some(msg) => {
+                    // Quiescent with one old-epoch message in flight: the
+                    // fence must be holding the root inside the old tag
+                    // epoch (before the fix the root finished all four
+                    // bcasts here).
+                    assert!(!ranks[0].is_done(), "root raced past the tag-epoch fence");
+                    assert!(!ranks[1].is_done());
+                    assert_eq!(ranks[0].coll_fences, 1);
+                    actions.clear();
+                    let dst = msg.dst as usize;
+                    ranks[dst].on_delivery(steps, &msg, &mut actions);
+                    inflight.extend(actions.drain(..).map(|a| (dst, a)));
+                }
+                None => break,
+            }
+        }
+        for r in &ranks {
+            assert!(r.is_done(), "rank {} deadlocked", r.rank());
+            assert_eq!(r.coll_fences, 1);
+        }
+        // Four bcast payloads plus the fence control message.
+        assert_eq!(ranks[1].latency.count, 5);
     }
 
     #[test]

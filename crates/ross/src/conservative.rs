@@ -78,6 +78,10 @@ impl<L: Lp> Simulation<L> {
         let rounds = AtomicU64::new(0);
         let end_clock = AtomicU64::new(0);
         let lookahead = self.lookahead;
+        // Telemetry: timing is a few clock reads per round, and only when
+        // a recorder is attached; per-event work stays untouched.
+        let timing = self.telemetry.is_some();
+        let thread_records: Mutex<Vec<telemetry::ThreadRecord>> = Mutex::new(Vec::new());
 
         // Split LPs and meta into disjoint per-thread slices.
         let mut lp_slices: Vec<&mut [L]> = Vec::with_capacity(n_threads);
@@ -109,16 +113,21 @@ impl<L: Lp> Simulation<L> {
                 let rounds = &rounds;
                 let end_clock = &end_clock;
                 let leftovers = &leftovers;
+                let thread_records = &thread_records;
                 scope.spawn(move || {
                     let base = ranges[t].start;
                     let mut out: Vec<Outgoing<L::Event>> = Vec::with_capacity(8);
                     let mut local_committed = 0u64;
                     let mut local_rounds = 0u64;
                     let mut local_clock = 0u64;
+                    let mut busy_ns = 0u64;
+                    let mut blocked_ns = 0u64;
+                    let mut mailbox_hw = 0u64;
                     loop {
                         // Ingest cross-thread events from the previous round.
                         {
                             let mut mb = mailboxes[t].lock();
+                            mailbox_hw = mailbox_hw.max(mb.len() as u64);
                             for env in mb.drain(..) {
                                 heap.push(Reverse(env));
                             }
@@ -127,7 +136,11 @@ impl<L: Lp> Simulation<L> {
                         let local_min =
                             heap.peek().map(|Reverse(e)| e.recv_time.0).unwrap_or(u64::MAX);
                         mins[t].store(local_min, Ordering::Relaxed);
+                        let t0 = timing.then(std::time::Instant::now);
                         barrier.wait();
+                        if let Some(t0) = t0 {
+                            blocked_ns += t0.elapsed().as_nanos() as u64;
+                        }
                         let gmin = mins.iter().map(|m| m.load(Ordering::Relaxed)).min().unwrap();
                         if gmin == u64::MAX || gmin > until.0 {
                             break;
@@ -137,6 +150,7 @@ impl<L: Lp> Simulation<L> {
                             gmin.saturating_add(lookahead.0).min(until.0.saturating_add(1));
 
                         // Process all local events inside [gmin, window_end).
+                        let t0 = timing.then(std::time::Instant::now);
                         while let Some(Reverse(top)) = heap.peek() {
                             if top.recv_time.0 >= window_end {
                                 break;
@@ -166,13 +180,30 @@ impl<L: Lp> Simulation<L> {
                                 },
                             );
                         }
+                        if let Some(t0) = t0 {
+                            busy_ns += t0.elapsed().as_nanos() as u64;
+                        }
                         // All sends for this round must be visible before the
                         // next round's mailbox drain.
+                        let t0 = timing.then(std::time::Instant::now);
                         barrier.wait();
+                        if let Some(t0) = t0 {
+                            blocked_ns += t0.elapsed().as_nanos() as u64;
+                        }
                     }
                     committed.fetch_add(local_committed, Ordering::Relaxed);
                     rounds.fetch_max(local_rounds, Ordering::Relaxed);
                     end_clock.fetch_max(local_clock, Ordering::Relaxed);
+                    if timing {
+                        thread_records.lock().push(telemetry::ThreadRecord {
+                            thread: t,
+                            events: local_committed,
+                            busy_ns,
+                            blocked_ns,
+                            idle_ns: 0,
+                            mailbox_high_water: mailbox_hw,
+                        });
+                    }
                     // Return unprocessed events (recv_time > until).
                     let mut left = leftovers[t].lock();
                     left.extend(heap.into_iter().map(|Reverse(e)| e));
@@ -192,13 +223,22 @@ impl<L: Lp> Simulation<L> {
             }
         }
 
-        RunStats {
+        let stats = RunStats {
             committed: committed.load(Ordering::Relaxed),
             rounds: rounds.load(Ordering::Relaxed),
             end_time: SimTime(end_clock.load(Ordering::Relaxed)),
             wall_seconds: start.elapsed().as_secs_f64(),
             ..Default::default()
-        }
+        };
+        crate::engine::emit_sched_telemetry(
+            self.telemetry.as_deref(),
+            "conservative",
+            n_threads,
+            &stats,
+            0,
+            thread_records.into_inner(),
+        );
+        stats
     }
 }
 

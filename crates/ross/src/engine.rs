@@ -18,6 +18,12 @@ pub struct RunStats {
     pub rollbacks: u64,
     /// Anti-messages sent (optimistic scheduler only).
     pub anti_messages: u64,
+    /// Anti-messages that met their target before it executed and
+    /// cancelled it without a rollback (optimistic scheduler only).
+    pub annihilated: u64,
+    /// Rollbacks that restored from the GVT-fence snapshot because every
+    /// younger snapshot had been undone (optimistic scheduler only).
+    pub fence_restores: u64,
     /// Events delivered across partitions through mailboxes
     /// (conservative-parallel scheduler only).
     pub remote_events: u64,
@@ -63,6 +69,8 @@ pub struct Simulation<L: Lp> {
     pub(crate) lookahead: SimDuration,
     /// Co-location hint for the conservative-parallel scheduler.
     pub(crate) partition: Option<crate::partition::Partition>,
+    /// Telemetry sink; every scheduler emits one record per run when set.
+    pub(crate) telemetry: Option<std::sync::Arc<telemetry::Recorder>>,
 }
 
 impl<L: Lp> Simulation<L> {
@@ -78,7 +86,17 @@ impl<L: Lp> Simulation<L> {
             pending: BinaryHeap::new(),
             lookahead,
             partition: None,
+            telemetry: None,
         }
+    }
+
+    /// Attach (or detach) a telemetry recorder. When set, every scheduler
+    /// run appends one `scheduler` record with its counters and per-thread
+    /// timing to the recorder. Schedulers read only thread-local counters
+    /// on hot paths; with `None` (the default) even the clock reads are
+    /// skipped, so the disabled cost is zero.
+    pub fn set_telemetry(&mut self, recorder: Option<std::sync::Arc<telemetry::Recorder>>) {
+        self.telemetry = recorder;
     }
 
     /// Install a co-location hint for
@@ -186,8 +204,54 @@ impl<L: Lp> Simulation<L> {
         stats.rounds = 1;
         stats.end_time = clock;
         stats.wall_seconds = start.elapsed().as_secs_f64();
+        let wall_ns = start.elapsed().as_nanos() as u64;
+        emit_sched_telemetry(
+            self.telemetry.as_deref(),
+            "sequential",
+            1,
+            &stats,
+            0,
+            vec![telemetry::ThreadRecord {
+                thread: 0,
+                events: stats.committed,
+                busy_ns: wall_ns,
+                ..Default::default()
+            }],
+        );
         stats
     }
+}
+
+/// Shared tail of every scheduler: fold the run counters and the workers'
+/// thread records into one `scheduler` telemetry record. No-op when no
+/// recorder is attached.
+pub(crate) fn emit_sched_telemetry(
+    telem: Option<&telemetry::Recorder>,
+    name: &str,
+    threads: usize,
+    stats: &RunStats,
+    max_gvt_lag_ns: u64,
+    mut per_thread: Vec<telemetry::ThreadRecord>,
+) {
+    let Some(rec) = telem else { return };
+    let wall_ns = (stats.wall_seconds * 1e9) as u64;
+    per_thread.sort_by_key(|t| t.thread);
+    for t in per_thread.iter_mut() {
+        t.idle_ns = wall_ns.saturating_sub(t.busy_ns + t.blocked_ns);
+    }
+    let mut r = telemetry::SchedulerRecord::new(name, threads);
+    r.committed = stats.committed;
+    r.rolled_back = stats.rolled_back;
+    r.rollbacks = stats.rollbacks;
+    r.anti_messages = stats.anti_messages;
+    r.annihilated = stats.annihilated;
+    r.remote_events = stats.remote_events;
+    r.rounds = stats.rounds;
+    r.max_gvt_lag_ns = max_gvt_lag_ns;
+    r.end_time_ns = stats.end_time.as_ns();
+    r.wall_ns = wall_ns;
+    r.per_thread = per_thread;
+    rec.emit(&r);
 }
 
 /// Debug guard on dequeue order: timestamps pulled off an in-order event

@@ -27,6 +27,15 @@
 //! * Metrics live inside LP state and are harvested after the run — never
 //!   write to shared sinks from `handle`.
 //!
+//! ## Snapshot retention invariant (optimistic scheduler)
+//!
+//! Fossil collection never discards restore capability: retired snapshots
+//! fold into a per-LP **GVT fence** (the newest snapshot at or below the
+//! commit point), and every legal rollback target lies at or above the
+//! fence. A rollback that undoes every snapshot younger than the straggler
+//! therefore restores from the fence and coast-forwards instead of
+//! failing — see [`RunStats::fence_restores`].
+//!
 //! ```
 //! use ross::{Ctx, Envelope, Lp, SimDuration, SimTime, Simulation};
 //!
@@ -77,6 +86,9 @@ pub enum Scheduler {
     Conservative(usize),
     /// Optimistic Time Warp on `n` threads.
     Optimistic(usize),
+    /// Optimistic Time Warp on `threads` threads with explicit tuning
+    /// (batch size and snapshot interval).
+    OptimisticWith { threads: usize, config: OptimisticConfig },
     /// Conservative windows of `lookahead` ns on `threads` workers, with
     /// topology-aware partitions and lock-free mailboxes — see
     /// [`Simulation::run_conservative_parallel`].
@@ -90,6 +102,9 @@ impl Scheduler {
             Scheduler::Sequential => sim.run_sequential(until),
             Scheduler::Conservative(n) => sim.run_conservative(n, until),
             Scheduler::Optimistic(n) => sim.run_optimistic(n, OptimisticConfig::default(), until),
+            Scheduler::OptimisticWith { threads, config } => {
+                sim.run_optimistic(threads, config, until)
+            }
             Scheduler::ConservativeParallel { threads, lookahead } => {
                 sim.run_conservative_parallel(threads, lookahead, until)
             }
@@ -191,6 +206,27 @@ mod tests {
         a.run_sequential(SimTime::MAX);
         b.run_optimistic(3, OptimisticConfig { batch: 16, snapshot_interval: 1 }, SimTime::MAX);
         assert_eq!(fingerprint(&a), fingerprint(&b));
+    }
+
+    #[test]
+    fn deep_rollback_restores_from_gvt_fence() {
+        // Tiny batches force a GVT/fossil epoch every few events, and
+        // interval-4 snapshots leave the first events after each fossil
+        // covered only by the fence. Cross-thread stragglers then roll
+        // back past every deque snapshot — a pattern that used to panic
+        // with "rollback target below oldest snapshot".
+        let mut a = phold_sim(16, 1234);
+        let mut b = phold_sim(16, 1234);
+        let sa = a.run_sequential(SimTime::MAX);
+        let sb =
+            b.run_optimistic(4, OptimisticConfig { batch: 4, snapshot_interval: 4 }, SimTime::MAX);
+        assert_eq!(sa.committed, sb.committed, "stats: {sb:?}");
+        assert_eq!(fingerprint(&a), fingerprint(&b));
+        assert!(sb.rollbacks > 0, "pattern produced no rollbacks: {sb:?}");
+        assert!(
+            sb.fence_restores > 0,
+            "adversarial pattern never exercised the fence-restore path: {sb:?}"
+        );
     }
 
     #[test]

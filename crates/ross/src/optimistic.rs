@@ -28,7 +28,7 @@ use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::Barrier;
 
 /// Tuning knobs for the optimistic scheduler.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct OptimisticConfig {
     /// Locally processed events per thread between GVT epochs.
     pub batch: usize,
@@ -84,6 +84,14 @@ struct LpRt<L: Lp> {
     meta: LpMeta,
     processed: VecDeque<Processed<L::Event>>,
     snapshots: VecDeque<Snapshot<L>>,
+    /// The GVT fence: the newest snapshot at or below the last fossil
+    /// collection point. Fossil collection *moves* retired snapshots here
+    /// instead of dropping the knowledge, so a rollback whose target
+    /// undoes every younger snapshot can always restore from the fence
+    /// and coast-forward — it never runs out of restore targets.
+    /// Invariant: `fence.at == base` after every fossil collection, and
+    /// `fence.at <= base + i` for any legal rollback target `i`.
+    fence: Snapshot<L>,
     /// Absolute index of `processed.front()`.
     base: u64,
 }
@@ -103,7 +111,12 @@ struct LocalStats {
     rolled: u64,
     rollbacks: u64,
     anti: u64,
+    annihilated: u64,
+    fence_restores: u64,
     epochs: u64,
+    /// Max over epochs of `local_min - gvt`: how far this thread's
+    /// frontier ran ahead of the slowest thread.
+    gvt_lag_max: u64,
 }
 
 /// Roll `rt` back so every processed event with key >= `to` is undone.
@@ -142,15 +155,28 @@ fn rollback<L: Lp + Clone>(
             heap.push(Reverse(p.env));
         }
     }
-    // Restore the latest snapshot at or before abs_i.
+    // Restore the latest snapshot at or before abs_i. When every snapshot
+    // younger than the straggler has been undone (a deep rollback early in
+    // an epoch, before the first periodic snapshot), fall back to the GVT
+    // fence: it sits at `rt.base`, which is never above a legal rollback
+    // target, so the restore + coast-forward below always succeeds.
     while rt.snapshots.back().map(|s| s.at > abs_i).unwrap_or(false) {
         rt.snapshots.pop_back();
     }
-    let snap = rt.snapshots.back().expect("rollback target below oldest snapshot");
-    rt.lp = snap.lp.clone();
-    rt.meta.tiebreak = snap.tiebreak;
-    rt.meta.now = snap.now;
-    let replay_from = (snap.at - rt.base) as usize;
+    let snap = match rt.snapshots.back() {
+        Some(s) => s,
+        None => {
+            stats.fence_restores += 1;
+            &rt.fence
+        }
+    };
+    debug_assert!(snap.at >= rt.base && snap.at <= abs_i, "snapshot outside rollback range");
+    let (snap_lp, snap_tiebreak, snap_now, snap_at) =
+        (snap.lp.clone(), snap.tiebreak, snap.now, snap.at);
+    rt.lp = snap_lp;
+    rt.meta.tiebreak = snap_tiebreak;
+    rt.meta.now = snap_now;
+    let replay_from = (snap_at - rt.base) as usize;
     // Coast-forward: re-execute [replay_from..i) with sends suppressed —
     // those sends are already in flight and were not cancelled. The tiebreak
     // counter advances identically because the replayed handlers emit the
@@ -190,6 +216,7 @@ fn ingest<L: Lp + Clone>(
             let rt = &mut rts[dst as usize - base_lp];
             if let Some(p) = rt.processed.iter().rev().find(|p| p.env.uid == uid) {
                 let key = p.env.key();
+                stats.annihilated += 1;
                 rollback(rt, key, Some(uid), heap, lookahead, scratch, stats, antis);
             } else {
                 // Not yet processed: annihilate lazily when it pops.
@@ -243,6 +270,10 @@ impl<L: Lp + Clone> Simulation<L> {
         let barrier = Barrier::new(n_threads);
         let mins: Vec<AtomicU64> = (0..n_threads).map(|_| AtomicU64::new(u64::MAX)).collect();
         let lookahead = self.lookahead;
+        // Telemetry: clock reads around barriers and batches, only when a
+        // recorder is attached; the per-event path is untouched.
+        let timing = self.telemetry.is_some();
+        let thread_records: Mutex<Vec<telemetry::ThreadRecord>> = Mutex::new(Vec::new());
 
         // Move LP state into per-thread runtimes.
         let mut rts_per_thread: Vec<Vec<LpRt<L>>> = Vec::with_capacity(n_threads);
@@ -252,11 +283,20 @@ impl<L: Lp + Clone> Simulation<L> {
             for r in &ranges {
                 let mut v = Vec::with_capacity(r.len());
                 for _ in r.clone() {
+                    let lp = lps.pop_front().unwrap();
+                    let meta = metas.pop_front().unwrap();
+                    // The initial fence captures the pre-run state —
+                    // including the tiebreak already advanced by any
+                    // `schedule()` calls — so a rollback to index 0
+                    // regenerates identical event keys.
+                    let fence =
+                        Snapshot { at: 0, lp: lp.clone(), tiebreak: meta.tiebreak, now: meta.now };
                     v.push(LpRt {
-                        lp: lps.pop_front().unwrap(),
-                        meta: metas.pop_front().unwrap(),
+                        lp,
+                        meta,
                         processed: VecDeque::new(),
                         snapshots: VecDeque::new(),
+                        fence,
                         base: 0,
                     });
                 }
@@ -277,6 +317,7 @@ impl<L: Lp + Clone> Simulation<L> {
                 let barrier = &barrier;
                 let mins = &mins;
                 let outcomes = &outcomes;
+                let thread_records = &thread_records;
                 scope.spawn(move || {
                     let base_lp = ranges[t].start;
                     let mut tombstones: HashSet<EventUid> = HashSet::new();
@@ -285,6 +326,9 @@ impl<L: Lp + Clone> Simulation<L> {
                     let mut antis: Vec<(u32, EventUid)> = Vec::new();
                     let mut locals: VecDeque<Msg<L::Event>> = VecDeque::new();
                     let mut routed: Vec<Envelope<L::Event>> = Vec::new();
+                    let mut busy_ns = 0u64;
+                    let mut blocked_ns = 0u64;
+                    let mut mailbox_hw = 0u64;
                     #[allow(unused_assignments)] // always written before the loop breaks
                     let mut gvt = 0u64;
 
@@ -323,6 +367,7 @@ impl<L: Lp + Clone> Simulation<L> {
                             }
                             let msgs: Vec<Msg<L::Event>> =
                                 std::mem::take(&mut *mailboxes[t].lock());
+                            mailbox_hw = mailbox_hw.max(msgs.len() as u64);
                             in_flight.fetch_sub(msgs.len() as i64, Ordering::SeqCst);
                             for m in msgs {
                                 ingest(
@@ -345,6 +390,7 @@ impl<L: Lp + Clone> Simulation<L> {
                             if busy {
                                 busy_threads.fetch_add(1, Ordering::SeqCst);
                             }
+                            let t0 = timing.then(std::time::Instant::now);
                             barrier.wait();
                             // Stable region: nothing mutates the counters
                             // between the two barriers, so every thread reads
@@ -352,6 +398,9 @@ impl<L: Lp + Clone> Simulation<L> {
                             let quiescent = in_flight.load(Ordering::SeqCst) == 0
                                 && busy_threads.load(Ordering::SeqCst) == 0;
                             barrier.wait();
+                            if let Some(t0) = t0 {
+                                blocked_ns += t0.elapsed().as_nanos() as u64;
+                            }
                             if busy {
                                 busy_threads.fetch_sub(1, Ordering::SeqCst);
                             }
@@ -364,6 +413,7 @@ impl<L: Lp + Clone> Simulation<L> {
                         while let Some(Reverse(top)) = heap.peek() {
                             if tombstones.remove(&top.uid) {
                                 heap.pop();
+                                stats.annihilated += 1;
                             } else {
                                 break;
                             }
@@ -371,36 +421,48 @@ impl<L: Lp + Clone> Simulation<L> {
                         let local_min =
                             heap.peek().map(|Reverse(e)| e.recv_time.0).unwrap_or(u64::MAX);
                         mins[t].store(local_min, Ordering::SeqCst);
+                        let t0 = timing.then(std::time::Instant::now);
                         barrier.wait();
                         gvt = mins.iter().map(|m| m.load(Ordering::SeqCst)).min().unwrap();
                         stats.epochs += 1;
+                        if local_min != u64::MAX {
+                            stats.gvt_lag_max =
+                                stats.gvt_lag_max.max(local_min.saturating_sub(gvt));
+                        }
                         // All threads computed the same GVT; the barrier at
                         // the top of the next epoch keeps phases aligned.
                         barrier.wait();
+                        if let Some(t0) = t0 {
+                            blocked_ns += t0.elapsed().as_nanos() as u64;
+                        }
                         if gvt == u64::MAX || gvt > until.0 {
                             break;
                         }
 
                         // ---- fossil collection ----
+                        // Events below GVT are committed: retire their
+                        // snapshots into the fence (the newest one at or
+                        // below the keep point) and drop the processed log
+                        // below it. Rollback targets are never below GVT,
+                        // so the fence always covers them.
                         for rt in rts.iter_mut() {
                             let mut i = rt.processed.len();
                             while i > 0 && rt.processed[i - 1].env.recv_time.0 >= gvt {
                                 i -= 1;
                             }
                             let abs_keep = rt.base + i as u64;
-                            while rt.snapshots.len() > 1 && rt.snapshots[1].at <= abs_keep {
-                                rt.snapshots.pop_front();
+                            while rt.snapshots.front().map(|s| s.at <= abs_keep).unwrap_or(false) {
+                                rt.fence = rt.snapshots.pop_front().unwrap();
                             }
-                            if let Some(first) = rt.snapshots.front() {
-                                let drop_to = first.at;
-                                while rt.base < drop_to {
-                                    rt.processed.pop_front();
-                                    rt.base += 1;
-                                }
+                            while rt.base < rt.fence.at {
+                                rt.processed.pop_front();
+                                rt.base += 1;
                             }
+                            debug_assert_eq!(rt.fence.at, rt.base);
                         }
 
                         // ---- speculative processing batch ----
+                        let t0 = timing.then(std::time::Instant::now);
                         let mut processed_now = 0usize;
                         while processed_now < cfg.batch {
                             // Stragglers delivered by local sends first.
@@ -426,6 +488,7 @@ impl<L: Lp + Clone> Simulation<L> {
                                     None => break None,
                                     Some(Reverse(e)) => {
                                         if tombstones.remove(&e.uid) {
+                                            stats.annihilated += 1;
                                             continue;
                                         }
                                         break Some(e);
@@ -444,8 +507,12 @@ impl<L: Lp + Clone> Simulation<L> {
                                     "out-of-order speculative execution"
                                 );
                                 let count = rt.count();
+                                // The fence acts as the previous snapshot
+                                // when the deque is empty, keeping the
+                                // snapshot cadence exact across fossils
+                                // and deep rollbacks.
                                 let due = match rt.snapshots.back() {
-                                    None => true,
+                                    None => count - rt.fence.at >= cfg.snapshot_interval,
                                     Some(s) => count - s.at >= cfg.snapshot_interval,
                                 };
                                 if due {
@@ -485,9 +552,22 @@ impl<L: Lp + Clone> Simulation<L> {
                             }
                             processed_now += 1;
                         }
+                        if let Some(t0) = t0 {
+                            busy_ns += t0.elapsed().as_nanos() as u64;
+                        }
                     }
 
                     let committed: u64 = rts.iter().map(|rt| rt.meta.processed).sum();
+                    if timing {
+                        thread_records.lock().push(telemetry::ThreadRecord {
+                            thread: t,
+                            events: committed,
+                            busy_ns,
+                            blocked_ns,
+                            idle_ns: 0,
+                            mailbox_high_water: mailbox_hw,
+                        });
+                    }
                     let lps = rts
                         .into_iter()
                         .enumerate()
@@ -496,7 +576,13 @@ impl<L: Lp + Clone> Simulation<L> {
                     let leftover = heap
                         .into_iter()
                         .map(|Reverse(e)| e)
-                        .filter(|e| !tombstones.contains(&e.uid))
+                        .filter(|e| {
+                            let dead = tombstones.contains(&e.uid);
+                            if dead {
+                                stats.annihilated += 1;
+                            }
+                            !dead
+                        })
                         .collect();
                     *outcomes[t].lock() =
                         Some(ThreadOutcome { lps, leftover, stats, committed, final_gvt: gvt });
@@ -509,6 +595,7 @@ impl<L: Lp + Clone> Simulation<L> {
         let mut metas: Vec<LpMeta> = (0..n_lps).map(|_| LpMeta::new()).collect();
         let mut stats = RunStats::default();
         let mut speculative = 0u64;
+        let mut max_gvt_lag = 0u64;
         for oc in &outcomes {
             if let Some(oc) = oc.lock().take() {
                 for (i, lp, meta) in oc.lps {
@@ -522,8 +609,11 @@ impl<L: Lp + Clone> Simulation<L> {
                 stats.rolled_back += oc.stats.rolled;
                 stats.rollbacks += oc.stats.rollbacks;
                 stats.anti_messages += oc.stats.anti;
+                stats.annihilated += oc.stats.annihilated;
+                stats.fence_restores += oc.stats.fence_restores;
                 stats.rounds = stats.rounds.max(oc.stats.epochs);
                 stats.end_time = stats.end_time.max(SimTime(oc.final_gvt.min(until.0)));
+                max_gvt_lag = max_gvt_lag.max(oc.stats.gvt_lag_max);
             }
         }
         self.lps = lps.into_iter().map(|o| o.expect("missing LP after run")).collect();
@@ -533,6 +623,14 @@ impl<L: Lp + Clone> Simulation<L> {
         // re-executions); committed work is the difference.
         stats.committed = speculative - stats.rolled_back;
         stats.wall_seconds = start.elapsed().as_secs_f64();
+        crate::engine::emit_sched_telemetry(
+            self.telemetry.as_deref(),
+            "optimistic",
+            n_threads,
+            &stats,
+            max_gvt_lag,
+            thread_records.into_inner(),
+        );
         stats
     }
 }

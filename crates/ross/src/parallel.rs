@@ -116,6 +116,10 @@ impl<L: Lp> Simulation<L> {
         // boundary, and the main thread panics with the message.
         let violated = AtomicBool::new(false);
         let violation: Mutex<Option<String>> = Mutex::new(None);
+        // Telemetry: a few clock reads per round when a recorder is
+        // attached; nothing at all otherwise.
+        let timing = self.telemetry.is_some();
+        let thread_records: Mutex<Vec<telemetry::ThreadRecord>> = Mutex::new(Vec::new());
 
         // Per-thread return slots (LPs, meta, leftover events).
         type ThreadResult<L, E> = (Vec<L>, Vec<LpMeta>, Vec<Envelope<E>>);
@@ -138,6 +142,7 @@ impl<L: Lp> Simulation<L> {
                 let results = &results;
                 let violated = &violated;
                 let violation = &violation;
+                let thread_records = &thread_records;
                 scope.spawn(move || {
                     let mut inbox: Vec<Envelope<L::Event>> = Vec::new();
                     let mut out: Vec<Outgoing<L::Event>> = Vec::with_capacity(8);
@@ -145,10 +150,14 @@ impl<L: Lp> Simulation<L> {
                     let mut local_remote = 0u64;
                     let mut local_rounds = 0u64;
                     let mut local_clock = 0u64;
+                    let mut busy_ns = 0u64;
+                    let mut blocked_ns = 0u64;
+                    let mut mailbox_hw = 0u64;
                     loop {
                         // (1) Ingest cross-partition events from the
                         // previous round.
                         mailboxes[t].drain_into(&mut inbox);
+                        mailbox_hw = mailbox_hw.max(inbox.len() as u64);
                         for env in inbox.drain(..) {
                             heap.push(Reverse(env));
                         }
@@ -167,7 +176,11 @@ impl<L: Lp> Simulation<L> {
                         let local_min =
                             heap.peek().map(|Reverse(e)| e.recv_time.0).unwrap_or(u64::MAX);
                         mins[t].store(local_min, Ordering::Relaxed);
+                        let t0 = timing.then(std::time::Instant::now);
                         barrier.wait();
+                        if let Some(t0) = t0 {
+                            blocked_ns += t0.elapsed().as_nanos() as u64;
+                        }
                         let gmin = mins.iter().map(|m| m.load(Ordering::Relaxed)).min().unwrap();
                         if gmin == u64::MAX || gmin > until.0 {
                             break;
@@ -177,6 +190,7 @@ impl<L: Lp> Simulation<L> {
                             gmin.saturating_add(window.0).min(until.0.saturating_add(1));
 
                         // (3) Process local events in [gmin, window_end).
+                        let t0 = timing.then(std::time::Instant::now);
                         while let Some(Reverse(top)) = heap.peek() {
                             if top.recv_time.0 >= window_end {
                                 break;
@@ -224,14 +238,31 @@ impl<L: Lp> Simulation<L> {
                                 },
                             );
                         }
+                        if let Some(t0) = t0 {
+                            busy_ns += t0.elapsed().as_nanos() as u64;
+                        }
                         // (4) All sends of this round must be visible
                         // before anyone's next mailbox drain.
+                        let t0 = timing.then(std::time::Instant::now);
                         barrier.wait();
+                        if let Some(t0) = t0 {
+                            blocked_ns += t0.elapsed().as_nanos() as u64;
+                        }
                     }
                     committed.fetch_add(local_committed, Ordering::Relaxed);
                     remote.fetch_add(local_remote, Ordering::Relaxed);
                     rounds.fetch_max(local_rounds, Ordering::Relaxed);
                     end_clock.fetch_max(local_clock, Ordering::Relaxed);
+                    if timing {
+                        thread_records.lock().push(telemetry::ThreadRecord {
+                            thread: t,
+                            events: local_committed,
+                            busy_ns,
+                            blocked_ns,
+                            idle_ns: 0,
+                            mailbox_high_water: mailbox_hw,
+                        });
+                    }
                     let leftover: Vec<Envelope<L::Event>> =
                         heap.into_iter().map(|Reverse(e)| e).collect();
                     *results[t].lock() = Some((lps, metas, leftover));
@@ -269,14 +300,23 @@ impl<L: Lp> Simulation<L> {
             panic!("{msg}");
         }
 
-        RunStats {
+        let stats = RunStats {
             committed: committed.load(Ordering::Relaxed),
             remote_events: remote.load(Ordering::Relaxed),
             rounds: rounds.load(Ordering::Relaxed),
             end_time: SimTime(end_clock.load(Ordering::Relaxed)),
             wall_seconds: start.elapsed().as_secs_f64(),
             ..Default::default()
-        }
+        };
+        crate::engine::emit_sched_telemetry(
+            self.telemetry.as_deref(),
+            "conservative-parallel",
+            n_threads,
+            &stats,
+            0,
+            thread_records.into_inner(),
+        );
+        stats
     }
 
     /// Like [`run_conservative_parallel`](Self::run_conservative_parallel)

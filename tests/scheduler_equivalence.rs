@@ -6,7 +6,7 @@
 use codes::{SimResults, SimulationBuilder};
 use dragonfly::{DragonflyConfig, Routing};
 use placement::Placement;
-use ross::{Scheduler, SimDuration, SimTime};
+use ross::{OptimisticConfig, Scheduler, SimDuration, SimTime};
 use workloads::{app, AppKind, Profile};
 
 /// Per app: (name, per-rank latency (count, sum, min, max), per-rank comm
@@ -91,6 +91,22 @@ fn all_schedulers_agree_bit_for_bit() {
             lookahead: SimDuration::from_ns(lookahead_ns),
         });
         assert_eq!(seq, par, "par:{threads}:{lookahead_ns} != sequential");
+    }
+}
+
+/// Aggressive optimistic tunings — small batches (frequent GVT epochs,
+/// more fossil collections) with sparse snapshots force deep rollbacks
+/// through the GVT-fence restore path; the results must still be
+/// bit-identical to sequential.
+#[test]
+fn optimistic_small_snapshot_interval_agrees() {
+    let seq = run(Scheduler::Sequential);
+    for (threads, batch, snapshot_interval) in [(3usize, 32usize, 4u64), (2, 8, 4), (4, 64, 8)] {
+        let opt = run(Scheduler::OptimisticWith {
+            threads,
+            config: OptimisticConfig { batch, snapshot_interval },
+        });
+        assert_eq!(seq, opt, "opt:{threads}:{batch}:{snapshot_interval} != sequential");
     }
 }
 
