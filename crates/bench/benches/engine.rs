@@ -4,9 +4,9 @@
 //! in optimistic mode).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use ross::{OptimisticConfig, SimDuration, SimTime};
+use ross::{OptimisticConfig, QueueKind, SimDuration, SimTime};
 use std::sync::Arc;
-use union_bench::phold;
+use union_bench::{phold, phold_sized};
 
 fn bench_schedulers(c: &mut Criterion) {
     let mut g = c.benchmark_group("engine/phold-64lp");
@@ -97,5 +97,31 @@ fn bench_telemetry_overhead(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_schedulers, bench_snapshot_interval, bench_telemetry_overhead);
+fn bench_queues(c: &mut Criterion) {
+    // Pending-event queue ablation: binary heap (O(log n) per op) vs
+    // ladder (O(1) amortized). The gap only shows once the pending set
+    // is large, so this group sweeps the PHOLD population; the committed
+    // baseline lives in BENCH_queue.json (see the `queue-bench` bin).
+    let mut g = c.benchmark_group("engine/queue");
+    g.sample_size(10);
+    for n_lps in [64u32, 4096] {
+        for queue in [QueueKind::Heap, QueueKind::Ladder] {
+            g.bench_function(BenchmarkId::new(queue.label(), n_lps), |b| {
+                b.iter(|| {
+                    let mut sim = phold_sized(n_lps, SimTime::from_us(50), queue);
+                    sim.run_sequential(SimTime::MAX).committed
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_schedulers,
+    bench_snapshot_interval,
+    bench_telemetry_overhead,
+    bench_queues
+);
 criterion_main!(benches);

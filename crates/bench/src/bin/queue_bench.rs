@@ -1,0 +1,113 @@
+//! `queue-bench` — committed-event throughput of the two pending-event
+//! queues (binary heap vs ladder) on (a) a large sequential PHOLD run
+//! whose queue population makes the asymptotics visible and (b) the
+//! `union-exp` smoke sweep, the harness's real workload. Writes the
+//! machine-readable baseline `BENCH_queue.json` at the repo root.
+//!
+//! ```text
+//! cargo run --release -p union-bench --bin queue-bench [-- opts]
+//!   --n-lps N        PHOLD population (default 65536)
+//!   --horizon-us U   PHOLD virtual-time horizon (default 10)
+//!   --out FILE       output path (default <repo>/BENCH_queue.json)
+//! ```
+//!
+//! Exits 1 when the PHOLD run commits under 1M events (the baseline
+//! would be too small to be meaningful) so CI can't silently shrink it.
+
+use harness::sweep::{self, SweepConfig};
+use ross::{QueueKind, Scheduler, SimTime};
+
+#[derive(serde::Serialize)]
+struct Row {
+    bench: &'static str,
+    queue: &'static str,
+    n_lps: u32,
+    events: u64,
+    wall_seconds: f64,
+    events_per_sec: f64,
+}
+
+fn phold_row(n_lps: u32, horizon: SimTime, queue: QueueKind) -> Row {
+    // One warm-up then the timed run; a fresh simulation each time so the
+    // two queues see identical initial conditions.
+    let mut best = f64::MAX;
+    let mut events = 0;
+    for _ in 0..2 {
+        let mut sim = union_bench::phold_sized(n_lps, horizon, queue);
+        let stats = sim.run_sequential(SimTime::MAX);
+        best = best.min(stats.wall_seconds);
+        events = stats.committed;
+    }
+    Row {
+        bench: "phold-seq",
+        queue: queue.label(),
+        n_lps,
+        events,
+        wall_seconds: best,
+        events_per_sec: events as f64 / best,
+    }
+}
+
+fn sweep_row(queue: QueueKind) -> Row {
+    let mut cfg = SweepConfig::smoke();
+    cfg.queue = queue;
+    cfg.sched = Scheduler::Sequential;
+    let t0 = std::time::Instant::now();
+    let records = sweep::run_sweep(&cfg, |_| {});
+    let wall = t0.elapsed().as_secs_f64();
+    let events: u64 = records.iter().map(|r| r.stats.committed).sum();
+    Row {
+        bench: "union-exp-smoke",
+        queue: queue.label(),
+        n_lps: 0,
+        events,
+        wall_seconds: wall,
+        events_per_sec: events as f64 / wall,
+    }
+}
+
+fn opt<T: std::str::FromStr>(args: &[String], flag: &str, default: T) -> T {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let n_lps: u32 = opt(&args, "--n-lps", 65_536);
+    let horizon = SimTime::from_us(opt(&args, "--horizon-us", 10));
+    let default_out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_queue.json").to_string();
+    let out: String = opt(&args, "--out", default_out);
+
+    let mut rows = Vec::new();
+    for queue in [QueueKind::Heap, QueueKind::Ladder] {
+        eprintln!("phold-seq n_lps={n_lps} queue={}…", queue.label());
+        rows.push(phold_row(n_lps, horizon, queue));
+        eprintln!("union-exp smoke sweep queue={}…", queue.label());
+        rows.push(sweep_row(queue));
+    }
+
+    let phold: Vec<&Row> = rows.iter().filter(|r| r.bench == "phold-seq").collect();
+    let (heap, ladder) = (phold[0], phold[1]);
+    println!("| bench | queue | events | wall s | events/s |");
+    println!("|---|---|---|---|---|");
+    for r in &rows {
+        println!(
+            "| {} | {} | {} | {:.3} | {:.0} |",
+            r.bench, r.queue, r.events, r.wall_seconds, r.events_per_sec
+        );
+    }
+    println!(
+        "phold ladder/heap speedup: {:.2}x over {} events",
+        ladder.events_per_sec / heap.events_per_sec,
+        ladder.events
+    );
+    std::fs::write(&out, serde_json::to_string_pretty(&rows).unwrap()).unwrap();
+    eprintln!("wrote {out}");
+    if ladder.events < 1_000_000 {
+        eprintln!("queue-bench: PHOLD run committed under 1M events; raise --n-lps/--horizon-us");
+        std::process::exit(1);
+    }
+}

@@ -8,7 +8,9 @@ use dragonfly::{DragonflyConfig, FlowControl, LinkClass, Peer, Routing, Topology
 use metrics::{CommTimer, LatencyRecorder, LinkLoad, TimeSeries};
 use mpi_sim::MpiRank;
 use placement::{JobRequest, Layout, Placement};
-use ross::{Ctx, Envelope, Lp, Partition, RunStats, Scheduler, SimDuration, SimTime, Simulation};
+use ross::{
+    Ctx, Envelope, Lp, Partition, QueueKind, RunStats, Scheduler, SimDuration, SimTime, Simulation,
+};
 use std::sync::Arc;
 use union_core::{OpSource, RankVm};
 
@@ -53,6 +55,7 @@ pub struct SimulationBuilder {
     seed: u64,
     eager_max: u64,
     window_ns: u64,
+    queue: QueueKind,
     jobs: Vec<JobSpec>,
     telemetry: Option<Arc<telemetry::Recorder>>,
 }
@@ -66,6 +69,7 @@ impl SimulationBuilder {
             seed: 1,
             eager_max: 16 * 1024,
             window_ns: 0,
+            queue: QueueKind::default(),
             jobs: Vec::new(),
             telemetry: None,
         }
@@ -101,6 +105,13 @@ impl SimulationBuilder {
     /// Enable per-app windowed router counters (the paper uses 0.5 ms).
     pub fn window_ns(mut self, ns: u64) -> Self {
         self.window_ns = ns;
+        self
+    }
+
+    /// Select the engine's pending-event queue (default: ladder). Never
+    /// changes results, only throughput.
+    pub fn queue(mut self, q: QueueKind) -> Self {
+        self.queue = q;
         self
     }
 
@@ -170,7 +181,7 @@ impl SimulationBuilder {
             lps.push(CodesLp::Router(RouterLp::new(router, shared.clone(), self.seed)));
         }
 
-        let mut sim = Simulation::new(lps, shared.lookahead);
+        let mut sim = Simulation::with_queue(lps, shared.lookahead, self.queue);
         sim.set_partition(Partition::from_blocks(partition_blocks(&shared.topo)));
         sim.set_telemetry(self.telemetry.clone());
         for lp in start_lps {

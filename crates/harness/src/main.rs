@@ -21,6 +21,7 @@
 //!                                       T threads, L ns lookahead window;
 //!                                       opt:T:B:I = batch B, snapshot
 //!                                       interval I)
+//!   --queue heap|ladder     pending-event queue (default ladder)
 //!   --nets 1d,2d  --placements RN,RR,RG  --routings MIN,ADP
 //!   --workloads 1,2,3  --no-baselines
 //!   --json FILE             dump records as JSON
@@ -54,6 +55,7 @@ fn main() {
                  sweep opts: --profile quick|paper  --iters N  --scale N  --seed N\n\
                  \x20           --sched seq|cons:T|opt:T[:B:I]|par:T:L  (T threads, L ns lookahead,\n\
                  \x20           B batch, I snapshot interval)\n\
+                 \x20           --queue heap|ladder  (pending-event queue, default ladder)\n\
                  \x20           --nets 1d,2d  --placements RN,RR,RG  --routings MIN,ADP\n\
                  \x20           --workloads 1,2,3  --no-baselines  --json FILE  --allow-lint\n\
                  \x20           --telemetry FILE  (JSONL run telemetry + summary)\n\
@@ -226,6 +228,12 @@ fn parse_sweep(rest: &[String]) -> SweepConfig {
         eprintln!("union-exp: {e}");
         std::process::exit(2);
     });
+    cfg.queue =
+        ross::QueueKind::parse(opt_str(rest, "--queue", ross::QueueKind::default().label()))
+            .unwrap_or_else(|e| {
+                eprintln!("union-exp: {e}");
+                std::process::exit(2);
+            });
     if opt_str(rest, "--flow", "busy") == "credit" {
         cfg.flow = dragonfly::FlowControl::credit_default();
     }
@@ -344,6 +352,7 @@ fn telemetry_setup(
         ),
         ("iters".to_string(), serde::Value::Int(cfg.iters)),
         ("scale".to_string(), serde::Value::Int(cfg.scale)),
+        ("queue".to_string(), serde::Value::Str(cfg.queue.label().to_string())),
         (
             "nets".to_string(),
             serde::Value::Array(

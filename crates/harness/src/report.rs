@@ -189,9 +189,10 @@ pub fn telemetry_summary(rec: &telemetry::Recorder) -> String {
     let _ = writeln!(out, "Telemetry — {} records, {} dropped", rec.len(), rec.dropped());
     let _ = writeln!(
         out,
-        "| Scheduler | Thr | Committed | Rolled back | Anti | Annihilated | Rounds | Wall ms |"
+        "| Scheduler | Thr | Queue | Committed | Rolled back | Anti | Annihilated | Rounds | \
+         Q-ops | Q-max | Wall ms |"
     );
-    let _ = writeln!(out, "|---|---|---|---|---|---|---|---|");
+    let _ = writeln!(out, "|---|---|---|---|---|---|---|---|---|---|---|");
     let mut nets = (0u64, 0u64, 0u64, 0u64);
     let mut phases: Vec<(String, u64)> = Vec::new();
     for line in rec.lines() {
@@ -201,14 +202,17 @@ pub fn telemetry_summary(rec: &telemetry::Recorder) -> String {
             Some("scheduler") => {
                 let _ = writeln!(
                     out,
-                    "| {} | {} | {} | {} | {} | {} | {} | {:.1} |",
+                    "| {} | {} | {} | {} | {} | {} | {} | {} | {} | {} | {:.1} |",
                     v.get("scheduler").and_then(|s| s.as_str()).unwrap_or("?"),
                     g("threads"),
+                    v.get("queue").and_then(|s| s.as_str()).unwrap_or("?"),
                     g("committed"),
                     g("rolled_back"),
                     g("anti_messages"),
                     g("annihilated"),
                     g("rounds"),
+                    g("queue_ops"),
+                    g("queue_max_len"),
                     g("wall_ns") as f64 / 1e6,
                 );
             }

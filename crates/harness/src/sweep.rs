@@ -8,7 +8,7 @@ use codes::{SimResults, SimulationBuilder};
 use dragonfly::{DragonflyConfig, FlowControl, Routing};
 use metrics::{AppLatencySummary, Boxplot, LinkLoad};
 use placement::Placement;
-use ross::{RunStats, Scheduler, SimTime};
+use ross::{QueueKind, RunStats, Scheduler, SimTime};
 use serde::Serialize;
 use workloads::{AppConfig, AppKind, Profile};
 
@@ -127,6 +127,8 @@ pub struct SweepConfig {
     /// Also run each involved application alone (the paper's baselines).
     pub baselines: bool,
     pub sched: Scheduler,
+    /// Pending-event queue implementation for the engine.
+    pub queue: QueueKind,
     /// Router counter window (0 = off).
     pub window_ns: u64,
     /// Virtual-time bound per run.
@@ -155,6 +157,7 @@ impl SweepConfig {
             workloads: vec![1, 2, 3],
             baselines: true,
             sched: Scheduler::Sequential,
+            queue: QueueKind::default(),
             window_ns: 0,
             until: SimTime::MAX,
             keep_results: false,
@@ -197,7 +200,8 @@ pub fn run_one(cfg: &SweepConfig, key: RunKey) -> Result<RunRecord, String> {
         .routing(key.routing)
         .placement(key.placement)
         .seed(cfg.seed)
-        .window_ns(cfg.window_ns);
+        .window_ns(cfg.window_ns)
+        .queue(cfg.queue);
     if let Some(rec) = &cfg.telemetry {
         b = b.telemetry(rec.clone());
     }

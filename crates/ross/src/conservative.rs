@@ -6,13 +6,12 @@
 //! can be processed concurrently; events they create land at or beyond
 //! `T + lookahead` and are exchanged before the next round.
 
-use crate::engine::{seal_outgoing, RunStats, Simulation};
+use crate::engine::{seal_outgoing, QueueTelemetry, RunStats, Simulation};
 use crate::event::Envelope;
 use crate::lp::{Ctx, Lp, LpMeta, Outgoing};
+use crate::queue::{EventQueue, PendingQueue};
 use crate::time::SimTime;
 use parking_lot::Mutex;
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Barrier;
 
@@ -63,11 +62,13 @@ impl<L: Lp> Simulation<L> {
             return self.run_sequential(until);
         }
 
-        // Distribute pending events to their owners' heaps.
-        let mut heaps: Vec<BinaryHeap<Reverse<Envelope<L::Event>>>> =
-            (0..n_threads).map(|_| BinaryHeap::new()).collect();
-        for Reverse(env) in self.pending.drain() {
-            heaps[owner(&ranges, env.dst as usize)].push(Reverse(env));
+        // Distribute pending events to their owners' queues.
+        let mut queues: Vec<PendingQueue<L::Event>> =
+            (0..n_threads).map(|_| self.queue.new_queue()).collect();
+        let mut scratch = Vec::with_capacity(self.pending.len());
+        self.pending.drain_to(&mut scratch);
+        for env in scratch.drain(..) {
+            queues[owner(&ranges, env.dst as usize)].push(env);
         }
 
         let mailboxes: Vec<Mutex<Vec<Envelope<L::Event>>>> =
@@ -77,7 +78,10 @@ impl<L: Lp> Simulation<L> {
         let committed = AtomicU64::new(0);
         let rounds = AtomicU64::new(0);
         let end_clock = AtomicU64::new(0);
+        let queue_ops = AtomicU64::new(0);
+        let queue_max_len = AtomicU64::new(0);
         let lookahead = self.lookahead;
+        let qkind = self.queue;
         // Telemetry: timing is a few clock reads per round, and only when
         // a recorder is attached; per-event work stays untouched.
         let timing = self.telemetry.is_some();
@@ -104,7 +108,7 @@ impl<L: Lp> Simulation<L> {
 
         std::thread::scope(|scope| {
             for (t, (lps, metas)) in lp_slices.into_iter().zip(meta_slices).enumerate() {
-                let mut heap = std::mem::take(&mut heaps[t]);
+                let mut queue = std::mem::replace(&mut queues[t], qkind.new_queue());
                 let ranges = &ranges;
                 let mailboxes = &mailboxes;
                 let barrier = &barrier;
@@ -112,6 +116,8 @@ impl<L: Lp> Simulation<L> {
                 let committed = &committed;
                 let rounds = &rounds;
                 let end_clock = &end_clock;
+                let queue_ops = &queue_ops;
+                let queue_max_len = &queue_max_len;
                 let leftovers = &leftovers;
                 let thread_records = &thread_records;
                 scope.spawn(move || {
@@ -129,12 +135,11 @@ impl<L: Lp> Simulation<L> {
                             let mut mb = mailboxes[t].lock();
                             mailbox_hw = mailbox_hw.max(mb.len() as u64);
                             for env in mb.drain(..) {
-                                heap.push(Reverse(env));
+                                queue.push(env);
                             }
                         }
                         // Publish local minimum, agree on the window base.
-                        let local_min =
-                            heap.peek().map(|Reverse(e)| e.recv_time.0).unwrap_or(u64::MAX);
+                        let local_min = queue.peek_time().map(|ts| ts.0).unwrap_or(u64::MAX);
                         mins[t].store(local_min, Ordering::Relaxed);
                         let t0 = timing.then(std::time::Instant::now);
                         barrier.wait();
@@ -151,11 +156,11 @@ impl<L: Lp> Simulation<L> {
 
                         // Process all local events inside [gmin, window_end).
                         let t0 = timing.then(std::time::Instant::now);
-                        while let Some(Reverse(top)) = heap.peek() {
+                        while let Some(top) = queue.peek() {
                             if top.recv_time.0 >= window_end {
                                 break;
                             }
-                            let Reverse(env) = heap.pop().unwrap();
+                            let env = queue.pop().unwrap();
                             local_clock = local_clock.max(env.recv_time.0);
                             let li = env.dst as usize - base;
                             debug_assert!(env.recv_time >= metas[li].now);
@@ -173,7 +178,7 @@ impl<L: Lp> Simulation<L> {
                                 |new| {
                                     let o = owner(ranges, new.dst as usize);
                                     if o == t {
-                                        heap.push(Reverse(new));
+                                        queue.push(new);
                                     } else {
                                         mailboxes[o].lock().push(new);
                                     }
@@ -204,9 +209,11 @@ impl<L: Lp> Simulation<L> {
                             mailbox_high_water: mailbox_hw,
                         });
                     }
+                    queue_ops.fetch_add(queue.ops(), Ordering::Relaxed);
+                    queue_max_len.fetch_max(queue.max_len(), Ordering::Relaxed);
                     // Return unprocessed events (recv_time > until).
                     let mut left = leftovers[t].lock();
-                    left.extend(heap.into_iter().map(|Reverse(e)| e));
+                    queue.drain_to(&mut left);
                 });
             }
         });
@@ -214,12 +221,12 @@ impl<L: Lp> Simulation<L> {
         // Reabsorb leftover events so a subsequent run can continue.
         for lb in &leftovers {
             for env in lb.lock().drain(..) {
-                self.pending.push(Reverse(env));
+                self.pending.push(env);
             }
         }
         for mb in &mailboxes {
             for env in mb.lock().drain(..) {
-                self.pending.push(Reverse(env));
+                self.pending.push(env);
             }
         }
 
@@ -236,6 +243,11 @@ impl<L: Lp> Simulation<L> {
             n_threads,
             &stats,
             0,
+            QueueTelemetry {
+                kind: qkind,
+                ops: queue_ops.load(Ordering::Relaxed),
+                max_len: queue_max_len.load(Ordering::Relaxed),
+            },
             thread_records.into_inner(),
         );
         stats

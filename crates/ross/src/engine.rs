@@ -2,9 +2,8 @@
 
 use crate::event::{Envelope, EventUid, LpId};
 use crate::lp::{Ctx, Lp, LpMeta, Outgoing};
+use crate::queue::{EventQueue, PendingQueue, QueueKind};
 use crate::time::{SimDuration, SimTime};
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 
 /// Statistics returned by a scheduler run.
 #[derive(Clone, Debug, Default)]
@@ -65,7 +64,10 @@ impl RunStats {
 pub struct Simulation<L: Lp> {
     pub(crate) lps: Vec<L>,
     pub(crate) meta: Vec<LpMeta>,
-    pub(crate) pending: BinaryHeap<Reverse<Envelope<L::Event>>>,
+    pub(crate) pending: PendingQueue<L::Event>,
+    /// Which queue implementation `pending` (and the per-thread queues the
+    /// parallel schedulers build) uses.
+    pub(crate) queue: QueueKind,
     pub(crate) lookahead: SimDuration,
     /// Co-location hint for the conservative-parallel scheduler.
     pub(crate) partition: Option<crate::partition::Partition>,
@@ -77,17 +79,46 @@ impl<L: Lp> Simulation<L> {
     /// Create a simulation over `lps` with the given minimum event delay
     /// (`lookahead`). Every [`Ctx::send`] must use a delay of at least
     /// `lookahead`; 1 ns is always safe but shrinks conservative windows.
+    /// Uses the default event queue ([`QueueKind::Ladder`]); see
+    /// [`Simulation::with_queue`].
     pub fn new(lps: Vec<L>, lookahead: SimDuration) -> Self {
+        Simulation::with_queue(lps, lookahead, QueueKind::default())
+    }
+
+    /// [`Simulation::new`] with an explicit event-queue implementation.
+    /// The choice never affects results — only throughput.
+    pub fn with_queue(lps: Vec<L>, lookahead: SimDuration, queue: QueueKind) -> Self {
         assert!(lookahead.as_ns() >= 1, "lookahead must be at least 1 ns");
         let n = lps.len();
         Simulation {
             lps,
             meta: (0..n).map(|_| LpMeta::new()).collect(),
-            pending: BinaryHeap::new(),
+            pending: queue.new_queue(),
+            queue,
             lookahead,
             partition: None,
             telemetry: None,
         }
+    }
+
+    /// Swap the event-queue implementation. Pending events (e.g. between
+    /// the legs of a paused run) are migrated to the new queue.
+    pub fn set_queue(&mut self, queue: QueueKind) {
+        if queue == self.queue {
+            return;
+        }
+        let mut moved = Vec::with_capacity(self.pending.len());
+        self.pending.drain_to(&mut moved);
+        self.queue = queue;
+        self.pending = queue.new_queue();
+        for env in moved {
+            self.pending.push(env);
+        }
+    }
+
+    /// The event-queue implementation in use.
+    pub fn queue_kind(&self) -> QueueKind {
+        self.queue
     }
 
     /// Attach (or detach) a telemetry recorder. When set, every scheduler
@@ -140,7 +171,7 @@ impl<L: Lp> Simulation<L> {
         };
         meta.tiebreak += 1;
         meta.uid_seq += 1;
-        self.pending.push(Reverse(env));
+        self.pending.push(env);
     }
 
     /// Read access to the LPs (e.g. to pull metrics out after a run).
@@ -167,11 +198,13 @@ impl<L: Lp> Simulation<L> {
         let mut out: Vec<Outgoing<L::Event>> = Vec::with_capacity(8);
         let mut clock = SimTime::ZERO;
 
-        while let Some(Reverse(env)) = self.pending.peek().map(|e| Reverse(e.0.clone())) {
+        // Pop directly instead of peek-clone-pop: the one event that lands
+        // beyond `until` is pushed back, every committed event moves once.
+        while let Some(env) = self.pending.pop() {
             if env.recv_time > until {
+                self.pending.push(env);
                 break;
             }
-            self.pending.pop();
             debug_check_monotonic(&mut clock, env.recv_time);
             let dst = env.dst as usize;
             debug_assert!(env.recv_time >= self.meta[dst].now, "causality violation");
@@ -197,7 +230,7 @@ impl<L: Lp> Simulation<L> {
                 meta.tiebreak += 1;
                 meta.uid_seq += 1;
                 debug_assert!((o.dst as usize) < self.lps.len(), "send to unknown LP {}", o.dst);
-                self.pending.push(Reverse(new));
+                self.pending.push(new);
             }
         }
 
@@ -211,6 +244,11 @@ impl<L: Lp> Simulation<L> {
             1,
             &stats,
             0,
+            QueueTelemetry {
+                kind: self.queue,
+                ops: self.pending.ops(),
+                max_len: self.pending.max_len(),
+            },
             vec![telemetry::ThreadRecord {
                 thread: 0,
                 events: stats.committed,
@@ -219,6 +257,22 @@ impl<L: Lp> Simulation<L> {
             }],
         );
         stats
+    }
+}
+
+/// Queue counters folded into a run's scheduler record. The parallel
+/// schedulers sum `ops` and take the max of `max_len` across their
+/// per-thread queues.
+pub(crate) struct QueueTelemetry {
+    pub(crate) kind: QueueKind,
+    pub(crate) ops: u64,
+    pub(crate) max_len: u64,
+}
+
+impl QueueTelemetry {
+    /// Identity for folding per-thread queues.
+    pub(crate) fn empty(kind: QueueKind) -> Self {
+        QueueTelemetry { kind, ops: 0, max_len: 0 }
     }
 }
 
@@ -231,6 +285,7 @@ pub(crate) fn emit_sched_telemetry(
     threads: usize,
     stats: &RunStats,
     max_gvt_lag_ns: u64,
+    queue: QueueTelemetry,
     mut per_thread: Vec<telemetry::ThreadRecord>,
 ) {
     let Some(rec) = telem else { return };
@@ -240,6 +295,9 @@ pub(crate) fn emit_sched_telemetry(
         t.idle_ns = wall_ns.saturating_sub(t.busy_ns + t.blocked_ns);
     }
     let mut r = telemetry::SchedulerRecord::new(name, threads);
+    r.queue = queue.kind.label().to_string();
+    r.queue_ops = queue.ops;
+    r.queue_max_len = queue.max_len;
     r.committed = stats.committed;
     r.rolled_back = stats.rolled_back;
     r.rollbacks = stats.rollbacks;

@@ -16,7 +16,11 @@
 //!
 //! All three produce **bit-identical** model states: events are totally
 //! ordered by `(recv_time, send_time, src, tiebreak)` where the tiebreak
-//! counter is part of the rolled-back LP state.
+//! counter is part of the rolled-back LP state. The pending-event set
+//! behind every scheduler is pluggable ([`queue`]): a reference binary
+//! heap or the default O(1)-amortized ladder queue, selected with
+//! [`Simulation::with_queue`] / [`Simulation::set_queue`] — the choice
+//! never changes results, only throughput.
 //!
 //! ## Model rules
 //!
@@ -67,6 +71,7 @@ mod mailbox;
 mod optimistic;
 mod parallel;
 mod partition;
+pub mod queue;
 mod time;
 
 pub use engine::{RunStats, Simulation};
@@ -74,6 +79,7 @@ pub use event::{Envelope, EventKey, EventUid, LpId};
 pub use lp::{Ctx, Lp};
 pub use optimistic::OptimisticConfig;
 pub use partition::Partition;
+pub use queue::{EventQueue, QueueKind};
 pub use time::{SimDuration, SimTime};
 
 /// Which scheduler to use; lets callers sweep schedulers uniformly.

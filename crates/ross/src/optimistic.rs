@@ -17,13 +17,13 @@
 //! bit-identical to the sequential one.
 
 use crate::conservative::{owner, partition};
-use crate::engine::{seal_outgoing, RunStats, Simulation};
+use crate::engine::{seal_outgoing, QueueTelemetry, RunStats, Simulation};
 use crate::event::{Envelope, EventKey, EventUid};
 use crate::lp::{Ctx, Lp, LpMeta, Outgoing};
+use crate::queue::{EventQueue, PendingQueue};
 use crate::time::{SimDuration, SimTime};
 use parking_lot::Mutex;
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashSet, VecDeque};
+use std::collections::{HashSet, VecDeque};
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::Barrier;
 
@@ -42,8 +42,6 @@ impl Default for OptimisticConfig {
         OptimisticConfig { batch: 512, snapshot_interval: 4 }
     }
 }
-
-type Heap<E> = BinaryHeap<Reverse<Envelope<E>>>;
 
 /// A message between threads: a scheduled event or a cancellation.
 enum Msg<E> {
@@ -120,7 +118,7 @@ struct LocalStats {
 }
 
 /// Roll `rt` back so every processed event with key >= `to` is undone.
-/// Undone events are returned to `heap`, except the one whose uid matches
+/// Undone events are returned to `queue`, except the one whose uid matches
 /// `skip_uid` (an annihilated event). Anti-messages for the sends of undone
 /// events are appended to `antis` for the caller to post.
 #[allow(clippy::too_many_arguments)]
@@ -128,7 +126,7 @@ fn rollback<L: Lp + Clone>(
     rt: &mut LpRt<L>,
     to: EventKey,
     skip_uid: Option<EventUid>,
-    heap: &mut Heap<L::Event>,
+    queue: &mut PendingQueue<L::Event>,
     lookahead: SimDuration,
     scratch: &mut Vec<Outgoing<L::Event>>,
     stats: &mut LocalStats,
@@ -152,7 +150,7 @@ fn rollback<L: Lp + Clone>(
             antis.push((s.dst, s.uid));
         }
         if Some(p.env.uid) != skip_uid {
-            heap.push(Reverse(p.env));
+            queue.push(p.env);
         }
     }
     // Restore the latest snapshot at or before abs_i. When every snapshot
@@ -198,7 +196,7 @@ fn ingest<L: Lp + Clone>(
     base_lp: usize,
     lookahead: SimDuration,
     rts: &mut [LpRt<L>],
-    heap: &mut Heap<L::Event>,
+    queue: &mut PendingQueue<L::Event>,
     tombstones: &mut HashSet<EventUid>,
     scratch: &mut Vec<Outgoing<L::Event>>,
     stats: &mut LocalStats,
@@ -208,16 +206,16 @@ fn ingest<L: Lp + Clone>(
         Msg::Event(env) => {
             let rt = &mut rts[env.dst as usize - base_lp];
             if rt.last_key().map(|k| k >= env.key()).unwrap_or(false) {
-                rollback(rt, env.key(), None, heap, lookahead, scratch, stats, antis);
+                rollback(rt, env.key(), None, queue, lookahead, scratch, stats, antis);
             }
-            heap.push(Reverse(env));
+            queue.push(env);
         }
         Msg::Anti { dst, uid } => {
             let rt = &mut rts[dst as usize - base_lp];
             if let Some(p) = rt.processed.iter().rev().find(|p| p.env.uid == uid) {
                 let key = p.env.key();
                 stats.annihilated += 1;
-                rollback(rt, key, Some(uid), heap, lookahead, scratch, stats, antis);
+                rollback(rt, key, Some(uid), queue, lookahead, scratch, stats, antis);
             } else {
                 // Not yet processed: annihilate lazily when it pops.
                 tombstones.insert(uid);
@@ -232,6 +230,8 @@ struct ThreadOutcome<L: Lp> {
     stats: LocalStats,
     committed: u64,
     final_gvt: u64,
+    queue_ops: u64,
+    queue_max_len: u64,
 }
 
 impl<L: Lp + Clone> Simulation<L> {
@@ -255,9 +255,13 @@ impl<L: Lp + Clone> Simulation<L> {
             return self.run_sequential(until);
         }
 
-        let mut heaps: Vec<Heap<L::Event>> = (0..n_threads).map(|_| Heap::new()).collect();
-        for Reverse(env) in self.pending.drain() {
-            heaps[owner(&ranges, env.dst as usize)].push(Reverse(env));
+        let qkind = self.queue;
+        let mut queues: Vec<PendingQueue<L::Event>> =
+            (0..n_threads).map(|_| qkind.new_queue()).collect();
+        let mut scratch0 = Vec::with_capacity(self.pending.len());
+        self.pending.drain_to(&mut scratch0);
+        for env in scratch0.drain(..) {
+            queues[owner(&ranges, env.dst as usize)].push(env);
         }
 
         let mailboxes: Vec<Mutex<Vec<Msg<L::Event>>>> =
@@ -309,7 +313,7 @@ impl<L: Lp + Clone> Simulation<L> {
 
         std::thread::scope(|scope| {
             for (t, mut rts) in rts_per_thread.into_iter().enumerate() {
-                let mut heap = std::mem::take(&mut heaps[t]);
+                let mut queue = std::mem::replace(&mut queues[t], qkind.new_queue());
                 let ranges = &ranges;
                 let mailboxes = &mailboxes;
                 let in_flight = &in_flight;
@@ -354,7 +358,7 @@ impl<L: Lp + Clone> Simulation<L> {
                                     base_lp,
                                     lookahead,
                                     &mut rts,
-                                    &mut heap,
+                                    &mut queue,
                                     &mut tombstones,
                                     &mut scratch,
                                     &mut stats,
@@ -375,7 +379,7 @@ impl<L: Lp + Clone> Simulation<L> {
                                     base_lp,
                                     lookahead,
                                     &mut rts,
-                                    &mut heap,
+                                    &mut queue,
                                     &mut tombstones,
                                     &mut scratch,
                                     &mut stats,
@@ -410,16 +414,15 @@ impl<L: Lp + Clone> Simulation<L> {
                         }
 
                         // ---- compute GVT ----
-                        while let Some(Reverse(top)) = heap.peek() {
-                            if tombstones.remove(&top.uid) {
-                                heap.pop();
+                        while let Some(uid) = queue.peek().map(|top| top.uid) {
+                            if tombstones.remove(&uid) {
+                                queue.pop();
                                 stats.annihilated += 1;
                             } else {
                                 break;
                             }
                         }
-                        let local_min =
-                            heap.peek().map(|Reverse(e)| e.recv_time.0).unwrap_or(u64::MAX);
+                        let local_min = queue.peek_time().map(|ts| ts.0).unwrap_or(u64::MAX);
                         mins[t].store(local_min, Ordering::SeqCst);
                         let t0 = timing.then(std::time::Instant::now);
                         barrier.wait();
@@ -472,7 +475,7 @@ impl<L: Lp + Clone> Simulation<L> {
                                     base_lp,
                                     lookahead,
                                     &mut rts,
-                                    &mut heap,
+                                    &mut queue,
                                     &mut tombstones,
                                     &mut scratch,
                                     &mut stats,
@@ -484,9 +487,9 @@ impl<L: Lp + Clone> Simulation<L> {
                                 }
                             }
                             let env = loop {
-                                match heap.pop() {
+                                match queue.pop() {
                                     None => break None,
-                                    Some(Reverse(e)) => {
+                                    Some(e) => {
                                         if tombstones.remove(&e.uid) {
                                             stats.annihilated += 1;
                                             continue;
@@ -497,7 +500,7 @@ impl<L: Lp + Clone> Simulation<L> {
                             };
                             let Some(env) = env else { break };
                             if env.recv_time > until {
-                                heap.push(Reverse(env));
+                                queue.push(env);
                                 break;
                             }
                             {
@@ -573,19 +576,25 @@ impl<L: Lp + Clone> Simulation<L> {
                         .enumerate()
                         .map(|(i, rt)| (base_lp + i, rt.lp, rt.meta))
                         .collect();
-                    let leftover = heap
-                        .into_iter()
-                        .map(|Reverse(e)| e)
-                        .filter(|e| {
-                            let dead = tombstones.contains(&e.uid);
-                            if dead {
-                                stats.annihilated += 1;
-                            }
-                            !dead
-                        })
-                        .collect();
-                    *outcomes[t].lock() =
-                        Some(ThreadOutcome { lps, leftover, stats, committed, final_gvt: gvt });
+                    let (queue_ops, queue_max_len) = (queue.ops(), queue.max_len());
+                    let mut leftover: Vec<Envelope<L::Event>> = Vec::new();
+                    queue.drain_to(&mut leftover);
+                    leftover.retain(|e| {
+                        let dead = tombstones.contains(&e.uid);
+                        if dead {
+                            stats.annihilated += 1;
+                        }
+                        !dead
+                    });
+                    *outcomes[t].lock() = Some(ThreadOutcome {
+                        lps,
+                        leftover,
+                        stats,
+                        committed,
+                        final_gvt: gvt,
+                        queue_ops,
+                        queue_max_len,
+                    });
                 });
             }
         });
@@ -596,6 +605,7 @@ impl<L: Lp + Clone> Simulation<L> {
         let mut stats = RunStats::default();
         let mut speculative = 0u64;
         let mut max_gvt_lag = 0u64;
+        let mut queue_telem = QueueTelemetry::empty(qkind);
         for oc in &outcomes {
             if let Some(oc) = oc.lock().take() {
                 for (i, lp, meta) in oc.lps {
@@ -603,8 +613,10 @@ impl<L: Lp + Clone> Simulation<L> {
                     metas[i] = meta;
                 }
                 for env in oc.leftover {
-                    self.pending.push(Reverse(env));
+                    self.pending.push(env);
                 }
+                queue_telem.ops += oc.queue_ops;
+                queue_telem.max_len = queue_telem.max_len.max(oc.queue_max_len);
                 speculative += oc.committed;
                 stats.rolled_back += oc.stats.rolled;
                 stats.rollbacks += oc.stats.rollbacks;
@@ -629,6 +641,7 @@ impl<L: Lp + Clone> Simulation<L> {
             n_threads,
             &stats,
             max_gvt_lag,
+            queue_telem,
             thread_records.into_inner(),
         );
         stats

@@ -21,26 +21,25 @@
 //!
 //! ## Protocol
 //!
-//! Per round, every worker: (1) drains its mailbox into its local heap,
+//! Per round, every worker: (1) drains its mailbox into its local queue,
 //! (2) publishes its minimum pending timestamp and barriers, (3) computes
 //! the global minimum `gmin` — a shared-memory GVT — and processes every
 //! local event in `[gmin, gmin + window)`, sending remote events through
 //! mailboxes, (4) barriers again so all sends are visible before the
 //! next drain. Determinism: within a partition events are processed in
-//! total-key order from a `BinaryHeap`; across partitions every event in
+//! total-key order from its [`crate::queue`]; across partitions every event in
 //! one window is causally independent (window ≤ true minimum delay); and
 //! mailbox arrival order is erased by the heap. For a fixed seed the
 //! results are bit-identical to [`Simulation::run_sequential`].
 
-use crate::engine::{seal_outgoing, RunStats, Simulation};
+use crate::engine::{seal_outgoing, QueueTelemetry, RunStats, Simulation};
 use crate::event::Envelope;
 use crate::lp::{Ctx, Lp, LpMeta, Outgoing};
 use crate::mailbox::Mailbox;
 use crate::partition::Partition;
+use crate::queue::{EventQueue, PendingQueue};
 use crate::time::{SimDuration, SimTime};
 use parking_lot::Mutex;
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Barrier;
 
@@ -95,10 +94,13 @@ impl<L: Lp> Simulation<L> {
             meta_by_thread[owner_of[gid] as usize].push(meta);
         }
 
-        let mut heaps: Vec<BinaryHeap<Reverse<Envelope<L::Event>>>> =
-            (0..n_threads).map(|_| BinaryHeap::new()).collect();
-        for Reverse(env) in self.pending.drain() {
-            heaps[owner_of[env.dst as usize] as usize].push(Reverse(env));
+        let qkind = self.queue;
+        let mut queues: Vec<PendingQueue<L::Event>> =
+            (0..n_threads).map(|_| qkind.new_queue()).collect();
+        let mut scratch = Vec::with_capacity(self.pending.len());
+        self.pending.drain_to(&mut scratch);
+        for env in scratch.drain(..) {
+            queues[owner_of[env.dst as usize] as usize].push(env);
         }
 
         let mailboxes: Vec<Mailbox<Envelope<L::Event>>> =
@@ -109,6 +111,8 @@ impl<L: Lp> Simulation<L> {
         let remote = AtomicU64::new(0);
         let rounds = AtomicU64::new(0);
         let end_clock = AtomicU64::new(0);
+        let queue_ops = AtomicU64::new(0);
+        let queue_max_len = AtomicU64::new(0);
         let lookahead = self.lookahead;
         // A worker that detects a causality violation must not panic on
         // the spot — the others would deadlock on the barrier. It records
@@ -131,7 +135,7 @@ impl<L: Lp> Simulation<L> {
             for t in 0..n_threads {
                 let mut lps = std::mem::take(&mut lps_by_thread[t]);
                 let mut metas = std::mem::take(&mut meta_by_thread[t]);
-                let mut heap = std::mem::take(&mut heaps[t]);
+                let mut queue = std::mem::replace(&mut queues[t], qkind.new_queue());
                 let mailboxes = &mailboxes;
                 let barrier = &barrier;
                 let mins = &mins;
@@ -139,6 +143,8 @@ impl<L: Lp> Simulation<L> {
                 let remote = &remote;
                 let rounds = &rounds;
                 let end_clock = &end_clock;
+                let queue_ops = &queue_ops;
+                let queue_max_len = &queue_max_len;
                 let results = &results;
                 let violated = &violated;
                 let violation = &violation;
@@ -159,7 +165,7 @@ impl<L: Lp> Simulation<L> {
                         mailboxes[t].drain_into(&mut inbox);
                         mailbox_hw = mailbox_hw.max(inbox.len() as u64);
                         for env in inbox.drain(..) {
-                            heap.push(Reverse(env));
+                            queue.push(env);
                         }
                         // Check the violation flag here, in the quiescent
                         // interval between barriers: it is only ever set
@@ -173,8 +179,7 @@ impl<L: Lp> Simulation<L> {
                             break;
                         }
                         // (2) Publish the local minimum, agree on gmin.
-                        let local_min =
-                            heap.peek().map(|Reverse(e)| e.recv_time.0).unwrap_or(u64::MAX);
+                        let local_min = queue.peek_time().map(|ts| ts.0).unwrap_or(u64::MAX);
                         mins[t].store(local_min, Ordering::Relaxed);
                         let t0 = timing.then(std::time::Instant::now);
                         barrier.wait();
@@ -191,11 +196,11 @@ impl<L: Lp> Simulation<L> {
 
                         // (3) Process local events in [gmin, window_end).
                         let t0 = timing.then(std::time::Instant::now);
-                        while let Some(Reverse(top)) = heap.peek() {
+                        while let Some(top) = queue.peek() {
                             if top.recv_time.0 >= window_end {
                                 break;
                             }
-                            let Reverse(env) = heap.pop().unwrap();
+                            let env = queue.pop().unwrap();
                             local_clock = local_clock.max(env.recv_time.0);
                             let li = local_of[env.dst as usize] as usize;
                             // Hard check (not debug): a cross-partition
@@ -213,7 +218,7 @@ impl<L: Lp> Simulation<L> {
                                     ));
                                 }
                                 violated.store(true, Ordering::Release);
-                                heap.push(Reverse(env));
+                                queue.push(env);
                                 break;
                             }
                             metas[li].now = env.recv_time;
@@ -230,7 +235,7 @@ impl<L: Lp> Simulation<L> {
                                 |new| {
                                     let o = owner_of[new.dst as usize] as usize;
                                     if o == t {
-                                        heap.push(Reverse(new));
+                                        queue.push(new);
                                     } else {
                                         local_remote += 1;
                                         mailboxes[o].push(new);
@@ -263,8 +268,10 @@ impl<L: Lp> Simulation<L> {
                             mailbox_high_water: mailbox_hw,
                         });
                     }
-                    let leftover: Vec<Envelope<L::Event>> =
-                        heap.into_iter().map(|Reverse(e)| e).collect();
+                    queue_ops.fetch_add(queue.ops(), Ordering::Relaxed);
+                    queue_max_len.fetch_max(queue.max_len(), Ordering::Relaxed);
+                    let mut leftover: Vec<Envelope<L::Event>> = Vec::new();
+                    queue.drain_to(&mut leftover);
                     *results[t].lock() = Some((lps, metas, leftover));
                 });
             }
@@ -282,7 +289,7 @@ impl<L: Lp> Simulation<L> {
                 meta_slots[gid as usize] = Some(meta);
             }
             for env in leftover {
-                self.pending.push(Reverse(env));
+                self.pending.push(env);
             }
         }
         self.lps = lp_slots.into_iter().map(|s| s.expect("missing LP")).collect();
@@ -294,7 +301,7 @@ impl<L: Lp> Simulation<L> {
             mb.drain_into(&mut stray);
         }
         for env in stray {
-            self.pending.push(Reverse(env));
+            self.pending.push(env);
         }
         if let Some(msg) = violation.lock().take() {
             panic!("{msg}");
@@ -314,6 +321,11 @@ impl<L: Lp> Simulation<L> {
             n_threads,
             &stats,
             0,
+            QueueTelemetry {
+                kind: qkind,
+                ops: queue_ops.load(Ordering::Relaxed),
+                max_len: queue_max_len.load(Ordering::Relaxed),
+            },
             thread_records.into_inner(),
         );
         stats

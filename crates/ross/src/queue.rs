@@ -1,0 +1,680 @@
+//! Pluggable pending-event queues.
+//!
+//! Every scheduler keeps its runnable events in an [`EventQueue`]: a
+//! priority queue over [`Envelope`]s whose dequeue order is **exactly** the
+//! total order defined by `Envelope::cmp` — `(recv_time, send_time, src,
+//! tiebreak)` then the uid fields. Two implementations share that contract:
+//!
+//! * [`BinaryHeapQueue`] — `std::collections::BinaryHeap<Reverse<_>>`, the
+//!   original reference implementation. O(log n) push/pop, no bookkeeping.
+//! * [`LadderQueue`] — a timestamp-bucketed multi-tier queue in the spirit
+//!   of Tang/Goh/Thng's ladder queue, the structure real ROSS-class
+//!   simulators use for their pending-event sets. O(1) amortized push/pop:
+//!   events are thrown into coarse buckets and only the bucket currently
+//!   being drained is ever sorted. Far-future events sit unsorted in a
+//!   *top* tier; dequeue-front events sit fully sorted in a *bottom* tier;
+//!   between them a stack of *rungs* subdivides time ever more finely,
+//!   spawning a child rung whenever a bucket is too large to sort cheaply.
+//!
+//! Determinism: bucketing partitions events by `recv_time` only, which is
+//! the major key of the envelope order, and every bucket is sorted with the
+//! full `Envelope` `Ord` before it is drained — so equal-`recv_time`
+//! collisions (and even full-key ties, which the uid breaks during
+//! optimistic rollback transients) dequeue in exactly the order the binary
+//! heap produces. The scheduler-equivalence suites assert this bit for bit;
+//! `tests/queue_equivalence.rs` property-tests it on adversarial streams.
+//!
+//! Both queues maintain two plain-`u64` telemetry counters (total push/pop
+//! ops and the length high-water mark). They are local, non-atomic and
+//! branch-free, so the cost is a couple of register ops per event; the
+//! schedulers only read them when a telemetry recorder is attached.
+
+use crate::event::{Envelope, EventKey};
+use crate::time::SimTime;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// The pending-event-set contract shared by all schedulers.
+///
+/// `peek` takes `&mut self` because the ladder queue materializes (sorts)
+/// its front bucket lazily on first access; observable state never changes.
+pub trait EventQueue<E> {
+    /// Insert an event.
+    fn push(&mut self, env: Envelope<E>);
+    /// Remove and return the least event in the full envelope order.
+    fn pop(&mut self) -> Option<Envelope<E>>;
+    /// The least event, without removing it.
+    fn peek(&mut self) -> Option<&Envelope<E>>;
+    /// Number of queued events.
+    fn len(&self) -> usize;
+    /// Move every queued event into `out` (order unspecified) and reset.
+    fn drain_to(&mut self, out: &mut Vec<Envelope<E>>);
+    /// Total push + pop operations performed (telemetry).
+    fn ops(&self) -> u64;
+    /// Length high-water mark (telemetry).
+    fn max_len(&self) -> u64;
+
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// `recv_time` of the least event.
+    fn peek_time(&mut self) -> Option<SimTime> {
+        self.peek().map(|e| e.recv_time)
+    }
+
+    /// Full ordering key of the least event.
+    fn peek_key(&mut self) -> Option<EventKey> {
+        self.peek().map(|e| e.key())
+    }
+}
+
+/// Which [`EventQueue`] implementation a simulation (and the per-thread
+/// queues its parallel schedulers create) should use.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum QueueKind {
+    /// `std::collections::BinaryHeap` — the reference implementation.
+    Heap,
+    /// Timestamp-bucketed ladder queue — O(1) amortized, the default.
+    #[default]
+    Ladder,
+}
+
+impl QueueKind {
+    /// Stable name, used in `--queue` specs and telemetry records.
+    pub fn label(self) -> &'static str {
+        match self {
+            QueueKind::Heap => "heap",
+            QueueKind::Ladder => "ladder",
+        }
+    }
+
+    /// Parse a `--queue` spec. Malformed specs are reported, not defaulted.
+    pub fn parse(s: &str) -> Result<QueueKind, String> {
+        match s {
+            "heap" => Ok(QueueKind::Heap),
+            "ladder" => Ok(QueueKind::Ladder),
+            _ => Err(format!("unknown queue `{s}` (expected heap or ladder)")),
+        }
+    }
+
+    /// A fresh empty queue of this kind.
+    pub fn new_queue<E>(self) -> PendingQueue<E> {
+        match self {
+            QueueKind::Heap => PendingQueue::Heap(BinaryHeapQueue::new()),
+            QueueKind::Ladder => PendingQueue::Ladder(LadderQueue::new()),
+        }
+    }
+}
+
+/// Runtime-selected queue with static dispatch per variant — the concrete
+/// type the schedulers hold, so the per-event hot path pays one predictable
+/// branch instead of a virtual call.
+pub enum PendingQueue<E> {
+    Heap(BinaryHeapQueue<E>),
+    Ladder(LadderQueue<E>),
+}
+
+impl<E> PendingQueue<E> {
+    /// Which implementation this is.
+    pub fn kind(&self) -> QueueKind {
+        match self {
+            PendingQueue::Heap(_) => QueueKind::Heap,
+            PendingQueue::Ladder(_) => QueueKind::Ladder,
+        }
+    }
+}
+
+macro_rules! dispatch {
+    ($self:ident, $q:ident => $body:expr) => {
+        match $self {
+            PendingQueue::Heap($q) => $body,
+            PendingQueue::Ladder($q) => $body,
+        }
+    };
+}
+
+impl<E> EventQueue<E> for PendingQueue<E> {
+    #[inline]
+    fn push(&mut self, env: Envelope<E>) {
+        dispatch!(self, q => q.push(env))
+    }
+
+    #[inline]
+    fn pop(&mut self) -> Option<Envelope<E>> {
+        dispatch!(self, q => q.pop())
+    }
+
+    #[inline]
+    fn peek(&mut self) -> Option<&Envelope<E>> {
+        dispatch!(self, q => q.peek())
+    }
+
+    #[inline]
+    fn len(&self) -> usize {
+        dispatch!(self, q => q.len())
+    }
+
+    fn drain_to(&mut self, out: &mut Vec<Envelope<E>>) {
+        dispatch!(self, q => q.drain_to(out))
+    }
+
+    fn ops(&self) -> u64 {
+        dispatch!(self, q => q.ops())
+    }
+
+    fn max_len(&self) -> u64 {
+        dispatch!(self, q => q.max_len())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// BinaryHeapQueue
+// ---------------------------------------------------------------------------
+
+/// The reference implementation: a min-heap via `Reverse`.
+pub struct BinaryHeapQueue<E> {
+    heap: BinaryHeap<Reverse<Envelope<E>>>,
+    ops: u64,
+    max_len: u64,
+}
+
+impl<E> Default for BinaryHeapQueue<E> {
+    fn default() -> Self {
+        BinaryHeapQueue::new()
+    }
+}
+
+impl<E> BinaryHeapQueue<E> {
+    pub fn new() -> Self {
+        BinaryHeapQueue { heap: BinaryHeap::new(), ops: 0, max_len: 0 }
+    }
+}
+
+impl<E> EventQueue<E> for BinaryHeapQueue<E> {
+    #[inline]
+    fn push(&mut self, env: Envelope<E>) {
+        self.ops += 1;
+        self.heap.push(Reverse(env));
+        if self.heap.len() as u64 > self.max_len {
+            self.max_len = self.heap.len() as u64;
+        }
+    }
+
+    #[inline]
+    fn pop(&mut self) -> Option<Envelope<E>> {
+        let env = self.heap.pop()?.0;
+        self.ops += 1;
+        Some(env)
+    }
+
+    #[inline]
+    fn peek(&mut self) -> Option<&Envelope<E>> {
+        self.heap.peek().map(|r| &r.0)
+    }
+
+    #[inline]
+    fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    fn drain_to(&mut self, out: &mut Vec<Envelope<E>>) {
+        out.extend(self.heap.drain().map(|r| r.0));
+    }
+
+    fn ops(&self) -> u64 {
+        self.ops
+    }
+
+    fn max_len(&self) -> u64 {
+        self.max_len
+    }
+}
+
+// ---------------------------------------------------------------------------
+// LadderQueue
+// ---------------------------------------------------------------------------
+
+/// A bucket bigger than this is subdivided into a child rung instead of
+/// being sorted wholesale (unless its bucket width is already 1 ns, the
+/// resolution floor, where sorting is the only option).
+const SPAWN_THRESHOLD: usize = 96;
+/// Bounds on the number of buckets created per rung or top conversion.
+const MIN_BUCKETS: usize = 4;
+const MAX_BUCKETS: usize = 4096;
+/// Retained spare bucket allocations.
+const POOL_MAX: usize = 2 * MAX_BUCKETS;
+
+/// One ladder tier: `buckets[i]` holds events with
+/// `recv_time ∈ [start + i·width, start + (i+1)·width)`, unsorted.
+struct Rung<E> {
+    /// Absolute timestamp of `buckets[0]`.
+    start: u64,
+    /// Bucket width in ns (≥ 1).
+    width: u64,
+    /// Dequeue frontier: events with `recv_time < cur_ts` live in deeper
+    /// rungs or the bottom tier, never in this rung.
+    cur_ts: u64,
+    buckets: Vec<Vec<Envelope<E>>>,
+}
+
+/// Timestamp-bucketed pending-event queue with lazy per-bucket sorting.
+///
+/// Tiers, nearest-future first:
+///
+/// * **bottom** — the events of the bucket currently being drained, sorted
+///   descending so `pop` is a `Vec::pop`. Stragglers pushed behind the
+///   ladder frontier (e.g. optimistic rollback re-insertions) are merged in
+///   by binary-search insertion.
+/// * **rungs** — a stack of tiers; `rungs[0]` spans the whole current era
+///   and each deeper rung subdivides the one bucket its parent's frontier
+///   just passed. Pushes walk the stack top-down and drop the event into
+///   the first rung whose frontier hasn't passed it — O(depth), and depth
+///   is bounded by log of the era's width.
+/// * **top** — unsorted far-future events beyond the current era
+///   (`recv_time > era_end`). When the ladder drains, top collapses into a
+///   fresh rung 0 and a new era begins.
+///
+/// The one degenerate corner: events at `recv_time == u64::MAX` mixed into
+/// an era that also ends at `u64::MAX` (584 simulated years) — those cannot
+/// be distinguished from "beyond the era", so an era consisting *only* of
+/// them is sorted straight into bottom instead of converted into a rung.
+pub struct LadderQueue<E> {
+    bottom: Vec<Envelope<E>>,
+    rungs: Vec<Rung<E>>,
+    top: Vec<Envelope<E>>,
+    /// Events with `recv_time > era_end` belong to `top`.
+    era_end: u64,
+    /// Min/max timestamps currently in `top` (valid while `top` is
+    /// non-empty).
+    top_min: u64,
+    top_max: u64,
+    len: usize,
+    ops: u64,
+    max_len: u64,
+    /// Spare bucket allocations, reused across rung spawns so steady-state
+    /// operation stops allocating.
+    pool: Vec<Vec<Envelope<E>>>,
+}
+
+impl<E> Default for LadderQueue<E> {
+    fn default() -> Self {
+        LadderQueue::new()
+    }
+}
+
+impl<E> LadderQueue<E> {
+    pub fn new() -> Self {
+        LadderQueue {
+            bottom: Vec::new(),
+            rungs: Vec::new(),
+            top: Vec::new(),
+            era_end: 0,
+            top_min: u64::MAX,
+            top_max: 0,
+            len: 0,
+            ops: 0,
+            max_len: 0,
+            pool: Vec::new(),
+        }
+    }
+
+    /// Start a fresh era: everything (except `recv_time == 0`) routes to
+    /// `top` until the next conversion. Only legal when no events remain —
+    /// exhausted rung shells may still be present (they are collapsed
+    /// lazily by `refill`) and are recycled here.
+    fn reset_era(&mut self) {
+        debug_assert!(self.bottom.is_empty() && self.top.is_empty());
+        debug_assert!(self.rungs.iter().all(|r| r.buckets.iter().all(|b| b.is_empty())));
+        for rung in std::mem::take(&mut self.rungs) {
+            for b in rung.buckets {
+                self.recycle(b);
+            }
+        }
+        self.era_end = 0;
+        self.top_min = u64::MAX;
+        self.top_max = 0;
+    }
+
+    fn take_bucket(&mut self) -> Vec<Envelope<E>> {
+        self.pool.pop().unwrap_or_default()
+    }
+
+    fn make_buckets(&mut self, n: usize) -> Vec<Vec<Envelope<E>>> {
+        let mut v = Vec::with_capacity(n);
+        for _ in 0..n {
+            v.push(self.take_bucket());
+        }
+        v
+    }
+
+    fn recycle(&mut self, mut bucket: Vec<Envelope<E>>) {
+        debug_assert!(bucket.is_empty());
+        if bucket.capacity() > 0 && self.pool.len() < POOL_MAX {
+            bucket.clear();
+            self.pool.push(bucket);
+        }
+    }
+
+    /// Insert a straggler into the sorted bottom tier (descending order).
+    fn insert_bottom(&mut self, env: Envelope<E>) {
+        let pos = self.bottom.partition_point(|e| *e > env);
+        self.bottom.insert(pos, env);
+    }
+
+    /// Refill `bottom` from the ladder: advance the deepest rung to its
+    /// next non-empty bucket, subdividing oversized buckets into child
+    /// rungs, collapsing exhausted rungs, and converting `top` into a new
+    /// era when the ladder is empty.
+    fn refill(&mut self) {
+        debug_assert!(self.bottom.is_empty());
+        loop {
+            let Some(ri) = self.rungs.len().checked_sub(1) else {
+                if self.top.is_empty() {
+                    return;
+                }
+                if self.top_min == self.top_max {
+                    // Single-timestamp era (this also covers the
+                    // u64::MAX corner): sort straight into bottom.
+                    self.bottom.append(&mut self.top);
+                    self.bottom.sort_unstable_by(|a, b| b.cmp(a));
+                    self.era_end = self.top_max;
+                    self.top_min = u64::MAX;
+                    self.top_max = 0;
+                    return;
+                }
+                let start = self.top_min;
+                let range = self.top_max - self.top_min; // ≥ 1
+                let n = self.top.len().clamp(MIN_BUCKETS, MAX_BUCKETS) as u64;
+                let width = (range / n).max(1);
+                let nb = (range / width) as usize + 1;
+                let mut buckets = self.make_buckets(nb);
+                let mut top = std::mem::take(&mut self.top);
+                for env in top.drain(..) {
+                    buckets[((env.recv_time.0 - start) / width) as usize].push(env);
+                }
+                self.top = top; // keep the allocation
+                self.rungs.push(Rung { start, width, cur_ts: start, buckets });
+                self.era_end = self.top_max;
+                self.top_min = u64::MAX;
+                self.top_max = 0;
+                continue;
+            };
+
+            let (start, width, cur_ts, nb) = {
+                let r = &self.rungs[ri];
+                (r.start, r.width, r.cur_ts, r.buckets.len())
+            };
+            let mut j = ((cur_ts - start) / width) as usize;
+            while j < nb && self.rungs[ri].buckets[j].is_empty() {
+                j += 1;
+            }
+            if j >= nb {
+                let dead = self.rungs.pop().unwrap();
+                for b in dead.buckets {
+                    self.recycle(b);
+                }
+                continue;
+            }
+            let bucket_start = start + j as u64 * width;
+            self.rungs[ri].cur_ts = bucket_start.saturating_add(width);
+            let blen = self.rungs[ri].buckets[j].len();
+            if blen > SPAWN_THRESHOLD && width > 1 {
+                // Too big to sort cheaply: subdivide into a child rung.
+                let mut bucket = std::mem::take(&mut self.rungs[ri].buckets[j]);
+                let n = blen.clamp(MIN_BUCKETS, MAX_BUCKETS) as u64;
+                let cw = (width / n).max(1);
+                let cnb = ((width - 1) / cw) as usize + 1;
+                let mut buckets = self.make_buckets(cnb);
+                for env in bucket.drain(..) {
+                    buckets[((env.recv_time.0 - bucket_start) / cw) as usize].push(env);
+                }
+                self.recycle(bucket);
+                self.rungs.push(Rung {
+                    start: bucket_start,
+                    width: cw,
+                    cur_ts: bucket_start,
+                    buckets,
+                });
+                continue;
+            }
+            // Small enough: materialize this bucket as the new bottom.
+            let mut bucket = std::mem::take(&mut self.rungs[ri].buckets[j]);
+            std::mem::swap(&mut self.bottom, &mut bucket);
+            self.recycle(bucket);
+            self.bottom.sort_unstable_by(|a, b| b.cmp(a));
+            return;
+        }
+    }
+}
+
+impl<E> EventQueue<E> for LadderQueue<E> {
+    fn push(&mut self, env: Envelope<E>) {
+        self.ops += 1;
+        self.len += 1;
+        if self.len as u64 > self.max_len {
+            self.max_len = self.len as u64;
+        }
+        if self.len == 1 {
+            // The queue was empty: restart the era so bulk (re)loads land
+            // in the unsorted top tier instead of insertion-sorting.
+            self.reset_era();
+        }
+        let ts = env.recv_time.0;
+        if ts > self.era_end {
+            self.top_min = self.top_min.min(ts);
+            self.top_max = self.top_max.max(ts);
+            self.top.push(env);
+            return;
+        }
+        for r in &mut self.rungs {
+            if ts >= r.cur_ts {
+                let idx = ((ts - r.start) / r.width) as usize;
+                debug_assert!(idx < r.buckets.len(), "event beyond rung range");
+                r.buckets[idx].push(env);
+                return;
+            }
+        }
+        self.insert_bottom(env);
+    }
+
+    fn pop(&mut self) -> Option<Envelope<E>> {
+        if self.bottom.is_empty() {
+            self.refill();
+        }
+        let env = self.bottom.pop()?;
+        self.ops += 1;
+        self.len -= 1;
+        Some(env)
+    }
+
+    fn peek(&mut self) -> Option<&Envelope<E>> {
+        if self.bottom.is_empty() {
+            self.refill();
+        }
+        self.bottom.last()
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn drain_to(&mut self, out: &mut Vec<Envelope<E>>) {
+        out.reserve(self.len);
+        out.append(&mut self.bottom);
+        for rung in std::mem::take(&mut self.rungs) {
+            for mut b in rung.buckets {
+                out.append(&mut b);
+                self.recycle(b);
+            }
+        }
+        out.append(&mut self.top);
+        self.len = 0;
+        self.reset_era();
+    }
+
+    fn ops(&self) -> u64 {
+        self.ops
+    }
+
+    fn max_len(&self) -> u64 {
+        self.max_len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventUid;
+
+    fn env(recv: u64, send: u64, src: u32, tb: u64, seq: u64) -> Envelope<u64> {
+        Envelope {
+            recv_time: SimTime(recv),
+            send_time: SimTime(send),
+            src,
+            dst: 0,
+            tiebreak: tb,
+            uid: EventUid { src, seq },
+            payload: seq,
+        }
+    }
+
+    fn drain_ids<Q: EventQueue<u64>>(q: &mut Q) -> Vec<u64> {
+        let mut out = Vec::new();
+        while let Some(e) = q.pop() {
+            out.push(e.payload);
+        }
+        out
+    }
+
+    #[test]
+    fn both_queues_sort_simple_streams_identically() {
+        for kind in [QueueKind::Heap, QueueKind::Ladder] {
+            let mut q = kind.new_queue();
+            for (i, recv) in [50u64, 10, 30, 10, 90, 10, 70].iter().enumerate() {
+                q.push(env(*recv, 0, 0, i as u64, i as u64));
+            }
+            // Equal recv_time ties break on (send, src, tiebreak).
+            assert_eq!(drain_ids(&mut q), [1, 3, 5, 2, 0, 6, 4], "{kind:?}");
+            assert!(q.pop().is_none());
+        }
+    }
+
+    #[test]
+    fn ladder_handles_interleaved_push_pop_below_frontier() {
+        let mut heap = BinaryHeapQueue::new();
+        let mut ladder = LadderQueue::new();
+        let mut seq = 0u64;
+        let mut push_both = |h: &mut BinaryHeapQueue<u64>, l: &mut LadderQueue<u64>, recv: u64| {
+            let e = env(recv, 0, 0, seq, seq);
+            h.push(e.clone());
+            l.push(e);
+            seq += 1;
+        };
+        for r in [100u64, 5000, 200, 40, 9000, 40, 40] {
+            push_both(&mut heap, &mut ladder, r);
+        }
+        for _ in 0..3 {
+            assert_eq!(heap.pop().unwrap().payload, ladder.pop().unwrap().payload);
+        }
+        // Push behind the ladder frontier (stragglers) and at era edges.
+        for r in [60u64, 100, 100, 4999, 5000, 9001] {
+            push_both(&mut heap, &mut ladder, r);
+        }
+        assert_eq!(drain_ids(&mut heap), drain_ids(&mut ladder));
+    }
+
+    #[test]
+    fn ladder_spawns_child_rungs_on_dense_buckets() {
+        let mut heap = BinaryHeapQueue::new();
+        let mut ladder = LadderQueue::new();
+        // Thousands of events in a narrow band force bucket subdivision;
+        // a second far-future band exercises era turnover.
+        let mut s = 0u64;
+        for band in [0u64, 1 << 40] {
+            for i in 0..4000u64 {
+                let recv = band + (i * 37) % 512;
+                let e = env(recv, i % 3, (i % 5) as u32, i, s);
+                heap.push(e.clone());
+                ladder.push(e);
+                s += 1;
+            }
+        }
+        assert_eq!(heap.len(), ladder.len());
+        assert_eq!(drain_ids(&mut heap), drain_ids(&mut ladder));
+    }
+
+    #[test]
+    fn single_timestamp_era_including_max_is_sorted() {
+        for ts in [7u64, u64::MAX] {
+            let mut q = LadderQueue::new();
+            for i in 0..300u64 {
+                q.push(env(ts, i % 4, (i % 3) as u32, i, i));
+            }
+            let mut last: Option<EventKey> = None;
+            while let Some(e) = q.pop() {
+                if let Some(prev) = last {
+                    assert!(prev < e.key(), "order regressed at ts={ts}");
+                }
+                last = Some(e.key());
+            }
+        }
+    }
+
+    #[test]
+    fn drain_to_empties_and_resets() {
+        let mut q = LadderQueue::new();
+        for i in 0..100u64 {
+            q.push(env(i * 11, 0, 0, i, i));
+        }
+        q.pop();
+        let mut out = Vec::new();
+        q.drain_to(&mut out);
+        assert_eq!(out.len(), 99);
+        assert_eq!(q.len(), 0);
+        assert!(q.pop().is_none());
+        // Reusable after a drain.
+        q.push(env(3, 0, 0, 0, 0));
+        q.push(env(1, 0, 0, 1, 1));
+        assert_eq!(q.pop().unwrap().recv_time.0, 1);
+    }
+
+    #[test]
+    fn telemetry_counters_track_ops_and_high_water() {
+        for kind in [QueueKind::Heap, QueueKind::Ladder] {
+            let mut q = kind.new_queue();
+            for i in 0..10u64 {
+                q.push(env(i, 0, 0, i, i));
+            }
+            for _ in 0..4 {
+                q.pop();
+            }
+            assert_eq!(q.ops(), 14, "{kind:?}");
+            assert_eq!(q.max_len(), 10, "{kind:?}");
+            assert_eq!(q.len(), 6, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn peek_matches_pop_without_consuming() {
+        for kind in [QueueKind::Heap, QueueKind::Ladder] {
+            let mut q = kind.new_queue();
+            for i in [9u64, 2, 5] {
+                q.push(env(i, 0, 0, i, i));
+            }
+            assert_eq!(q.peek_time(), Some(SimTime(2)));
+            assert_eq!(q.peek_key().unwrap().recv_time, SimTime(2));
+            assert_eq!(q.len(), 3);
+            assert_eq!(q.pop().unwrap().recv_time.0, 2, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn queue_kind_parses_like_sched_specs() {
+        assert_eq!(QueueKind::parse("heap"), Ok(QueueKind::Heap));
+        assert_eq!(QueueKind::parse("ladder"), Ok(QueueKind::Ladder));
+        assert!(QueueKind::parse("splay").is_err());
+        assert_eq!(QueueKind::default(), QueueKind::Ladder);
+        assert_eq!(QueueKind::Heap.new_queue::<u64>().kind(), QueueKind::Heap);
+    }
+}

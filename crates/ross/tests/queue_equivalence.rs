@@ -1,0 +1,139 @@
+//! Property test for the pluggable event queues: the ladder queue must
+//! dequeue in **bit-identical** order to the reference binary heap for
+//! any stream of envelopes — including equal-`recv_time` collisions that
+//! fall through to the `(send_time, src, tiebreak)` tiebreaks, and
+//! interleaved push/pop patterns that exercise the ladder's frontier
+//! (insertions below, inside, and above the current era).
+
+use proptest::prelude::*;
+use ross::queue::{BinaryHeapQueue, LadderQueue};
+use ross::{Envelope, EventQueue, SimTime};
+
+/// Deterministic splitmix64 stream for building event batches.
+struct Mix(u64);
+
+impl Mix {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, bound: u64) -> u64 {
+        self.next() % bound.max(1)
+    }
+}
+
+/// A random envelope. `time_span` controls recv-time density: small spans
+/// force many equal-`recv_time` collisions so the ordering decision falls
+/// to `(send_time, src, tiebreak)` and, transiently, to `uid`.
+fn env(rng: &mut Mix, seq: u64, base: u64, time_span: u64) -> Envelope<u64> {
+    let recv = base + rng.below(time_span);
+    let src = (rng.below(8)) as u32;
+    Envelope {
+        recv_time: SimTime(recv),
+        // send_time ≤ recv_time as in a real run; collide often.
+        send_time: SimTime(recv.saturating_sub(rng.below(4))),
+        src,
+        dst: (rng.below(8)) as u32,
+        tiebreak: rng.below(6),
+        uid: ross::EventUid { src, seq },
+        payload: rng.next(),
+    }
+}
+
+/// Identity of one dequeued event, payload included: equal fingerprints
+/// mean the queues returned the *same event object*, not merely an
+/// equally-keyed one.
+fn print(e: &Envelope<u64>) -> (u64, u64, u32, u64, u32, u64, u64) {
+    (e.recv_time.0, e.send_time.0, e.src, e.tiebreak, e.uid.src, e.uid.seq, e.payload)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Feed the identical random stream — mixed bulk pushes, interleaved
+    /// pops, and occasional full drains — into both queues; every pop
+    /// must agree, bit for bit.
+    #[test]
+    fn ladder_and_heap_dequeue_identically(
+        seed in 0u64..u64::MAX,
+        n_ops in 50usize..400,
+        time_span in 1u64..2000,
+    ) {
+        let mut rng = Mix(seed);
+        let mut heap = BinaryHeapQueue::new();
+        let mut ladder = LadderQueue::new();
+        let mut seq = 0u64;
+        let mut base = 0u64; // drifts forward like simulation time
+        for _ in 0..n_ops {
+            match rng.below(10) {
+                // Bulk push: a batch lands at once (window seal pattern).
+                0..=4 => {
+                    for _ in 0..rng.below(20) + 1 {
+                        let e = env(&mut rng, seq, base, time_span);
+                        seq += 1;
+                        heap.push(e.clone());
+                        ladder.push(e);
+                    }
+                }
+                // Interleaved pops below the frontier.
+                5..=8 => {
+                    for _ in 0..rng.below(8) + 1 {
+                        let h = heap.pop();
+                        let l = ladder.pop();
+                        prop_assert_eq!(h.as_ref().map(print), l.as_ref().map(print));
+                        if let Some(e) = h {
+                            // Later pushes may land at or before this time:
+                            // keep `base` honest but allow stragglers.
+                            base = e.recv_time.0.saturating_sub(time_span / 2);
+                        }
+                    }
+                }
+                // Rarely: drain to empty, forcing a fresh era on refill.
+                _ => {
+                    loop {
+                        let (h, l) = (heap.pop(), ladder.pop());
+                        prop_assert_eq!(h.as_ref().map(print), l.as_ref().map(print));
+                        if h.is_none() { break; }
+                    }
+                }
+            }
+            prop_assert_eq!(heap.len(), ladder.len());
+            prop_assert_eq!(heap.peek_key(), ladder.peek_key());
+        }
+        // Final drain: whatever is left must come out in the same order.
+        loop {
+            let (h, l) = (heap.pop(), ladder.pop());
+            prop_assert_eq!(h.as_ref().map(print), l.as_ref().map(print));
+            if h.is_none() { break; }
+        }
+    }
+
+    /// Degenerate streams — every event at the *same* timestamp (the
+    /// single-timestamp-era special case, including `u64::MAX`).
+    #[test]
+    fn identical_timestamps_fall_through_to_tiebreaks(
+        seed in 0u64..u64::MAX,
+        ts in 0u64..3,
+    ) {
+        let ts = [0, 12345, u64::MAX][ts as usize];
+        let mut rng = Mix(seed);
+        let mut heap = BinaryHeapQueue::new();
+        let mut ladder = LadderQueue::new();
+        for seq in 0..200u64 {
+            let mut e = env(&mut rng, seq, 0, 1);
+            e.recv_time = SimTime(ts);
+            e.send_time = SimTime(ts.saturating_sub(rng.below(3)));
+            heap.push(e.clone());
+            ladder.push(e);
+        }
+        loop {
+            let (h, l) = (heap.pop(), ladder.pop());
+            prop_assert_eq!(h.as_ref().map(print), l.as_ref().map(print));
+            if h.is_none() { break; }
+        }
+    }
+}

@@ -256,6 +256,13 @@ pub struct SchedulerRecord {
     /// `sequential`, `conservative`, `conservative-parallel`, `optimistic`.
     pub scheduler: String,
     pub threads: usize,
+    /// Pending-event queue implementation: `heap` or `ladder`.
+    pub queue: String,
+    /// Total push + pop operations across every queue the run used
+    /// (summed over per-thread queues for the parallel schedulers).
+    pub queue_ops: u64,
+    /// Queue length high-water mark (max over per-thread queues).
+    pub queue_max_len: u64,
     pub committed: u64,
     pub rolled_back: u64,
     pub rollbacks: u64,
@@ -279,6 +286,9 @@ impl SchedulerRecord {
             record: "scheduler".to_string(),
             scheduler: scheduler.to_string(),
             threads,
+            queue: String::new(),
+            queue_ops: 0,
+            queue_max_len: 0,
             committed: 0,
             rolled_back: 0,
             rollbacks: 0,

@@ -1,12 +1,13 @@
 //! Cross-scheduler determinism: all four PDES schedulers must produce
-//! bit-identical `SimResults` for the same model and seed. This is the
-//! contract that lets the harness sweep schedulers freely — a parallel
+//! bit-identical `SimResults` for the same model and seed, under either
+//! pending-event queue (binary heap or ladder). This is the contract
+//! that lets the harness sweep schedulers and queues freely — a parallel
 //! run is a faster sequential run, never a different experiment.
 
 use codes::{SimResults, SimulationBuilder};
 use dragonfly::{DragonflyConfig, Routing};
 use placement::Placement;
-use ross::{OptimisticConfig, Scheduler, SimDuration, SimTime};
+use ross::{OptimisticConfig, QueueKind, Scheduler, SimDuration, SimTime};
 use workloads::{app, AppKind, Profile};
 
 /// Per app: (name, per-rank latency (count, sum, min, max), per-rank comm
@@ -51,13 +52,14 @@ fn fingerprint(r: &SimResults) -> Fingerprint {
 }
 
 /// Two-job mix on the tiny 1D dragonfly with windowed router counters on,
-/// run under `sched`.
-fn run(sched: Scheduler) -> Fingerprint {
+/// run under `sched` with pending-event queue `queue`.
+fn run_q(sched: Scheduler, queue: QueueKind) -> Fingerprint {
     let mut b = SimulationBuilder::new(DragonflyConfig::tiny_1d())
         .routing(Routing::Adaptive)
         .placement(Placement::RandomGroups)
         .seed(11)
-        .window_ns(500_000);
+        .window_ns(500_000)
+        .queue(queue);
     for kind in [AppKind::UniformRandom, AppKind::NearestNeighbor] {
         let mut cfg = app(kind, Profile::Quick, 2, 64);
         if kind == AppKind::NearestNeighbor {
@@ -71,9 +73,13 @@ fn run(sched: Scheduler) -> Fingerprint {
     let mut sim = b.build().unwrap();
     let r = sim.run(sched, SimTime::MAX);
     for a in &r.apps {
-        assert!(a.all_done(), "{} unfinished under {sched:?}", a.name);
+        assert!(a.all_done(), "{} unfinished under {sched:?}/{queue:?}", a.name);
     }
     fingerprint(&r)
+}
+
+fn run(sched: Scheduler) -> Fingerprint {
+    run_q(sched, QueueKind::default())
 }
 
 #[test]
@@ -91,6 +97,30 @@ fn all_schedulers_agree_bit_for_bit() {
             lookahead: SimDuration::from_ns(lookahead_ns),
         });
         assert_eq!(seq, par, "par:{threads}:{lookahead_ns} != sequential");
+    }
+}
+
+/// The full {scheduler} × {queue} matrix: the queue choice must be
+/// invisible in the results — every cell agrees bit-for-bit with the
+/// sequential/heap reference cell.
+#[test]
+fn queue_choice_never_changes_results() {
+    let reference = run_q(Scheduler::Sequential, QueueKind::Heap);
+    assert!(reference.committed > 0);
+    let scheds = [
+        Scheduler::Sequential,
+        Scheduler::Conservative(3),
+        Scheduler::Optimistic(3),
+        Scheduler::ConservativeParallel { threads: 3, lookahead: SimDuration::from_ns(100) },
+    ];
+    for sched in scheds {
+        for queue in [QueueKind::Heap, QueueKind::Ladder] {
+            // The reference cell is `reference` itself; skip re-running it.
+            if sched == Scheduler::Sequential && queue == QueueKind::Heap {
+                continue;
+            }
+            assert_eq!(reference, run_q(sched, queue), "{sched:?}/{queue:?} != sequential/heap");
+        }
     }
 }
 
