@@ -99,6 +99,19 @@ impl NodeLp {
         self.nic.injected_packets
     }
 
+    /// Causal-trace kind tag: 0 = network plumbing, then one comm/compute
+    /// pair per application (`1 + 2*app` = comm, `2 + 2*app` = compute).
+    /// Must match `codes::trace_kind_names`.
+    pub fn trace_kind(&self, ev: &Event) -> u16 {
+        let Some(p) = &self.proc else { return 0 };
+        let app = p.app as u16;
+        match ev {
+            Event::ComputeDone => 2 + 2 * app,
+            Event::Start | Event::NodePkt(_) | Event::LocalMsg(_) => 1 + 2 * app,
+            Event::NicPulse | Event::RouterPkt(_) | Event::Credit { .. } => 0,
+        }
+    }
+
     pub fn handle_event(&mut self, now: SimTime, ev: &Event, ctx: &mut Ctx<'_, Event>) {
         match ev {
             Event::Start => {

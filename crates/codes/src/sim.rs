@@ -30,6 +30,13 @@ impl Lp for CodesLp {
             CodesLp::Router(r) => r.handle_event(ev.recv_time, &ev.payload, ctx),
         }
     }
+
+    fn trace_kind(&self, ev: &Envelope<Event>) -> u16 {
+        match self {
+            CodesLp::Node(n) => n.trace_kind(&ev.payload),
+            CodesLp::Router(_) => 0,
+        }
+    }
 }
 
 // Compile-time proof that the composed LP (and everything it drags
@@ -58,6 +65,7 @@ pub struct SimulationBuilder {
     queue: QueueKind,
     jobs: Vec<JobSpec>,
     telemetry: Option<Arc<telemetry::Recorder>>,
+    tracer: Option<Arc<ross::Tracer>>,
 }
 
 impl SimulationBuilder {
@@ -72,6 +80,7 @@ impl SimulationBuilder {
             queue: QueueKind::default(),
             jobs: Vec::new(),
             telemetry: None,
+            tracer: None,
         }
     }
 
@@ -79,6 +88,15 @@ impl SimulationBuilder {
     /// the harvest appends one `network` record per run.
     pub fn telemetry(mut self, recorder: Arc<telemetry::Recorder>) -> Self {
         self.telemetry = Some(recorder);
+        self
+    }
+
+    /// Attach a causal tracer: schedulers record every executed event,
+    /// the builder stages kind names (per-app comm/compute) and per-LP
+    /// track names (app + MPI rank), and the harvest refreshes the track
+    /// names with each rank's final state.
+    pub fn tracer(mut self, tracer: Arc<ross::Tracer>) -> Self {
+        self.tracer = Some(tracer);
         self
     }
 
@@ -184,11 +202,26 @@ impl SimulationBuilder {
         let mut sim = Simulation::with_queue(lps, shared.lookahead, self.queue);
         sim.set_partition(Partition::from_blocks(partition_blocks(&shared.topo)));
         sim.set_telemetry(self.telemetry.clone());
+        sim.set_tracer(self.tracer.clone());
         for lp in start_lps {
             sim.schedule(lp, SimTime::ZERO, Event::Start);
         }
-        Ok(CodesSim { sim, shared, telemetry: self.telemetry })
+        let codes = CodesSim { sim, shared, telemetry: self.telemetry, tracer: self.tracer };
+        codes.stage_trace_names();
+        Ok(codes)
     }
+}
+
+/// Kind-tag names matching [`NodeLp::trace_kind`] / `CodesLp::trace_kind`:
+/// index 0 is network plumbing, then a comm/compute pair per application.
+pub fn trace_kind_names(job_names: &[String]) -> Vec<String> {
+    let mut names = Vec::with_capacity(1 + 2 * job_names.len());
+    names.push("net".to_string());
+    for j in job_names {
+        names.push(format!("{j} comm"));
+        names.push(format!("{j} compute"));
+    }
+    names
 }
 
 /// Scheduler block assignment for a topology — the topology-aware
@@ -302,6 +335,7 @@ pub struct CodesSim {
     sim: Simulation<CodesLp>,
     shared: Arc<Shared>,
     telemetry: Option<Arc<telemetry::Recorder>>,
+    tracer: Option<Arc<ross::Tracer>>,
 }
 
 /// Per-application outcome.
@@ -374,6 +408,43 @@ impl CodesSim {
         self.telemetry = recorder;
     }
 
+    /// Attach (or detach) a causal tracer after construction.
+    pub fn set_tracer(&mut self, tracer: Option<Arc<ross::Tracer>>) {
+        self.sim.set_tracer(tracer.clone());
+        self.tracer = tracer;
+        self.stage_trace_names();
+    }
+
+    /// Stage kind names and app/rank-aware LP track names for the next
+    /// trace run.
+    fn stage_trace_names(&self) {
+        if let Some(tr) = &self.tracer {
+            tr.stage_kind_names(trace_kind_names(&self.shared.job_names));
+            tr.stage_lp_names(self.trace_lp_names());
+        }
+    }
+
+    /// Per-LP trace track names: nodes hosting a rank carry app name,
+    /// rank and current MPI state; other LPs fall back to topology names.
+    fn trace_lp_names(&self) -> Vec<String> {
+        self.sim
+            .lps()
+            .iter()
+            .map(|lp| match lp {
+                CodesLp::Node(n) => match &n.proc {
+                    Some(p) => format!(
+                        "node {} · {} {}",
+                        n.node,
+                        self.shared.job_names[p.app as usize],
+                        p.mpi.describe()
+                    ),
+                    None => format!("node {}", n.node),
+                },
+                CodesLp::Router(r) => format!("router {}", r.state.id),
+            })
+            .collect()
+    }
+
     /// Pending event count (nonzero after a bounded run that stopped
     /// early).
     pub fn pending_events(&self) -> usize {
@@ -381,6 +452,11 @@ impl CodesSim {
     }
 
     fn harvest(&self, stats: RunStats) -> SimResults {
+        if let Some(tr) = &self.tracer {
+            // Re-label trace tracks with the final rank states so the
+            // exported names reflect how each rank ended the run.
+            tr.refresh_lp_names(self.trace_lp_names());
+        }
         let napps = self.shared.job_names.len();
         let mut apps: Vec<AppResult> = self
             .shared

@@ -8,5 +8,7 @@
 pub mod lint;
 pub mod report;
 pub mod sweep;
+pub mod trace_analysis;
 
 pub use sweep::{Net, RunKey, RunRecord, SweepConfig, Workload};
+pub use trace_analysis::{analyze, causality_fingerprint, parse_chrome, RunAnalysis, TraceRun};

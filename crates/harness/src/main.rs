@@ -11,6 +11,8 @@
 //! union-exp skeleton <name>            # print the generated C skeleton
 //! union-exp lint [--fixture N|--file F] # static analysis (union-lint);
 //!                                       # exit 0 clean / 1 findings / 2 usage
+//! union-exp trace --analyze F.json     # critical-path analysis of an
+//!                                       # exported Chrome trace
 //!
 //! sweep opts:
 //!   --profile quick|paper   (default quick)
@@ -27,6 +29,10 @@
 //!   --json FILE             dump records as JSON
 //!   --telemetry FILE        write run telemetry as JSONL and print a
 //!                           summary (first record is the run manifest)
+//!   --trace FILE[:RATE]     record a causal event trace and export it as
+//!                           Chrome trace-event JSON (Perfetto-loadable);
+//!                           RATE samples handler durations every RATE-th
+//!                           event (default 1 = every event)
 //! ```
 
 use dragonfly::Routing;
@@ -49,9 +55,10 @@ fn main() {
         "fig8" => fig8(rest),
         "skeleton" => skeleton(rest),
         "lint" => lint_cmd(rest),
+        "trace" => trace_cmd(rest),
         _ => {
             eprintln!(
-                "usage: union-exp <table1|table2|validate|fig7|fig8|fig9|table6|all|skeleton|lint> [opts]\n\
+                "usage: union-exp <table1|table2|validate|fig7|fig8|fig9|table6|all|skeleton|lint|trace> [opts]\n\
                  sweep opts: --profile quick|paper  --iters N  --scale N  --seed N\n\
                  \x20           --sched seq|cons:T|opt:T[:B:I]|par:T:L  (T threads, L ns lookahead,\n\
                  \x20           B batch, I snapshot interval)\n\
@@ -59,8 +66,11 @@ fn main() {
                  \x20           --nets 1d,2d  --placements RN,RR,RG  --routings MIN,ADP\n\
                  \x20           --workloads 1,2,3  --no-baselines  --json FILE  --allow-lint\n\
                  \x20           --telemetry FILE  (JSONL run telemetry + summary)\n\
+                 \x20           --trace FILE[:RATE]  (Chrome trace-event export; RATE = duration\n\
+                 \x20           sampling divisor, default 1)\n\
                  lint opts:  [--fixture NAME | --file PROG.ncptl [--ranks N] | sweep opts]\n\
-                 \x20           exit 0 = clean, 1 = findings, 2 = usage error"
+                 \x20           exit 0 = clean, 1 = findings, 2 = usage error\n\
+                 trace opts: --analyze FILE.json  (critical path, speedup bound, wasted work)"
             );
             std::process::exit(2);
         }
@@ -116,12 +126,20 @@ fn table1(rest: &[String]) {
     );
 }
 
+/// Parse the value of `flag`, or `default` when the flag is absent.
+/// A present-but-malformed value is a usage error (exit 2), matching
+/// the strict `--sched`/`--queue` convention — `--iters abc` must not
+/// silently run with the default.
 fn opt<T: std::str::FromStr>(rest: &[String], flag: &str, default: T) -> T {
-    rest.iter()
-        .position(|a| a == flag)
-        .and_then(|i| rest.get(i + 1))
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(default)
+    let Some(i) = rest.iter().position(|a| a == flag) else { return default };
+    let Some(v) = rest.get(i + 1) else {
+        eprintln!("union-exp: flag {flag} needs a value");
+        std::process::exit(2);
+    };
+    v.parse().unwrap_or_else(|_| {
+        eprintln!("union-exp: bad value `{v}` for {flag}");
+        std::process::exit(2);
+    })
 }
 
 fn opt_str<'a>(rest: &'a [String], flag: &str, default: &'a str) -> &'a str {
@@ -373,8 +391,12 @@ fn telemetry_setup(
 }
 
 /// Close out a telemetry run: stamp the total wall time, write the JSONL
-/// file, and print the summary table.
-fn telemetry_finish(telem: Option<(std::sync::Arc<telemetry::Recorder>, String)>) {
+/// file, and print the summary table (with the critical-path block when
+/// the run was traced too).
+fn telemetry_finish(
+    telem: Option<(std::sync::Arc<telemetry::Recorder>, String)>,
+    analyses: &[harness::RunAnalysis],
+) {
     let Some((rec, path)) = telem else { return };
     rec.emit(&telemetry::PhaseRecord::new("total", rec.elapsed_ns()));
     if let Err(e) = rec.write_jsonl(std::path::Path::new(&path)) {
@@ -382,12 +404,125 @@ fn telemetry_finish(telem: Option<(std::sync::Arc<telemetry::Recorder>, String)>
         std::process::exit(1);
     }
     eprintln!("wrote {path} ({} records)", rec.len());
-    print!("{}", report::telemetry_summary(&rec));
+    print!("{}", report::telemetry_summary_with_trace(&rec, analyses));
+}
+
+/// When `--trace FILE[:RATE]` is given: create a causal tracer sampling
+/// handler durations on every `RATE`-th event (default 1 = all), attach
+/// it to the sweep, and return it with the output path for
+/// [`trace_finish`].
+fn trace_setup(
+    rest: &[String],
+    cfg: &mut SweepConfig,
+) -> Option<(std::sync::Arc<ross::Tracer>, String)> {
+    let i = rest.iter().position(|a| a == "--trace")?;
+    let Some(spec) = rest.get(i + 1) else {
+        eprintln!("union-exp: flag --trace needs a value");
+        std::process::exit(2);
+    };
+    let spec = spec.clone();
+    // A trailing `:N` is the sampling rate; any other `:` stays in the
+    // path.
+    let (path, rate) = match spec.rsplit_once(':') {
+        Some((p, r)) if !p.is_empty() && r.parse::<u32>().is_ok() => {
+            let rate = r.parse::<u32>().expect("checked above");
+            if rate == 0 {
+                eprintln!("union-exp: --trace sample rate must be >= 1 in `{spec}`");
+                std::process::exit(2);
+            }
+            (p.to_string(), rate)
+        }
+        _ => (spec, 1),
+    };
+    let tracer = std::sync::Arc::new(ross::Tracer::new(rate));
+    cfg.tracer = Some(tracer.clone());
+    Some((tracer, path))
+}
+
+/// Close out a traced run: export the Chrome trace JSON, note the export
+/// in the telemetry stream (if any), and return the per-run
+/// critical-path analyses for the summary block.
+fn trace_finish(
+    trace: Option<(std::sync::Arc<ross::Tracer>, String)>,
+    telem: Option<&telemetry::Recorder>,
+) -> Vec<harness::RunAnalysis> {
+    let Some((tr, path)) = trace else { return Vec::new() };
+    let json = tr.to_chrome_json();
+    let write = || -> std::io::Result<()> {
+        let mut w = telemetry::StreamWriter::create(std::path::Path::new(&path))?;
+        w.write_str(&json)?;
+        w.finish()
+    };
+    if let Err(e) = write() {
+        eprintln!("union-exp: cannot write trace file `{path}`: {e}");
+        std::process::exit(1);
+    }
+    let dropped = tr.events_dropped();
+    eprintln!(
+        "wrote {path} ({} trace events{})",
+        tr.event_count(),
+        if dropped > 0 { format!(", {dropped} dropped at the cap") } else { String::new() }
+    );
+    if let Some(rec) = telem {
+        rec.emit(&telemetry::TraceExportRecord::new(
+            &path,
+            tr.event_count() as u64,
+            dropped,
+            tr.spans_dropped(),
+        ));
+    }
+    match harness::parse_chrome(&json) {
+        Ok(runs) => runs.iter().map(harness::analyze).collect(),
+        Err(e) => {
+            eprintln!("union-exp: exported trace failed to re-parse: {e}");
+            Vec::new()
+        }
+    }
+}
+
+/// `union-exp trace --analyze FILE` — critical-path analysis of an
+/// exported Chrome trace. Prints per-run DAG metrics and causality
+/// fingerprints; exits 1 if any structural invariant fails, 2 on usage
+/// or read errors.
+fn trace_cmd(rest: &[String]) {
+    let Some(path) = rest.iter().position(|a| a == "--analyze").and_then(|i| rest.get(i + 1))
+    else {
+        eprintln!("usage: union-exp trace --analyze FILE.json");
+        std::process::exit(2);
+    };
+    let json = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("union-exp: cannot read `{path}`: {e}");
+        std::process::exit(2);
+    });
+    let runs = harness::parse_chrome(&json).unwrap_or_else(|e| {
+        eprintln!("union-exp: {path}: {e}");
+        std::process::exit(1);
+    });
+    if runs.is_empty() {
+        println!("{path}: no runs recorded");
+        return;
+    }
+    let analyses: Vec<harness::RunAnalysis> = runs.iter().map(harness::analyze).collect();
+    print!("{}", harness::trace_analysis::render(&analyses));
+    for r in &runs {
+        println!("run {} causality fingerprint: {:016x}", r.run, harness::causality_fingerprint(r));
+    }
+    let mut sound = true;
+    for a in &analyses {
+        for v in a.check_invariants() {
+            eprintln!("union-exp: run {}: invariant violated: {v}", a.run);
+            sound = false;
+        }
+    }
+    if !sound {
+        std::process::exit(1);
+    }
 }
 
 fn sweep_cmd(cmd: &str, rest: &[String]) {
     let mut cfg = sweep_config(rest);
     let telem = telemetry_setup(cmd, rest, &mut cfg);
+    let trace = trace_setup(rest, &mut cfg);
     let records = sweep::run_sweep(&cfg, |label| eprintln!("running {label}…"));
     if cmd == "fig7" || cmd == "all" {
         print!("{}", report::fig7(&records));
@@ -407,7 +542,11 @@ fn sweep_cmd(cmd: &str, rest: &[String]) {
     if let Some(path) = rest.iter().position(|a| a == "--json").and_then(|i| rest.get(i + 1)) {
         dump_json(path, &records);
     }
-    telemetry_finish(telem);
+    let analyses = trace_finish(trace, telem.as_ref().map(|(r, _)| r.as_ref()));
+    if telem.is_none() && !analyses.is_empty() {
+        print!("{}", report::critical_path_block(&analyses, &[]));
+    }
+    telemetry_finish(telem, &analyses);
 }
 
 /// Fig 8: Workload3 on 1D with adaptive routing; compare the byte series
@@ -422,6 +561,7 @@ fn fig8(rest: &[String]) {
     cfg.routings = vec![Routing::Adaptive];
     cfg.placements = vec![Placement::RandomGroups, Placement::RandomRouters];
     let telem = telemetry_setup("fig8", rest, &mut cfg);
+    let trace = trace_setup(rest, &mut cfg);
     let records = sweep::run_sweep(&cfg, |label| eprintln!("running {label}…"));
     for r in &records {
         let Some(results) = &r.results else { continue };
@@ -450,7 +590,11 @@ fn fig8(rest: &[String]) {
             metrics::fmt_bytes(other_peak as f64)
         );
     }
-    telemetry_finish(telem);
+    let analyses = trace_finish(trace, telem.as_ref().map(|(r, _)| r.as_ref()));
+    if telem.is_none() && !analyses.is_empty() {
+        print!("{}", report::critical_path_block(&analyses, &[]));
+    }
+    telemetry_finish(telem, &analyses);
 }
 
 /// Print the generated Fig-5-style C skeleton of a registered workload.

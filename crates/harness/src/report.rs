@@ -2,6 +2,7 @@
 //! tables report.
 
 use crate::sweep::{baseline_of, Net, RunRecord, Workload};
+use crate::trace_analysis::{fmt_ns, RunAnalysis};
 use metrics::fmt_bytes;
 use std::fmt::Write;
 
@@ -244,6 +245,84 @@ pub fn telemetry_summary(rec: &telemetry::Recorder) -> String {
             phases.len().saturating_sub(1),
             *wall as f64 / 1e9
         );
+    }
+    out
+}
+
+/// Measured parallelism of every `scheduler` telemetry record, in
+/// emission order: Σ per-thread busy time ÷ wall time (1.0 = serial,
+/// `None` when the record carries no usable timing). Runs emit one
+/// scheduler record each, in the same order the tracer numbers runs, so
+/// this aligns with trace analyses by index.
+fn measured_speedups(rec: &telemetry::Recorder) -> Vec<Option<f64>> {
+    let mut out = Vec::new();
+    for line in rec.lines() {
+        let Ok(v) = serde_json::from_str::<serde::Value>(&line) else { continue };
+        if v.get("record").and_then(|r| r.as_str()) != Some("scheduler") {
+            continue;
+        }
+        let wall = v.get("wall_ns").and_then(|x| x.as_u64()).unwrap_or(0);
+        let busy: u64 = v
+            .get("per_thread")
+            .and_then(|t| t.as_array())
+            .map(|threads| {
+                threads.iter().filter_map(|t| t.get("busy_ns").and_then(|b| b.as_u64())).sum()
+            })
+            .unwrap_or(0);
+        out.push((wall > 0 && busy > 0).then(|| busy as f64 / wall as f64));
+    }
+    out
+}
+
+/// The achievable-vs-achieved parallelism table: the critical-path bound
+/// from the traced event DAG next to the speedup the scheduler actually
+/// measured (Σ busy / wall from telemetry), one row per traced run.
+pub fn critical_path_block(analyses: &[RunAnalysis], measured: &[Option<f64>]) -> String {
+    let mut out = String::new();
+    if analyses.is_empty() {
+        return out;
+    }
+    let _ = writeln!(out, "Critical path — achievable vs achieved parallelism");
+    let _ = writeln!(
+        out,
+        "| Run | Label | Sched | Thr | Committed | Path | Path time | Bound | Measured | Wasted |"
+    );
+    let _ = writeln!(out, "|---|---|---|---|---|---|---|---|---|---|");
+    for (i, a) in analyses.iter().enumerate() {
+        let m = match measured.get(i) {
+            Some(Some(s)) => format!("{s:.2}x"),
+            _ => "-".to_string(),
+        };
+        let wasted = if a.wasted_events > 0 {
+            format!("{:.1}%", 100.0 * a.wasted_fraction())
+        } else {
+            "-".to_string()
+        };
+        let _ = writeln!(
+            out,
+            "| {} | {} | {} | {} | {} | {} | {} | {:.2}x | {} | {} |",
+            a.run,
+            if a.label.is_empty() { "-" } else { &a.label },
+            a.sched,
+            a.threads,
+            a.committed_events,
+            a.critical_path_len,
+            fmt_ns(a.critical_path_ns),
+            a.speedup_bound,
+            m,
+            wasted,
+        );
+    }
+    out
+}
+
+/// [`telemetry_summary`] plus the critical-path block when the run was
+/// traced: the speedup bound the event DAG allows, side by side with the
+/// parallelism the scheduler achieved.
+pub fn telemetry_summary_with_trace(rec: &telemetry::Recorder, analyses: &[RunAnalysis]) -> String {
+    let mut out = telemetry_summary(rec);
+    if !analyses.is_empty() {
+        out.push_str(&critical_path_block(analyses, &measured_speedups(rec)));
     }
     out
 }

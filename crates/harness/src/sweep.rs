@@ -139,6 +139,9 @@ pub struct SweepConfig {
     pub flow: FlowControl,
     /// Telemetry sink: every run appends scheduler/network/phase records.
     pub telemetry: Option<std::sync::Arc<telemetry::Recorder>>,
+    /// Causal tracer: every run records executed events and scheduler
+    /// phases, labelled with the run key, for Chrome-trace export.
+    pub tracer: Option<std::sync::Arc<ross::Tracer>>,
 }
 
 impl SweepConfig {
@@ -163,6 +166,7 @@ impl SweepConfig {
             keep_results: false,
             flow: FlowControl::BusyUntil,
             telemetry: None,
+            tracer: None,
         }
     }
 
@@ -204,6 +208,10 @@ pub fn run_one(cfg: &SweepConfig, key: RunKey) -> Result<RunRecord, String> {
         .queue(cfg.queue);
     if let Some(rec) = &cfg.telemetry {
         b = b.telemetry(rec.clone());
+    }
+    if let Some(tr) = &cfg.tracer {
+        tr.label_next_run(&key.label());
+        b = b.tracer(tr.clone());
     }
     for a in &apps {
         b = b.job(a.name(), a.vms(cfg.seed)?);

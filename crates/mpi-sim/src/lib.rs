@@ -191,6 +191,24 @@ impl MpiRank {
         self.state == State::Done
     }
 
+    /// Coarse state label ("ready", "blocked", "computing", "done") for
+    /// diagnostics and trace track names.
+    pub fn state_label(&self) -> &'static str {
+        match self.state {
+            State::Ready => "ready",
+            State::Blocked(_) => "blocked",
+            State::Computing => "computing",
+            State::Done => "done",
+        }
+    }
+
+    /// One-line description for trace tracks, e.g. `"rank 3/64 · done"`.
+    /// A rank still `blocked` after a bounded run is the first place to
+    /// look when a job misses its makespan.
+    pub fn describe(&self) -> String {
+        format!("rank {}/{} · {}", self.rank, self.n, self.state_label())
+    }
+
     /// Kick the rank off (call once at simulation start).
     pub fn start(&mut self, now_ns: u64, out: &mut Vec<Action>) {
         self.step(now_ns, out);
@@ -565,6 +583,16 @@ mod tests {
         let skel = translate_source(src, "t").unwrap();
         let inst = SkeletonInstance::new(&skel, n, &[]).unwrap();
         (0..n).map(|r| MpiRank::new(RankVm::new(inst.clone(), r, 1), eager)).collect()
+    }
+
+    #[test]
+    fn describe_tracks_the_state_machine() {
+        let mut ranks = ranks_for("task 0 sends a 8 byte message to task 1.", 2, 1 << 20);
+        assert_eq!(ranks[0].state_label(), "ready");
+        assert_eq!(ranks[0].describe(), "rank 0/2 · ready");
+        ranks = run_loopback(ranks);
+        assert_eq!(ranks[0].state_label(), "done");
+        assert_eq!(ranks[1].describe(), "rank 1/2 · done");
     }
 
     /// Wrap-boundary regression: the 32768th collective reuses the tags

@@ -83,8 +83,14 @@ impl<L: Lp> Simulation<L> {
         let lookahead = self.lookahead;
         let qkind = self.queue;
         // Telemetry: timing is a few clock reads per round, and only when
-        // a recorder is attached; per-event work stays untouched.
-        let timing = self.telemetry.is_some();
+        // a recorder or tracer is attached; per-event work stays untouched
+        // unless a tracer asks for it.
+        let telem_on = self.telemetry.is_some();
+        let trace_run = self
+            .tracer
+            .as_ref()
+            .map(|tr| (std::sync::Arc::clone(tr), tr.open_run("conservative", n_threads)));
+        let timing = telem_on || trace_run.is_some();
         let thread_records: Mutex<Vec<telemetry::ThreadRecord>> = Mutex::new(Vec::new());
 
         // Split LPs and meta into disjoint per-thread slices.
@@ -120,8 +126,10 @@ impl<L: Lp> Simulation<L> {
                 let queue_max_len = &queue_max_len;
                 let leftovers = &leftovers;
                 let thread_records = &thread_records;
+                let trace_run = &trace_run;
                 scope.spawn(move || {
                     let base = ranges[t].start;
+                    let mut tbuf = trace_run.as_ref().map(|(tr, run)| tr.buf(*run, t as u32));
                     let mut out: Vec<Outgoing<L::Event>> = Vec::with_capacity(8);
                     let mut local_committed = 0u64;
                     let mut local_rounds = 0u64;
@@ -145,6 +153,9 @@ impl<L: Lp> Simulation<L> {
                         barrier.wait();
                         if let Some(t0) = t0 {
                             blocked_ns += t0.elapsed().as_nanos() as u64;
+                            if let Some(b) = tbuf.as_mut() {
+                                b.end_span(crate::trace::SpanKind::Barrier, t0);
+                            }
                         }
                         let gmin = mins.iter().map(|m| m.load(Ordering::Relaxed)).min().unwrap();
                         if gmin == u64::MAX || gmin > until.0 {
@@ -166,6 +177,9 @@ impl<L: Lp> Simulation<L> {
                             debug_assert!(env.recv_time >= metas[li].now);
                             metas[li].now = env.recv_time;
                             metas[li].processed += 1;
+                            let trace = tbuf.as_mut().map(|b| {
+                                (lps[li].trace_kind(&env), b.event_start(), metas[li].uid_seq)
+                            });
                             let mut ctx =
                                 Ctx { now: env.recv_time, me: env.dst, lookahead, out: &mut out };
                             lps[li].handle(&env, &mut ctx);
@@ -184,6 +198,10 @@ impl<L: Lp> Simulation<L> {
                                     }
                                 },
                             );
+                            if let (Some(b), Some((kind, t0, uid_lo))) = (tbuf.as_mut(), trace) {
+                                let children = (metas[li].uid_seq - uid_lo) as u32;
+                                b.record(&env, uid_lo, children, kind, t0);
+                            }
                         }
                         if let Some(t0) = t0 {
                             busy_ns += t0.elapsed().as_nanos() as u64;
@@ -194,12 +212,18 @@ impl<L: Lp> Simulation<L> {
                         barrier.wait();
                         if let Some(t0) = t0 {
                             blocked_ns += t0.elapsed().as_nanos() as u64;
+                            if let Some(b) = tbuf.as_mut() {
+                                b.end_span(crate::trace::SpanKind::Barrier, t0);
+                            }
                         }
                     }
                     committed.fetch_add(local_committed, Ordering::Relaxed);
                     rounds.fetch_max(local_rounds, Ordering::Relaxed);
                     end_clock.fetch_max(local_clock, Ordering::Relaxed);
-                    if timing {
+                    if let (Some((tr, _)), Some(b)) = (trace_run.as_ref(), tbuf) {
+                        tr.submit(b);
+                    }
+                    if telem_on {
                         thread_records.lock().push(telemetry::ThreadRecord {
                             thread: t,
                             events: local_committed,
@@ -237,6 +261,9 @@ impl<L: Lp> Simulation<L> {
             wall_seconds: start.elapsed().as_secs_f64(),
             ..Default::default()
         };
+        if let Some((tr, run)) = trace_run {
+            tr.close_run(run, (stats.wall_seconds * 1e9) as u64, stats.end_time.as_ns());
+        }
         crate::engine::emit_sched_telemetry(
             self.telemetry.as_deref(),
             "conservative",

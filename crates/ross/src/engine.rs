@@ -73,6 +73,9 @@ pub struct Simulation<L: Lp> {
     pub(crate) partition: Option<crate::partition::Partition>,
     /// Telemetry sink; every scheduler emits one record per run when set.
     pub(crate) telemetry: Option<std::sync::Arc<telemetry::Recorder>>,
+    /// Causal tracer; every scheduler records per-event causality and
+    /// phase spans into it when set.
+    pub(crate) tracer: Option<std::sync::Arc<crate::trace::Tracer>>,
 }
 
 impl<L: Lp> Simulation<L> {
@@ -98,6 +101,7 @@ impl<L: Lp> Simulation<L> {
             lookahead,
             partition: None,
             telemetry: None,
+            tracer: None,
         }
     }
 
@@ -128,6 +132,20 @@ impl<L: Lp> Simulation<L> {
     /// skipped, so the disabled cost is zero.
     pub fn set_telemetry(&mut self, recorder: Option<std::sync::Arc<telemetry::Recorder>>) {
         self.telemetry = recorder;
+    }
+
+    /// Attach (or detach) a causal tracer ([`crate::trace`]). When set,
+    /// every scheduler run opens a trace run, records each executed
+    /// event (plus rolled-back work and phase spans on the parallel
+    /// schedulers) and closes the run with its wall time. With `None`
+    /// (the default) the per-event cost is a single branch.
+    pub fn set_tracer(&mut self, tracer: Option<std::sync::Arc<crate::trace::Tracer>>) {
+        self.tracer = tracer;
+    }
+
+    /// The attached tracer, if any.
+    pub fn tracer(&self) -> Option<&std::sync::Arc<crate::trace::Tracer>> {
+        self.tracer.as_ref()
     }
 
     /// Install a co-location hint for
@@ -197,6 +215,10 @@ impl<L: Lp> Simulation<L> {
         let mut stats = RunStats::default();
         let mut out: Vec<Outgoing<L::Event>> = Vec::with_capacity(8);
         let mut clock = SimTime::ZERO;
+        let mut tbuf = self.tracer.as_ref().map(|tr| {
+            let run = tr.open_run("sequential", 1);
+            tr.buf(run, 0)
+        });
 
         // Pop directly instead of peek-clone-pop: the one event that lands
         // beyond `until` is pushed back, every committed event moves once.
@@ -210,6 +232,9 @@ impl<L: Lp> Simulation<L> {
             debug_assert!(env.recv_time >= self.meta[dst].now, "causality violation");
             self.meta[dst].now = env.recv_time;
             self.meta[dst].processed += 1;
+            let trace = tbuf
+                .as_mut()
+                .map(|b| (self.lps[dst].trace_kind(&env), b.event_start(), self.meta[dst].uid_seq));
 
             let mut ctx =
                 Ctx { now: env.recv_time, me: env.dst, lookahead: self.lookahead, out: &mut out };
@@ -232,12 +257,21 @@ impl<L: Lp> Simulation<L> {
                 debug_assert!((o.dst as usize) < self.lps.len(), "send to unknown LP {}", o.dst);
                 self.pending.push(new);
             }
+            if let (Some(b), Some((kind, t0, uid_lo))) = (tbuf.as_mut(), trace) {
+                let children = (self.meta[dst].uid_seq - uid_lo) as u32;
+                b.record(&env, uid_lo, children, kind, t0);
+            }
         }
 
         stats.rounds = 1;
         stats.end_time = clock;
         stats.wall_seconds = start.elapsed().as_secs_f64();
         let wall_ns = start.elapsed().as_nanos() as u64;
+        if let (Some(tr), Some(buf)) = (self.tracer.as_ref(), tbuf) {
+            let run = buf.run();
+            tr.submit(buf);
+            tr.close_run(run, wall_ns, stats.end_time.as_ns());
+        }
         emit_sched_telemetry(
             self.telemetry.as_deref(),
             "sequential",

@@ -73,6 +73,7 @@ mod parallel;
 mod partition;
 pub mod queue;
 mod time;
+pub mod trace;
 
 pub use engine::{RunStats, Simulation};
 pub use event::{Envelope, EventKey, EventUid, LpId};
@@ -81,6 +82,7 @@ pub use optimistic::OptimisticConfig;
 pub use partition::Partition;
 pub use queue::{EventQueue, QueueKind};
 pub use time::{SimDuration, SimTime};
+pub use trace::{SpanKind, TraceEvent, Tracer};
 
 /// Which scheduler to use; lets callers sweep schedulers uniformly.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]

@@ -19,6 +19,16 @@ pub trait Lp: Send + 'static {
     /// `ctx` are allowed: the optimistic scheduler may run this
     /// speculatively and roll it back.
     fn handle(&mut self, ev: &Envelope<Self::Event>, ctx: &mut Ctx<'_, Self::Event>);
+
+    /// Classify `ev` for the causal tracer ([`crate::trace`]). Kind tags
+    /// index into the names staged with
+    /// [`crate::Tracer::stage_kind_names`]; models use them to attribute
+    /// events to an application, a phase, compute vs. communication, and
+    /// so on. Only called when a tracer is attached; must not mutate
+    /// observable state. Defaults to tag 0.
+    fn trace_kind(&self, _ev: &Envelope<Self::Event>) -> u16 {
+        0
+    }
 }
 
 /// Buffered outgoing send produced during one `handle` call.

@@ -22,6 +22,7 @@ use crate::event::{Envelope, EventKey, EventUid};
 use crate::lp::{Ctx, Lp, LpMeta, Outgoing};
 use crate::queue::{EventQueue, PendingQueue};
 use crate::time::{SimDuration, SimTime};
+use crate::trace::{SpanKind, TraceBuf};
 use parking_lot::Mutex;
 use std::collections::{HashSet, VecDeque};
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
@@ -120,7 +121,9 @@ struct LocalStats {
 /// Roll `rt` back so every processed event with key >= `to` is undone.
 /// Undone events are returned to `queue`, except the one whose uid matches
 /// `skip_uid` (an annihilated event). Anti-messages for the sends of undone
-/// events are appended to `antis` for the caller to post.
+/// events are appended to `antis` for the caller to post. Undone
+/// executions are marked wasted in `tbuf` and the whole episode becomes
+/// a rollback span.
 #[allow(clippy::too_many_arguments)]
 fn rollback<L: Lp + Clone>(
     rt: &mut LpRt<L>,
@@ -131,6 +134,7 @@ fn rollback<L: Lp + Clone>(
     scratch: &mut Vec<Outgoing<L::Event>>,
     stats: &mut LocalStats,
     antis: &mut Vec<(u32, EventUid)>,
+    tbuf: &mut Option<TraceBuf>,
 ) {
     // First undone index (relative).
     let mut i = rt.processed.len();
@@ -140,12 +144,16 @@ fn rollback<L: Lp + Clone>(
     if i == rt.processed.len() {
         return;
     }
+    let span_t0 = tbuf.as_ref().map(|_| std::time::Instant::now());
     stats.rollbacks += 1;
     let abs_i = rt.base + i as u64;
     // Undo events [i..): re-enqueue them and cancel their sends.
     while rt.processed.len() > i {
         let p = rt.processed.pop_back().unwrap();
         stats.rolled += 1;
+        if let Some(b) = tbuf.as_mut() {
+            b.mark_rolled_back(p.env.uid);
+        }
         for s in p.sends {
             antis.push((s.dst, s.uid));
         }
@@ -186,6 +194,9 @@ fn rollback<L: Lp + Clone>(
         rt.lp.handle(&env, &mut ctx);
         seal_outgoing(env.dst, env.recv_time, &mut rt.meta, scratch, |_| {});
     }
+    if let (Some(b), Some(t0)) = (tbuf.as_mut(), span_t0) {
+        b.end_span(SpanKind::Rollback, t0);
+    }
 }
 
 /// Deliver one message to this thread's state, rolling back on stragglers
@@ -201,12 +212,13 @@ fn ingest<L: Lp + Clone>(
     scratch: &mut Vec<Outgoing<L::Event>>,
     stats: &mut LocalStats,
     antis: &mut Vec<(u32, EventUid)>,
+    tbuf: &mut Option<TraceBuf>,
 ) {
     match msg {
         Msg::Event(env) => {
             let rt = &mut rts[env.dst as usize - base_lp];
             if rt.last_key().map(|k| k >= env.key()).unwrap_or(false) {
-                rollback(rt, env.key(), None, queue, lookahead, scratch, stats, antis);
+                rollback(rt, env.key(), None, queue, lookahead, scratch, stats, antis, tbuf);
             }
             queue.push(env);
         }
@@ -215,7 +227,7 @@ fn ingest<L: Lp + Clone>(
             if let Some(p) = rt.processed.iter().rev().find(|p| p.env.uid == uid) {
                 let key = p.env.key();
                 stats.annihilated += 1;
-                rollback(rt, key, Some(uid), queue, lookahead, scratch, stats, antis);
+                rollback(rt, key, Some(uid), queue, lookahead, scratch, stats, antis, tbuf);
             } else {
                 // Not yet processed: annihilate lazily when it pops.
                 tombstones.insert(uid);
@@ -275,8 +287,14 @@ impl<L: Lp + Clone> Simulation<L> {
         let mins: Vec<AtomicU64> = (0..n_threads).map(|_| AtomicU64::new(u64::MAX)).collect();
         let lookahead = self.lookahead;
         // Telemetry: clock reads around barriers and batches, only when a
-        // recorder is attached; the per-event path is untouched.
-        let timing = self.telemetry.is_some();
+        // recorder or tracer is attached; the per-event path is untouched
+        // unless a tracer asks for it.
+        let telem_on = self.telemetry.is_some();
+        let trace_run = self
+            .tracer
+            .as_ref()
+            .map(|tr| (std::sync::Arc::clone(tr), tr.open_run("optimistic", n_threads)));
+        let timing = telem_on || trace_run.is_some();
         let thread_records: Mutex<Vec<telemetry::ThreadRecord>> = Mutex::new(Vec::new());
 
         // Move LP state into per-thread runtimes.
@@ -322,7 +340,9 @@ impl<L: Lp + Clone> Simulation<L> {
                 let mins = &mins;
                 let outcomes = &outcomes;
                 let thread_records = &thread_records;
+                let trace_run = &trace_run;
                 scope.spawn(move || {
+                    let mut tbuf = trace_run.as_ref().map(|(tr, run)| tr.buf(*run, t as u32));
                     let base_lp = ranges[t].start;
                     let mut tombstones: HashSet<EventUid> = HashSet::new();
                     let mut scratch: Vec<Outgoing<L::Event>> = Vec::with_capacity(8);
@@ -363,6 +383,7 @@ impl<L: Lp + Clone> Simulation<L> {
                                     &mut scratch,
                                     &mut stats,
                                     &mut antis,
+                                    &mut tbuf,
                                 );
                                 for (dst, uid) in antis.drain(..) {
                                     stats.anti += 1;
@@ -384,6 +405,7 @@ impl<L: Lp + Clone> Simulation<L> {
                                     &mut scratch,
                                     &mut stats,
                                     &mut antis,
+                                    &mut tbuf,
                                 );
                                 for (dst, uid) in antis.drain(..) {
                                     stats.anti += 1;
@@ -404,6 +426,9 @@ impl<L: Lp + Clone> Simulation<L> {
                             barrier.wait();
                             if let Some(t0) = t0 {
                                 blocked_ns += t0.elapsed().as_nanos() as u64;
+                                if let Some(b) = tbuf.as_mut() {
+                                    b.end_span(SpanKind::Barrier, t0);
+                                }
                             }
                             if busy {
                                 busy_threads.fetch_sub(1, Ordering::SeqCst);
@@ -437,6 +462,9 @@ impl<L: Lp + Clone> Simulation<L> {
                         barrier.wait();
                         if let Some(t0) = t0 {
                             blocked_ns += t0.elapsed().as_nanos() as u64;
+                            if let Some(b) = tbuf.as_mut() {
+                                b.end_span(SpanKind::Gvt, t0);
+                            }
                         }
                         if gvt == u64::MAX || gvt > until.0 {
                             break;
@@ -448,6 +476,7 @@ impl<L: Lp + Clone> Simulation<L> {
                         // below the keep point) and drop the processed log
                         // below it. Rollback targets are never below GVT,
                         // so the fence always covers them.
+                        let fossil_t0 = tbuf.as_ref().map(|_| std::time::Instant::now());
                         for rt in rts.iter_mut() {
                             let mut i = rt.processed.len();
                             while i > 0 && rt.processed[i - 1].env.recv_time.0 >= gvt {
@@ -462,6 +491,9 @@ impl<L: Lp + Clone> Simulation<L> {
                                 rt.base += 1;
                             }
                             debug_assert_eq!(rt.fence.at, rt.base);
+                        }
+                        if let (Some(b), Some(t0)) = (tbuf.as_mut(), fossil_t0) {
+                            b.end_span(SpanKind::Fossil, t0);
                         }
 
                         // ---- speculative processing batch ----
@@ -480,6 +512,7 @@ impl<L: Lp + Clone> Simulation<L> {
                                     &mut scratch,
                                     &mut stats,
                                     &mut antis,
+                                    &mut tbuf,
                                 );
                                 for (dst, uid) in antis.drain(..) {
                                     stats.anti += 1;
@@ -528,6 +561,9 @@ impl<L: Lp + Clone> Simulation<L> {
                                 }
                                 rt.meta.now = env.recv_time;
                                 rt.meta.processed += 1;
+                                let trace = tbuf.as_mut().map(|b| {
+                                    (rt.lp.trace_kind(&env), b.event_start(), rt.meta.uid_seq)
+                                });
                                 let mut ctx = Ctx {
                                     now: env.recv_time,
                                     me: env.dst,
@@ -546,6 +582,11 @@ impl<L: Lp + Clone> Simulation<L> {
                                         routed.push(e);
                                     },
                                 );
+                                if let (Some(b), Some((kind, t0, uid_lo))) = (tbuf.as_mut(), trace)
+                                {
+                                    let children = (rt.meta.uid_seq - uid_lo) as u32;
+                                    b.record(&env, uid_lo, children, kind, t0);
+                                }
                                 rt.processed.push_back(Processed { env, sends });
                             }
                             // Route after releasing the LP borrow: local
@@ -561,7 +602,10 @@ impl<L: Lp + Clone> Simulation<L> {
                     }
 
                     let committed: u64 = rts.iter().map(|rt| rt.meta.processed).sum();
-                    if timing {
+                    if let (Some((tr, _)), Some(b)) = (trace_run.as_ref(), tbuf) {
+                        tr.submit(b);
+                    }
+                    if telem_on {
                         thread_records.lock().push(telemetry::ThreadRecord {
                             thread: t,
                             events: committed,
@@ -635,6 +679,9 @@ impl<L: Lp + Clone> Simulation<L> {
         // re-executions); committed work is the difference.
         stats.committed = speculative - stats.rolled_back;
         stats.wall_seconds = start.elapsed().as_secs_f64();
+        if let Some((tr, run)) = trace_run {
+            tr.close_run(run, (stats.wall_seconds * 1e9) as u64, stats.end_time.as_ns());
+        }
         crate::engine::emit_sched_telemetry(
             self.telemetry.as_deref(),
             "optimistic",

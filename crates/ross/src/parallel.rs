@@ -120,9 +120,14 @@ impl<L: Lp> Simulation<L> {
         // boundary, and the main thread panics with the message.
         let violated = AtomicBool::new(false);
         let violation: Mutex<Option<String>> = Mutex::new(None);
-        // Telemetry: a few clock reads per round when a recorder is
-        // attached; nothing at all otherwise.
-        let timing = self.telemetry.is_some();
+        // Telemetry: a few clock reads per round when a recorder or
+        // tracer is attached; nothing at all otherwise.
+        let telem_on = self.telemetry.is_some();
+        let trace_run = self
+            .tracer
+            .as_ref()
+            .map(|tr| (std::sync::Arc::clone(tr), tr.open_run("conservative-parallel", n_threads)));
+        let timing = telem_on || trace_run.is_some();
         let thread_records: Mutex<Vec<telemetry::ThreadRecord>> = Mutex::new(Vec::new());
 
         // Per-thread return slots (LPs, meta, leftover events).
@@ -149,7 +154,9 @@ impl<L: Lp> Simulation<L> {
                 let violated = &violated;
                 let violation = &violation;
                 let thread_records = &thread_records;
+                let trace_run = &trace_run;
                 scope.spawn(move || {
+                    let mut tbuf = trace_run.as_ref().map(|(tr, run)| tr.buf(*run, t as u32));
                     let mut inbox: Vec<Envelope<L::Event>> = Vec::new();
                     let mut out: Vec<Outgoing<L::Event>> = Vec::with_capacity(8);
                     let mut local_committed = 0u64;
@@ -185,6 +192,9 @@ impl<L: Lp> Simulation<L> {
                         barrier.wait();
                         if let Some(t0) = t0 {
                             blocked_ns += t0.elapsed().as_nanos() as u64;
+                            if let Some(b) = tbuf.as_mut() {
+                                b.end_span(crate::trace::SpanKind::Barrier, t0);
+                            }
                         }
                         let gmin = mins.iter().map(|m| m.load(Ordering::Relaxed)).min().unwrap();
                         if gmin == u64::MAX || gmin > until.0 {
@@ -223,6 +233,9 @@ impl<L: Lp> Simulation<L> {
                             }
                             metas[li].now = env.recv_time;
                             metas[li].processed += 1;
+                            let trace = tbuf.as_mut().map(|b| {
+                                (lps[li].trace_kind(&env), b.event_start(), metas[li].uid_seq)
+                            });
                             let mut ctx =
                                 Ctx { now: env.recv_time, me: env.dst, lookahead, out: &mut out };
                             lps[li].handle(&env, &mut ctx);
@@ -242,6 +255,10 @@ impl<L: Lp> Simulation<L> {
                                     }
                                 },
                             );
+                            if let (Some(b), Some((kind, t0, uid_lo))) = (tbuf.as_mut(), trace) {
+                                let children = (metas[li].uid_seq - uid_lo) as u32;
+                                b.record(&env, uid_lo, children, kind, t0);
+                            }
                         }
                         if let Some(t0) = t0 {
                             busy_ns += t0.elapsed().as_nanos() as u64;
@@ -252,13 +269,19 @@ impl<L: Lp> Simulation<L> {
                         barrier.wait();
                         if let Some(t0) = t0 {
                             blocked_ns += t0.elapsed().as_nanos() as u64;
+                            if let Some(b) = tbuf.as_mut() {
+                                b.end_span(crate::trace::SpanKind::Barrier, t0);
+                            }
                         }
                     }
                     committed.fetch_add(local_committed, Ordering::Relaxed);
                     remote.fetch_add(local_remote, Ordering::Relaxed);
                     rounds.fetch_max(local_rounds, Ordering::Relaxed);
                     end_clock.fetch_max(local_clock, Ordering::Relaxed);
-                    if timing {
+                    if let (Some((tr, _)), Some(b)) = (trace_run.as_ref(), tbuf) {
+                        tr.submit(b);
+                    }
+                    if telem_on {
                         thread_records.lock().push(telemetry::ThreadRecord {
                             thread: t,
                             events: local_committed,
@@ -315,6 +338,9 @@ impl<L: Lp> Simulation<L> {
             wall_seconds: start.elapsed().as_secs_f64(),
             ..Default::default()
         };
+        if let Some((tr, run)) = trace_run {
+            tr.close_run(run, (stats.wall_seconds * 1e9) as u64, stats.end_time.as_ns());
+        }
         crate::engine::emit_sched_telemetry(
             self.telemetry.as_deref(),
             "conservative-parallel",

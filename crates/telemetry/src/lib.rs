@@ -194,9 +194,47 @@ impl Recorder {
         out
     }
 
-    /// Write the buffer to `path` as JSONL.
+    /// Write the buffer to `path` as JSONL, creating missing parent
+    /// directories. When records were dropped a final
+    /// `{"type":"drops","count":N}` line makes the truncation visible in
+    /// the file itself, not just in-process.
     pub fn write_jsonl(&self, path: &std::path::Path) -> std::io::Result<()> {
-        std::fs::write(path, self.to_jsonl())
+        let mut w = StreamWriter::create(path)?;
+        w.write_str(&self.to_jsonl())?;
+        let dropped = self.dropped();
+        if dropped > 0 {
+            w.write_str(&format!("{{\"type\":\"drops\",\"count\":{dropped}}}\n"))?;
+        }
+        w.finish()
+    }
+}
+
+/// A buffered file sink that creates missing parent directories — the
+/// write path for telemetry JSONL and Chrome-trace exports, which can
+/// run to hundreds of megabytes and should not be assembled via
+/// `fs::write` of throwaway intermediate copies.
+pub struct StreamWriter {
+    inner: std::io::BufWriter<std::fs::File>,
+}
+
+impl StreamWriter {
+    /// Open `path` for writing (truncating), creating parent directories.
+    pub fn create(path: &std::path::Path) -> std::io::Result<StreamWriter> {
+        if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+            std::fs::create_dir_all(dir)?;
+        }
+        Ok(StreamWriter { inner: std::io::BufWriter::new(std::fs::File::create(path)?) })
+    }
+
+    pub fn write_str(&mut self, s: &str) -> std::io::Result<()> {
+        use std::io::Write;
+        self.inner.write_all(s.as_bytes())
+    }
+
+    /// Flush and close.
+    pub fn finish(mut self) -> std::io::Result<()> {
+        use std::io::Write;
+        self.inner.flush()
     }
 }
 
@@ -334,6 +372,31 @@ impl NetworkRecord {
     }
 }
 
+/// Where a causal trace was exported and how complete it is — emitted
+/// into the telemetry stream when a run records both.
+#[derive(Clone, Debug, Serialize)]
+pub struct TraceExportRecord {
+    pub record: String,
+    pub path: String,
+    /// Executed-event records stored across all runs.
+    pub events: u64,
+    /// Event/span records lost to the tracer's capacity caps.
+    pub events_dropped: u64,
+    pub spans_dropped: u64,
+}
+
+impl TraceExportRecord {
+    pub fn new(path: &str, events: u64, events_dropped: u64, spans_dropped: u64) -> Self {
+        TraceExportRecord {
+            record: "trace".to_string(),
+            path: path.to_string(),
+            events,
+            events_dropped,
+            spans_dropped,
+        }
+    }
+}
+
 /// Wall time of one harness phase (one sweep run, report generation...).
 #[derive(Clone, Debug, Serialize)]
 pub struct PhaseRecord {
@@ -406,6 +469,23 @@ mod tests {
         }
         assert_eq!(r.len(), 2);
         assert_eq!(r.dropped(), 3);
+    }
+
+    #[test]
+    fn write_jsonl_creates_parents_and_records_drops() {
+        let r = Recorder::with_capacity(1);
+        r.emit(&PhaseRecord::new("kept", 1));
+        r.emit(&PhaseRecord::new("lost", 2));
+        let dir = std::env::temp_dir().join(format!("telemetry-jsonl-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("nested/out.jsonl");
+        r.write_jsonl(&path).expect("parent directories are created");
+        let doc = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = doc.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"kept\""));
+        assert_eq!(lines[1], "{\"type\":\"drops\",\"count\":1}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -251,11 +251,31 @@ impl<'a> Parser<'a> {
                         _ => return Err(self.err("unknown escape")),
                     }
                 }
+                b if b < 0x80 => {
+                    // ASCII fast path; also keeps the char-at-a-time
+                    // decode below O(1) instead of re-validating the
+                    // whole remaining input per character.
+                    out.push(b as char);
+                    self.pos += 1;
+                }
                 _ => {
-                    // Consume one UTF-8 char.
-                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
-                        .map_err(|_| self.err("invalid UTF-8"))?;
-                    let c = rest.chars().next().unwrap();
+                    // Consume one multi-byte UTF-8 char (≤ 4 bytes).
+                    let end = (self.pos + 4).min(self.bytes.len());
+                    let chunk = &self.bytes[self.pos..end];
+                    let c = match std::str::from_utf8(chunk) {
+                        Ok(s) => s.chars().next(),
+                        // A clean prefix means only the tail of the
+                        // 4-byte window split a char; the first char is
+                        // still whole.
+                        Err(e) if e.valid_up_to() > 0 => {
+                            std::str::from_utf8(&chunk[..e.valid_up_to()])
+                                .expect("validated prefix")
+                                .chars()
+                                .next()
+                        }
+                        Err(_) => None,
+                    };
+                    let c = c.ok_or_else(|| self.err("invalid UTF-8"))?;
                     out.push(c);
                     self.pos += c.len_utf8();
                 }
@@ -398,6 +418,15 @@ mod tests {
     fn rejects_garbage() {
         assert!(from_str::<Value>("{\"a\": }").is_err());
         assert!(from_str::<Value>("[1, 2] trailing").is_err());
+    }
+
+    #[test]
+    fn parses_raw_multibyte_utf8() {
+        let v: Value = from_str("{\"name\":\"node 3 · AlexNet 🎉\"}").unwrap();
+        assert_eq!(v.get("name").and_then(Value::as_str), Some("node 3 · AlexNet 🎉"));
+        // A multi-byte char hard against the end of input.
+        let v: Value = from_str("\"é\"").unwrap();
+        assert_eq!(v.as_str(), Some("é"));
     }
 
     #[test]
