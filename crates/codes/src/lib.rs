@@ -37,12 +37,14 @@ pub mod node;
 pub mod router_lp;
 pub mod shared;
 pub mod sim;
+pub mod wire;
 
 pub use event::Event;
 pub use sim::{
     lp_delay_edges, lp_names, partition_blocks, AppResult, CodesSim, JobSpec, LpDelayEdge,
     SimResults, SimulationBuilder,
 };
+pub use wire::CodesEventCodec;
 
 #[cfg(test)]
 mod tests {

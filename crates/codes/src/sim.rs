@@ -350,11 +350,21 @@ pub struct AppResult {
     pub finished_at_ns: Vec<Option<u64>>,
     pub bytes_sent: u64,
     pub ops_executed: u64,
+    /// Wire-protocol violations that stopped ranks of this app (one
+    /// entry per failed rank). A rank that fails never finishes, so a
+    /// non-empty list also means `all_done()` is false — but the error
+    /// text distinguishes "failed" from "hung" or "out of time".
+    pub errors: Vec<String>,
 }
 
 impl AppResult {
     pub fn all_done(&self) -> bool {
         self.finished_at_ns.iter().all(|f| f.is_some())
+    }
+
+    /// True when any rank stopped on a protocol violation.
+    pub fn failed(&self) -> bool {
+        !self.errors.is_empty()
     }
 
     /// Job makespan (max rank completion), ns.
@@ -396,6 +406,47 @@ impl CodesSim {
     pub fn run(&mut self, sched: Scheduler, until: SimTime) -> SimResults {
         let stats = sched.run(&mut self.sim, until);
         self.harvest(stats)
+    }
+
+    /// Run this process's shard of the simulation (see
+    /// [`ross::Simulation::run_sharded`]). Every shard must build an
+    /// identical simulation — the `union-exp` launcher guarantees this
+    /// by re-exec'ing the same argv. Returns engine stats only: after a
+    /// sharded run only the owned LPs hold meaningful state, so results
+    /// are merged across processes via [`CodesSim::shard_fingerprint`],
+    /// not harvested per-shard.
+    pub fn run_sharded(
+        &mut self,
+        transport: &mut dyn ross::shard::ShardTransport<Event>,
+        threads: usize,
+        window: SimDuration,
+        until: SimTime,
+    ) -> Result<RunStats, ross::shard::ShardError> {
+        self.sim.run_sharded(transport, ross::shard::ShardRun::new(threads, window), until)
+    }
+
+    /// Order-independent digest of the LPs shard `me` of `n_shards`
+    /// owns, folding every observable the harvest reads (NIC counters,
+    /// per-rank MPI results, router port bytes, windowed counters).
+    /// Per-shard values sum (`wrapping_add`) to the whole-model value,
+    /// and a 1-shard "slice" equals a sequential run's fingerprint — the
+    /// launcher's cross-process equivalence check relies on both.
+    pub fn shard_fingerprint(&self, me: usize, n_shards: usize) -> u64 {
+        let partition = Partition::from_blocks(partition_blocks(&self.shared.topo));
+        let shard_of =
+            ross::shard::shard_owner_map(Some(&partition), self.sim.lps().len(), n_shards);
+        self.sim
+            .lps()
+            .iter()
+            .enumerate()
+            .filter(|(g, _)| shard_of[*g] == me as u32)
+            .fold(0u64, |acc, (g, lp)| acc.wrapping_add(Self::lp_digest_impl(g as u32, lp)))
+    }
+
+    /// Whole-model fingerprint: what the shard fingerprints of a run
+    /// must sum to (the sequential verification value).
+    pub fn state_fingerprint(&self) -> u64 {
+        self.shard_fingerprint(0, 1)
     }
 
     pub fn shared(&self) -> &Shared {
@@ -451,6 +502,50 @@ impl CodesSim {
         self.sim.pending_events()
     }
 
+    /// Digest of one LP's observable end-of-run state (everything
+    /// [`CodesSim::harvest`] reads from it), keyed by its global id.
+    fn lp_digest_impl(gid: u32, lp: &CodesLp) -> u64 {
+        use ross::shard::wire::{fnv1a, put_u64};
+        let mut buf = Vec::with_capacity(256);
+        put_u64(&mut buf, gid as u64);
+        match lp {
+            CodesLp::Node(n) => {
+                put_u64(&mut buf, 0);
+                put_u64(&mut buf, n.injected_packets());
+                put_u64(&mut buf, n.injected_bytes());
+                put_u64(&mut buf, n.delivered_packets);
+                if let Some(p) = &n.proc {
+                    put_u64(&mut buf, 1 + p.app as u64);
+                    put_u64(&mut buf, p.mpi.rank() as u64);
+                    put_u64(&mut buf, p.mpi.bytes_sent);
+                    put_u64(&mut buf, p.mpi.ops_executed);
+                    put_u64(&mut buf, p.mpi.finished_at_ns.unwrap_or(u64::MAX));
+                    put_u64(&mut buf, p.mpi.latency.min_ns);
+                    put_u64(&mut buf, p.mpi.latency.max_ns);
+                    put_u64(&mut buf, p.mpi.latency.sum_ns);
+                    put_u64(&mut buf, p.mpi.latency.count);
+                    put_u64(&mut buf, p.mpi.comm.total_ns);
+                    put_u64(&mut buf, p.mpi.protocol_error().is_some() as u64);
+                }
+            }
+            CodesLp::Router(r) => {
+                put_u64(&mut buf, 2);
+                for &b in &r.state.port_bytes {
+                    put_u64(&mut buf, b);
+                }
+                if let Some(c) = &r.credit {
+                    put_u64(&mut buf, c.stalls);
+                }
+                for w in &r.state.windows.counts {
+                    for &v in w {
+                        put_u64(&mut buf, v);
+                    }
+                }
+            }
+        }
+        fnv1a(&buf)
+    }
+
     fn harvest(&self, stats: RunStats) -> SimResults {
         if let Some(tr) = &self.tracer {
             // Re-label trace tracks with the final rank states so the
@@ -472,6 +567,7 @@ impl CodesSim {
                     finished_at_ns: vec![None; ranks],
                     bytes_sent: 0,
                     ops_executed: 0,
+                    errors: Vec::new(),
                 }
             })
             .collect();
@@ -493,6 +589,9 @@ impl CodesSim {
                         a.finished_at_ns[r] = p.mpi.finished_at_ns;
                         a.bytes_sent += p.mpi.bytes_sent;
                         a.ops_executed += p.mpi.ops_executed;
+                        if let Some(e) = p.mpi.protocol_error() {
+                            a.errors.push(e.to_string());
+                        }
                     }
                 }
                 CodesLp::Router(r) => {

@@ -7,6 +7,7 @@
 
 pub mod lint;
 pub mod report;
+pub mod shard;
 pub mod sweep;
 pub mod trace_analysis;
 

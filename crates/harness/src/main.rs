@@ -56,9 +56,11 @@ fn main() {
         "skeleton" => skeleton(rest),
         "lint" => lint_cmd(rest),
         "trace" => trace_cmd(rest),
+        "phold" => phold_cmd(rest),
+        "mix" => mix_cmd(rest),
         _ => {
             eprintln!(
-                "usage: union-exp <table1|table2|validate|fig7|fig8|fig9|table6|all|skeleton|lint|trace> [opts]\n\
+                "usage: union-exp <table1|table2|validate|fig7|fig8|fig9|table6|all|skeleton|lint|trace|phold|mix> [opts]\n\
                  sweep opts: --profile quick|paper  --iters N  --scale N  --seed N\n\
                  \x20           --sched seq|cons:T|opt:T[:B:I]|par:T:L  (T threads, L ns lookahead,\n\
                  \x20           B batch, I snapshot interval)\n\
@@ -70,7 +72,13 @@ fn main() {
                  \x20           sampling divisor, default 1)\n\
                  lint opts:  [--fixture NAME | --file PROG.ncptl [--ranks N] | sweep opts]\n\
                  \x20           exit 0 = clean, 1 = findings, 2 = usage error\n\
-                 trace opts: --analyze FILE.json  (critical path, speedup bound, wasted work)"
+                 trace opts: --analyze FILE.json  (critical path, speedup bound, wasted work)\n\
+                 phold opts: --sched seq|shard:N:T:L  --lps N  --horizon-us U  --seed N\n\
+                 \x20           --queue heap|ladder  --until-us U  --checkpoint FILE[:EVERY_US]\n\
+                 \x20           --restore FILE  --shard-no-verify  --telemetry FILE\n\
+                 mix opts:   --sched seq|shard:N:T:L  --workload W  --net 1d|2d\n\
+                 \x20           --placement RN|RR|RG  --routing MIN|ADP  [sweep opts]\n\
+                 \x20           --shard-no-verify  --telemetry FILE"
             );
             std::process::exit(2);
         }
@@ -205,6 +213,11 @@ fn parse_sched(s: &str) -> Result<Scheduler, String> {
             threads: threads(t, s)?,
             lookahead: ross::SimDuration::from_ns(lookahead_ns),
         })
+    } else if s.starts_with("shard:") {
+        Err(format!(
+            "`{s}`: multi-process sharding is supported by the `phold` and `mix` commands, \
+             not by the sweep commands"
+        ))
     } else {
         Err(format!("unknown scheduler `{s}` (expected seq, cons:T, opt:T, opt:T:B:I, or par:T:L)"))
     }
@@ -663,6 +676,515 @@ fn lint_cmd(rest: &[String]) {
     if worst >= Some(Severity::Warning) {
         std::process::exit(1);
     }
+}
+
+/// Parse `--checkpoint FILE[:EVERY_US]` (default interval 5 µs of
+/// virtual time) and `--restore FILE`.
+fn parse_checkpoint_flags(
+    rest: &[String],
+) -> (Option<ross::shard::CheckpointSpec>, Option<std::path::PathBuf>) {
+    let checkpoint = rest.iter().position(|a| a == "--checkpoint").map(|i| {
+        let Some(spec) = rest.get(i + 1) else {
+            eprintln!("union-exp: flag --checkpoint needs a value (FILE[:EVERY_US])");
+            std::process::exit(2);
+        };
+        let (path, every_us) = match spec.rsplit_once(':') {
+            Some((p, n)) if !p.is_empty() && n.parse::<u64>().is_ok() => {
+                let every = n.parse::<u64>().expect("checked above");
+                if every == 0 {
+                    eprintln!("union-exp: --checkpoint interval must be >= 1 µs in `{spec}`");
+                    std::process::exit(2);
+                }
+                (p.to_string(), every)
+            }
+            _ => (spec.clone(), 5),
+        };
+        ross::shard::CheckpointSpec {
+            path: std::path::PathBuf::from(path),
+            every: ross::SimDuration::from_us(every_us),
+        }
+    });
+    let restore = rest.iter().position(|a| a == "--restore").map(|i| match rest.get(i + 1) {
+        Some(p) => std::path::PathBuf::from(p),
+        None => {
+            eprintln!("union-exp: flag --restore needs a value");
+            std::process::exit(2);
+        }
+    });
+    (checkpoint, restore)
+}
+
+/// Minimal telemetry setup for the single-run commands (`phold`, `mix`):
+/// recorder + manifest when `--telemetry FILE` is present.
+fn single_run_telemetry(
+    cmd: &str,
+    rest: &[String],
+    seed: u64,
+) -> Option<(std::sync::Arc<telemetry::Recorder>, String)> {
+    let path = rest.iter().position(|a| a == "--telemetry").and_then(|i| rest.get(i + 1))?.clone();
+    let rec = std::sync::Arc::new(telemetry::Recorder::new());
+    let sched = opt_str(rest, "--sched", "seq");
+    rec.emit(&telemetry::ManifestRecord::new(cmd, rest.to_vec(), seed, sched, &git_describe()));
+    Some((rec, path))
+}
+
+fn single_run_telemetry_finish(telem: Option<(std::sync::Arc<telemetry::Recorder>, String)>) {
+    let Some((rec, path)) = telem else { return };
+    rec.emit(&telemetry::PhaseRecord::new("total", rec.elapsed_ns()));
+    if let Err(e) = rec.write_jsonl(std::path::Path::new(&path)) {
+        eprintln!("union-exp: cannot write telemetry file `{path}`: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("wrote {path} ({} records)", rec.len());
+}
+
+/// `union-exp phold` — the sharding/checkpoint demonstration model: a
+/// deterministic PHOLD whose full state (explicit RNG included) is
+/// checkpointable. `--sched shard:N:T:L` runs it across N OS processes;
+/// the launcher verifies the merged result against an in-process
+/// sequential run unless `--shard-no-verify` is given.
+fn phold_cmd(rest: &[String]) {
+    use harness::shard::{self, PholdParams, ShardSpec, PHOLD_MIN_DELAY_NS};
+    let lps: u32 = opt(rest, "--lps", 16);
+    if lps == 0 {
+        eprintln!("union-exp: --lps must be >= 1");
+        std::process::exit(2);
+    }
+    let horizon_us: u64 = opt(rest, "--horizon-us", 30);
+    let seed: u64 = opt(rest, "--seed", 42);
+    let until_us: u64 = opt(rest, "--until-us", 0);
+    let queue =
+        ross::QueueKind::parse(opt_str(rest, "--queue", ross::QueueKind::default().label()))
+            .unwrap_or_else(|e| {
+                eprintln!("union-exp: {e}");
+                std::process::exit(2);
+            });
+    let params = PholdParams { lps, horizon_ns: horizon_us * 1_000, seed, queue };
+    let until = if until_us == 0 { ross::SimTime::MAX } else { ross::SimTime::from_us(until_us) };
+    let (checkpoint, restore) = parse_checkpoint_flags(rest);
+    let sched = opt_str(rest, "--sched", "seq");
+
+    let spec = match ShardSpec::parse(sched) {
+        Some(Ok(spec)) => {
+            if spec.lookahead_ns > PHOLD_MIN_DELAY_NS {
+                eprintln!(
+                    "union-exp: phold's minimum event delay is {PHOLD_MIN_DELAY_NS} ns; \
+                     a {} ns lookahead window would violate causality",
+                    spec.lookahead_ns
+                );
+                std::process::exit(2);
+            }
+            Some(spec)
+        }
+        Some(Err(e)) => {
+            eprintln!("union-exp: {e}");
+            std::process::exit(2);
+        }
+        None if sched == "seq" => None,
+        None => {
+            eprintln!("union-exp: phold supports --sched seq or shard:N:T:L, not `{sched}`");
+            std::process::exit(2);
+        }
+    };
+
+    let Some(spec) = spec else {
+        // Single process. Checkpoint/restore still work: they ride on the
+        // sharded runner's GVT fence, so route through a 1-shard mesh.
+        let mut sim = shard::build_phold(&params);
+        let stats = if checkpoint.is_some() || restore.is_some() {
+            let mut mesh = ross::shard::loopback_mesh::<u64>(1);
+            let mut t = mesh.pop().expect("1-shard mesh");
+            let opts = ross::shard::ShardRun {
+                threads: 1,
+                window: ross::SimDuration::from_ns(PHOLD_MIN_DELAY_NS),
+                checkpoint,
+                restore,
+                codec: Some(&shard::PholdCodec),
+                on_checkpoint: None,
+            };
+            sim.run_sharded(&mut t, opts, until).unwrap_or_else(|e| {
+                eprintln!("union-exp: phold: {e}");
+                std::process::exit(if matches!(e, ross::shard::ShardError::Format(_)) {
+                    2
+                } else {
+                    1
+                });
+            })
+        } else {
+            sim.run_sequential(until)
+        };
+        println!("phold fingerprint {:016x}", shard::phold_fingerprint(&sim, 0, 1));
+        println!("phold committed {}", stats.committed);
+        return;
+    };
+
+    if let Some((me, n, ctrl)) = shard::worker_role() {
+        if n != spec.shards {
+            eprintln!("union-exp: shard worker env disagrees with --sched {sched}");
+            std::process::exit(1);
+        }
+        let run = || -> Result<harness::shard::WorkerReport, String> {
+            let (mut link, listener) = shard::WorkerLink::connect(me, n, &ctrl)?;
+            let peers = link.peers()?;
+            let rec = std::sync::Arc::new(telemetry::Recorder::new());
+            let out = shard::phold_worker_run(
+                me,
+                n,
+                listener,
+                &peers,
+                &params,
+                &spec,
+                checkpoint.clone(),
+                restore.clone(),
+                until,
+                Some(rec.clone()),
+            );
+            let report = match out {
+                Ok((fingerprint, stats)) => harness::shard::WorkerReport {
+                    shard: me as u64,
+                    ok: true,
+                    error: None,
+                    fingerprint,
+                    committed: stats.committed,
+                    cross_shard_events: stats.cross_shard_events,
+                    rounds: stats.rounds,
+                    telemetry: rec.lines(),
+                },
+                Err(e) => harness::shard::WorkerReport {
+                    shard: me as u64,
+                    ok: false,
+                    error: Some(e.to_string()),
+                    fingerprint: 0,
+                    committed: 0,
+                    cross_shard_events: 0,
+                    rounds: 0,
+                    telemetry: rec.lines(),
+                },
+            };
+            link.report(&report);
+            Ok(report)
+        };
+        match run() {
+            Ok(r) if r.ok => std::process::exit(0),
+            Ok(_) => std::process::exit(1),
+            Err(e) => {
+                eprintln!("union-exp: shard {me}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    // Launcher.
+    let telem = single_run_telemetry("phold", rest, seed);
+    let outcome = harness::shard::launch_gang(&spec, telem.as_ref().map(|(r, _)| r.as_ref()))
+        .unwrap_or_else(|e| {
+            eprintln!("union-exp: {e}");
+            std::process::exit(1);
+        });
+    for r in &outcome.reports {
+        eprintln!(
+            "shard {}: committed {} cross-shard {} rounds {}",
+            r.shard, r.committed, r.cross_shard_events, r.rounds
+        );
+    }
+    println!("phold fingerprint {:016x}", outcome.fingerprint);
+    println!("phold committed {}", outcome.committed);
+    println!("phold cross-shard events {}", outcome.cross_shard_events);
+    if !has(rest, "--shard-no-verify") {
+        let mut sim = shard::build_phold(&params);
+        let stats = sim.run_sequential(until);
+        let want = shard::phold_fingerprint(&sim, 0, 1);
+        // A restored run only commits the events after the cut; the cut's
+        // metadata records how many the interrupted run had committed.
+        let base_committed = match &restore {
+            Some(path) => {
+                let meta = ross::shard::checkpoint::read_file(path)
+                    .and_then(|b| ross::shard::checkpoint::parse_file(&b).map(|(m, _)| m));
+                match meta {
+                    Ok(m) => m.committed,
+                    Err(e) => {
+                        eprintln!("union-exp: cannot re-read restore file for verify: {e}");
+                        std::process::exit(1);
+                    }
+                }
+            }
+            None => 0,
+        };
+        if want == outcome.fingerprint && stats.committed == outcome.committed + base_committed {
+            println!("phold verify sequential match");
+        } else {
+            eprintln!(
+                "union-exp: sharded run diverged from sequential \
+                 (fingerprint {:016x} vs {:016x}, committed {}+{} vs {})",
+                outcome.fingerprint, want, outcome.committed, base_committed, stats.committed
+            );
+            std::process::exit(1);
+        }
+    }
+    single_run_telemetry_finish(telem);
+}
+
+/// The model parameters of one `union-exp mix` run; every shard worker
+/// rebuilds the identical simulation from these.
+struct MixSetup {
+    workload: u8,
+    profile: Profile,
+    iters: i64,
+    scale: i64,
+    seed: u64,
+    queue: ross::QueueKind,
+    net: Net,
+    placement: Placement,
+    routing: Routing,
+}
+
+fn parse_mix(rest: &[String]) -> MixSetup {
+    let profile = match opt_str(rest, "--profile", "quick") {
+        "paper" => Profile::Paper,
+        _ => Profile::Quick,
+    };
+    MixSetup {
+        workload: opt(rest, "--workload", 3),
+        profile,
+        iters: opt(rest, "--iters", 2),
+        scale: opt(rest, "--scale", if profile == Profile::Paper { 1 } else { 16 }),
+        seed: opt(rest, "--seed", 42),
+        queue: ross::QueueKind::parse(opt_str(rest, "--queue", ross::QueueKind::default().label()))
+            .unwrap_or_else(|e| {
+                eprintln!("union-exp: {e}");
+                std::process::exit(2);
+            }),
+        net: match opt_str(rest, "--net", "1d") {
+            "1d" | "1D" => Net::OneD,
+            "2d" | "2D" => Net::TwoD,
+            other => {
+                eprintln!("union-exp: unknown net `{other}` (expected 1d or 2d)");
+                std::process::exit(2);
+            }
+        },
+        placement: match opt_str(rest, "--placement", "RG") {
+            "RN" => Placement::RandomNodes,
+            "RR" => Placement::RandomRouters,
+            "RG" => Placement::RandomGroups,
+            other => {
+                eprintln!("union-exp: unknown placement `{other}` (expected RN, RR, or RG)");
+                std::process::exit(2);
+            }
+        },
+        routing: match opt_str(rest, "--routing", "ADP") {
+            "MIN" => Routing::Minimal,
+            "ADP" => Routing::Adaptive,
+            other => {
+                eprintln!("union-exp: unknown routing `{other}` (expected MIN or ADP)");
+                std::process::exit(2);
+            }
+        },
+    }
+}
+
+fn build_mix(
+    m: &MixSetup,
+    telemetry: Option<std::sync::Arc<telemetry::Recorder>>,
+) -> codes::CodesSim {
+    let apps = workloads::workload(m.workload, m.profile, m.iters, m.scale);
+    let mut b = codes::SimulationBuilder::new(m.net.config(m.profile))
+        .routing(m.routing)
+        .placement(m.placement)
+        .seed(m.seed)
+        .queue(m.queue);
+    if let Some(rec) = telemetry {
+        b = b.telemetry(rec);
+    }
+    for a in &apps {
+        b = b.job(
+            a.name(),
+            a.vms(m.seed).unwrap_or_else(|e| {
+                eprintln!("union-exp: {e}");
+                std::process::exit(2);
+            }),
+        );
+    }
+    b.build().unwrap_or_else(|e| {
+        eprintln!("union-exp: {e}");
+        std::process::exit(2);
+    })
+}
+
+/// `union-exp mix` — run ONE Union workload mix (no sweep) under `seq`
+/// or, with `--sched shard:N:T:L`, across N OS processes; the launcher
+/// verifies the merged state fingerprint against an in-process
+/// sequential run of the same model.
+fn mix_cmd(rest: &[String]) {
+    use harness::shard::{self, ShardSpec};
+    if has(rest, "--checkpoint") || has(rest, "--restore") {
+        eprintln!(
+            "union-exp: checkpoint/restart is supported for the phold model only \
+             (CODES rank-VM state has no snapshot codec)"
+        );
+        std::process::exit(2);
+    }
+    let m = parse_mix(rest);
+    let until_us: u64 = opt(rest, "--until-us", 0);
+    let until = if until_us == 0 { ross::SimTime::MAX } else { ross::SimTime::from_us(until_us) };
+    let sched = opt_str(rest, "--sched", "seq");
+
+    let spec = match ShardSpec::parse(sched) {
+        Some(Ok(spec)) => Some(spec),
+        Some(Err(e)) => {
+            eprintln!("union-exp: {e}");
+            std::process::exit(2);
+        }
+        None if sched == "seq" => None,
+        None => {
+            eprintln!("union-exp: mix supports --sched seq or shard:N:T:L, not `{sched}`");
+            std::process::exit(2);
+        }
+    };
+
+    let Some(spec) = spec else {
+        let telem = single_run_telemetry("mix", rest, m.seed);
+        let mut sim = build_mix(&m, telem.as_ref().map(|(r, _)| r.clone()));
+        let results = sim.run(Scheduler::Sequential, until);
+        for a in &results.apps {
+            if a.failed() {
+                eprintln!("union-exp: {}: MPI protocol failure: {}", a.name, a.errors.join("; "));
+                std::process::exit(1);
+            }
+            eprintln!(
+                "app {}: {} ranks, done={}, bytes {}",
+                a.name,
+                a.finished_at_ns.len(),
+                a.all_done(),
+                a.bytes_sent
+            );
+        }
+        println!("mix fingerprint {:016x}", sim.state_fingerprint());
+        println!("mix committed {}", results.stats.committed);
+        single_run_telemetry_finish(telem);
+        return;
+    };
+
+    // Validate the lookahead window against the model before spawning
+    // anything, exactly as a par:T:L sweep would be validated.
+    {
+        let mut cfg = SweepConfig::quick();
+        cfg.profile = m.profile;
+        cfg.iters = m.iters;
+        cfg.scale = m.scale;
+        cfg.seed = m.seed;
+        cfg.queue = m.queue;
+        cfg.nets = vec![m.net];
+        cfg.placements = vec![m.placement];
+        cfg.routings = vec![m.routing];
+        cfg.workloads = vec![m.workload];
+        cfg.baselines = false;
+        cfg.sched = Scheduler::ConservativeParallel {
+            threads: spec.shards * spec.threads,
+            lookahead: ross::SimDuration::from_ns(spec.lookahead_ns),
+        };
+        let r = harness::lint::check_sched_lookahead(&cfg);
+        if !r.is_empty() {
+            eprint!("{r}");
+            if r.has_errors() && !has(rest, "--allow-lint") {
+                eprintln!(
+                    "union-exp: shard lookahead rejected by union-lint \
+                     (use --allow-lint to override)"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+
+    if let Some((me, n, ctrl)) = shard::worker_role() {
+        if n != spec.shards {
+            eprintln!("union-exp: shard worker env disagrees with --sched {sched}");
+            std::process::exit(1);
+        }
+        let run = || -> Result<harness::shard::WorkerReport, String> {
+            let (mut link, listener) = shard::WorkerLink::connect(me, n, &ctrl)?;
+            let peers = link.peers()?;
+            let rec = std::sync::Arc::new(telemetry::Recorder::new());
+            let mut sim = build_mix(&m, Some(rec.clone()));
+            let mut transport = ross::shard::TcpTransport::mesh(
+                me,
+                listener,
+                &peers,
+                std::sync::Arc::new(codes::CodesEventCodec),
+            )
+            .map_err(|e| e.to_string())?;
+            let out = sim.run_sharded(
+                &mut transport,
+                spec.threads,
+                ross::SimDuration::from_ns(spec.lookahead_ns),
+                until,
+            );
+            let report = match out {
+                Ok(stats) => harness::shard::WorkerReport {
+                    shard: me as u64,
+                    ok: true,
+                    error: None,
+                    fingerprint: sim.shard_fingerprint(me, n),
+                    committed: stats.committed,
+                    cross_shard_events: stats.cross_shard_events,
+                    rounds: stats.rounds,
+                    telemetry: rec.lines(),
+                },
+                Err(e) => harness::shard::WorkerReport {
+                    shard: me as u64,
+                    ok: false,
+                    error: Some(e.to_string()),
+                    fingerprint: 0,
+                    committed: 0,
+                    cross_shard_events: 0,
+                    rounds: 0,
+                    telemetry: rec.lines(),
+                },
+            };
+            link.report(&report);
+            Ok(report)
+        };
+        match run() {
+            Ok(r) if r.ok => std::process::exit(0),
+            Ok(_) => std::process::exit(1),
+            Err(e) => {
+                eprintln!("union-exp: shard {me}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    // Launcher.
+    let telem = single_run_telemetry("mix", rest, m.seed);
+    let outcome = harness::shard::launch_gang(&spec, telem.as_ref().map(|(r, _)| r.as_ref()))
+        .unwrap_or_else(|e| {
+            eprintln!("union-exp: {e}");
+            std::process::exit(1);
+        });
+    for r in &outcome.reports {
+        eprintln!(
+            "shard {}: committed {} cross-shard {} rounds {}",
+            r.shard, r.committed, r.cross_shard_events, r.rounds
+        );
+    }
+    println!("mix fingerprint {:016x}", outcome.fingerprint);
+    println!("mix committed {}", outcome.committed);
+    println!("mix cross-shard events {}", outcome.cross_shard_events);
+    if !has(rest, "--shard-no-verify") {
+        let mut sim = build_mix(&m, None);
+        let results = sim.run(Scheduler::Sequential, until);
+        let want = sim.state_fingerprint();
+        if want == outcome.fingerprint && results.stats.committed == outcome.committed {
+            println!("mix verify sequential match");
+        } else {
+            eprintln!(
+                "union-exp: sharded run diverged from sequential \
+                 (fingerprint {:016x} vs {:016x}, committed {} vs {})",
+                outcome.fingerprint, want, outcome.committed, results.stats.committed
+            );
+            std::process::exit(1);
+        }
+    }
+    single_run_telemetry_finish(telem);
 }
 
 fn dump_json(path: &str, records: &[sweep::RunRecord]) {

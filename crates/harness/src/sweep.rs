@@ -219,6 +219,12 @@ pub fn run_one(cfg: &SweepConfig, key: RunKey) -> Result<RunRecord, String> {
     let mut sim = b.build()?;
     let t0 = std::time::Instant::now();
     let results = sim.run(cfg.sched, cfg.until);
+    // A wire-protocol violation is a simulation failure, not a result.
+    for a in &results.apps {
+        if a.failed() {
+            return Err(format!("{}: MPI protocol failure: {}", a.name, a.errors.join("; ")));
+        }
+    }
     if let Some(rec) = &cfg.telemetry {
         rec.emit(&telemetry::PhaseRecord::new(&key.label(), t0.elapsed().as_nanos() as u64));
     }

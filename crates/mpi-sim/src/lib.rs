@@ -80,6 +80,12 @@ enum State {
     Blocked(Vec<u64>),
     Computing,
     Done,
+    /// The wire protocol was violated (e.g. a CTS for a rendezvous this
+    /// rank never started). The rank stops making progress and the host
+    /// surfaces [`MpiRank::protocol_error`] as a simulation failure —
+    /// a malformed or duplicated message must not abort the whole
+    /// process with a panic.
+    Failed,
 }
 
 #[derive(Clone, Copy, Debug)]
@@ -141,6 +147,8 @@ pub struct MpiRank {
     pub coll_fences: u64,
     pub finished_at_ns: Option<u64>,
     pub ops_executed: u64,
+    /// First protocol violation observed, if any (see `State::Failed`).
+    protocol_error: Option<String>,
 }
 
 // `MpiRank` rides inside node LPs that the parallel schedulers move
@@ -180,6 +188,7 @@ impl MpiRank {
             coll_fences: 0,
             finished_at_ns: None,
             ops_executed: 0,
+            protocol_error: None,
         }
     }
 
@@ -191,6 +200,16 @@ impl MpiRank {
         self.state == State::Done
     }
 
+    /// True when the rank stopped on a wire-protocol violation.
+    pub fn is_failed(&self) -> bool {
+        self.state == State::Failed
+    }
+
+    /// The protocol violation that failed this rank, if any.
+    pub fn protocol_error(&self) -> Option<&str> {
+        self.protocol_error.as_deref()
+    }
+
     /// Coarse state label ("ready", "blocked", "computing", "done") for
     /// diagnostics and trace track names.
     pub fn state_label(&self) -> &'static str {
@@ -199,6 +218,7 @@ impl MpiRank {
             State::Blocked(_) => "blocked",
             State::Computing => "computing",
             State::Done => "done",
+            State::Failed => "failed",
         }
     }
 
@@ -231,12 +251,25 @@ impl MpiRank {
 
     /// A `Compute` delay finished.
     pub fn on_compute_done(&mut self, now_ns: u64, out: &mut Vec<Action>) {
+        if self.state == State::Failed {
+            return;
+        }
         debug_assert_eq!(self.state, State::Computing);
         self.state = State::Ready;
         self.step(now_ns, out);
     }
 
     // ---- internals ----
+
+    /// Record the first protocol violation and stop this rank: no more
+    /// ops execute, no more actions are emitted, and `is_done` stays
+    /// false so the host reports the run as failed rather than hung.
+    fn protocol_fail(&mut self, msg: String) {
+        if self.protocol_error.is_none() {
+            self.protocol_error = Some(msg);
+        }
+        self.state = State::Failed;
+    }
 
     fn resume_if_ready(&mut self, now_ns: u64, out: &mut Vec<Action>) {
         if let State::Blocked(reqs) = &self.state {
@@ -456,6 +489,9 @@ impl MpiRank {
     }
 
     fn deliver(&mut self, now_ns: u64, msg: &MpiMsg, out: &mut Vec<Action>) {
+        if self.state == State::Failed {
+            return;
+        }
         match msg.kind {
             MsgKind::Eager => {
                 self.latency.record(now_ns.saturating_sub(msg.created_ns));
@@ -499,11 +535,14 @@ impl MpiRank {
             }
             MsgKind::Cts => {
                 let rts_seq = msg.payload;
-                let i = self
-                    .rdv_out
-                    .iter()
-                    .position(|&(s, _)| s == rts_seq)
-                    .expect("CTS for unknown rendezvous");
+                let Some(i) = self.rdv_out.iter().position(|&(s, _)| s == rts_seq) else {
+                    self.protocol_fail(format!(
+                        "rank {}: CTS from rank {} (tag {}) answers rendezvous seq {} \
+                         this rank never started",
+                        self.rank, msg.src, msg.tag, rts_seq,
+                    ));
+                    return;
+                };
                 let (seq, rdv) = self.rdv_out.swap_remove(i);
                 self.inject_wait.push((seq, rdv.req));
                 out.push(Action::Send(MpiMsg {
@@ -519,11 +558,14 @@ impl MpiRank {
             }
             MsgKind::Data => {
                 self.latency.record(now_ns.saturating_sub(msg.created_ns));
-                let i = self
-                    .rdv_in
-                    .iter()
-                    .position(|&(k, _)| k == (msg.src, msg.seq))
-                    .expect("Data without matched RTS");
+                let Some(i) = self.rdv_in.iter().position(|&(k, _)| k == (msg.src, msg.seq)) else {
+                    self.protocol_fail(format!(
+                        "rank {}: rendezvous data from rank {} (tag {}, seq {}) \
+                         arrived without a matched RTS",
+                        self.rank, msg.src, msg.tag, msg.seq,
+                    ));
+                    return;
+                };
                 let (_, req) = self.rdv_in.swap_remove(i);
                 self.complete_req(req);
             }
@@ -762,6 +804,60 @@ mod tests {
         let ranks = run_loopback(ranks);
         let total: u64 = ranks.iter().map(|r| r.latency.count).sum();
         assert_eq!(total, 16, "every synthetic send is received somewhere");
+    }
+
+    #[test]
+    fn bogus_cts_fails_the_rank_instead_of_panicking() {
+        let mut ranks = ranks_for("task 0 sends a 100000 byte message to task 1.", 2, 16 * 1024);
+        let mut out = Vec::new();
+        ranks[0].start(0, &mut out);
+        // A CTS answering a rendezvous seq this rank never started —
+        // e.g. a duplicated or misrouted control message.
+        let bogus = MpiMsg {
+            src: 1,
+            dst: 0,
+            tag: 0,
+            seq: 7,
+            kind: MsgKind::Cts,
+            payload: 424_242,
+            wire: CTRL_WIRE_BYTES,
+            created_ns: 0,
+        };
+        out.clear();
+        ranks[0].on_delivery(1, &bogus, &mut out);
+        assert!(ranks[0].is_failed());
+        assert!(!ranks[0].is_done());
+        assert_eq!(ranks[0].state_label(), "failed");
+        let err = ranks[0].protocol_error().expect("error recorded").to_string();
+        assert!(err.contains("never started"), "unhelpful error: {err}");
+        assert!(out.is_empty(), "a failed rank must emit no actions: {out:?}");
+        // A failed rank ignores further traffic instead of cascading.
+        ranks[0].on_delivery(2, &bogus, &mut out);
+        ranks[0].on_compute_done(3, &mut out);
+        assert!(out.is_empty());
+        assert_eq!(ranks[0].protocol_error(), Some(err.as_str()));
+    }
+
+    #[test]
+    fn unmatched_rendezvous_data_fails_the_rank() {
+        let mut ranks = ranks_for("task 0 sends a 8 byte message to task 1.", 2, 1 << 20);
+        let mut out = Vec::new();
+        ranks[1].start(0, &mut out);
+        let bogus = MpiMsg {
+            src: 0,
+            dst: 1,
+            tag: 0,
+            seq: 99,
+            kind: MsgKind::Data,
+            payload: 100_000,
+            wire: 100_000,
+            created_ns: 0,
+        };
+        out.clear();
+        ranks[1].on_delivery(1, &bogus, &mut out);
+        assert!(ranks[1].is_failed());
+        let err = ranks[1].protocol_error().expect("error recorded");
+        assert!(err.contains("without a matched RTS"), "unhelpful error: {err}");
     }
 
     #[test]

@@ -26,6 +26,9 @@ pub struct RunStats {
     /// Events delivered across partitions through mailboxes
     /// (conservative-parallel scheduler only).
     pub remote_events: u64,
+    /// Events delivered across OS-process shards through a transport
+    /// ([`crate::shard`] runs only).
+    pub cross_shard_events: u64,
     /// Synchronization rounds (conservative windows or GVT epochs).
     pub rounds: u64,
     /// Wall-clock seconds spent inside the scheduler.
@@ -338,6 +341,7 @@ pub(crate) fn emit_sched_telemetry(
     r.anti_messages = stats.anti_messages;
     r.annihilated = stats.annihilated;
     r.remote_events = stats.remote_events;
+    r.cross_shard_events = stats.cross_shard_events;
     r.rounds = stats.rounds;
     r.max_gvt_lag_ns = max_gvt_lag_ns;
     r.end_time_ns = stats.end_time.as_ns();

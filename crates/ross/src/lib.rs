@@ -72,6 +72,7 @@ mod optimistic;
 mod parallel;
 mod partition;
 pub mod queue;
+pub mod shard;
 mod time;
 pub mod trace;
 

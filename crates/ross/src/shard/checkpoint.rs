@@ -1,0 +1,512 @@
+//! Checkpoint/restart file format for sharded runs.
+//!
+//! A checkpoint is taken inside a GVT fence: no events are in flight,
+//! every LP sits exactly at the fence, so per-LP state plus each
+//! shard's pending events is a consistent cut of the whole simulation.
+//!
+//! File layout (all integers little-endian):
+//!
+//! ```text
+//! magic    8  b"UNIONCKP"
+//! version  4  u32 (currently 1)
+//! meta     4+n  u32 length + JSON (serde shims): gvt_ns, epoch,
+//!               n_shards, n_lps, committed
+//! sections 4  u32 count, then per section: u32 length + bytes
+//! checksum 8  u64 FNV-1a over everything between magic and checksum
+//! ```
+//!
+//! Each section holds one shard's owned LPs (engine meta + model state
+//! via [`ShardCodec::save_lp`]) and its pending events (payloads via
+//! [`EventCodec::encode`]). Every decode path returns
+//! [`ShardError::Format`] on truncated/corrupt/wrong-version input —
+//! the CLI maps that to exit 2, never a panic.
+
+use super::transport::EventCodec;
+use super::wire::{fnv1a, put_bytes, put_u32, put_u64, ByteReader};
+use super::ShardError;
+use crate::event::{Envelope, EventUid};
+use crate::lp::Lp;
+use crate::time::SimTime;
+use serde::Value;
+use std::io::Write;
+use std::path::Path;
+
+/// Magic bytes at offset 0 of every checkpoint file.
+pub const MAGIC: &[u8; 8] = b"UNIONCKP";
+/// Current format version.
+pub const VERSION: u32 = 1;
+
+/// Extends [`EventCodec`] with model-state save/load, making an LP type
+/// checkpointable. `load_lp` overwrites a freshly built LP in place, so
+/// a restoring process first rebuilds the simulation exactly as the
+/// original run did, then patches in the snapshot.
+pub trait ShardCodec<L: Lp>: EventCodec<L::Event> {
+    fn save_lp(&self, lp: &L, out: &mut Vec<u8>);
+    fn load_lp(&self, lp: &mut L, r: &mut ByteReader<'_>) -> Result<(), ShardError>;
+}
+
+/// Run-level metadata stored in the file header.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SnapshotMeta {
+    /// The fence GVT at which the cut was taken (ns).
+    pub gvt_ns: u64,
+    /// Synchronization round of the fence.
+    pub epoch: u64,
+    /// Shard count the run was (and must be re-) launched with.
+    pub n_shards: u32,
+    /// Total LP count, as a cheap model-shape check.
+    pub n_lps: u32,
+    /// Events committed across all shards up to the cut.
+    pub committed: u64,
+}
+
+/// One LP's engine bookkeeping plus opaque model state.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LpSnapshot {
+    pub gid: u32,
+    pub tiebreak: u64,
+    pub uid_seq: u64,
+    pub now_ns: u64,
+    pub processed: u64,
+    pub state: Vec<u8>,
+}
+
+/// One shard's part of the cut.
+#[derive(Clone, Debug)]
+pub struct ShardSection<E> {
+    pub shard: u32,
+    pub lps: Vec<LpSnapshot>,
+    pub events: Vec<Envelope<E>>,
+}
+
+/// A fully decoded checkpoint.
+#[derive(Clone, Debug)]
+pub struct Snapshot<E> {
+    pub meta: SnapshotMeta,
+    pub sections: Vec<ShardSection<E>>,
+}
+
+/// Encode one shard's section (canonical order: LPs by gid, events by
+/// total event order, so identical cuts produce identical bytes).
+pub fn encode_section<E>(section: &ShardSection<E>, codec: &dyn EventCodec<E>) -> Vec<u8> {
+    let mut out = Vec::new();
+    put_u32(&mut out, section.shard);
+    put_u32(&mut out, section.lps.len() as u32);
+    for lp in &section.lps {
+        put_u32(&mut out, lp.gid);
+        put_u64(&mut out, lp.tiebreak);
+        put_u64(&mut out, lp.uid_seq);
+        put_u64(&mut out, lp.now_ns);
+        put_u64(&mut out, lp.processed);
+        put_bytes(&mut out, &lp.state);
+    }
+    put_u32(&mut out, section.events.len() as u32);
+    let mut payload = Vec::new();
+    for env in &section.events {
+        put_u64(&mut out, env.recv_time.0);
+        put_u64(&mut out, env.send_time.0);
+        put_u32(&mut out, env.src);
+        put_u32(&mut out, env.dst);
+        put_u64(&mut out, env.tiebreak);
+        put_u32(&mut out, env.uid.src);
+        put_u64(&mut out, env.uid.seq);
+        payload.clear();
+        codec.encode(&env.payload, &mut payload);
+        put_bytes(&mut out, &payload);
+    }
+    out
+}
+
+/// Decode a section written by [`encode_section`].
+pub fn decode_section<E>(
+    bytes: &[u8],
+    codec: &dyn EventCodec<E>,
+) -> Result<ShardSection<E>, ShardError> {
+    let mut r = ByteReader::new(bytes);
+    let shard = r.u32()?;
+    let n_lps = r.u32()? as usize;
+    let mut lps = Vec::with_capacity(n_lps.min(1 << 20));
+    for _ in 0..n_lps {
+        lps.push(LpSnapshot {
+            gid: r.u32()?,
+            tiebreak: r.u64()?,
+            uid_seq: r.u64()?,
+            now_ns: r.u64()?,
+            processed: r.u64()?,
+            state: r.bytes()?.to_vec(),
+        });
+    }
+    let n_events = r.u32()? as usize;
+    let mut events = Vec::with_capacity(n_events.min(1 << 20));
+    for _ in 0..n_events {
+        let recv_time = SimTime(r.u64()?);
+        let send_time = SimTime(r.u64()?);
+        let src = r.u32()?;
+        let dst = r.u32()?;
+        let tiebreak = r.u64()?;
+        let uid_src = r.u32()?;
+        let uid_seq = r.u64()?;
+        let payload_bytes = r.bytes()?;
+        let mut pr = ByteReader::new(payload_bytes);
+        let payload = codec.decode(&mut pr)?;
+        events.push(Envelope {
+            recv_time,
+            send_time,
+            src,
+            dst,
+            tiebreak,
+            uid: EventUid { src: uid_src, seq: uid_seq },
+            payload,
+        });
+    }
+    if r.remaining() != 0 {
+        return Err(ShardError::Format(format!("{} trailing bytes in section", r.remaining())));
+    }
+    Ok(ShardSection { shard, lps, events })
+}
+
+fn meta_json(meta: &SnapshotMeta) -> String {
+    let v = Value::Object(vec![
+        ("gvt_ns".to_string(), Value::UInt(meta.gvt_ns)),
+        ("epoch".to_string(), Value::UInt(meta.epoch)),
+        ("n_shards".to_string(), Value::UInt(meta.n_shards as u64)),
+        ("n_lps".to_string(), Value::UInt(meta.n_lps as u64)),
+        ("committed".to_string(), Value::UInt(meta.committed)),
+    ]);
+    serde_json::to_string(&v).unwrap_or_default()
+}
+
+fn parse_meta(json: &str) -> Result<SnapshotMeta, ShardError> {
+    let v: Value = serde_json::from_str(json)
+        .map_err(|e| ShardError::Format(format!("checkpoint metadata is not JSON: {e}")))?;
+    let field = |k: &str| {
+        v.get(k)
+            .and_then(Value::as_u64)
+            .ok_or_else(|| ShardError::Format(format!("checkpoint metadata missing `{k}`")))
+    };
+    Ok(SnapshotMeta {
+        gvt_ns: field("gvt_ns")?,
+        epoch: field("epoch")?,
+        n_shards: field("n_shards")? as u32,
+        n_lps: field("n_lps")? as u32,
+        committed: field("committed")?,
+    })
+}
+
+/// Assemble the on-disk byte stream from already-encoded sections (the
+/// form shard 0 receives them in over the transport).
+pub fn assemble_file(meta: &SnapshotMeta, sections: &[Vec<u8>]) -> Vec<u8> {
+    let mut body = Vec::new();
+    put_u32(&mut body, VERSION);
+    put_bytes(&mut body, meta_json(meta).as_bytes());
+    put_u32(&mut body, sections.len() as u32);
+    for s in sections {
+        put_bytes(&mut body, s);
+    }
+    let sum = fnv1a(&body);
+    let mut file = Vec::with_capacity(MAGIC.len() + body.len() + 8);
+    file.extend_from_slice(MAGIC);
+    file.extend_from_slice(&body);
+    put_u64(&mut file, sum);
+    file
+}
+
+/// Parse the container: magic, version, checksum; returns the metadata
+/// and the raw section byte ranges for [`decode_section`].
+pub fn parse_file(bytes: &[u8]) -> Result<(SnapshotMeta, Vec<&[u8]>), ShardError> {
+    if bytes.len() < MAGIC.len() + 8 {
+        return Err(ShardError::Format("checkpoint file is truncated".to_string()));
+    }
+    if &bytes[..MAGIC.len()] != MAGIC {
+        return Err(ShardError::Format(
+            "not a checkpoint file (bad magic; expected UNIONCKP)".to_string(),
+        ));
+    }
+    let body = &bytes[MAGIC.len()..bytes.len() - 8];
+    let stored = u64::from_le_bytes(bytes[bytes.len() - 8..].try_into().unwrap());
+    if fnv1a(body) != stored {
+        return Err(ShardError::Format(
+            "checkpoint checksum mismatch (file is corrupt or truncated)".to_string(),
+        ));
+    }
+    let mut r = ByteReader::new(body);
+    let version = r.u32()?;
+    if version != VERSION {
+        return Err(ShardError::Format(format!(
+            "checkpoint format version {version} is not supported (this build reads {VERSION})"
+        )));
+    }
+    let meta_bytes = r.bytes()?;
+    let meta = parse_meta(
+        std::str::from_utf8(meta_bytes)
+            .map_err(|_| ShardError::Format("checkpoint metadata is not UTF-8".to_string()))?,
+    )?;
+    let n_sections = r.u32()? as usize;
+    let mut sections = Vec::with_capacity(n_sections.min(1 << 16));
+    for _ in 0..n_sections {
+        sections.push(r.bytes()?);
+    }
+    if r.remaining() != 0 {
+        return Err(ShardError::Format(format!(
+            "{} trailing bytes after checkpoint sections",
+            r.remaining()
+        )));
+    }
+    Ok((meta, sections))
+}
+
+/// Encode a full snapshot to the on-disk byte stream.
+pub fn encode_snapshot<E>(snap: &Snapshot<E>, codec: &dyn EventCodec<E>) -> Vec<u8> {
+    let sections: Vec<Vec<u8>> = snap.sections.iter().map(|s| encode_section(s, codec)).collect();
+    assemble_file(&snap.meta, &sections)
+}
+
+/// Decode a full snapshot from the on-disk byte stream.
+pub fn decode_snapshot<E>(
+    bytes: &[u8],
+    codec: &dyn EventCodec<E>,
+) -> Result<Snapshot<E>, ShardError> {
+    let (meta, raw) = parse_file(bytes)?;
+    let sections = raw.iter().map(|s| decode_section(s, codec)).collect::<Result<Vec<_>, _>>()?;
+    Ok(Snapshot { meta, sections })
+}
+
+/// Write the checkpoint atomically: temp file in the same directory,
+/// then rename, so a crash mid-write never clobbers the previous
+/// checkpoint.
+pub fn write_atomic(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir)?;
+        }
+    }
+    let tmp = path.with_extension("tmp");
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)
+}
+
+/// Read a checkpoint file into memory (decode separately).
+pub fn read_file(path: &Path) -> Result<Vec<u8>, ShardError> {
+    std::fs::read(path).map_err(|e| {
+        ShardError::Io(std::io::Error::new(
+            e.kind(),
+            format!("cannot read checkpoint {}: {e}", path.display()),
+        ))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shard::wire::put_u64 as w64;
+
+    struct U64Codec;
+    impl EventCodec<u64> for U64Codec {
+        fn encode(&self, ev: &u64, out: &mut Vec<u8>) {
+            w64(out, *ev);
+        }
+        fn decode(&self, r: &mut ByteReader<'_>) -> Result<u64, ShardError> {
+            r.u64()
+        }
+    }
+
+    fn sample() -> Snapshot<u64> {
+        Snapshot {
+            meta: SnapshotMeta { gvt_ns: 123, epoch: 9, n_shards: 2, n_lps: 4, committed: 1000 },
+            sections: vec![
+                ShardSection {
+                    shard: 0,
+                    lps: vec![LpSnapshot {
+                        gid: 0,
+                        tiebreak: 5,
+                        uid_seq: 6,
+                        now_ns: 100,
+                        processed: 7,
+                        state: vec![1, 2, 3],
+                    }],
+                    events: vec![Envelope {
+                        recv_time: SimTime(130),
+                        send_time: SimTime(100),
+                        src: 0,
+                        dst: 1,
+                        tiebreak: 4,
+                        uid: EventUid { src: 0, seq: 5 },
+                        payload: 0xfeed,
+                    }],
+                },
+                ShardSection { shard: 1, lps: vec![], events: vec![] },
+            ],
+        }
+    }
+
+    #[test]
+    fn snapshot_round_trips() {
+        let snap = sample();
+        let bytes = encode_snapshot(&snap, &U64Codec);
+        let back = decode_snapshot(&bytes, &U64Codec).unwrap();
+        assert_eq!(back.meta, snap.meta);
+        assert_eq!(back.sections.len(), 2);
+        assert_eq!(back.sections[0].lps, snap.sections[0].lps);
+        assert_eq!(back.sections[0].events, snap.sections[0].events);
+        assert_eq!(back.sections[0].events[0].payload, 0xfeed);
+    }
+
+    #[test]
+    fn wrong_magic_version_and_corruption_are_rejected() {
+        let snap = sample();
+        let good = encode_snapshot(&snap, &U64Codec);
+
+        let mut bad_magic = good.clone();
+        bad_magic[0] = b'X';
+        assert!(matches!(decode_snapshot::<u64>(&bad_magic, &U64Codec),
+            Err(ShardError::Format(m)) if m.contains("magic")));
+
+        // Version is checksummed, so a tampered version first fails the
+        // checksum; rebuild with a bad version and a fresh checksum to
+        // reach the version check itself.
+        let mut body = good[8..good.len() - 8].to_vec();
+        body[0] = 99;
+        let mut bad_version = Vec::new();
+        bad_version.extend_from_slice(MAGIC);
+        bad_version.extend_from_slice(&body);
+        put_u64(&mut bad_version, fnv1a(&body));
+        assert!(matches!(decode_snapshot::<u64>(&bad_version, &U64Codec),
+            Err(ShardError::Format(m)) if m.contains("version")));
+
+        let mut flipped = good.clone();
+        let mid = flipped.len() / 2;
+        flipped[mid] ^= 0xff;
+        assert!(matches!(decode_snapshot::<u64>(&flipped, &U64Codec),
+            Err(ShardError::Format(m)) if m.contains("checksum")));
+
+        for cut in [0, 4, good.len() / 3, good.len() - 1] {
+            assert!(decode_snapshot::<u64>(&good[..cut], &U64Codec).is_err());
+        }
+    }
+
+    #[test]
+    fn atomic_write_then_read() {
+        let dir = std::env::temp_dir().join(format!("ross-ckpt-test-{}", std::process::id()));
+        let path = dir.join("a.ckpt");
+        let snap = sample();
+        let bytes = encode_snapshot(&snap, &U64Codec);
+        write_atomic(&path, &bytes).unwrap();
+        let back = read_file(&path).unwrap();
+        assert_eq!(back, bytes);
+        assert!(read_file(&dir.join("missing.ckpt")).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    fn xorshift(s: &mut u64) -> u64 {
+        *s ^= *s << 13;
+        *s ^= *s >> 7;
+        *s ^= *s << 17;
+        *s
+    }
+
+    /// Deterministic snapshot with arbitrary content derived from `seed`:
+    /// LP state blobs of varying length, events with extreme field values,
+    /// and empty sections all appear over the proptest case budget.
+    fn random_snapshot(
+        seed: u64,
+        n_shards: usize,
+        lps_per: usize,
+        evs_per: usize,
+    ) -> Snapshot<u64> {
+        let mut s = seed | 1;
+        let mut sections = Vec::new();
+        for shard in 0..n_shards {
+            let lps = (0..lps_per)
+                .map(|i| LpSnapshot {
+                    gid: (shard * lps_per + i) as u32,
+                    tiebreak: xorshift(&mut s),
+                    uid_seq: xorshift(&mut s),
+                    now_ns: xorshift(&mut s),
+                    processed: xorshift(&mut s),
+                    state: (0..(xorshift(&mut s) % 17)).map(|_| xorshift(&mut s) as u8).collect(),
+                })
+                .collect();
+            let events = (0..evs_per)
+                .map(|_| Envelope {
+                    recv_time: SimTime(xorshift(&mut s)),
+                    send_time: SimTime(xorshift(&mut s)),
+                    src: xorshift(&mut s) as u32,
+                    dst: xorshift(&mut s) as u32,
+                    tiebreak: xorshift(&mut s),
+                    uid: EventUid { src: xorshift(&mut s) as u32, seq: xorshift(&mut s) },
+                    payload: xorshift(&mut s),
+                })
+                .collect();
+            sections.push(ShardSection { shard: shard as u32, lps, events });
+        }
+        Snapshot {
+            meta: SnapshotMeta {
+                gvt_ns: xorshift(&mut s),
+                epoch: xorshift(&mut s),
+                n_shards: n_shards as u32,
+                n_lps: (n_shards * lps_per) as u32,
+                committed: xorshift(&mut s),
+            },
+            sections,
+        }
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn random_snapshots_round_trip(
+            seed in 0u64..1_000_000_000,
+            n_shards in 1usize..5,
+            lps_per in 0usize..4,
+            evs_per in 0usize..4,
+        ) {
+            let snap = random_snapshot(seed, n_shards, lps_per, evs_per);
+            let bytes = encode_snapshot(&snap, &U64Codec);
+            let back = decode_snapshot::<u64>(&bytes, &U64Codec).unwrap();
+            assert_eq!(back.meta, snap.meta);
+            assert_eq!(back.sections.len(), snap.sections.len());
+            for (b, a) in back.sections.iter().zip(&snap.sections) {
+                assert_eq!(b.shard, a.shard);
+                assert_eq!(b.lps, a.lps);
+                assert_eq!(b.events, a.events);
+            }
+        }
+
+        #[test]
+        fn corrupt_or_truncated_snapshots_error_and_never_panic(
+            seed in 0u64..1_000_000_000,
+            n_shards in 1usize..4,
+            lps_per in 0usize..3,
+            evs_per in 0usize..3,
+        ) {
+            let snap = random_snapshot(seed, n_shards, lps_per, evs_per);
+            let good = encode_snapshot(&snap, &U64Codec);
+            let mut s = seed ^ 0xdead_beef;
+
+            // Any single flipped byte breaks the trailing FNV-1a checksum
+            // (each round of FNV-1a is a bijection for the remaining
+            // suffix, so distinct prefixes cannot re-collide) — or, if the
+            // flip lands in the checksum itself, the stored value no
+            // longer matches. Either way: a Format error, never a panic.
+            let pos = (xorshift(&mut s) % good.len() as u64) as usize;
+            let mut flipped = good.clone();
+            flipped[pos] ^= 1 + (xorshift(&mut s) % 255) as u8;
+            assert!(
+                matches!(decode_snapshot::<u64>(&flipped, &U64Codec), Err(ShardError::Format(_))),
+                "flip at byte {pos} went undetected"
+            );
+
+            // Every strict prefix must be rejected as well.
+            let cut = (xorshift(&mut s) % good.len() as u64) as usize;
+            assert!(
+                matches!(decode_snapshot::<u64>(&good[..cut], &U64Codec), Err(ShardError::Format(_))),
+                "truncation to {cut} bytes went undetected"
+            );
+        }
+    }
+}

@@ -114,6 +114,7 @@ pub struct Recorder {
     capacity: usize,
     lines: Mutex<Vec<String>>,
     dropped: AtomicU64,
+    ser_errors: AtomicU64,
 }
 
 impl Default for Recorder {
@@ -143,13 +144,42 @@ impl Recorder {
             capacity,
             lines: Mutex::new(Vec::new()),
             dropped: AtomicU64::new(0),
+            ser_errors: AtomicU64::new(0),
         }
     }
 
+    /// Serialize `rec` and append it as one JSONL line. Over capacity
+    /// the record is counted in [`Recorder::dropped`]; a record that
+    /// fails to serialize yields `Err` and buffers nothing. Use this on
+    /// paths that can report the error (a bad record must not kill a
+    /// long sharded run); fire-and-forget callers use
+    /// [`Recorder::emit`].
+    pub fn try_emit<T: Serialize>(&self, rec: &T) -> std::io::Result<()> {
+        let line = serde_json::to_string(rec).map_err(|e| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("telemetry record serialization: {e}"),
+            )
+        })?;
+        self.emit_raw(line);
+        Ok(())
+    }
+
     /// Serialize `rec` and append it as one JSONL line. Over capacity the
-    /// record is counted in [`Recorder::dropped`] instead.
+    /// record is counted in [`Recorder::dropped`] instead. Serialization
+    /// failures never panic: they are counted in
+    /// [`Recorder::serialization_errors`] and surfaced as a trailer line
+    /// by [`Recorder::write_jsonl`].
     pub fn emit<T: Serialize>(&self, rec: &T) {
-        let line = serde_json::to_string(rec).expect("telemetry record serialization");
+        if self.try_emit(rec).is_err() {
+            self.ser_errors.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Append one pre-serialized JSONL line (no trailing newline). Used
+    /// by the shard launcher to merge telemetry streamed back from
+    /// worker processes without re-parsing every record.
+    pub fn emit_raw(&self, line: String) {
         let mut lines = self.lines.lock();
         if lines.len() < self.capacity {
             lines.push(line);
@@ -170,6 +200,12 @@ impl Recorder {
     /// Records rejected because the sink was full.
     pub fn dropped(&self) -> u64 {
         self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Records lost because they failed to serialize (see
+    /// [`Recorder::emit`]).
+    pub fn serialization_errors(&self) -> u64 {
+        self.ser_errors.load(Ordering::Relaxed)
     }
 
     /// Nanoseconds since the recorder was created (phase timing base).
@@ -204,6 +240,12 @@ impl Recorder {
         let dropped = self.dropped();
         if dropped > 0 {
             w.write_str(&format!("{{\"type\":\"drops\",\"count\":{dropped}}}\n"))?;
+        }
+        let ser_errors = self.serialization_errors();
+        if ser_errors > 0 {
+            w.write_str(&format!(
+                "{{\"type\":\"serialization_errors\",\"count\":{ser_errors}}}\n"
+            ))?;
         }
         w.finish()
     }
@@ -308,6 +350,9 @@ pub struct SchedulerRecord {
     /// Anti-messages that met their target before it executed.
     pub annihilated: u64,
     pub remote_events: u64,
+    /// Events delivered across OS-process shards through a transport
+    /// (sharded runs only).
+    pub cross_shard_events: u64,
     /// Synchronization rounds (conservative windows or GVT epochs).
     pub rounds: u64,
     /// Max over epochs of (local minimum − GVT): how far ahead the most
@@ -333,6 +378,7 @@ impl SchedulerRecord {
             anti_messages: 0,
             annihilated: 0,
             remote_events: 0,
+            cross_shard_events: 0,
             rounds: 0,
             max_gvt_lag_ns: 0,
             end_time_ns: 0,

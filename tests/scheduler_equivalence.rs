@@ -51,9 +51,9 @@ fn fingerprint(r: &SimResults) -> Fingerprint {
     }
 }
 
-/// Two-job mix on the tiny 1D dragonfly with windowed router counters on,
-/// run under `sched` with pending-event queue `queue`.
-fn run_q(sched: Scheduler, queue: QueueKind) -> Fingerprint {
+/// Two-job mix on the tiny 1D dragonfly with windowed router counters
+/// on — the shared model every cell of the equivalence matrix runs.
+fn build_mix(queue: QueueKind) -> codes::CodesSim {
     let mut b = SimulationBuilder::new(DragonflyConfig::tiny_1d())
         .routing(Routing::Adaptive)
         .placement(Placement::RandomGroups)
@@ -70,7 +70,11 @@ fn run_q(sched: Scheduler, queue: QueueKind) -> Fingerprint {
         }
         b = b.job(cfg.name(), cfg.vms(1).unwrap());
     }
-    let mut sim = b.build().unwrap();
+    b.build().unwrap()
+}
+
+fn run_q(sched: Scheduler, queue: QueueKind) -> Fingerprint {
+    let mut sim = build_mix(queue);
     let r = sim.run(sched, SimTime::MAX);
     for a in &r.apps {
         assert!(a.all_done(), "{} unfinished under {sched:?}/{queue:?}", a.name);
@@ -146,22 +150,7 @@ fn optimistic_small_snapshot_interval_agrees() {
 #[test]
 fn parallel_run_survives_rescheduling_midway() {
     let seq = run(Scheduler::Sequential);
-    let mut b = SimulationBuilder::new(DragonflyConfig::tiny_1d())
-        .routing(Routing::Adaptive)
-        .placement(Placement::RandomGroups)
-        .seed(11)
-        .window_ns(500_000);
-    for kind in [AppKind::UniformRandom, AppKind::NearestNeighbor] {
-        let mut cfg = app(kind, Profile::Quick, 2, 64);
-        if kind == AppKind::NearestNeighbor {
-            cfg.ranks = 24;
-            cfg.args.extend(["--nx", "3", "--ny", "2", "--nz", "4"].iter().map(|s| s.to_string()));
-        } else {
-            cfg.ranks = 16;
-        }
-        b = b.job(cfg.name(), cfg.vms(1).unwrap());
-    }
-    let mut sim = b.build().unwrap();
+    let mut sim = build_mix(QueueKind::default());
     let par = Scheduler::ConservativeParallel { threads: 3, lookahead: SimDuration::from_ns(100) };
     sim.run(par, SimTime::from_us(50));
     let r = sim.run(Scheduler::Sequential, SimTime::MAX);
@@ -169,4 +158,49 @@ fn parallel_run_survives_rescheduling_midway() {
     // Committed counts are per-leg; compare everything else.
     fp.committed = seq.committed;
     assert_eq!(seq, fp);
+}
+
+/// The shard dimension of the matrix: the same mix run as one
+/// simulation split across {1, 2, 4} shard transports (in-process
+/// loopback standing in for the launcher's worker processes) × both
+/// queues. Each shard's owned-LP digest must `wrapping_add`-merge to
+/// exactly the sequential run's whole-model fingerprint, and the
+/// per-shard committed counts must sum to the sequential total.
+#[test]
+fn sharded_runs_merge_to_the_sequential_fingerprint() {
+    let (want_fp, want_committed) = {
+        let mut sim = build_mix(QueueKind::Heap);
+        let r = sim.run(Scheduler::Sequential, SimTime::MAX);
+        (sim.state_fingerprint(), r.stats.committed)
+    };
+    assert_ne!(want_fp, 0);
+    for n_shards in [1usize, 2, 4] {
+        for queue in [QueueKind::Heap, QueueKind::Ladder] {
+            let mesh = ross::shard::loopback_mesh::<codes::Event>(n_shards);
+            let handles: Vec<_> = mesh
+                .into_iter()
+                .map(|mut t| {
+                    std::thread::spawn(move || {
+                        let mut sim = build_mix(queue);
+                        let stats = sim
+                            .run_sharded(&mut t, 2, SimDuration::from_ns(100), SimTime::MAX)
+                            .unwrap();
+                        (sim, stats)
+                    })
+                })
+                .collect();
+            let mut fp = 0u64;
+            let mut committed = 0u64;
+            for (me, h) in handles.into_iter().enumerate() {
+                let (sim, stats) = h.join().unwrap();
+                fp = fp.wrapping_add(sim.shard_fingerprint(me, n_shards));
+                committed += stats.committed;
+            }
+            assert_eq!(fp, want_fp, "{n_shards} shards x {queue:?}: fingerprint diverged");
+            assert_eq!(
+                committed, want_committed,
+                "{n_shards} shards x {queue:?}: committed diverged"
+            );
+        }
+    }
 }
