@@ -1,0 +1,48 @@
+//! Race-detected `UnsafeCell`. Every access goes through `with`/`with_mut`
+//! (the loom API shape); the runtime checks the access against the cell's
+//! FastTrack-style epoch history and reports a data race — with both access
+//! sites and the replay schedule — when two accesses are not ordered by
+//! happens-before.
+
+use crate::rt::with_rt;
+use std::panic::Location;
+
+#[derive(Debug)]
+pub struct UnsafeCell<T> {
+    obj: usize,
+    data: std::cell::UnsafeCell<T>,
+}
+
+// Mirrors loom: the checked cell is shareable; the runtime serializes all
+// physical access, and logical races are what the checker reports.
+unsafe impl<T: Send> Send for UnsafeCell<T> {}
+unsafe impl<T: Send> Sync for UnsafeCell<T> {}
+
+impl<T> UnsafeCell<T> {
+    #[track_caller]
+    pub fn new(data: T) -> Self {
+        let loc = Location::caller();
+        let obj = with_rt(|rt, tid| rt.cell_new(tid, loc));
+        UnsafeCell { obj, data: std::cell::UnsafeCell::new(data) }
+    }
+
+    /// Immutable access; records a read at the caller's source location.
+    #[track_caller]
+    pub fn with<R>(&self, f: impl FnOnce(*const T) -> R) -> R {
+        let loc = Location::caller();
+        with_rt(|rt, tid| rt.cell_read(tid, self.obj, loc));
+        f(self.data.get())
+    }
+
+    /// Mutable access; records a write at the caller's source location.
+    #[track_caller]
+    pub fn with_mut<R>(&self, f: impl FnOnce(*mut T) -> R) -> R {
+        let loc = Location::caller();
+        with_rt(|rt, tid| rt.cell_write(tid, self.obj, loc));
+        f(self.data.get())
+    }
+
+    pub fn into_inner(self) -> T {
+        self.data.into_inner()
+    }
+}

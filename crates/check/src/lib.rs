@@ -1,0 +1,183 @@
+//! # ross-check — deterministic concurrency model-checker for ross
+//!
+//! A loom-style checker purpose-built for the `ross` schedulers: shim
+//! synchronization types ([`sync`], [`cell`], [`thread`]) route every
+//! operation through a controlled scheduler that serializes the model's
+//! threads and explores the space of interleavings by depth-first search
+//! over scheduling decision points. Per-thread vector clocks track
+//! causality; unsynchronized accesses to [`cell::UnsafeCell`] data are
+//! reported as data races with both access sites and a replay schedule.
+//!
+//! ```
+//! use ross_check::sync::atomic::{AtomicU64, Ordering};
+//! use ross_check::sync::Arc;
+//!
+//! ross_check::model(|| {
+//!     let a = Arc::new(AtomicU64::new(0));
+//!     let b = a.clone();
+//!     let h = ross_check::thread::spawn(move || b.store(1, Ordering::Release));
+//!     let _ = a.load(Ordering::Acquire);
+//!     h.join().unwrap();
+//! });
+//! ```
+//!
+//! Every failure (assertion panic, data race, deadlock) is reported with a
+//! hex schedule string; re-run the same model with
+//! `ROSS_CHECK_REPLAY=<schedule>` (or [`Builder::replay`]) to replay that
+//! exact interleaving deterministically.
+
+pub mod cell;
+mod rt;
+pub mod sync;
+pub mod thread;
+
+pub use rt::path::Mode;
+
+use rt::path::Path;
+use rt::{Failure, Rt};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+/// Configures and runs a model exploration.
+#[derive(Clone, Debug)]
+pub struct Builder {
+    mode: Mode,
+    /// Loud upper bound on explored schedules (never a silent truncation).
+    pub max_paths: usize,
+    /// Loud upper bound on decision points per schedule.
+    pub max_branches: usize,
+    replay: Option<String>,
+    /// Log progress every N schedules (0 = quiet).
+    pub log_every: usize,
+}
+
+impl Default for Builder {
+    fn default() -> Self {
+        Builder {
+            mode: Mode::Dpor,
+            max_paths: 1_000_000,
+            max_branches: 50_000,
+            replay: None,
+            log_every: 0,
+        }
+    }
+}
+
+impl Builder {
+    pub fn new() -> Builder {
+        Builder::default()
+    }
+
+    /// Explore every runnable choice at every decision point. Only viable
+    /// for tiny models.
+    pub fn exhaustive(mut self) -> Builder {
+        self.mode = Mode::Exhaustive;
+        self
+    }
+
+    /// Dynamic partial-order reduction (the default): explores at least one
+    /// representative of every Mazurkiewicz trace, skipping reorderings of
+    /// independent operations.
+    pub fn dpor(mut self) -> Builder {
+        self.mode = Mode::Dpor;
+        self
+    }
+
+    /// CHESS-style bounded-preemption exploration: all schedules with at
+    /// most `bound` preemptions.
+    pub fn fringe(mut self, bound: u32) -> Builder {
+        self.mode = Mode::Fringe(bound);
+        self
+    }
+
+    pub fn max_paths(mut self, n: usize) -> Builder {
+        self.max_paths = n;
+        self
+    }
+
+    /// Replay exactly one schedule (as printed in a failure report).
+    pub fn replay(mut self, schedule: &str) -> Builder {
+        self.replay = Some(schedule.to_string());
+        self
+    }
+
+    /// Run `f` under the controlled scheduler until the schedule space is
+    /// exhausted. Returns the number of schedules explored. Panics — with
+    /// a replayable schedule string — on the first assertion failure, data
+    /// race, or deadlock.
+    pub fn check(&self, f: impl Fn()) -> usize {
+        let replay = match std::env::var("ROSS_CHECK_REPLAY") {
+            Ok(s) if !s.trim().is_empty() => Some(s),
+            _ => self.replay.clone(),
+        };
+        let replay = replay
+            .map(|s| Path::parse_schedule(&s).expect("invalid ROSS_CHECK_REPLAY schedule"))
+            .unwrap_or_default();
+        let mut path = Path::new(self.mode, replay, self.max_branches);
+        let mut executions: usize = 0;
+        loop {
+            executions += 1;
+            assert!(
+                executions <= self.max_paths,
+                "ross-check: exceeded max_paths = {} schedules without exhausting the \
+                 space; raise Builder::max_paths or use a bounded mode",
+                self.max_paths
+            );
+            if self.log_every != 0 && executions.is_multiple_of(self.log_every) {
+                eprintln!("ross-check: {executions} schedules explored...");
+            }
+            let rt = Arc::new(Rt::new(path));
+            rt::set_current(rt.clone(), 0);
+            let res = catch_unwind(AssertUnwindSafe(&f));
+            if res.is_ok() {
+                rt.finish_main();
+            }
+            rt::clear_current();
+            let (p, schedule, failure) = rt.take_results();
+            path = p;
+            match failure {
+                Some(Failure::Panic { schedule, payload }) => {
+                    eprintln!(
+                        "ross-check: model panicked on schedule \"{schedule}\" \
+                         (replay with ROSS_CHECK_REPLAY=\"{schedule}\")"
+                    );
+                    resume_unwind(payload);
+                }
+                Some(Failure::Race { schedule, detail }) => {
+                    panic!(
+                        "ross-check: data race: {detail} — schedule \"{schedule}\" \
+                         (replay with ROSS_CHECK_REPLAY=\"{schedule}\")"
+                    );
+                }
+                Some(Failure::Deadlock { schedule, detail }) => {
+                    panic!(
+                        "ross-check: deadlock: {detail} — schedule \"{schedule}\" \
+                         (replay with ROSS_CHECK_REPLAY=\"{schedule}\")"
+                    );
+                }
+                None => {
+                    if let Err(payload) = res {
+                        // A panic on the model thread outside any sync op
+                        // (plain assert between operations).
+                        let schedule = Path::schedule_string(&schedule);
+                        eprintln!(
+                            "ross-check: model panicked on schedule \"{schedule}\" \
+                             (replay with ROSS_CHECK_REPLAY=\"{schedule}\")"
+                        );
+                        resume_unwind(payload);
+                    }
+                }
+            }
+            if !path.step() {
+                break;
+            }
+        }
+        executions
+    }
+}
+
+/// Explore `f` with the default [`Builder`] (DPOR mode). Returns the
+/// number of schedules explored.
+pub fn model(f: impl Fn()) -> usize {
+    Builder::default().check(f)
+}

@@ -1,0 +1,803 @@
+//! The controlled runtime: a baton-passing scheduler that serializes every
+//! controlled thread, explores scheduling decision points via [`path::Path`],
+//! and tracks causality with vector clocks.
+//!
+//! Real OS threads are used (so real stacks, real `Send`/`Sync` checking),
+//! but exactly one controlled thread executes at any instant: each thread
+//! parks inside [`Rt::op_point`] until the scheduler hands it the baton.
+//! Every synchronization operation (atomic access, mutex lock, barrier wait,
+//! channel send/recv, join) is a *pending op* declared before parking; the
+//! scheduler only selects threads whose pending op is currently *enabled*,
+//! which is also how blocking and deadlock detection fall out naturally: a
+//! state with unfinished threads and no enabled op is a deadlock.
+
+pub(crate) mod path;
+pub(crate) mod vv;
+
+use path::{Mode, Path};
+use std::any::Any;
+use std::cell::RefCell;
+use std::collections::{HashMap, VecDeque};
+use std::panic::Location;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use vv::VersionVec;
+
+/// Maximum controlled threads per model (incl. the model closure itself).
+pub(crate) const MAX_THREADS: usize = 8;
+
+const NO_THREAD: usize = usize::MAX;
+
+thread_local! {
+    static CURRENT: RefCell<Option<(Arc<Rt>, usize)>> = const { RefCell::new(None) };
+}
+
+/// Marker payload used to unwind controlled threads once an execution has
+/// failed; caught (and swallowed) by the thread wrappers and the model loop.
+pub(crate) struct Abort;
+
+pub(crate) fn set_current(rt: Arc<Rt>, tid: usize) {
+    CURRENT.with(|c| *c.borrow_mut() = Some((rt, tid)));
+}
+
+pub(crate) fn clear_current() {
+    CURRENT.with(|c| *c.borrow_mut() = None);
+}
+
+/// Run `f` against the current thread's runtime handle. Panics (cleanly)
+/// when a shim type is used outside `ross_check::model`.
+pub(crate) fn with_rt<R>(f: impl FnOnce(&Arc<Rt>, usize) -> R) -> R {
+    CURRENT.with(|c| {
+        let b = c.borrow();
+        let (rt, tid) =
+            b.as_ref().expect("ross-check sync primitive used outside of ross_check::model()");
+        f(rt, *tid)
+    })
+}
+
+pub(crate) fn current_rt() -> (Arc<Rt>, usize) {
+    with_rt(|rt, tid| (rt.clone(), tid))
+}
+
+/// A pending synchronization operation, declared before parking.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum Op {
+    /// Thread start / plain yield — always enabled, never dependent.
+    Yield,
+    AtomicLoad(usize),
+    /// Store, rmw, or compare-exchange (conservatively write-class).
+    AtomicWrite(usize),
+    Lock(usize),
+    Send(usize),
+    Recv(usize),
+    /// Non-blocking receive — always enabled, dependent like `Recv`.
+    TryRecv(usize),
+    BarrierArrive(usize),
+    /// Wait for the barrier generation to advance past `gen`.
+    BarrierRelease(usize, u64),
+    /// Join on a finished controlled thread.
+    Join(usize),
+}
+
+impl Op {
+    /// DPOR dependency key: `(object class, id, is_read)`. `None` ⇒ the op
+    /// is independent of everything (commutative or thread-local).
+    fn dep_key(&self) -> Option<(u8, usize, bool)> {
+        match *self {
+            Op::AtomicLoad(o) => Some((0, o, true)),
+            Op::AtomicWrite(o) => Some((0, o, false)),
+            Op::Lock(o) => Some((1, o, false)),
+            // Sends conflict with each other (FIFO content order) and
+            // with `try_recv` (its Empty-vs-value outcome is order-
+            // sensitive). A *blocking* recv is a separate class: which
+            // message it returns is fully determined by the send order
+            // already explored via Send↔Send conflicts, and it cannot
+            // execute before the send that enables it — reordering it
+            // against sends only re-explores equivalent interleavings
+            // (this is what made message-passing protocols blow up).
+            Op::Send(o) | Op::TryRecv(o) => Some((2, o, false)),
+            Op::Recv(o) => Some((3, o, false)),
+            // Barrier arrivals/releases commute; yields and joins are
+            // ordered by other means.
+            Op::Yield | Op::BarrierArrive(_) | Op::BarrierRelease(_, _) | Op::Join(_) => None,
+        }
+    }
+}
+
+struct ThreadState {
+    pending: Option<Op>,
+    finished: bool,
+    clock: VersionVec,
+}
+
+struct AtomicState {
+    val: u64,
+    /// Release clock: the causal knowledge carried by the current value's
+    /// release sequence. Cleared by a relaxed store, joined by release
+    /// stores/rmws, acquired by acquire loads.
+    release: VersionVec,
+}
+
+struct MutexState {
+    locked_by: Option<usize>,
+    clock: VersionVec,
+}
+
+struct BarrierState {
+    n: usize,
+    arrived: usize,
+    gen: u64,
+    pending_clock: VersionVec,
+    release_clock: VersionVec,
+}
+
+struct ChanState {
+    /// Sender clock snapshots, FIFO with the shim-side value queue.
+    queue: VecDeque<VersionVec>,
+    senders: usize,
+}
+
+type CellAccess = (usize, u32, &'static Location<'static>);
+
+#[derive(Default)]
+struct CellState {
+    last_write: Option<CellAccess>,
+    /// Reads since the last write (at most one entry per thread).
+    reads: Vec<CellAccess>,
+}
+
+/// Per-object DPOR access history (branch indices of the latest accesses).
+#[derive(Default)]
+struct ObjHist {
+    /// `(tid, branch_idx, epoch)` of the most recent write-class op.
+    last_write: Option<(usize, usize, u32)>,
+    /// Most recent read-class op per thread.
+    reads: Vec<(usize, usize, u32)>,
+}
+
+pub(crate) enum Failure {
+    Deadlock { schedule: String, detail: String },
+    Race { schedule: String, detail: String },
+    Panic { schedule: String, payload: Box<dyn Any + Send> },
+}
+
+pub(crate) struct ExecState {
+    path: Option<Path>,
+    /// Index of the next decision point.
+    pos: usize,
+    active: usize,
+    /// Chosen thread per decision point (the replayable schedule).
+    schedule: Vec<usize>,
+    threads: Vec<ThreadState>,
+    atomics: Vec<AtomicState>,
+    mutexes: Vec<MutexState>,
+    barriers: Vec<BarrierState>,
+    chans: Vec<ChanState>,
+    cells: Vec<CellState>,
+    history: HashMap<(u8, usize), ObjHist>,
+    pub(crate) failure: Option<Failure>,
+}
+
+impl ExecState {
+    fn enabled(&self, op: Op) -> bool {
+        match op {
+            Op::Lock(o) => self.mutexes[o].locked_by.is_none(),
+            Op::Recv(o) => !self.chans[o].queue.is_empty() || self.chans[o].senders == 0,
+            Op::BarrierRelease(o, gen) => self.barriers[o].gen != gen,
+            Op::Join(t) => self.threads[t].finished,
+            _ => true,
+        }
+    }
+
+    fn runnable(&self) -> Vec<usize> {
+        self.threads
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| !t.finished && t.pending.is_some_and(|op| self.enabled(op)))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    fn all_finished(&self) -> bool {
+        self.threads.iter().all(|t| t.finished)
+    }
+
+    pub(crate) fn schedule_string(&self) -> String {
+        Path::schedule_string(&self.schedule)
+    }
+}
+
+pub(crate) struct Rt {
+    mu: Mutex<ExecState>,
+    cv: Condvar,
+}
+
+fn lock_state(mu: &Mutex<ExecState>) -> MutexGuard<'_, ExecState> {
+    mu.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+impl Rt {
+    pub(crate) fn new(path: Path) -> Rt {
+        let mut threads = Vec::with_capacity(MAX_THREADS);
+        threads.push(ThreadState { pending: None, finished: false, clock: VersionVec::new() });
+        Rt {
+            mu: Mutex::new(ExecState {
+                path: Some(path),
+                pos: 0,
+                active: 0,
+                schedule: Vec::new(),
+                threads,
+                atomics: Vec::new(),
+                mutexes: Vec::new(),
+                barriers: Vec::new(),
+                chans: Vec::new(),
+                cells: Vec::new(),
+                history: HashMap::new(),
+                failure: None,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn state(&self) -> MutexGuard<'_, ExecState> {
+        lock_state(&self.mu)
+    }
+
+    /// Abort the current thread unless it is already unwinding (a panic
+    /// inside a panic would abort the whole process).
+    fn abort() -> ! {
+        std::panic::resume_unwind(Box::new(Abort))
+    }
+
+    /// Declare `op` as this thread's next operation, hand the baton to the
+    /// scheduler, and return once this thread is scheduled to execute it.
+    /// Returns `false` when the execution has failed and the caller should
+    /// complete the operation inline without scheduling (unwind path).
+    fn op_point(&self, tid: usize, op: Op) -> bool {
+        let mut st = self.state();
+        if st.failure.is_some() {
+            drop(st);
+            if std::thread::panicking() {
+                return false;
+            }
+            Self::abort();
+        }
+        st.threads[tid].pending = Some(op);
+        self.pass_baton(&mut st, tid);
+        loop {
+            if st.failure.is_some() {
+                drop(st);
+                if std::thread::panicking() {
+                    return false;
+                }
+                Self::abort();
+            }
+            if st.active == tid {
+                break;
+            }
+            st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+        st.threads[tid].pending = None;
+        st.threads[tid].clock.tick(tid);
+        true
+    }
+
+    /// Pick the next thread to run. Called with the baton in hand (by the
+    /// active thread, or by a finishing/blocking one).
+    fn pass_baton(&self, st: &mut ExecState, from: usize) {
+        let runnable = st.runnable();
+        if runnable.is_empty() {
+            if st.all_finished() {
+                st.active = NO_THREAD;
+            } else {
+                let detail = st
+                    .threads
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, t)| !t.finished)
+                    .map(|(i, t)| format!("thread {i} blocked on {:?}", t.pending))
+                    .collect::<Vec<_>>()
+                    .join("; ");
+                st.failure = Some(Failure::Deadlock { schedule: st.schedule_string(), detail });
+            }
+            self.cv.notify_all();
+            return;
+        }
+        let chosen = if runnable.len() == 1 {
+            // Forced move: no decision point is recorded (nothing to
+            // explore), keeping paths short through serial phases.
+            runnable[0]
+        } else {
+            let idx = st.pos;
+            let path = st.path.as_mut().expect("path taken");
+            let chosen = path.schedule(idx, &runnable, from);
+            st.pos += 1;
+            st.schedule.push(chosen);
+            chosen
+        };
+        self.dpor_update(st, chosen);
+        st.active = chosen;
+        self.cv.notify_all();
+    }
+
+    /// Record the chosen thread's pending op in the per-object history and
+    /// queue DPOR backtrack points for earlier conflicting accesses that are
+    /// not already ordered by happens-before.
+    fn dpor_update(&self, st: &mut ExecState, chosen: usize) {
+        let op = match st.threads[chosen].pending {
+            Some(op) => op,
+            None => return,
+        };
+        let (class, id, is_read) = match op.dep_key() {
+            Some(k) => k,
+            None => return,
+        };
+        // Branch index this op is (approximately) attached to: the decision
+        // point just consumed, or the most recent one for forced moves
+        // (NO_BRANCH before the first real decision point).
+        const NO_BRANCH: usize = usize::MAX;
+        let here = if st.pos == 0 { NO_BRANCH } else { st.pos - 1 };
+        let clock = st.threads[chosen].clock;
+        let epoch = clock.get(chosen) + 1;
+        let dpor = st.path.as_ref().map(|p| p.mode == Mode::Dpor).unwrap_or(false);
+        let hist = st.history.entry((class, id)).or_default();
+        let mut marks: Vec<usize> = Vec::new();
+        if dpor {
+            if let Some((wt, widx, wep)) = hist.last_write {
+                if wt != chosen && widx != NO_BRANCH && widx <= here && !clock.dominates(wt, wep) {
+                    marks.push(widx);
+                }
+            }
+            if !is_read {
+                for &(rt, ridx, rep) in &hist.reads {
+                    if rt != chosen
+                        && ridx != NO_BRANCH
+                        && ridx <= here
+                        && !clock.dominates(rt, rep)
+                    {
+                        marks.push(ridx);
+                    }
+                }
+            }
+        }
+        if is_read {
+            if let Some(r) = hist.reads.iter_mut().find(|r| r.0 == chosen) {
+                *r = (chosen, here, epoch);
+            } else {
+                hist.reads.push((chosen, here, epoch));
+            }
+        } else {
+            hist.last_write = Some((chosen, here, epoch));
+            hist.reads.clear();
+        }
+        if !marks.is_empty() {
+            let path = st.path.as_mut().expect("path taken");
+            for m in marks {
+                path.mark_backtrack(m, chosen);
+            }
+        }
+    }
+
+    // ---- thread lifecycle -------------------------------------------------
+
+    /// Register a child thread (inline; the spawner holds the baton).
+    pub(crate) fn spawn_thread(&self, parent: usize) -> usize {
+        let mut st = self.state();
+        let tid = st.threads.len();
+        assert!(tid < MAX_THREADS, "ross-check: model spawned more than {MAX_THREADS} threads");
+        let clock = st.threads[parent].clock;
+        st.threads.push(ThreadState { pending: Some(Op::Yield), finished: false, clock });
+        // Fork is a release point: the parent's later accesses must not be
+        // covered by the clock the child inherited.
+        st.threads[parent].clock.tick(parent);
+        tid
+    }
+
+    /// First park of a child thread: wait until the scheduler first selects
+    /// it (its registered `Yield` start op).
+    pub(crate) fn start_thread(&self, tid: usize) {
+        let mut st = self.state();
+        loop {
+            if st.failure.is_some() {
+                drop(st);
+                Self::abort();
+            }
+            if st.active == tid {
+                break;
+            }
+            st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+        st.threads[tid].pending = None;
+        st.threads[tid].clock.tick(tid);
+    }
+
+    /// Normal completion of a child thread.
+    pub(crate) fn finish_thread(&self, tid: usize) {
+        let mut st = self.state();
+        st.threads[tid].finished = true;
+        st.threads[tid].pending = None;
+        if st.failure.is_none() {
+            self.pass_baton(&mut st, tid);
+        } else {
+            self.cv.notify_all();
+        }
+    }
+
+    /// Completion after an abort/panic: just mark finished and wake everyone.
+    pub(crate) fn finish_thread_aborted(&self, tid: usize) {
+        let mut st = self.state();
+        st.threads[tid].finished = true;
+        st.threads[tid].pending = None;
+        self.cv.notify_all();
+    }
+
+    /// Record a genuine user panic from thread `tid` as the execution's
+    /// failure (first panic wins) and wake all parked threads.
+    pub(crate) fn record_panic(&self, _tid: usize, payload: Box<dyn Any + Send>) {
+        let mut st = self.state();
+        if st.failure.is_none() {
+            st.failure = Some(Failure::Panic { schedule: st.schedule_string(), payload });
+        }
+        self.cv.notify_all();
+    }
+
+    /// Called by the model loop after the closure returns on thread 0:
+    /// keep scheduling children until everything has finished (or failed).
+    pub(crate) fn finish_main(&self) {
+        let mut st = self.state();
+        st.threads[0].finished = true;
+        st.threads[0].pending = None;
+        if st.failure.is_none() && !st.all_finished() {
+            self.pass_baton(&mut st, 0);
+        }
+        while !st.all_finished() && st.failure.is_none() {
+            st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Controlled join: block until `target` finishes, then acquire its
+    /// causal history.
+    pub(crate) fn join_thread(&self, tid: usize, target: usize) {
+        if self.op_point(tid, Op::Join(target)) {
+            let mut st = self.state();
+            let tclock = st.threads[target].clock;
+            st.threads[tid].clock.join(&tclock);
+        }
+    }
+
+    /// Tear down after an execution: hand back the path, the executed
+    /// schedule, and the failure (if any).
+    pub(crate) fn take_results(&self) -> (Path, Vec<usize>, Option<Failure>) {
+        let mut st = self.state();
+        let path = st.path.take().expect("path already taken");
+        let schedule = std::mem::take(&mut st.schedule);
+        let failure = st.failure.take();
+        (path, schedule, failure)
+    }
+
+    // ---- atomics ----------------------------------------------------------
+
+    pub(crate) fn atomic_new(&self, init: u64) -> usize {
+        let mut st = self.state();
+        st.atomics.push(AtomicState { val: init, release: VersionVec::new() });
+        st.atomics.len() - 1
+    }
+
+    pub(crate) fn atomic_load(&self, tid: usize, obj: usize, acquire: bool) -> u64 {
+        self.op_point(tid, Op::AtomicLoad(obj));
+        let mut st = self.state();
+        if acquire {
+            let rel = st.atomics[obj].release;
+            st.threads[tid].clock.join(&rel);
+        }
+        st.atomics[obj].val
+    }
+
+    pub(crate) fn atomic_store(&self, tid: usize, obj: usize, val: u64, release: bool) {
+        self.op_point(tid, Op::AtomicWrite(obj));
+        let mut st = self.state();
+        st.atomics[obj].val = val;
+        if release {
+            let clock = st.threads[tid].clock;
+            let rel = &mut st.atomics[obj].release;
+            rel.clear();
+            rel.join(&clock);
+            // Release point: later same-thread accesses are not published.
+            st.threads[tid].clock.tick(tid);
+        } else {
+            // A relaxed store begins a new, empty release sequence.
+            st.atomics[obj].release.clear();
+        }
+    }
+
+    /// Read-modify-write. Joins the release clock when `acquire`; continues
+    /// the release sequence (joining this thread's clock when `release`).
+    pub(crate) fn atomic_rmw(
+        &self,
+        tid: usize,
+        obj: usize,
+        acquire: bool,
+        release: bool,
+        f: impl FnOnce(u64) -> u64,
+    ) -> u64 {
+        self.op_point(tid, Op::AtomicWrite(obj));
+        let mut st = self.state();
+        let old = st.atomics[obj].val;
+        if acquire {
+            let rel = st.atomics[obj].release;
+            st.threads[tid].clock.join(&rel);
+        }
+        st.atomics[obj].val = f(old);
+        if release {
+            let clock = st.threads[tid].clock;
+            st.atomics[obj].release.join(&clock);
+            st.threads[tid].clock.tick(tid);
+        }
+        old
+    }
+
+    /// Compare-exchange: on success behaves like an rmw, on failure like a
+    /// load with the failure ordering.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn atomic_cas(
+        &self,
+        tid: usize,
+        obj: usize,
+        current: u64,
+        new: u64,
+        acquire: bool,
+        release: bool,
+        fail_acquire: bool,
+    ) -> Result<u64, u64> {
+        self.op_point(tid, Op::AtomicWrite(obj));
+        let mut st = self.state();
+        let val = st.atomics[obj].val;
+        if val == current {
+            if acquire {
+                let rel = st.atomics[obj].release;
+                st.threads[tid].clock.join(&rel);
+            }
+            st.atomics[obj].val = new;
+            if release {
+                let clock = st.threads[tid].clock;
+                st.atomics[obj].release.join(&clock);
+                st.threads[tid].clock.tick(tid);
+            }
+            Ok(val)
+        } else {
+            if fail_acquire {
+                let rel = st.atomics[obj].release;
+                st.threads[tid].clock.join(&rel);
+            }
+            Err(val)
+        }
+    }
+
+    // ---- mutexes ----------------------------------------------------------
+
+    pub(crate) fn mutex_new(&self) -> usize {
+        let mut st = self.state();
+        st.mutexes.push(MutexState { locked_by: None, clock: VersionVec::new() });
+        st.mutexes.len() - 1
+    }
+
+    pub(crate) fn mutex_lock(&self, tid: usize, obj: usize) {
+        self.op_point(tid, Op::Lock(obj));
+        let mut st = self.state();
+        debug_assert!(st.mutexes[obj].locked_by.is_none() || st.failure.is_some());
+        st.mutexes[obj].locked_by = Some(tid);
+        let clock = st.mutexes[obj].clock;
+        st.threads[tid].clock.join(&clock);
+    }
+
+    /// Unlock is inline (not a decision point): it only releases.
+    pub(crate) fn mutex_unlock(&self, tid: usize, obj: usize) {
+        let mut st = self.state();
+        if st.failure.is_some() {
+            st.mutexes[obj].locked_by = None;
+            return;
+        }
+        st.mutexes[obj].locked_by = None;
+        let clock = st.threads[tid].clock;
+        st.mutexes[obj].clock.join(&clock);
+        st.threads[tid].clock.tick(tid);
+    }
+
+    // ---- barriers ---------------------------------------------------------
+
+    pub(crate) fn barrier_new(&self, n: usize) -> usize {
+        let mut st = self.state();
+        st.barriers.push(BarrierState {
+            n,
+            arrived: 0,
+            gen: 0,
+            pending_clock: VersionVec::new(),
+            release_clock: VersionVec::new(),
+        });
+        st.barriers.len() - 1
+    }
+
+    /// Returns `true` for the releasing (leader) arrival.
+    pub(crate) fn barrier_wait(&self, tid: usize, obj: usize) -> bool {
+        self.op_point(tid, Op::BarrierArrive(obj));
+        let my_gen;
+        {
+            let mut st = self.state();
+            let clock = st.threads[tid].clock;
+            let b = &mut st.barriers[obj];
+            b.pending_clock.join(&clock);
+            b.arrived += 1;
+            if b.arrived == b.n {
+                b.arrived = 0;
+                b.gen += 1;
+                b.release_clock = b.pending_clock;
+                let rel = b.release_clock;
+                st.threads[tid].clock.join(&rel);
+                // Arrival published this thread's clock: release point.
+                st.threads[tid].clock.tick(tid);
+                return true;
+            }
+            my_gen = b.gen;
+            st.threads[tid].clock.tick(tid);
+        }
+        self.op_point(tid, Op::BarrierRelease(obj, my_gen));
+        let mut st = self.state();
+        let rel = st.barriers[obj].release_clock;
+        st.threads[tid].clock.join(&rel);
+        false
+    }
+
+    // ---- channels ---------------------------------------------------------
+
+    pub(crate) fn chan_new(&self) -> usize {
+        let mut st = self.state();
+        st.chans.push(ChanState { queue: VecDeque::new(), senders: 1 });
+        st.chans.len() - 1
+    }
+
+    pub(crate) fn chan_send(&self, tid: usize, obj: usize) {
+        self.op_point(tid, Op::Send(obj));
+        let mut st = self.state();
+        let clock = st.threads[tid].clock;
+        st.chans[obj].queue.push_back(clock);
+        st.threads[tid].clock.tick(tid);
+    }
+
+    /// Blocking receive; `Err(())` means all senders disconnected.
+    pub(crate) fn chan_recv(&self, tid: usize, obj: usize) -> Result<(), ()> {
+        self.op_point(tid, Op::Recv(obj));
+        let mut st = self.state();
+        match st.chans[obj].queue.pop_front() {
+            Some(c) => {
+                st.threads[tid].clock.join(&c);
+                Ok(())
+            }
+            None => Err(()),
+        }
+    }
+
+    /// Non-blocking receive: `Ok(true)` got a message, `Ok(false)` empty,
+    /// `Err(())` empty and disconnected.
+    pub(crate) fn chan_try_recv(&self, tid: usize, obj: usize) -> Result<bool, ()> {
+        self.op_point(tid, Op::TryRecv(obj));
+        let mut st = self.state();
+        match st.chans[obj].queue.pop_front() {
+            Some(c) => {
+                st.threads[tid].clock.join(&c);
+                Ok(true)
+            }
+            None if st.chans[obj].senders == 0 => Err(()),
+            None => Ok(false),
+        }
+    }
+
+    pub(crate) fn chan_sender_cloned(&self, obj: usize) {
+        let mut st = self.state();
+        st.chans[obj].senders += 1;
+    }
+
+    pub(crate) fn chan_sender_dropped(&self, obj: usize) {
+        let mut st = self.state();
+        st.chans[obj].senders = st.chans[obj].senders.saturating_sub(1);
+    }
+
+    // ---- cells (race detection proper) ------------------------------------
+
+    /// Register a cell. Construction counts as a write by the creating
+    /// thread, so a reader that never synchronizes with the creator races
+    /// with the initialization itself.
+    pub(crate) fn cell_new(&self, tid: usize, loc: &'static Location<'static>) -> usize {
+        let mut st = self.state();
+        let epoch = st.threads[tid].clock.get(tid);
+        st.cells.push(CellState { last_write: Some((tid, epoch, loc)), reads: Vec::new() });
+        st.cells.len() - 1
+    }
+
+    fn report_race(
+        &self,
+        st: &mut ExecState,
+        what: &str,
+        a: CellAccess,
+        b: (usize, &'static Location<'static>),
+    ) -> ! {
+        if st.failure.is_none() {
+            let detail = format!(
+                "{what}: thread {} at {} is unsynchronized with thread {} at {}",
+                a.0, a.2, b.0, b.1
+            );
+            st.failure = Some(Failure::Race { schedule: st.schedule_string(), detail });
+        }
+        self.cv.notify_all();
+        Self::abort();
+    }
+
+    pub(crate) fn cell_read(&self, tid: usize, obj: usize, loc: &'static Location<'static>) {
+        let mut st = self.state();
+        if st.failure.is_some() {
+            return;
+        }
+        let clock = st.threads[tid].clock;
+        if let Some(w) = st.cells[obj].last_write {
+            if w.0 != tid && !clock.dominates(w.0, w.1) {
+                self.report_race(&mut st, "write/read race", w, (tid, loc));
+            }
+        }
+        let epoch = clock.get(tid);
+        let cell = &mut st.cells[obj];
+        if let Some(r) = cell.reads.iter_mut().find(|r| r.0 == tid) {
+            *r = (tid, epoch, loc);
+        } else {
+            cell.reads.push((tid, epoch, loc));
+        }
+    }
+
+    pub(crate) fn cell_write(&self, tid: usize, obj: usize, loc: &'static Location<'static>) {
+        let mut st = self.state();
+        if st.failure.is_some() {
+            return;
+        }
+        let clock = st.threads[tid].clock;
+        if let Some(w) = st.cells[obj].last_write {
+            if w.0 != tid && !clock.dominates(w.0, w.1) {
+                self.report_race(&mut st, "write/write race", w, (tid, loc));
+            }
+        }
+        let racy_read =
+            st.cells[obj].reads.iter().find(|r| r.0 != tid && !clock.dominates(r.0, r.1)).copied();
+        if let Some(r) = racy_read {
+            self.report_race(&mut st, "read/write race", r, (tid, loc));
+        }
+        let epoch = clock.get(tid);
+        let cell = &mut st.cells[obj];
+        cell.reads.clear();
+        cell.last_write = Some((tid, epoch, loc));
+    }
+
+    /// Explicit yield — a plain decision point with no dependency.
+    pub(crate) fn yield_now(&self, tid: usize) {
+        self.op_point(tid, Op::Yield);
+    }
+}
+
+/// Wrapper running a child thread's body under the controlled scheduler.
+/// Returns `None` when the execution aborted before the body completed.
+pub(crate) fn run_child<T>(rt: Arc<Rt>, tid: usize, f: impl FnOnce() -> T) -> Option<T> {
+    set_current(rt.clone(), tid);
+    let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        rt.start_thread(tid);
+        f()
+    }));
+    clear_current();
+    match res {
+        Ok(v) => {
+            rt.finish_thread(tid);
+            Some(v)
+        }
+        Err(payload) => {
+            if !payload.is::<Abort>() {
+                rt.record_panic(tid, payload);
+            }
+            rt.finish_thread_aborted(tid);
+            None
+        }
+    }
+}

@@ -1,0 +1,241 @@
+//! The exploration path: a DFS over scheduling decision points.
+//!
+//! One `Branch` is recorded per decision point (a point where more than one
+//! thread was runnable). Re-running the model closure while replaying the
+//! recorded `chosen` prefix deterministically reproduces a schedule; after
+//! each execution [`Path::step`] backtracks to the deepest branch with an
+//! unexplored alternative and truncates everything after it.
+//!
+//! Three exploration modes are supported:
+//!
+//! * **Exhaustive** — every runnable thread at every branch is explored.
+//!   Only tractable for tiny models (a handful of threads × tens of ops).
+//! * **Dpor** — dynamic partial-order reduction (Flanagan–Godefroid style):
+//!   alternatives are only queued at a branch when a later operation by a
+//!   different thread is *dependent* (same object, not both reads) on the
+//!   operation scheduled there. Conservative dependences, so it explores a
+//!   superset of one representative per Mazurkiewicz trace.
+//! * **Fringe(n)** — CHESS-style iterative preemption bounding: explore all
+//!   schedules with at most `n` preemptions (context switches at a point
+//!   where the previous thread could have continued).
+
+/// How the schedule space is walked.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Mode {
+    /// Explore every runnable choice at every branch.
+    Exhaustive,
+    /// Dynamic partial-order reduction (default).
+    Dpor,
+    /// Bounded-preemption "fringe" exploration.
+    Fringe(u32),
+}
+
+/// One scheduling decision point.
+#[derive(Clone, Debug)]
+pub(crate) struct Branch {
+    /// Threads that were runnable (enabled, unfinished) at this point.
+    pub(crate) runnable: Vec<usize>,
+    /// The thread scheduled on the current path.
+    pub(crate) chosen: usize,
+    /// Thread that was running immediately before this point (used for
+    /// preemption accounting).
+    pub(crate) prev: usize,
+    /// Preemptions accumulated on the path strictly before this branch.
+    pub(crate) preempts_before: u32,
+    /// Choices already explored from this branch.
+    pub(crate) explored: Vec<usize>,
+    /// Choices that still must be explored (DPOR backtrack set; in
+    /// Exhaustive/Fringe modes this is seeded with every runnable thread).
+    pub(crate) backtrack: Vec<usize>,
+}
+
+impl Branch {
+    fn is_preemption(&self, choice: usize) -> bool {
+        choice != self.prev && self.runnable.contains(&self.prev)
+    }
+}
+
+/// A (re-executable) path through the schedule space.
+pub(crate) struct Path {
+    pub(crate) mode: Mode,
+    pub(crate) branches: Vec<Branch>,
+    /// Fixed schedule to replay (from `ROSS_CHECK_REPLAY` or
+    /// `Builder::replay`); consulted when a branch is first created.
+    pub(crate) replay: Vec<usize>,
+    /// Hard cap on branches per execution — a loud failure, never silent.
+    pub(crate) max_branches: usize,
+}
+
+impl Path {
+    pub(crate) fn new(mode: Mode, replay: Vec<usize>, max_branches: usize) -> Path {
+        Path { mode, branches: Vec::new(), replay, max_branches }
+    }
+
+    /// Return the scheduled thread for decision point `idx`, creating the
+    /// branch if this is the first execution to reach it. `runnable` must be
+    /// non-empty and sorted.
+    pub(crate) fn schedule(&mut self, idx: usize, runnable: &[usize], prev: usize) -> usize {
+        if let Some(b) = self.branches.get(idx) {
+            debug_assert_eq!(
+                b.runnable, runnable,
+                "non-deterministic model: runnable set changed on replay"
+            );
+            return b.chosen;
+        }
+        assert!(
+            idx < self.max_branches,
+            "ross-check: path exceeded {} branches — model too large for exhaustive \
+             exploration; use Builder::fringe or shrink the model",
+            self.max_branches
+        );
+        let preempts_before = self
+            .branches
+            .last()
+            .map(|b| b.preempts_before + b.is_preemption(b.chosen) as u32)
+            .unwrap_or(0);
+        // Default choice: keep the previous thread running when possible
+        // (fewest preemptions first), otherwise the lowest runnable id.
+        let chosen =
+            self.replay.get(idx).copied().filter(|c| runnable.contains(c)).unwrap_or_else(|| {
+                if runnable.contains(&prev) {
+                    prev
+                } else {
+                    runnable[0]
+                }
+            });
+        let backtrack = match self.mode {
+            Mode::Dpor => vec![chosen],
+            Mode::Exhaustive | Mode::Fringe(_) => runnable.to_vec(),
+        };
+        self.branches.push(Branch {
+            runnable: runnable.to_vec(),
+            chosen,
+            prev,
+            preempts_before,
+            explored: vec![chosen],
+            backtrack,
+        });
+        chosen
+    }
+
+    /// DPOR: queue `tid` for exploration at branch `idx`. If `tid` was not
+    /// runnable there, conservatively queue every runnable thread.
+    pub(crate) fn mark_backtrack(&mut self, idx: usize, tid: usize) {
+        let b = &mut self.branches[idx];
+        if b.runnable.contains(&tid) {
+            if !b.backtrack.contains(&tid) {
+                b.backtrack.push(tid);
+            }
+        } else {
+            for &t in &b.runnable {
+                if !b.backtrack.contains(&t) {
+                    b.backtrack.push(t);
+                }
+            }
+        }
+    }
+
+    /// Backtrack to the deepest branch with an unexplored alternative,
+    /// truncating everything after it. Returns `false` when the space is
+    /// exhausted.
+    pub(crate) fn step(&mut self) -> bool {
+        // Replay mode runs exactly one execution.
+        if !self.replay.is_empty() {
+            return false;
+        }
+        while let Some(b) = self.branches.last_mut() {
+            let bound = match self.mode {
+                Mode::Fringe(n) => Some(n),
+                _ => None,
+            };
+            let next = b.backtrack.iter().copied().find(|&c| {
+                if b.explored.contains(&c) {
+                    return false;
+                }
+                match bound {
+                    Some(n) => b.preempts_before + b.is_preemption(c) as u32 <= n,
+                    None => true,
+                }
+            });
+            match next {
+                Some(c) => {
+                    b.chosen = c;
+                    b.explored.push(c);
+                    return true;
+                }
+                None => {
+                    self.branches.pop();
+                }
+            }
+        }
+        false
+    }
+
+    /// Serialize the executed schedule prefix as one hex digit per branch.
+    pub(crate) fn schedule_string(schedule: &[usize]) -> String {
+        schedule.iter().map(|&t| char::from_digit(t as u32, 16).unwrap()).collect()
+    }
+
+    /// Parse a schedule string produced by [`Path::schedule_string`].
+    pub(crate) fn parse_schedule(s: &str) -> Result<Vec<usize>, String> {
+        s.trim()
+            .chars()
+            .map(|c| {
+                c.to_digit(16)
+                    .map(|d| d as usize)
+                    .ok_or_else(|| format!("invalid schedule digit {c:?} in {s:?}"))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn explore_all(mode: Mode, runnables: &[&[usize]]) -> Vec<Vec<usize>> {
+        // Simulate a model whose decision points always present the given
+        // runnable sets, collecting every explored schedule.
+        let mut path = Path::new(mode, Vec::new(), 1000);
+        let mut out = Vec::new();
+        loop {
+            let mut sched = Vec::new();
+            let mut prev = 0;
+            for (i, r) in runnables.iter().enumerate() {
+                let c = path.schedule(i, r, prev);
+                sched.push(c);
+                prev = c;
+            }
+            out.push(sched);
+            if !path.step() {
+                break;
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn exhaustive_enumerates_product() {
+        let scheds = explore_all(Mode::Exhaustive, &[&[0, 1], &[0, 1]]);
+        assert_eq!(scheds.len(), 4);
+        let uniq: std::collections::BTreeSet<_> = scheds.into_iter().collect();
+        assert_eq!(uniq.len(), 4);
+    }
+
+    #[test]
+    fn fringe_zero_allows_no_preemption() {
+        // With bound 0 the previous thread must keep running while runnable.
+        let scheds = explore_all(Mode::Fringe(0), &[&[0, 1], &[0, 1]]);
+        // First branch: prev=0 runnable, so only 0 is within bound; second
+        // likewise. Only one schedule survives.
+        assert_eq!(scheds, vec![vec![0, 0]]);
+    }
+
+    #[test]
+    fn schedule_roundtrip() {
+        let s = Path::schedule_string(&[0, 1, 7, 2]);
+        assert_eq!(s, "0172");
+        assert_eq!(Path::parse_schedule(&s).unwrap(), vec![0, 1, 7, 2]);
+        assert!(Path::parse_schedule("zz").is_err());
+    }
+}

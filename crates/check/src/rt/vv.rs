@@ -1,0 +1,86 @@
+//! Version vectors (vector clocks) — the causality backbone.
+//!
+//! Every controlled thread carries a `VersionVec`; every synchronization
+//! object carries one or more. A happens-before edge from thread `a` to
+//! thread `b` is established by joining `a`'s clock into an object's clock
+//! at a release point and joining the object's clock into `b`'s at the
+//! matching acquire point. Two accesses are concurrent (and therefore a
+//! candidate data race) iff neither clock dominates the other's epoch.
+
+use crate::rt::MAX_THREADS;
+
+/// A fixed-width vector clock, one component per controlled thread.
+#[derive(Clone, Copy, PartialEq, Eq, Default)]
+pub(crate) struct VersionVec {
+    v: [u32; MAX_THREADS],
+}
+
+impl VersionVec {
+    pub(crate) fn new() -> Self {
+        VersionVec::default()
+    }
+
+    /// The component for thread `tid` — the newest event of `tid` that
+    /// this clock has observed.
+    #[inline]
+    pub(crate) fn get(&self, tid: usize) -> u32 {
+        self.v[tid]
+    }
+
+    /// Advance this thread's own component (called once per scheduled
+    /// operation, so every access has a distinct epoch).
+    #[inline]
+    pub(crate) fn tick(&mut self, tid: usize) {
+        self.v[tid] += 1;
+    }
+
+    /// Pointwise maximum: after `a.join(b)`, `a` has observed everything
+    /// either clock had observed.
+    #[inline]
+    pub(crate) fn join(&mut self, other: &VersionVec) {
+        for i in 0..MAX_THREADS {
+            if other.v[i] > self.v[i] {
+                self.v[i] = other.v[i];
+            }
+        }
+    }
+
+    /// Forget everything: used when a plain relaxed store begins a new
+    /// (empty) release sequence on an atomic.
+    #[inline]
+    pub(crate) fn clear(&mut self) {
+        self.v = [0; MAX_THREADS];
+    }
+
+    /// Does this clock dominate the epoch `(tid, n)` — i.e. has the owner
+    /// of this clock observed event `n` of thread `tid`?
+    #[inline]
+    pub(crate) fn dominates(&self, tid: usize, n: u32) -> bool {
+        self.v[tid] >= n
+    }
+}
+
+impl std::fmt::Debug for VersionVec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "vv{:?}", &self.v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_is_pointwise_max() {
+        let mut a = VersionVec::new();
+        let mut b = VersionVec::new();
+        a.tick(0);
+        a.tick(0);
+        b.tick(1);
+        a.join(&b);
+        assert_eq!(a.get(0), 2);
+        assert_eq!(a.get(1), 1);
+        assert!(a.dominates(1, 1));
+        assert!(!a.dominates(1, 2));
+    }
+}

@@ -1,0 +1,216 @@
+//! Checked atomic types mirroring `std::sync::atomic`.
+//!
+//! Values live in the controlled runtime; every access is a scheduling
+//! decision point. Memory orderings are modeled on the happens-before
+//! level: release stores publish the writer's vector clock on the atomic's
+//! release sequence, acquire loads join it; relaxed stores begin a new,
+//! empty release sequence; rmw operations continue the existing release
+//! sequence regardless of their own ordering (C++11 release-sequence
+//! rules). `SeqCst` is modeled as `AcqRel` (no global order is tracked).
+
+pub use std::sync::atomic::Ordering;
+
+use crate::rt::with_rt;
+use std::marker::PhantomData;
+
+fn acq(o: Ordering) -> bool {
+    matches!(o, Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst)
+}
+
+fn rel(o: Ordering) -> bool {
+    matches!(o, Ordering::Release | Ordering::AcqRel | Ordering::SeqCst)
+}
+
+macro_rules! int_atomic {
+    ($name:ident, $ty:ty) => {
+        /// Checked counterpart of the std atomic of the same name.
+        #[derive(Debug)]
+        pub struct $name {
+            obj: usize,
+        }
+
+        impl $name {
+            #[allow(clippy::new_without_default)]
+            pub fn new(v: $ty) -> Self {
+                let obj = with_rt(|rt, _| rt.atomic_new(v as u64));
+                $name { obj }
+            }
+
+            pub fn load(&self, order: Ordering) -> $ty {
+                with_rt(|rt, tid| rt.atomic_load(tid, self.obj, acq(order))) as $ty
+            }
+
+            pub fn store(&self, val: $ty, order: Ordering) {
+                with_rt(|rt, tid| rt.atomic_store(tid, self.obj, val as u64, rel(order)))
+            }
+
+            pub fn swap(&self, val: $ty, order: Ordering) -> $ty {
+                with_rt(|rt, tid| {
+                    rt.atomic_rmw(tid, self.obj, acq(order), rel(order), |_| val as u64)
+                }) as $ty
+            }
+
+            pub fn fetch_add(&self, val: $ty, order: Ordering) -> $ty {
+                with_rt(|rt, tid| {
+                    rt.atomic_rmw(tid, self.obj, acq(order), rel(order), |v| {
+                        (v as $ty).wrapping_add(val) as u64
+                    })
+                }) as $ty
+            }
+
+            pub fn fetch_sub(&self, val: $ty, order: Ordering) -> $ty {
+                with_rt(|rt, tid| {
+                    rt.atomic_rmw(tid, self.obj, acq(order), rel(order), |v| {
+                        (v as $ty).wrapping_sub(val) as u64
+                    })
+                }) as $ty
+            }
+
+            pub fn fetch_max(&self, val: $ty, order: Ordering) -> $ty {
+                with_rt(|rt, tid| {
+                    rt.atomic_rmw(tid, self.obj, acq(order), rel(order), |v| {
+                        (v as $ty).max(val) as u64
+                    })
+                }) as $ty
+            }
+
+            pub fn fetch_min(&self, val: $ty, order: Ordering) -> $ty {
+                with_rt(|rt, tid| {
+                    rt.atomic_rmw(tid, self.obj, acq(order), rel(order), |v| {
+                        (v as $ty).min(val) as u64
+                    })
+                }) as $ty
+            }
+
+            pub fn compare_exchange(
+                &self,
+                current: $ty,
+                new: $ty,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$ty, $ty> {
+                with_rt(|rt, tid| {
+                    rt.atomic_cas(
+                        tid,
+                        self.obj,
+                        current as u64,
+                        new as u64,
+                        acq(success),
+                        rel(success),
+                        acq(failure),
+                    )
+                })
+                .map(|v| v as $ty)
+                .map_err(|v| v as $ty)
+            }
+
+            pub fn compare_exchange_weak(
+                &self,
+                current: $ty,
+                new: $ty,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$ty, $ty> {
+                // No spurious failures are modeled.
+                self.compare_exchange(current, new, success, failure)
+            }
+        }
+    };
+}
+
+int_atomic!(AtomicU64, u64);
+int_atomic!(AtomicUsize, usize);
+int_atomic!(AtomicU32, u32);
+
+/// Checked counterpart of `std::sync::atomic::AtomicBool`.
+#[derive(Debug)]
+pub struct AtomicBool {
+    obj: usize,
+}
+
+impl AtomicBool {
+    pub fn new(v: bool) -> Self {
+        let obj = with_rt(|rt, _| rt.atomic_new(v as u64));
+        AtomicBool { obj }
+    }
+
+    pub fn load(&self, order: Ordering) -> bool {
+        with_rt(|rt, tid| rt.atomic_load(tid, self.obj, acq(order))) != 0
+    }
+
+    pub fn store(&self, val: bool, order: Ordering) {
+        with_rt(|rt, tid| rt.atomic_store(tid, self.obj, val as u64, rel(order)))
+    }
+
+    pub fn swap(&self, val: bool, order: Ordering) -> bool {
+        with_rt(|rt, tid| rt.atomic_rmw(tid, self.obj, acq(order), rel(order), |_| val as u64)) != 0
+    }
+
+    pub fn fetch_or(&self, val: bool, order: Ordering) -> bool {
+        with_rt(|rt, tid| rt.atomic_rmw(tid, self.obj, acq(order), rel(order), |v| v | val as u64))
+            != 0
+    }
+}
+
+/// Checked counterpart of `std::sync::atomic::AtomicPtr`.
+#[derive(Debug)]
+pub struct AtomicPtr<T> {
+    obj: usize,
+    _marker: PhantomData<*mut T>,
+}
+
+unsafe impl<T> Send for AtomicPtr<T> {}
+unsafe impl<T> Sync for AtomicPtr<T> {}
+
+impl<T> AtomicPtr<T> {
+    pub fn new(p: *mut T) -> Self {
+        let obj = with_rt(|rt, _| rt.atomic_new(p as usize as u64));
+        AtomicPtr { obj, _marker: PhantomData }
+    }
+
+    pub fn load(&self, order: Ordering) -> *mut T {
+        with_rt(|rt, tid| rt.atomic_load(tid, self.obj, acq(order))) as usize as *mut T
+    }
+
+    pub fn store(&self, p: *mut T, order: Ordering) {
+        with_rt(|rt, tid| rt.atomic_store(tid, self.obj, p as usize as u64, rel(order)))
+    }
+
+    pub fn swap(&self, p: *mut T, order: Ordering) -> *mut T {
+        with_rt(|rt, tid| {
+            rt.atomic_rmw(tid, self.obj, acq(order), rel(order), |_| p as usize as u64)
+        }) as usize as *mut T
+    }
+
+    pub fn compare_exchange(
+        &self,
+        current: *mut T,
+        new: *mut T,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<*mut T, *mut T> {
+        with_rt(|rt, tid| {
+            rt.atomic_cas(
+                tid,
+                self.obj,
+                current as usize as u64,
+                new as usize as u64,
+                acq(success),
+                rel(success),
+                acq(failure),
+            )
+        })
+        .map(|v| v as usize as *mut T)
+        .map_err(|v| v as usize as *mut T)
+    }
+
+    pub fn compare_exchange_weak(
+        &self,
+        current: *mut T,
+        new: *mut T,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<*mut T, *mut T> {
+        self.compare_exchange(current, new, success, failure)
+    }
+}

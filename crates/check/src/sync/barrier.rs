@@ -1,0 +1,33 @@
+//! Checked barrier mirroring `std::sync::Barrier`.
+
+use crate::rt::with_rt;
+
+pub struct Barrier {
+    obj: usize,
+    n: usize,
+}
+
+impl Barrier {
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "Barrier::new(0)");
+        let obj = with_rt(|rt, _| rt.barrier_new(n));
+        Barrier { obj, n }
+    }
+
+    pub fn wait(&self) -> BarrierWaitResult {
+        if self.n == 1 {
+            return BarrierWaitResult(true);
+        }
+        let leader = with_rt(|rt, tid| (rt.clone(), tid));
+        let (rt, tid) = leader;
+        BarrierWaitResult(rt.barrier_wait(tid, self.obj))
+    }
+}
+
+pub struct BarrierWaitResult(bool);
+
+impl BarrierWaitResult {
+    pub fn is_leader(&self) -> bool {
+        self.0
+    }
+}

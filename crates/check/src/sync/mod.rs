@@ -1,0 +1,15 @@
+//! Shim synchronization types. Inside `ross_check::model()` these replace
+//! the std / parking_lot primitives one-for-one; `ross`'s `crate::sync`
+//! alias module selects between them and the real types via
+//! `cfg(union_check)`.
+
+pub mod atomic;
+pub mod barrier;
+pub mod mpsc;
+pub mod mutex;
+
+pub use barrier::{Barrier, BarrierWaitResult};
+pub use mutex::{Mutex, MutexGuard};
+// Arc's own reference counting is trusted (it is std's, and sound); only
+// the data-flow primitives are modeled.
+pub use std::sync::Arc;

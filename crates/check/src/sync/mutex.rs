@@ -1,0 +1,61 @@
+//! Checked mutex with the `parking_lot` API shape (`lock()` returns the
+//! guard directly, no poisoning) — the shape `ross` uses in production.
+
+use crate::rt::with_rt;
+use std::cell::UnsafeCell;
+use std::ops::{Deref, DerefMut};
+
+pub struct Mutex<T> {
+    obj: usize,
+    data: UnsafeCell<T>,
+}
+
+// Same bounds as parking_lot / std.
+unsafe impl<T: Send> Send for Mutex<T> {}
+unsafe impl<T: Send> Sync for Mutex<T> {}
+
+impl<T> Mutex<T> {
+    pub fn new(data: T) -> Self {
+        let obj = with_rt(|rt, _| rt.mutex_new());
+        Mutex { obj, data: UnsafeCell::new(data) }
+    }
+
+    /// Acquire the lock (a scheduling decision point; blocks the controlled
+    /// thread while another holds it).
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        with_rt(|rt, tid| rt.mutex_lock(tid, self.obj));
+        MutexGuard { mutex: self }
+    }
+
+    pub fn get_mut(&mut self) -> &mut T {
+        self.data.get_mut()
+    }
+
+    pub fn into_inner(self) -> T {
+        self.data.into_inner()
+    }
+}
+
+pub struct MutexGuard<'a, T> {
+    mutex: &'a Mutex<T>,
+}
+
+impl<T> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // Exclusive by the lock discipline; the runtime serializes threads.
+        unsafe { &*self.mutex.data.get() }
+    }
+}
+
+impl<T> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        unsafe { &mut *self.mutex.data.get() }
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        with_rt(|rt, tid| rt.mutex_unlock(tid, self.mutex.obj));
+    }
+}

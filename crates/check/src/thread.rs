@@ -1,0 +1,121 @@
+//! Controlled threads: real OS threads serialized by the runtime's baton.
+//! Mirrors the `std::thread` spawn/scope API surface `ross` uses.
+
+use crate::rt::{self, current_rt, run_child, Abort, Rt};
+use std::cell::RefCell;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+pub use std::thread::Result;
+
+/// Controlled counterpart of `std::thread::spawn`.
+pub fn spawn<T, F>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    let (rt, parent) = current_rt();
+    let tid = rt.spawn_thread(parent);
+    let rt2 = rt.clone();
+    let real = std::thread::spawn(move || run_child(rt2, tid, f));
+    JoinHandle { tid, real }
+}
+
+pub struct JoinHandle<T> {
+    tid: usize,
+    real: std::thread::JoinHandle<Option<T>>,
+}
+
+impl<T> JoinHandle<T> {
+    pub fn join(self) -> Result<T> {
+        let (rt, me) = current_rt();
+        rt.join_thread(me, self.tid);
+        match self.real.join() {
+            Ok(Some(v)) => Ok(v),
+            // The child aborted: the execution has failed and join_thread
+            // would normally have unwound us already; bail out the same way.
+            Ok(None) => resume_unwind(Box::new(Abort)),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+/// Controlled counterpart of `std::thread::yield_now` — a plain decision
+/// point with no dependency, useful to widen exploration in tests.
+pub fn yield_now() {
+    let (rt, tid) = current_rt();
+    rt.yield_now(tid);
+}
+
+/// Controlled counterpart of `std::thread::scope`.
+///
+/// Children are controlled-joined (baton discipline) before the underlying
+/// std scope performs its real joins, so the real joins never block on a
+/// thread that is still waiting to be scheduled.
+pub fn scope<'env, F, T>(f: F) -> T
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> T,
+{
+    let (rt, me) = current_rt();
+    std::thread::scope(|s| {
+        let scope = Scope { std: s, rt: rt.clone(), children: RefCell::new(Vec::new()) };
+        let out = catch_unwind(AssertUnwindSafe(|| f(&scope)));
+        match out {
+            Ok(v) => {
+                for tid in scope.children.take() {
+                    rt.join_thread(me, tid);
+                }
+                v
+            }
+            Err(payload) => {
+                // Mark the execution failed (waking all parked children so
+                // the std scope's real joins can complete), then unwind.
+                if !payload.is::<Abort>() {
+                    rt.record_panic(me, payload);
+                }
+                resume_unwind(Box::new(Abort));
+            }
+        }
+    })
+}
+
+pub struct Scope<'scope, 'env: 'scope> {
+    std: &'scope std::thread::Scope<'scope, 'env>,
+    rt: Arc<Rt>,
+    children: RefCell<Vec<usize>>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    // `&self` (not `&'scope self`): the callback only holds a short
+    // borrow of the Scope, and `Scope` is invariant over `'scope`; the
+    // `'scope`-lived std handle is copied out of the field instead.
+    pub fn spawn<T, F>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce() -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let me = rt::with_rt(|_, tid| tid);
+        let tid = self.rt.spawn_thread(me);
+        let rt = self.rt.clone();
+        let real = self.std.spawn(move || run_child(rt, tid, f));
+        self.children.borrow_mut().push(tid);
+        ScopedJoinHandle { tid, real }
+    }
+}
+
+pub struct ScopedJoinHandle<'scope, T> {
+    tid: usize,
+    real: std::thread::ScopedJoinHandle<'scope, Option<T>>,
+}
+
+impl<T> ScopedJoinHandle<'_, T> {
+    pub fn join(self) -> Result<T> {
+        let (rt, me) = current_rt();
+        rt.join_thread(me, self.tid);
+        match self.real.join() {
+            Ok(Some(v)) => Ok(v),
+            Ok(None) => resume_unwind(Box::new(Abort)),
+            Err(e) => Err(e),
+        }
+    }
+}

@@ -1,0 +1,266 @@
+//! Exercises every checker primitive: happens-before edges through
+//! atomics, mutexes, barriers and channels; race, deadlock, and panic
+//! reporting; deterministic replay of a failing schedule.
+
+use ross_check::cell::UnsafeCell;
+use ross_check::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use ross_check::sync::mpsc;
+use ross_check::sync::{Arc, Barrier, Mutex};
+use ross_check::{thread, Builder};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Run `f` expecting the checker to panic; return the panic message.
+fn expect_failure(f: impl Fn() + 'static) -> String {
+    let res = catch_unwind(AssertUnwindSafe(|| ross_check::model(f)));
+    match res {
+        Ok(n) => panic!("expected the model to fail, but {n} schedules passed"),
+        Err(p) => p
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| p.downcast_ref::<&str>().map(|s| s.to_string()))
+            .unwrap_or_else(|| "<non-string panic>".to_string()),
+    }
+}
+
+/// Extract the replay schedule from a failure message.
+fn schedule_of(msg: &str) -> String {
+    let tag = "ROSS_CHECK_REPLAY=\"";
+    let start = msg.find(tag).expect("failure message carries a replay schedule") + tag.len();
+    let end = msg[start..].find('"').unwrap() + start;
+    msg[start..end].to_string()
+}
+
+#[test]
+fn release_acquire_publish_is_race_free() {
+    let n = Builder::new().exhaustive().check(|| {
+        let cell = Arc::new(UnsafeCell::new(0u64));
+        let flag = Arc::new(AtomicBool::new(false));
+        let (c2, f2) = (cell.clone(), flag.clone());
+        let h = thread::spawn(move || {
+            c2.with_mut(|p| unsafe { *p = 42 });
+            f2.store(true, Ordering::Release);
+        });
+        if flag.load(Ordering::Acquire) {
+            let v = cell.with(|p| unsafe { *p });
+            assert_eq!(v, 42);
+        }
+        h.join().unwrap();
+    });
+    // The load can observe the flag both ways, so at least two schedules.
+    assert!(n >= 2, "expected >= 2 schedules, explored {n}");
+}
+
+#[test]
+fn relaxed_publish_is_reported_as_race() {
+    let msg = expect_failure(|| {
+        let cell = Arc::new(UnsafeCell::new(0u64));
+        let flag = Arc::new(AtomicBool::new(false));
+        let (c2, f2) = (cell.clone(), flag.clone());
+        let h = thread::spawn(move || {
+            c2.with_mut(|p| unsafe { *p = 42 });
+            // BUG under test: relaxed store does not publish the write.
+            f2.store(true, Ordering::Relaxed);
+        });
+        if flag.load(Ordering::Acquire) {
+            cell.with(|p| unsafe { *p });
+        }
+        h.join().unwrap();
+    });
+    assert!(msg.contains("data race"), "unexpected failure: {msg}");
+    assert!(msg.contains("ROSS_CHECK_REPLAY"), "no replay schedule: {msg}");
+}
+
+#[test]
+fn mutex_provides_exclusion_and_ordering() {
+    Builder::new().exhaustive().check(|| {
+        let m = Arc::new(Mutex::new(0u64));
+        let cell = Arc::new(UnsafeCell::new(0u64));
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let (m2, c2) = (m.clone(), cell.clone());
+                thread::spawn(move || {
+                    let mut g = m2.lock();
+                    *g += 1;
+                    c2.with_mut(|p| unsafe { *p += 1 });
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*m.lock(), 2);
+        assert_eq!(cell.with(|p| unsafe { *p }), 2);
+    });
+}
+
+#[test]
+fn lock_order_inversion_deadlock_is_detected() {
+    let msg = expect_failure(|| {
+        let a = Arc::new(Mutex::new(()));
+        let b = Arc::new(Mutex::new(()));
+        let (a2, b2) = (a.clone(), b.clone());
+        let h = thread::spawn(move || {
+            let _ga = a2.lock();
+            let _gb = b2.lock();
+        });
+        let _gb = b.lock();
+        let _ga = a.lock();
+        drop((_gb, _ga));
+        h.join().unwrap();
+    });
+    assert!(msg.contains("deadlock"), "unexpected failure: {msg}");
+}
+
+#[test]
+fn barrier_synchronizes_both_sides() {
+    ross_check::model(|| {
+        let bar = Arc::new(Barrier::new(2));
+        let cell = Arc::new(UnsafeCell::new(0u64));
+        let (bar2, c2) = (bar.clone(), cell.clone());
+        let h = thread::spawn(move || {
+            c2.with_mut(|p| unsafe { *p = 7 });
+            bar2.wait();
+        });
+        bar.wait();
+        // The barrier is the only edge ordering this read after the write.
+        assert_eq!(cell.with(|p| unsafe { *p }), 7);
+        h.join().unwrap();
+    });
+}
+
+/// The pre-fix `ross::parallel` hazard in miniature: a worker dies before
+/// reaching the round barrier and the survivor waits forever. The checker
+/// turns the hang into a deterministic deadlock report.
+#[test]
+fn abandoned_barrier_wait_deadlocks() {
+    let msg = expect_failure(|| {
+        let bar = Arc::new(Barrier::new(2));
+        let bar2 = bar.clone();
+        let worker = thread::spawn(move || {
+            // Simulates a worker that bails out (e.g. after a caught panic)
+            // without arriving at the barrier.
+        });
+        bar.wait();
+        worker.join().unwrap();
+        drop(bar2);
+    });
+    assert!(msg.contains("deadlock"), "unexpected failure: {msg}");
+    assert!(msg.contains("Barrier"), "unexpected detail: {msg}");
+}
+
+#[test]
+fn channel_is_fifo_and_carries_causality() {
+    Builder::new().exhaustive().check(|| {
+        let (tx, rx) = mpsc::channel::<u64>();
+        let cell = Arc::new(UnsafeCell::new(0u64));
+        let c2 = cell.clone();
+        let h = thread::spawn(move || {
+            c2.with_mut(|p| unsafe { *p = 9 });
+            tx.send(1).unwrap();
+            tx.send(2).unwrap();
+        });
+        assert_eq!(rx.recv().unwrap(), 1);
+        // The recv joined the sender's clock: reading the cell is ordered.
+        assert_eq!(cell.with(|p| unsafe { *p }), 9);
+        assert_eq!(rx.recv().unwrap(), 2);
+        assert_eq!(rx.recv(), Err(mpsc::RecvError));
+        h.join().unwrap();
+    });
+}
+
+#[test]
+fn try_recv_reports_empty_and_disconnected() {
+    ross_check::model(|| {
+        let (tx, rx) = mpsc::channel::<u64>();
+        assert_eq!(rx.try_recv(), Err(mpsc::TryRecvError::Empty));
+        tx.send(5).unwrap();
+        assert_eq!(rx.try_recv(), Ok(5));
+        drop(tx);
+        assert_eq!(rx.try_recv(), Err(mpsc::TryRecvError::Disconnected));
+    });
+}
+
+#[test]
+fn failing_schedule_replays_deterministically() {
+    // An assert that only fires on schedules where the spawned thread wins
+    // the increment race.
+    let model = || {
+        let a = Arc::new(AtomicU64::new(0));
+        let a2 = a.clone();
+        let h = thread::spawn(move || {
+            a2.store(1, Ordering::Relaxed);
+        });
+        let seen = a.load(Ordering::Relaxed);
+        h.join().unwrap();
+        assert_eq!(seen, 0, "spawned store won the race");
+    };
+    let msg = {
+        let res = catch_unwind(AssertUnwindSafe(|| Builder::new().exhaustive().check(model)));
+        match res {
+            Ok(n) => panic!("expected a failing schedule, explored {n} cleanly"),
+            Err(p) => *p.downcast::<String>().expect("assert message"),
+        }
+    };
+    assert!(msg.contains("spawned store won the race"), "wrong failure: {msg}");
+
+    // Recover the schedule from the model's own stderr is not practical in
+    // a unit test; instead replay every schedule of the same shape and
+    // check the failing one is reproduced stably.
+    for _ in 0..3 {
+        let again = catch_unwind(AssertUnwindSafe(|| {
+            Builder::new().exhaustive().check(model);
+        }));
+        let m = *again.expect_err("must fail again").downcast::<String>().unwrap();
+        assert_eq!(m, msg, "exploration is not deterministic");
+    }
+}
+
+#[test]
+fn explicit_replay_runs_single_schedule() {
+    // Capture a failing schedule via the race reporter, then replay it.
+    let model = || {
+        let cell = Arc::new(UnsafeCell::new(0u64));
+        let c2 = cell.clone();
+        let h = thread::spawn(move || {
+            c2.with_mut(|p| unsafe { *p = 1 });
+        });
+        cell.with(|p| unsafe { *p });
+        h.join().unwrap();
+    };
+    let msg = expect_failure(model);
+    assert!(msg.contains("data race"), "unexpected failure: {msg}");
+    let schedule = schedule_of(&msg);
+
+    let replayed = catch_unwind(AssertUnwindSafe(|| {
+        Builder::new().replay(&schedule).check(model);
+    }));
+    let m = replayed.expect_err("replay must reproduce the race");
+    let m = m.downcast_ref::<String>().expect("race message");
+    assert!(m.contains("data race"), "replay produced a different failure: {m}");
+    assert!(m.contains(&schedule), "replay schedule drifted: {m}");
+}
+
+#[test]
+fn fringe_mode_bounds_preemptions() {
+    // Fringe(0) explores strictly fewer schedules than exhaustive on the
+    // same model, and still passes a correct model.
+    let mk = |b: Builder| {
+        b.check(|| {
+            let a = Arc::new(AtomicU64::new(0));
+            let a2 = a.clone();
+            let h = thread::spawn(move || {
+                a2.fetch_add(1, Ordering::AcqRel);
+                a2.fetch_add(1, Ordering::AcqRel);
+            });
+            a.fetch_add(1, Ordering::AcqRel);
+            h.join().unwrap();
+            assert_eq!(a.load(Ordering::Acquire), 3);
+        })
+    };
+    let exhaustive = mk(Builder::new().exhaustive());
+    let fringe = mk(Builder::new().fringe(0));
+    assert!(
+        fringe < exhaustive,
+        "fringe(0) = {fringe} should explore fewer schedules than exhaustive = {exhaustive}"
+    );
+}

@@ -62,6 +62,34 @@ pub fn check_sched_lookahead(cfg: &SweepConfig) -> Report {
     out
 }
 
+/// Tier-B validation of a `shard:N:T:L` schedule: compute the shard-level
+/// owner map exactly as `run_sharded` will (whole partition blocks through
+/// the same deterministic bin-packer) and check the lookahead window
+/// against every edge the sharded protocol synchronizes — cross-shard
+/// edges always, intra-shard cross-block edges when `threads > 1`.
+/// Ignores `cfg.sched`; the shard spec is passed explicitly.
+pub fn check_shard_lookahead(
+    cfg: &SweepConfig,
+    shards: usize,
+    threads: usize,
+    window_ns: u64,
+) -> Report {
+    let mut out = Report::new();
+    for &net in &cfg.nets {
+        let mut net_cfg = net.config(cfg.profile);
+        net_cfg.flow = cfg.flow;
+        let graph = model_graph(&Topology::build(net_cfg));
+        let part = ross::Partition::from_blocks(graph.block_of.clone());
+        let shard_of = ross::shard::shard_owner_map(Some(&part), graph.block_of.len(), shards);
+        for d in graph.check_shard_lookahead(&shard_of, threads, window_ns).iter() {
+            let mut d = d.clone();
+            d.message = format!("{} network: {}", net.label(), d.message);
+            out.push(d);
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -96,6 +124,39 @@ mod tests {
         assert!(r.iter().any(|d| d.message.contains(" -> ")), "{r}");
         cfg.sched = Scheduler::Sequential;
         assert!(check_sched_lookahead(&cfg).is_empty());
+    }
+
+    #[test]
+    fn sweep_shard_lookahead_is_validated_per_net() {
+        let cfg = SweepConfig::smoke();
+        assert!(check_shard_lookahead(&cfg, 2, 1, 1).is_empty());
+        let r = check_shard_lookahead(&cfg, 2, 1, u64::MAX);
+        assert!(r.has_errors(), "{r}");
+        // The diagnostic must name the offending LP pair and the shards.
+        assert!(r.iter().any(|d| d.message.contains(" -> ")), "{r}");
+        assert!(r.iter().any(|d| d.message.contains("crosses shards")), "{r}");
+        // One shard, one thread: nothing crosses a synchronization
+        // boundary, so even an absurd window is accepted.
+        assert!(check_shard_lookahead(&cfg, 1, 1, u64::MAX).is_empty());
+        // One shard, many threads: the in-process conservative rounds
+        // still bind the window to the block-level minimum.
+        assert!(check_shard_lookahead(&cfg, 1, 4, u64::MAX).has_errors());
+    }
+
+    #[test]
+    fn shard_map_is_coarser_than_blocks() {
+        // A window legal for shard:2:1 can be illegal for par — the
+        // shard check must mirror the runtime's whole-block sharding,
+        // not reuse the per-block partition.
+        let topo = Topology::build(dragonfly::DragonflyConfig::tiny_1d());
+        let g = model_graph(&topo);
+        let part = ross::Partition::from_blocks(g.block_of.clone());
+        let shard_of = ross::shard::shard_owner_map(Some(&part), g.block_of.len(), 2);
+        let (block_min, _) = g.min_cross_partition_delay().expect("multi-router model");
+        let (shard_min, _) = g.min_cross_shard_delay(&shard_of).expect("2 shards must cross");
+        assert!(shard_min >= block_min, "shard grouping can only relax the constraint");
+        assert!(g.check_shard_lookahead(&shard_of, 1, shard_min).is_empty());
+        assert!(g.check_shard_lookahead(&shard_of, 1, shard_min + 1).has_errors());
     }
 
     #[test]

@@ -1065,7 +1065,11 @@ fn mix_cmd(rest: &[String]) {
     };
 
     // Validate the lookahead window against the model before spawning
-    // anything, exactly as a par:T:L sweep would be validated.
+    // anything. The check mirrors the runtime exactly: shards own whole
+    // partition blocks, so only cross-shard edges bind the window — plus
+    // intra-shard cross-block edges when each shard runs several worker
+    // threads. (A flat par-style check would spuriously reject windows
+    // that `shard:N:1:L` handles fine.)
     {
         let mut cfg = SweepConfig::quick();
         cfg.profile = m.profile;
@@ -1078,11 +1082,12 @@ fn mix_cmd(rest: &[String]) {
         cfg.routings = vec![m.routing];
         cfg.workloads = vec![m.workload];
         cfg.baselines = false;
-        cfg.sched = Scheduler::ConservativeParallel {
-            threads: spec.shards * spec.threads,
-            lookahead: ross::SimDuration::from_ns(spec.lookahead_ns),
-        };
-        let r = harness::lint::check_sched_lookahead(&cfg);
+        let r = harness::lint::check_shard_lookahead(
+            &cfg,
+            spec.shards,
+            spec.threads,
+            spec.lookahead_ns,
+        );
         if !r.is_empty() {
             eprint!("{r}");
             if r.has_errors() && !has(rest, "--allow-lint") {

@@ -74,6 +74,97 @@ impl ModelGraph {
             .min_by_key(|(d, _)| *d)
     }
 
+    fn is_cross_shard(&self, e: &DelayEdge, shard_of: &[u32]) -> bool {
+        let (s, d) = (e.src_lp as usize, e.dst_lp as usize);
+        match (shard_of.get(s), shard_of.get(d)) {
+            (Some(a), Some(b)) => a != b,
+            // Same conservatism as `is_cross`: an edge touching an LP the
+            // owner map doesn't cover is treated as crossing.
+            _ => true,
+        }
+    }
+
+    /// Minimum delay over all cross-shard edges given the shard-level
+    /// owner map (`shard_of[lp]` = owning shard), with the edge that
+    /// attains it. Shards own whole partition blocks, so this is never
+    /// smaller than [`ModelGraph::min_cross_partition_delay`] — a
+    /// `shard:N:1:L` window can legally exceed what `par:T:L` allows.
+    pub fn min_cross_shard_delay(&self, shard_of: &[u32]) -> Option<(u64, &DelayEdge)> {
+        self.edges
+            .iter()
+            .filter(|e| self.is_cross_shard(e, shard_of))
+            .map(|e| (e.delay_ns, e))
+            .min_by_key(|(d, _)| *d)
+    }
+
+    /// Validate a `shard:N:T:L` lookahead window (ns) against the graph.
+    ///
+    /// The sharded conservative protocol synchronizes on two kinds of
+    /// edges: cross-shard edges always (the Mattern fence bounds them by
+    /// the window), and intra-shard cross-block edges whenever each
+    /// shard runs more than one worker thread (the in-process
+    /// conservative rounds bound those by the same window). Errors name
+    /// the offending LP pair and where the edge crosses.
+    pub fn check_shard_lookahead(
+        &self,
+        shard_of: &[u32],
+        threads_per_shard: usize,
+        window_ns: u64,
+    ) -> Report {
+        let constrains = |e: &DelayEdge| {
+            self.is_cross_shard(e, shard_of) || (threads_per_shard > 1 && self.is_cross(e))
+        };
+        let locus = |e: &DelayEdge| -> String {
+            if self.is_cross_shard(e, shard_of) {
+                let (s, d) = (e.src_lp as usize, e.dst_lp as usize);
+                match (shard_of.get(s), shard_of.get(d)) {
+                    (Some(a), Some(b)) => format!("crosses shards {a} -> {b}"),
+                    _ => "leaves the shard-owner map".to_string(),
+                }
+            } else {
+                let s = shard_of.get(e.src_lp as usize).copied().unwrap_or(0);
+                format!("crosses worker threads within shard {s}")
+            }
+        };
+        let mut report = Report::new();
+        for e in self.edges.iter().filter(|e| constrains(e) && e.delay_ns == 0) {
+            report.push(Diagnostic::error(
+                "zero-delay",
+                format!(
+                    "zero-delay {} edge {} -> {} {}; no positive lookahead window is safe \
+                     for this model under sharded scheduling",
+                    e.kind,
+                    self.name(e.src_lp),
+                    self.name(e.dst_lp),
+                    locus(e)
+                ),
+            ));
+        }
+        let min = self
+            .edges
+            .iter()
+            .filter(|e| constrains(e))
+            .map(|e| (e.delay_ns, e))
+            .min_by_key(|(d, _)| *d);
+        if let Some((min, e)) = min {
+            if min > 0 && window_ns > min {
+                report.push(Diagnostic::error(
+                    "lookahead",
+                    format!(
+                        "lookahead window {window_ns} ns exceeds the minimum synchronized \
+                         delay {min} ns ({} edge {} -> {}, {}); the sharded conservative \
+                         protocol would violate causality",
+                        e.kind,
+                        self.name(e.src_lp),
+                        self.name(e.dst_lp),
+                        locus(e)
+                    ),
+                ));
+            }
+        }
+        report
+    }
+
     /// Validate a conservative-parallel lookahead window (ns) against the
     /// graph. Errors name the offending LP pair.
     pub fn check_lookahead(&self, window_ns: u64) -> Report {
@@ -154,5 +245,51 @@ mod tests {
         let g = ModelGraph::new(vec![0, 1], vec![edge(0, 1, 0)]);
         let r = g.check_lookahead(1);
         assert!(r.iter().any(|d| d.code == "zero-delay"), "{r}");
+    }
+
+    #[test]
+    fn shard_check_ignores_intra_shard_block_edges_at_one_thread() {
+        // Blocks 0,1 live on shard 0; block 2 on shard 1. The 10 ns edge
+        // is cross-block but intra-shard: it binds `par` but not
+        // `shard:2:1`.
+        let g = ModelGraph::new(vec![0, 1, 2], vec![edge(0, 1, 10), edge(1, 2, 80)]);
+        let shard_of = vec![0, 0, 1];
+        let (min, e) = g.min_cross_shard_delay(&shard_of).unwrap();
+        assert_eq!(min, 80);
+        assert_eq!((e.src_lp, e.dst_lp), (1, 2));
+        assert!(g.check_lookahead(50).has_errors(), "par rejects the 10 ns edge");
+        assert!(g.check_shard_lookahead(&shard_of, 1, 50).is_empty());
+        assert!(g.check_shard_lookahead(&shard_of, 1, 80).is_empty());
+        let r = g.check_shard_lookahead(&shard_of, 1, 81);
+        assert_eq!(r.len(), 1, "{r}");
+        let d = r.iter().next().unwrap();
+        assert_eq!(d.code, "lookahead");
+        assert!(d.message.contains("lp 1 -> lp 2"), "{}", d.message);
+        assert!(d.message.contains("crosses shards 0 -> 1"), "{}", d.message);
+    }
+
+    #[test]
+    fn shard_check_with_threads_also_binds_intra_shard_block_edges() {
+        let g = ModelGraph::new(vec![0, 1, 2], vec![edge(0, 1, 10), edge(1, 2, 80)]);
+        let shard_of = vec![0, 0, 1];
+        let r = g.check_shard_lookahead(&shard_of, 2, 50);
+        assert_eq!(r.len(), 1, "{r}");
+        let d = r.iter().next().unwrap();
+        assert!(d.message.contains("lp 0 -> lp 1"), "{}", d.message);
+        assert!(d.message.contains("within shard 0"), "{}", d.message);
+        assert!(g.check_shard_lookahead(&shard_of, 2, 10).is_empty());
+    }
+
+    #[test]
+    fn shard_check_zero_delay_and_unknown_lp_are_conservative() {
+        let g = ModelGraph::new(vec![0, 1], vec![edge(0, 1, 0)]);
+        let r = g.check_shard_lookahead(&[0, 1], 1, 1);
+        assert!(r.iter().any(|d| d.code == "zero-delay"), "{r}");
+        // An edge to an LP the owner map doesn't cover counts as crossing.
+        let g = ModelGraph::new(vec![0, 0], vec![edge(0, 5, 30)]);
+        assert!(g.check_shard_lookahead(&[0, 0], 1, 40).has_errors());
+        // Single shard, single thread: nothing is synchronized at all.
+        let g = ModelGraph::new(vec![0, 1], vec![edge(0, 1, 10)]);
+        assert!(g.check_shard_lookahead(&[0, 0], 1, u64::MAX).is_empty());
     }
 }

@@ -73,6 +73,7 @@ mod parallel;
 mod partition;
 pub mod queue;
 pub mod shard;
+pub(crate) mod sync;
 mod time;
 pub mod trace;
 

@@ -7,17 +7,33 @@
 //! fine because every drained event goes into a `BinaryHeap` keyed by
 //! the total event order, so processing order (and therefore results)
 //! do not depend on push interleaving.
+//!
+//! All synchronization goes through `crate::sync`, so under
+//! `cfg(union_check)` the whole protocol runs on `ross-check`'s controlled
+//! scheduler: node payloads live in race-detected cells, and the checked
+//! build additionally keeps push/drain delivery counters (plain std
+//! atomics, invisible to the controlled scheduler) whose teardown
+//! invariant — every pushed item is consumed exactly once — is asserted
+//! on every explored interleaving.
 
+use crate::sync::atomic::{AtomicPtr, Ordering};
+use crate::sync::UnsafeCell;
+use std::mem::ManuallyDrop;
 use std::ptr;
-use std::sync::atomic::{AtomicPtr, Ordering};
 
 struct Node<T> {
-    item: T,
-    next: *mut Node<T>,
+    item: UnsafeCell<ManuallyDrop<T>>,
+    next: UnsafeCell<*mut Node<T>>,
 }
 
 pub(crate) struct Mailbox<T> {
     head: AtomicPtr<Node<T>>,
+    /// Delivery accounting, checked builds only. Plain std atomics on
+    /// purpose: they must not perturb the controlled schedule.
+    #[cfg(union_check)]
+    pushed: std::sync::atomic::AtomicU64,
+    #[cfg(union_check)]
+    drained: std::sync::atomic::AtomicU64,
 }
 
 // The raw pointers only ever refer to boxed nodes owned by the stack.
@@ -26,23 +42,34 @@ unsafe impl<T: Send> Sync for Mailbox<T> {}
 
 impl<T> Mailbox<T> {
     pub(crate) fn new() -> Mailbox<T> {
-        Mailbox { head: AtomicPtr::new(ptr::null_mut()) }
+        Mailbox {
+            head: AtomicPtr::new(ptr::null_mut()),
+            #[cfg(union_check)]
+            pushed: std::sync::atomic::AtomicU64::new(0),
+            #[cfg(union_check)]
+            drained: std::sync::atomic::AtomicU64::new(0),
+        }
     }
 
     /// Push one item; callable concurrently from any thread.
     pub(crate) fn push(&self, item: T) {
-        let node = Box::into_raw(Box::new(Node { item, next: ptr::null_mut() }));
+        let node = Box::into_raw(Box::new(Node {
+            item: UnsafeCell::new(ManuallyDrop::new(item)),
+            next: UnsafeCell::new(ptr::null_mut()),
+        }));
         let mut head = self.head.load(Ordering::Relaxed);
         loop {
             // Safety: `node` came from Box::into_raw above and is not yet
             // shared with any other thread.
-            unsafe { (*node).next = head };
+            unsafe { (*node).next.with_mut(|p| *p = head) };
             match self.head.compare_exchange_weak(head, node, Ordering::Release, Ordering::Relaxed)
             {
-                Ok(_) => return,
+                Ok(_) => break,
                 Err(current) => head = current,
             }
         }
+        #[cfg(union_check)]
+        self.pushed.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
     }
 
     /// Take every item currently in the mailbox. Intended for the owning
@@ -51,26 +78,46 @@ impl<T> Mailbox<T> {
     pub(crate) fn drain_into(&self, out: &mut Vec<T>) {
         let mut cur = self.head.swap(ptr::null_mut(), Ordering::Acquire);
         while !cur.is_null() {
-            // Safety: we own the whole detached chain exclusively.
+            // Safety: we own the whole detached chain exclusively; each
+            // payload is taken exactly once.
             let node = unsafe { Box::from_raw(cur) };
-            out.push(node.item);
-            cur = node.next;
+            let item = node.item.with_mut(|i| unsafe { ManuallyDrop::take(&mut *i) });
+            cur = node.next.with(|n| unsafe { *n });
+            out.push(item);
+            #[cfg(union_check)]
+            self.drained.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         }
     }
 }
 
 impl<T> Drop for Mailbox<T> {
     fn drop(&mut self) {
-        let mut cur = *self.head.get_mut();
+        let mut leftover = 0u64;
+        let mut cur = self.head.swap(ptr::null_mut(), Ordering::Acquire);
         while !cur.is_null() {
-            // Safety: drop has exclusive access.
+            // Safety: drop has exclusive access; each leftover payload is
+            // dropped exactly once.
             let node = unsafe { Box::from_raw(cur) };
-            cur = node.next;
+            node.item.with_mut(|i| unsafe { ManuallyDrop::drop(&mut *i) });
+            cur = node.next.with(|n| unsafe { *n });
+            leftover += 1;
+        }
+        let _ = leftover;
+        #[cfg(union_check)]
+        {
+            let pushed = self.pushed.load(std::sync::atomic::Ordering::Relaxed);
+            let drained = self.drained.load(std::sync::atomic::Ordering::Relaxed);
+            assert_eq!(
+                pushed,
+                drained + leftover,
+                "mailbox delivery invariant violated: {pushed} pushed, {drained} drained, \
+                 {leftover} left at teardown (an event was dropped or double-delivered)"
+            );
         }
     }
 }
 
-#[cfg(test)]
+#[cfg(all(test, not(union_check)))]
 mod tests {
     use super::*;
     use std::sync::Arc;
@@ -133,5 +180,68 @@ mod tests {
             }
         }
         assert_eq!(Arc::strong_count(&marker), 1);
+    }
+
+    /// Interleaved multi-producer push/drain property test: tagged items,
+    /// no loss, no duplication, and per-producer FIFO order. Drain batches
+    /// come out LIFO (Treiber stack), so each *reversed* batch restricted
+    /// to one producer is an ascending run; batches are temporally ordered
+    /// by their detach (swap) point, so the concatenation of reversed
+    /// batches restricted to a producer must be exactly `0..per` in order.
+    mod properties {
+        use super::super::Mailbox;
+        use proptest::prelude::*;
+        use std::sync::Arc;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(16))]
+            #[test]
+            fn interleaved_push_drain_no_loss_no_dup_per_producer_fifo(
+                producers in 1usize..4,
+                per in 1u64..400,
+            ) {
+                let mb = Arc::new(Mailbox::new());
+                let total = producers as u64 * per;
+                let mut batches: Vec<Vec<(usize, u64)>> = Vec::new();
+                std::thread::scope(|s| {
+                    for p in 0..producers {
+                        let mb = Arc::clone(&mb);
+                        s.spawn(move || {
+                            for i in 0..per {
+                                mb.push((p, i));
+                            }
+                        });
+                    }
+                    // Consume on this thread, interleaved with the pushes:
+                    // drain until every tagged item is accounted for (the
+                    // producers are guaranteed to finish, so absent loss
+                    // this terminates; loss would hang — backstopped by
+                    // the count assertions below via the batch tally).
+                    let mut seen = 0u64;
+                    while seen < total {
+                        let mut batch = Vec::new();
+                        mb.drain_into(&mut batch);
+                        seen += batch.len() as u64;
+                        if !batch.is_empty() {
+                            batches.push(batch);
+                        }
+                    }
+                });
+                let mut next = vec![0u64; producers];
+                for batch in &batches {
+                    for &(p, i) in batch.iter().rev() {
+                        prop_assert!(
+                            i == next[p],
+                            "producer {} out of order or duplicated: got {}, expected {}",
+                            p, i, next[p]
+                        );
+                        next[p] += 1;
+                    }
+                }
+                for (p, n) in next.iter().enumerate() {
+                    prop_assert!(*n == per, "producer {} delivered {} of {}", p, n, per);
+                }
+            }
+        }
     }
 }

@@ -38,10 +38,10 @@ use crate::lp::{Ctx, Lp, LpMeta, Outgoing};
 use crate::mailbox::Mailbox;
 use crate::partition::Partition;
 use crate::queue::{EventQueue, PendingQueue};
+use crate::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use crate::sync::{thread, Barrier, Mutex};
 use crate::time::{SimDuration, SimTime};
-use parking_lot::Mutex;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Barrier;
+use std::panic::AssertUnwindSafe;
 
 impl<L: Lp> Simulation<L> {
     /// Run with the conservative-parallel scheduler on `n_threads`
@@ -120,6 +120,14 @@ impl<L: Lp> Simulation<L> {
         // boundary, and the main thread panics with the message.
         let violated = AtomicBool::new(false);
         let violation: Mutex<Option<String>> = Mutex::new(None);
+        // Same hazard, harsher trigger: a panic inside an LP's `handle`
+        // (model code we do not control) used to unwind straight out of
+        // the worker closure while its siblings waited on the round
+        // barrier — the run hung forever instead of failing. The panic is
+        // caught at the round boundary, parked here, and re-raised on the
+        // main thread after every worker has shut down cleanly.
+        let poisoned = AtomicBool::new(false);
+        let panic_payload: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
         // Telemetry: a few clock reads per round when a recorder or
         // tracer is attached; nothing at all otherwise.
         let telem_on = self.telemetry.is_some();
@@ -136,7 +144,7 @@ impl<L: Lp> Simulation<L> {
         let results: Vec<ThreadSlot<L, L::Event>> =
             (0..n_threads).map(|_| Mutex::new(None)).collect();
 
-        std::thread::scope(|scope| {
+        thread::scope(|scope| {
             for t in 0..n_threads {
                 let mut lps = std::mem::take(&mut lps_by_thread[t]);
                 let mut metas = std::mem::take(&mut meta_by_thread[t]);
@@ -153,6 +161,8 @@ impl<L: Lp> Simulation<L> {
                 let results = &results;
                 let violated = &violated;
                 let violation = &violation;
+                let poisoned = &poisoned;
+                let panic_payload = &panic_payload;
                 let thread_records = &thread_records;
                 let trace_run = &trace_run;
                 scope.spawn(move || {
@@ -182,7 +192,7 @@ impl<L: Lp> Simulation<L> {
                         // Checking after the barrier would race a fast
                         // worker's write against a slow worker's read and
                         // desynchronize the barrier counts (deadlock).
-                        if violated.load(Ordering::Acquire) {
+                        if violated.load(Ordering::Acquire) || poisoned.load(Ordering::Acquire) {
                             break;
                         }
                         // (2) Publish the local minimum, agree on gmin.
@@ -205,60 +215,90 @@ impl<L: Lp> Simulation<L> {
                             gmin.saturating_add(window.0).min(until.0.saturating_add(1));
 
                         // (3) Process local events in [gmin, window_end).
+                        // Model code (`Lp::handle`) runs in here; catch
+                        // its panics so this worker still reaches barrier
+                        // (4) and the round protocol stays in lockstep —
+                        // the poison flag shuts everyone down at the next
+                        // quiescent interval and the payload resurfaces on
+                        // the main thread.
                         let t0 = timing.then(std::time::Instant::now);
-                        while let Some(top) = queue.peek() {
-                            if top.recv_time.0 >= window_end {
-                                break;
-                            }
-                            let env = queue.pop().unwrap();
-                            local_clock = local_clock.max(env.recv_time.0);
-                            let li = local_of[env.dst as usize] as usize;
-                            // Hard check (not debug): a cross-partition
-                            // event landing in this LP's past means the
-                            // window exceeded the model's true minimum
-                            // delay.
-                            if env.recv_time < metas[li].now {
-                                let mut v = violation.lock();
-                                if v.is_none() {
-                                    *v = Some(format!(
-                                        "lookahead violation: event for LP {} at {} ns \
+                        let step = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                            while let Some(top) = queue.peek() {
+                                if top.recv_time.0 >= window_end {
+                                    break;
+                                }
+                                let env = queue.pop().unwrap();
+                                // Oracle (checked builds): the shared-memory
+                                // GVT is a true lower bound — no worker may
+                                // ever commit an event from gmin's past.
+                                #[cfg(union_check)]
+                                assert!(
+                                env.recv_time.0 >= gmin,
+                                "GVT oracle violated: processing event at {} ns below gmin {} ns",
+                                env.recv_time.0,
+                                gmin
+                            );
+                                local_clock = local_clock.max(env.recv_time.0);
+                                let li = local_of[env.dst as usize] as usize;
+                                // Hard check (not debug): a cross-partition
+                                // event landing in this LP's past means the
+                                // window exceeded the model's true minimum
+                                // delay.
+                                if env.recv_time < metas[li].now {
+                                    let mut v = violation.lock();
+                                    if v.is_none() {
+                                        *v = Some(format!(
+                                            "lookahead violation: event for LP {} at {} ns \
                                          arrived after the LP reached {} ns; window {} ns \
                                          exceeds the model's minimum send delay",
-                                        env.dst, env.recv_time.0, metas[li].now.0, window.0,
-                                    ));
-                                }
-                                violated.store(true, Ordering::Release);
-                                queue.push(env);
-                                break;
-                            }
-                            metas[li].now = env.recv_time;
-                            metas[li].processed += 1;
-                            let trace = tbuf.as_mut().map(|b| {
-                                (lps[li].trace_kind(&env), b.event_start(), metas[li].uid_seq)
-                            });
-                            let mut ctx =
-                                Ctx { now: env.recv_time, me: env.dst, lookahead, out: &mut out };
-                            lps[li].handle(&env, &mut ctx);
-                            local_committed += 1;
-                            seal_outgoing(
-                                env.dst,
-                                env.recv_time,
-                                &mut metas[li],
-                                &mut out,
-                                |new| {
-                                    let o = owner_of[new.dst as usize] as usize;
-                                    if o == t {
-                                        queue.push(new);
-                                    } else {
-                                        local_remote += 1;
-                                        mailboxes[o].push(new);
+                                            env.dst, env.recv_time.0, metas[li].now.0, window.0,
+                                        ));
                                     }
-                                },
-                            );
-                            if let (Some(b), Some((kind, t0, uid_lo))) = (tbuf.as_mut(), trace) {
-                                let children = (metas[li].uid_seq - uid_lo) as u32;
-                                b.record(&env, uid_lo, children, kind, t0);
+                                    violated.store(true, Ordering::Release);
+                                    queue.push(env);
+                                    break;
+                                }
+                                metas[li].now = env.recv_time;
+                                metas[li].processed += 1;
+                                let trace = tbuf.as_mut().map(|b| {
+                                    (lps[li].trace_kind(&env), b.event_start(), metas[li].uid_seq)
+                                });
+                                let mut ctx = Ctx {
+                                    now: env.recv_time,
+                                    me: env.dst,
+                                    lookahead,
+                                    out: &mut out,
+                                };
+                                lps[li].handle(&env, &mut ctx);
+                                local_committed += 1;
+                                seal_outgoing(
+                                    env.dst,
+                                    env.recv_time,
+                                    &mut metas[li],
+                                    &mut out,
+                                    |new| {
+                                        let o = owner_of[new.dst as usize] as usize;
+                                        if o == t {
+                                            queue.push(new);
+                                        } else {
+                                            local_remote += 1;
+                                            mailboxes[o].push(new);
+                                        }
+                                    },
+                                );
+                                if let (Some(b), Some((kind, t0, uid_lo))) = (tbuf.as_mut(), trace)
+                                {
+                                    let children = (metas[li].uid_seq - uid_lo) as u32;
+                                    b.record(&env, uid_lo, children, kind, t0);
+                                }
                             }
+                        }));
+                        if let Err(payload) = step {
+                            let mut slot = panic_payload.lock();
+                            if slot.is_none() {
+                                *slot = Some(payload);
+                            }
+                            poisoned.store(true, Ordering::Release);
                         }
                         if let Some(t0) = t0 {
                             busy_ns += t0.elapsed().as_nanos() as u64;
@@ -299,6 +339,14 @@ impl<L: Lp> Simulation<L> {
                 });
             }
         });
+
+        // A worker caught a model panic: every worker has shut down at a
+        // round boundary (no barrier left hanging), so re-raise the
+        // original payload here. LP state is torn mid-event — do not
+        // bother reassembling it.
+        if let Some(payload) = panic_payload.lock().take() {
+            std::panic::resume_unwind(payload);
+        }
 
         // Reassemble LP state in original global order and reabsorb
         // unprocessed events (recv_time > until) for a later run.
@@ -368,7 +416,11 @@ impl<L: Lp> Simulation<L> {
     }
 }
 
-#[cfg(test)]
+// These tests drive real multi-thread runs; under `union_check` the
+// shimmed primitives require a model-checking context, so they only
+// build in production cfg (the checked-build twin lives in
+// `tests/union_check_oracle.rs`).
+#[cfg(all(test, not(union_check)))]
 mod tests {
     use super::*;
     use crate::Scheduler;
@@ -499,6 +551,49 @@ mod tests {
         let sb = sched.run(&mut b, SimTime::MAX);
         assert_eq!(sa.committed, sb.committed);
         assert_eq!(fingerprint(&a), fingerprint(&b));
+    }
+
+    /// Ring-forwarding LP that panics once simulated time passes `boom_at`.
+    #[derive(Clone)]
+    struct PanickyRing {
+        n_lps: u32,
+        boom_at: SimTime,
+        horizon: SimTime,
+    }
+
+    impl Lp for PanickyRing {
+        type Event = u64;
+        fn handle(&mut self, ev: &Envelope<u64>, ctx: &mut Ctx<'_, u64>) {
+            if ev.recv_time >= self.boom_at {
+                panic!("model LP blew up at {} ns", ev.recv_time.0);
+            }
+            if ctx.now() < self.horizon {
+                let dst = (ev.dst + 1) % self.n_lps;
+                ctx.send(dst, SimDuration::from_ns(50), ev.payload + 1);
+            }
+        }
+    }
+
+    /// Regression for the worker-panic → barrier-deadlock hazard: a panic
+    /// in model code must resurface on the caller (original payload, so
+    /// `expected` below matches) instead of leaving the sibling workers
+    /// parked on the round barrier forever.
+    #[test]
+    #[should_panic(expected = "model LP blew up")]
+    fn worker_panic_propagates_instead_of_deadlocking() {
+        let n_lps = 8u32;
+        let lps = (0..n_lps)
+            .map(|_| PanickyRing {
+                n_lps,
+                boom_at: SimTime::from_us(10),
+                horizon: SimTime::from_us(100),
+            })
+            .collect();
+        let mut sim = Simulation::new(lps, SimDuration::from_ns(1));
+        for i in 0..n_lps {
+            sim.schedule(i, SimTime::from_ns(i as u64), i as u64);
+        }
+        sim.run_conservative_parallel(4, SimDuration::from_ns(50), SimTime::MAX);
     }
 
     #[test]

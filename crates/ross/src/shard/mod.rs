@@ -55,13 +55,12 @@ use crate::lp::{Ctx, Lp, LpMeta, Outgoing};
 use crate::mailbox::Mailbox;
 use crate::partition::Partition;
 use crate::queue::{EventQueue, PendingQueue};
+use crate::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use crate::sync::{thread, Barrier, Mutex};
 use crate::time::{SimDuration, SimTime};
 use checkpoint::LpSnapshot;
-use parking_lot::Mutex;
 use std::fmt;
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Barrier;
 
 /// Errors a sharded run can surface (transport failures, malformed
 /// checkpoint files, protocol violations between shards).
@@ -319,6 +318,12 @@ impl<L: Lp> Simulation<L> {
         let queue_max_len = AtomicU64::new(0);
         let violated = AtomicBool::new(false);
         let violation: Mutex<Option<String>> = Mutex::new(None);
+        // Oracle (checked builds): the leader publishes each fence's GVT
+        // so workers can assert no event from its past is ever processed.
+        // A plain std atomic on purpose — invisible to the controlled
+        // scheduler; barrier (C) provides the ordering.
+        #[cfg(union_check)]
+        let gvt_oracle = std::sync::atomic::AtomicU64::new(0);
         let lookahead = self.lookahead;
         let telem_on = self.telemetry.is_some();
         let thread_records: Mutex<Vec<telemetry::ThreadRecord>> = Mutex::new(Vec::new());
@@ -342,7 +347,7 @@ impl<L: Lp> Simulation<L> {
             next_ckpt = 0;
         }
 
-        std::thread::scope(|scope| {
+        thread::scope(|scope| {
             for t in 0..n_threads {
                 let mut lps = std::mem::take(&mut lps_by_worker[t]);
                 let mut metas = std::mem::take(&mut meta_by_worker[t]);
@@ -369,6 +374,8 @@ impl<L: Lp> Simulation<L> {
                 let violated = &violated;
                 let violation = &violation;
                 let thread_records = &thread_records;
+                #[cfg(union_check)]
+                let gvt_oracle = &gvt_oracle;
                 scope.spawn(move || {
                     let mut inbox: Vec<Envelope<L::Event>> = Vec::new();
                     let mut out: Vec<Outgoing<L::Event>> = Vec::with_capacity(8);
@@ -452,6 +459,18 @@ impl<L: Lp> Simulation<L> {
                                 break;
                             }
                             let env = queue.pop().unwrap();
+                            // Oracle (checked builds): the distributed
+                            // GVT is a true lower bound on every
+                            // processed event.
+                            #[cfg(union_check)]
+                            assert!(
+                                env.recv_time.0
+                                    >= gvt_oracle.load(std::sync::atomic::Ordering::Relaxed),
+                                "GVT oracle violated: processing event at {} ns below the \
+                                 fence GVT {} ns",
+                                env.recv_time.0,
+                                gvt_oracle.load(std::sync::atomic::Ordering::Relaxed)
+                            );
                             local_clock = local_clock.max(env.recv_time.0);
                             let li = wlocal_of[env.dst as usize] as usize;
                             // Same hard causality check as the
@@ -599,6 +618,10 @@ impl<L: Lp> Simulation<L> {
                         gvt.saturating_add(opts.checkpoint.as_ref().unwrap().every.as_ns().max(1));
                 }
                 let do_ckpt = !done && ckpt_on && gvt >= next_ckpt;
+                #[cfg(union_check)]
+                if gvt != u64::MAX {
+                    gvt_oracle.store(gvt, std::sync::atomic::Ordering::Relaxed);
+                }
                 wend_a.store(wend, Ordering::Release);
                 done_a.store(done, Ordering::Release);
                 ckpt_a.store(do_ckpt, Ordering::Release);
@@ -948,5 +971,7 @@ impl<L: Lp> dyn ShardCodec<L> + '_ {
     }
 }
 
-#[cfg(test)]
+// Real multi-thread runs — production cfg only (the checked-build twin
+// lives in `tests/union_check_oracle.rs`).
+#[cfg(all(test, not(union_check)))]
 mod tests;

@@ -19,10 +19,14 @@
 use super::wire::{put_bytes, put_u32, put_u64, put_u8, ByteReader};
 use super::ShardError;
 use crate::event::{Envelope, EventUid};
+// The loopback mesh rides the `union_check` seam so checked builds can
+// model-check whole multi-shard runs; the TCP transport keeps plain std
+// channels (its reader threads are real OS threads either way).
+use crate::sync::mpsc;
 use crate::time::SimTime;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::mpsc;
+use std::sync::mpsc as std_mpsc;
 use std::sync::Arc;
 
 /// Encode/decode one model event payload for the wire and the
@@ -277,7 +281,7 @@ pub struct TcpTransport<E> {
     n: usize,
     /// Write half per peer (`None` at index `me`).
     writers: Vec<Option<TcpStream>>,
-    rx: mpsc::Receiver<(usize, Frame<E>)>,
+    rx: std_mpsc::Receiver<(usize, Frame<E>)>,
     codec: Arc<dyn EventCodec<E>>,
     scratch: Vec<u8>,
 }
@@ -314,7 +318,7 @@ impl<E: Clone + Send + 'static> TcpTransport<E> {
             streams[j] = Some(s);
         }
 
-        let (tx, rx) = mpsc::channel();
+        let (tx, rx) = std_mpsc::channel();
         let mut writers: Vec<Option<TcpStream>> = (0..n).map(|_| None).collect();
         for (j, slot) in streams.into_iter().enumerate() {
             let Some(stream) = slot else { continue };
@@ -336,7 +340,7 @@ fn read_loop<E: Clone + Send>(
     from: usize,
     mut stream: TcpStream,
     codec: Arc<dyn EventCodec<E>>,
-    tx: mpsc::Sender<(usize, Frame<E>)>,
+    tx: std_mpsc::Sender<(usize, Frame<E>)>,
 ) {
     let mut len_buf = [0u8; 4];
     let mut body = Vec::new();
@@ -387,7 +391,10 @@ impl<E: Clone + Send + 'static> ShardTransport<E> for TcpTransport<E> {
     }
 }
 
-#[cfg(test)]
+// Loopback tests use the shimmed channels outside a model-checking
+// context, so production cfg only (see `tests/union_check_oracle.rs`
+// for the checked-build coverage).
+#[cfg(all(test, not(union_check)))]
 mod tests {
     use super::*;
 
