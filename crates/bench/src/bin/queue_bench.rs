@@ -56,10 +56,13 @@ fn sweep_row(queue: QueueKind) -> Row {
     let records = sweep::run_sweep(&cfg, |_| {});
     let wall = t0.elapsed().as_secs_f64();
     let events: u64 = records.iter().map(|r| r.stats.committed).sum();
+    // The smoke sweep's single configuration builds one model; report its
+    // real LP count (was hardcoded 0, which read as "no LPs simulated").
+    let n_lps = records.iter().map(|r| r.n_lps).max().unwrap_or(0);
     Row {
         bench: "union-exp-smoke",
         queue: queue.label(),
-        n_lps: 0,
+        n_lps,
         events,
         wall_seconds: wall,
         events_per_sec: events as f64 / wall,

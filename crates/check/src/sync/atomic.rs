@@ -121,6 +121,7 @@ macro_rules! int_atomic {
 int_atomic!(AtomicU64, u64);
 int_atomic!(AtomicUsize, usize);
 int_atomic!(AtomicU32, u32);
+int_atomic!(AtomicI64, i64);
 
 /// Checked counterpart of `std::sync::atomic::AtomicBool`.
 #[derive(Debug)]

@@ -453,6 +453,11 @@ impl CodesSim {
         &self.shared
     }
 
+    /// Total LP count of the built model (routers + NICs + ranks).
+    pub fn n_lps(&self) -> u32 {
+        self.sim.n_lps() as u32
+    }
+
     /// Attach (or detach) a telemetry recorder after construction.
     pub fn set_telemetry(&mut self, recorder: Option<Arc<telemetry::Recorder>>) {
         self.sim.set_telemetry(recorder.clone());

@@ -99,6 +99,8 @@ pub struct RunRecord {
     pub key: RunKey,
     pub apps: Vec<AppOutcome>,
     pub link_load: LinkLoad,
+    /// LP count of the built model (routers + NICs + ranks).
+    pub n_lps: u32,
     pub stats: RunStats,
     /// Raw results retained when windowed counters were enabled (Fig 8).
     pub results: Option<SimResults>,
@@ -249,6 +251,7 @@ pub fn run_one(cfg: &SweepConfig, key: RunKey) -> Result<RunRecord, String> {
         key,
         apps: outcomes,
         link_load: results.link_load,
+        n_lps: sim.n_lps(),
         stats: results.stats.clone(),
         results: if cfg.keep_results { Some(results) } else { None },
     })

@@ -80,6 +80,8 @@ impl<L: Lp> Simulation<L> {
         let end_clock = AtomicU64::new(0);
         let queue_ops = AtomicU64::new(0);
         let queue_max_len = AtomicU64::new(0);
+        let pool_high_water = AtomicU64::new(0);
+        let pool_recycled = AtomicU64::new(0);
         let lookahead = self.lookahead;
         let qkind = self.queue;
         // Telemetry: timing is a few clock reads per round, and only when
@@ -124,6 +126,8 @@ impl<L: Lp> Simulation<L> {
                 let end_clock = &end_clock;
                 let queue_ops = &queue_ops;
                 let queue_max_len = &queue_max_len;
+                let pool_high_water = &pool_high_water;
+                let pool_recycled = &pool_recycled;
                 let leftovers = &leftovers;
                 let thread_records = &thread_records;
                 let trace_run = &trace_run;
@@ -235,6 +239,9 @@ impl<L: Lp> Simulation<L> {
                     }
                     queue_ops.fetch_add(queue.ops(), Ordering::Relaxed);
                     queue_max_len.fetch_max(queue.max_len(), Ordering::Relaxed);
+                    let ps = queue.pool_stats();
+                    pool_high_water.fetch_max(ps.high_water, Ordering::Relaxed);
+                    pool_recycled.fetch_add(ps.recycled, Ordering::Relaxed);
                     // Return unprocessed events (recv_time > until).
                     let mut left = leftovers[t].lock();
                     queue.drain_to(&mut left);
@@ -274,6 +281,10 @@ impl<L: Lp> Simulation<L> {
                 kind: qkind,
                 ops: queue_ops.load(Ordering::Relaxed),
                 max_len: queue_max_len.load(Ordering::Relaxed),
+                pool: crate::pool::PoolStats {
+                    high_water: pool_high_water.load(Ordering::Relaxed),
+                    recycled: pool_recycled.load(Ordering::Relaxed),
+                },
             },
             thread_records.into_inner(),
         );

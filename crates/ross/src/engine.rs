@@ -210,6 +210,13 @@ impl<L: Lp> Simulation<L> {
         self.pending.len()
     }
 
+    /// Envelope-pool counters of the pending-event queue (population
+    /// high-water mark, recycled slots). The parallel schedulers report
+    /// their per-thread queues' counters through telemetry instead.
+    pub fn pending_pool_stats(&self) -> crate::pool::PoolStats {
+        self.pending.pool_stats()
+    }
+
     /// Run with the single-threaded reference scheduler until the event
     /// queue drains or the next event is after `until`. Events beyond
     /// `until` remain pending.
@@ -225,44 +232,87 @@ impl<L: Lp> Simulation<L> {
 
         // Pop directly instead of peek-clone-pop: the one event that lands
         // beyond `until` is pushed back, every committed event moves once.
-        while let Some(env) = self.pending.pop() {
+        while let Some(mut env) = self.pending.pop() {
             if env.recv_time > until {
                 self.pending.push(env);
                 break;
             }
-            debug_check_monotonic(&mut clock, env.recv_time);
             let dst = env.dst as usize;
-            debug_assert!(env.recv_time >= self.meta[dst].now, "causality violation");
-            self.meta[dst].now = env.recv_time;
-            self.meta[dst].processed += 1;
-            let trace = tbuf
-                .as_mut()
-                .map(|b| (self.lps[dst].trace_kind(&env), b.event_start(), self.meta[dst].uid_seq));
+            // Same-LP run batching: as long as the *global* minimum event
+            // stays on this LP, keep executing with its state (and meta
+            // line) resident instead of bouncing through the outer loop.
+            // Re-peeking after every handle sees the sends the handler
+            // just queued, so this is exactly sequential order.
+            loop {
+                debug_check_monotonic(&mut clock, env.recv_time);
+                debug_assert!(env.recv_time >= self.meta[dst].now, "causality violation");
+                self.meta[dst].now = env.recv_time;
+                self.meta[dst].processed += 1;
+                let trace = tbuf.as_mut().map(|b| {
+                    (self.lps[dst].trace_kind(&env), b.event_start(), self.meta[dst].uid_seq)
+                });
 
-            let mut ctx =
-                Ctx { now: env.recv_time, me: env.dst, lookahead: self.lookahead, out: &mut out };
-            self.lps[dst].handle(&env, &mut ctx);
-            stats.committed += 1;
-
-            for o in out.drain(..) {
-                let meta = &mut self.meta[dst];
-                let new = Envelope {
-                    recv_time: env.recv_time + o.delay,
-                    send_time: env.recv_time,
-                    src: env.dst,
-                    dst: o.dst,
-                    tiebreak: meta.tiebreak,
-                    uid: EventUid { src: env.dst, seq: meta.uid_seq },
-                    payload: o.payload,
+                let mut ctx = Ctx {
+                    now: env.recv_time,
+                    me: env.dst,
+                    lookahead: self.lookahead,
+                    out: &mut out,
                 };
-                meta.tiebreak += 1;
-                meta.uid_seq += 1;
-                debug_assert!((o.dst as usize) < self.lps.len(), "send to unknown LP {}", o.dst);
-                self.pending.push(new);
+                self.lps[dst].handle(&env, &mut ctx);
+                stats.committed += 1;
+
+                for o in out.drain(..) {
+                    let meta = &mut self.meta[dst];
+                    let new = Envelope {
+                        recv_time: env.recv_time + o.delay,
+                        send_time: env.recv_time,
+                        src: env.dst,
+                        dst: o.dst,
+                        tiebreak: meta.tiebreak,
+                        uid: EventUid { src: env.dst, seq: meta.uid_seq },
+                        payload: o.payload,
+                    };
+                    meta.tiebreak += 1;
+                    meta.uid_seq += 1;
+                    debug_assert!(
+                        (o.dst as usize) < self.lps.len(),
+                        "send to unknown LP {}",
+                        o.dst
+                    );
+                    self.pending.push(new);
+                }
+                if let (Some(b), Some((kind, t0, uid_lo))) = (tbuf.as_mut(), trace) {
+                    let children = (self.meta[dst].uid_seq - uid_lo) as u32;
+                    b.record(&env, uid_lo, children, kind, t0);
+                }
+                match self.pending.peek() {
+                    Some(next) if next.dst as usize == dst && next.recv_time <= until => {
+                        env = self.pending.pop().expect("peeked event vanished");
+                    }
+                    Some(next) if next.recv_time <= until => {
+                        // Different LP up next: its per-LP state and model
+                        // struct are random slots in two big arrays — start
+                        // pulling them in while this batch's trace/loop
+                        // bookkeeping retires.
+                        let nd = next.dst as usize;
+                        if nd < self.lps.len() {
+                            crate::pool::prefetch_read(&self.meta[nd]);
+                            crate::pool::prefetch_read(&self.lps[nd]);
+                        }
+                        break;
+                    }
+                    _ => break,
+                }
             }
-            if let (Some(b), Some((kind, t0, uid_lo))) = (tbuf.as_mut(), trace) {
-                let children = (self.meta[dst].uid_seq - uid_lo) as u32;
-                b.record(&env, uid_lo, children, kind, t0);
+            // And one full event of distance: the outer loop pops the next
+            // event immediately, so the event *after* it is the one whose
+            // LP state has a whole handler's worth of time to arrive.
+            if let Some(n2) = self.pending.peek2() {
+                let d2 = n2.dst as usize;
+                if d2 < self.lps.len() {
+                    crate::pool::prefetch_read(&self.meta[d2]);
+                    crate::pool::prefetch_read(&self.lps[d2]);
+                }
             }
         }
 
@@ -285,6 +335,7 @@ impl<L: Lp> Simulation<L> {
                 kind: self.queue,
                 ops: self.pending.ops(),
                 max_len: self.pending.max_len(),
+                pool: self.pending.pool_stats(),
             },
             vec![telemetry::ThreadRecord {
                 thread: 0,
@@ -298,18 +349,19 @@ impl<L: Lp> Simulation<L> {
 }
 
 /// Queue counters folded into a run's scheduler record. The parallel
-/// schedulers sum `ops` and take the max of `max_len` across their
-/// per-thread queues.
+/// schedulers sum `ops` (and `pool.recycled`) and take the max of
+/// `max_len` / `pool.high_water` across their per-thread queues.
 pub(crate) struct QueueTelemetry {
     pub(crate) kind: QueueKind,
     pub(crate) ops: u64,
     pub(crate) max_len: u64,
+    pub(crate) pool: crate::pool::PoolStats,
 }
 
 impl QueueTelemetry {
     /// Identity for folding per-thread queues.
     pub(crate) fn empty(kind: QueueKind) -> Self {
-        QueueTelemetry { kind, ops: 0, max_len: 0 }
+        QueueTelemetry { kind, ops: 0, max_len: 0, pool: crate::pool::PoolStats::default() }
     }
 }
 
@@ -335,6 +387,8 @@ pub(crate) fn emit_sched_telemetry(
     r.queue = queue.kind.label().to_string();
     r.queue_ops = queue.ops;
     r.queue_max_len = queue.max_len;
+    r.pool_high_water = queue.pool.high_water;
+    r.pool_recycled = queue.pool.recycled;
     r.committed = stats.committed;
     r.rolled_back = stats.rolled_back;
     r.rollbacks = stats.rollbacks;

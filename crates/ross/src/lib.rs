@@ -71,6 +71,7 @@ mod mailbox;
 mod optimistic;
 mod parallel;
 mod partition;
+mod pool;
 pub mod queue;
 pub mod shard;
 pub(crate) mod sync;
@@ -82,6 +83,7 @@ pub use event::{Envelope, EventKey, EventUid, LpId};
 pub use lp::{Ctx, Lp};
 pub use optimistic::OptimisticConfig;
 pub use partition::Partition;
+pub use pool::PoolStats;
 pub use queue::{EventQueue, QueueKind};
 pub use time::{SimDuration, SimTime};
 pub use trace::{SpanKind, TraceEvent, Tracer};
@@ -198,7 +200,12 @@ mod tests {
         assert_eq!(fingerprint(&a), fingerprint(&b));
     }
 
+    // The optimistic tests below drive real multi-thread runs; under
+    // `union_check` the scheduler sits on the shimmed sync seam and must
+    // run inside `ross_check::model()` — the oracle harness covers it
+    // there (`tests/union_check_oracle.rs`, `opt:2`).
     #[test]
+    #[cfg(not(union_check))]
     fn optimistic_matches_sequential() {
         let mut a = phold_sim(16, 99);
         let mut b = phold_sim(16, 99);
@@ -210,6 +217,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg(not(union_check))]
     fn optimistic_snapshot_every_event() {
         let mut a = phold_sim(8, 3);
         let mut b = phold_sim(8, 3);
@@ -219,6 +227,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg(not(union_check))]
     fn deep_rollback_restores_from_gvt_fence() {
         // Tiny batches force a GVT/fossil epoch every few events, and
         // interval-4 snapshots leave the first events after each fossil
@@ -252,6 +261,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg(not(union_check))]
     fn scheduler_enum_dispatches() {
         for sched in [Scheduler::Sequential, Scheduler::Conservative(2), Scheduler::Optimistic(2)] {
             let mut sim = phold_sim(4, 11);

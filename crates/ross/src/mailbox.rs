@@ -4,9 +4,16 @@
 //! A Treiber stack of heap nodes: producers CAS onto `head`, the owning
 //! consumer swaps the whole chain out at a synchronization point and
 //! drains it. Arrival order is whatever the CAS race produced — that is
-//! fine because every drained event goes into a `BinaryHeap` keyed by
-//! the total event order, so processing order (and therefore results)
+//! fine because every drained event goes into a pending-event queue keyed
+//! by the total event order, so processing order (and therefore results)
 //! do not depend on push interleaving.
+//!
+//! The parallel scheduler instantiates `T = Vec<Envelope<_>>` — each node
+//! carries a *chunk* of up to [`crate::parallel::MAILBOX_CHUNK`] events —
+//! so the per-event cost of the CAS and node allocation is amortized and
+//! the consumer ingests contiguous runs. The exactly-once delivery
+//! invariant below then counts chunks, which implies it for events
+//! (chunks are never split or merged in flight).
 //!
 //! All synchronization goes through `crate::sync`, so under
 //! `cfg(union_check)` the whole protocol runs on `ross-check`'s controlled

@@ -21,12 +21,11 @@ use crate::engine::{seal_outgoing, QueueTelemetry, RunStats, Simulation};
 use crate::event::{Envelope, EventKey, EventUid};
 use crate::lp::{Ctx, Lp, LpMeta, Outgoing};
 use crate::queue::{EventQueue, PendingQueue};
+use crate::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use crate::sync::{thread, Barrier, Mutex};
 use crate::time::{SimDuration, SimTime};
 use crate::trace::{SpanKind, TraceBuf};
-use parking_lot::Mutex;
 use std::collections::{HashSet, VecDeque};
-use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
-use std::sync::Barrier;
 
 /// Tuning knobs for the optimistic scheduler.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -244,6 +243,7 @@ struct ThreadOutcome<L: Lp> {
     final_gvt: u64,
     queue_ops: u64,
     queue_max_len: u64,
+    pool: crate::pool::PoolStats,
 }
 
 impl<L: Lp + Clone> Simulation<L> {
@@ -329,7 +329,7 @@ impl<L: Lp + Clone> Simulation<L> {
         let outcomes: Vec<Mutex<Option<ThreadOutcome<L>>>> =
             (0..n_threads).map(|_| Mutex::new(None)).collect();
 
-        std::thread::scope(|scope| {
+        thread::scope(|scope| {
             for (t, mut rts) in rts_per_thread.into_iter().enumerate() {
                 let mut queue = std::mem::replace(&mut queues[t], qkind.new_queue());
                 let ranges = &ranges;
@@ -621,6 +621,7 @@ impl<L: Lp + Clone> Simulation<L> {
                         .map(|(i, rt)| (base_lp + i, rt.lp, rt.meta))
                         .collect();
                     let (queue_ops, queue_max_len) = (queue.ops(), queue.max_len());
+                    let pool = queue.pool_stats();
                     let mut leftover: Vec<Envelope<L::Event>> = Vec::new();
                     queue.drain_to(&mut leftover);
                     leftover.retain(|e| {
@@ -638,6 +639,7 @@ impl<L: Lp + Clone> Simulation<L> {
                         final_gvt: gvt,
                         queue_ops,
                         queue_max_len,
+                        pool,
                     });
                 });
             }
@@ -661,6 +663,7 @@ impl<L: Lp + Clone> Simulation<L> {
                 }
                 queue_telem.ops += oc.queue_ops;
                 queue_telem.max_len = queue_telem.max_len.max(oc.queue_max_len);
+                queue_telem.pool.merge(oc.pool);
                 speculative += oc.committed;
                 stats.rolled_back += oc.stats.rolled;
                 stats.rollbacks += oc.stats.rollbacks;

@@ -16,22 +16,44 @@
 //!   between them a stack of *rungs* subdivides time ever more finely,
 //!   spawning a child rung whenever a bucket is too large to sort cheaply.
 //!
+//! ## Hot/cold split
+//!
+//! Neither structure moves whole envelopes around. On `push` the envelope
+//! parks in a per-queue [`EventPool`] slab (recycled slots, zero
+//! steady-state allocation — see `pool.rs`) and only a small **hot entry**
+//! travels through the tiers:
+//!
+//! * the ladder scatters 24-byte `HotEntry { recv, send, src, slot }`
+//!   records through its rungs and sorts those in `bottom` — only full
+//!   `(recv, send, src)` collisions (rare: same sender, same times) fall
+//!   through to the pooled envelope;
+//! * the heap sifts 48-byte self-ordering `HeapEntry` records carrying the
+//!   full [`EventKey`] + uid, ordered exactly like `Envelope::cmp`.
+//!
+//! `pop` then reunites hot and cold with one slab lookup. The payload is
+//! touched exactly twice per queue residency (park, reclaim) no matter how
+//! many rung spills, era conversions or heap sifts the entry goes through.
+//!
 //! Determinism: bucketing partitions events by `recv_time` only, which is
-//! the major key of the envelope order, and every bucket is sorted with the
-//! full `Envelope` `Ord` before it is drained — so equal-`recv_time`
-//! collisions (and even full-key ties, which the uid breaks during
-//! optimistic rollback transients) dequeue in exactly the order the binary
-//! heap produces. The scheduler-equivalence suites assert this bit for bit;
-//! `tests/queue_equivalence.rs` property-tests it on adversarial streams.
+//! the major key of the envelope order, and every bucket is sorted with a
+//! comparator equivalent to the full `Envelope` `Ord` before it is drained —
+//! so equal-`recv_time` collisions (and even full-key ties, which the uid
+//! breaks during optimistic rollback transients) dequeue in exactly the
+//! order the binary heap produces. The scheduler-equivalence suites assert
+//! this bit for bit; `tests/queue_equivalence.rs` property-tests it on
+//! adversarial streams, including payload identity through slot recycling.
 //!
 //! Both queues maintain two plain-`u64` telemetry counters (total push/pop
-//! ops and the length high-water mark). They are local, non-atomic and
-//! branch-free, so the cost is a couple of register ops per event; the
-//! schedulers only read them when a telemetry recorder is attached.
+//! ops and the length high-water mark) plus the pool counters
+//! ([`PoolStats`]: population high-water, recycled slots). They are local,
+//! non-atomic and branch-free, so the cost is a couple of register ops per
+//! event; the schedulers only read them when a telemetry recorder is
+//! attached.
 
 use crate::event::{Envelope, EventKey};
+use crate::pool::{EventPool, PoolStats};
 use crate::time::SimTime;
-use std::cmp::Reverse;
+use std::cmp::{Ordering, Reverse};
 use std::collections::BinaryHeap;
 
 /// The pending-event-set contract shared by all schedulers.
@@ -45,6 +67,12 @@ pub trait EventQueue<E> {
     fn pop(&mut self) -> Option<Envelope<E>>;
     /// The least event, without removing it.
     fn peek(&mut self) -> Option<&Envelope<E>>;
+    /// The *second*-least event, when cheaply at hand. Best-effort — a
+    /// prefetch hint for schedulers, never consulted for ordering, and
+    /// `None` is always a correct answer (the default).
+    fn peek2(&mut self) -> Option<&Envelope<E>> {
+        None
+    }
     /// Number of queued events.
     fn len(&self) -> usize;
     /// Move every queued event into `out` (order unspecified) and reset.
@@ -53,6 +81,8 @@ pub trait EventQueue<E> {
     fn ops(&self) -> u64;
     /// Length high-water mark (telemetry).
     fn max_len(&self) -> u64;
+    /// Envelope-pool counters (population high-water, recycled slots).
+    fn pool_stats(&self) -> PoolStats;
 
     fn is_empty(&self) -> bool {
         self.len() == 0
@@ -166,15 +196,35 @@ impl<E> EventQueue<E> for PendingQueue<E> {
     fn max_len(&self) -> u64 {
         dispatch!(self, q => q.max_len())
     }
+
+    fn pool_stats(&self) -> PoolStats {
+        dispatch!(self, q => q.pool_stats())
+    }
 }
 
 // ---------------------------------------------------------------------------
 // BinaryHeapQueue
 // ---------------------------------------------------------------------------
 
+/// Self-ordering hot entry for the binary heap: the full [`EventKey`] plus
+/// the uid fields, compared in exactly the `Envelope::cmp` field order
+/// (derive on declaration order), with the pool slot riding along last. 48
+/// bytes — heap sifts move these instead of whole envelopes.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct HeapEntry {
+    key: EventKey,
+    uid_seq: u64,
+    uid_src: u32,
+    /// Never reached by comparisons between distinct events (the uid is
+    /// unique); participates only on exact duplicates, where any order is
+    /// acceptable.
+    slot: u32,
+}
+
 /// The reference implementation: a min-heap via `Reverse`.
 pub struct BinaryHeapQueue<E> {
-    heap: BinaryHeap<Reverse<Envelope<E>>>,
+    heap: BinaryHeap<Reverse<HeapEntry>>,
+    pool: EventPool<E>,
     ops: u64,
     max_len: u64,
 }
@@ -187,7 +237,7 @@ impl<E> Default for BinaryHeapQueue<E> {
 
 impl<E> BinaryHeapQueue<E> {
     pub fn new() -> Self {
-        BinaryHeapQueue { heap: BinaryHeap::new(), ops: 0, max_len: 0 }
+        BinaryHeapQueue { heap: BinaryHeap::new(), pool: EventPool::new(), ops: 0, max_len: 0 }
     }
 }
 
@@ -195,7 +245,10 @@ impl<E> EventQueue<E> for BinaryHeapQueue<E> {
     #[inline]
     fn push(&mut self, env: Envelope<E>) {
         self.ops += 1;
-        self.heap.push(Reverse(env));
+        let key = env.key();
+        let uid = env.uid;
+        let slot = self.pool.insert(env);
+        self.heap.push(Reverse(HeapEntry { key, uid_seq: uid.seq, uid_src: uid.src, slot }));
         if self.heap.len() as u64 > self.max_len {
             self.max_len = self.heap.len() as u64;
         }
@@ -203,14 +256,21 @@ impl<E> EventQueue<E> for BinaryHeapQueue<E> {
 
     #[inline]
     fn pop(&mut self) -> Option<Envelope<E>> {
-        let env = self.heap.pop()?.0;
+        let entry = self.heap.pop()?.0;
+        // Hide the slab miss of the next event behind the current one.
+        if let Some(r) = self.heap.peek() {
+            self.pool.prefetch(r.0.slot);
+        }
         self.ops += 1;
-        Some(env)
+        Some(self.pool.take(entry.slot))
     }
 
     #[inline]
     fn peek(&mut self) -> Option<&Envelope<E>> {
-        self.heap.peek().map(|r| &r.0)
+        match self.heap.peek() {
+            Some(r) => Some(self.pool.get(r.0.slot)),
+            None => None,
+        }
     }
 
     #[inline]
@@ -219,7 +279,10 @@ impl<E> EventQueue<E> for BinaryHeapQueue<E> {
     }
 
     fn drain_to(&mut self, out: &mut Vec<Envelope<E>>) {
-        out.extend(self.heap.drain().map(|r| r.0));
+        out.reserve(self.heap.len());
+        for r in self.heap.drain() {
+            out.push(self.pool.take(r.0.slot));
+        }
     }
 
     fn ops(&self) -> u64 {
@@ -228,6 +291,10 @@ impl<E> EventQueue<E> for BinaryHeapQueue<E> {
 
     fn max_len(&self) -> u64 {
         self.max_len
+    }
+
+    fn pool_stats(&self) -> PoolStats {
+        self.pool.stats()
     }
 }
 
@@ -244,18 +311,57 @@ const MIN_BUCKETS: usize = 4;
 const MAX_BUCKETS: usize = 4096;
 /// Retained spare bucket allocations.
 const POOL_MAX: usize = 2 * MAX_BUCKETS;
+/// Retained rung bucket-vector shells (rung depth is logarithmic in the
+/// era width, so a handful covers every real ladder).
+const SHELL_MAX: usize = 16;
+
+/// Hot half of a queued ladder event: the leading ordering keys
+/// (`recv_time`, `send_time`, `src`) plus the pool slot of the full
+/// envelope. 24 bytes — rung scatters, bucket spills and bottom sorts move
+/// these instead of whole envelopes.
+///
+/// Carrying `send`/`src` inline matters: event rates of hundreds of events
+/// per simulated ns make `recv` ties the common case, and a comparator
+/// that chased the pool on every tie would turn each bottom sort into a
+/// cache-miss storm. `(recv, send, src)` is unique for distinct events of
+/// one sender batch, so the pool fall-through below is genuinely cold.
+#[derive(Clone, Copy)]
+struct HotEntry {
+    recv: u64,
+    send: u64,
+    src: u32,
+    slot: u32,
+}
+
+/// Full envelope order over hot entries: `(recv, send, src)` compares
+/// inline; only full collisions (same sender, same send and receive
+/// times — rare) fall through to the pooled envelope's remaining fields,
+/// matching `Envelope::cmp` exactly.
+#[inline]
+fn cmp_hot<E>(pool: &EventPool<E>, a: &HotEntry, b: &HotEntry) -> Ordering {
+    (a.recv, a.send, a.src).cmp(&(b.recv, b.send, b.src)).then_with(|| {
+        let ea = pool.get(a.slot);
+        let eb = pool.get(b.slot);
+        (ea.tiebreak, ea.uid.seq, ea.uid.src).cmp(&(eb.tiebreak, eb.uid.seq, eb.uid.src))
+    })
+}
 
 /// One ladder tier: `buckets[i]` holds events with
 /// `recv_time ∈ [start + i·width, start + (i+1)·width)`, unsorted.
-struct Rung<E> {
+///
+/// Bucket widths are always powers of two, so the per-event bucket index
+/// on push and scatter is a shift, not a 64-bit division.
+struct Rung {
     /// Absolute timestamp of `buckets[0]`.
     start: u64,
-    /// Bucket width in ns (≥ 1).
+    /// Bucket width in ns (≥ 1, power of two: `1 << shift`).
     width: u64,
+    /// `log2(width)` — bucket index = `(ts - start) >> shift`.
+    shift: u32,
     /// Dequeue frontier: events with `recv_time < cur_ts` live in deeper
     /// rungs or the bottom tier, never in this rung.
     cur_ts: u64,
-    buckets: Vec<Vec<Envelope<E>>>,
+    buckets: Vec<Vec<HotEntry>>,
 }
 
 /// Timestamp-bucketed pending-event queue with lazy per-bucket sorting.
@@ -275,14 +381,20 @@ struct Rung<E> {
 ///   (`recv_time > era_end`). When the ladder drains, top collapses into a
 ///   fresh rung 0 and a new era begins.
 ///
+/// Every allocation is recycled: envelopes through the slot pool, bucket
+/// vectors through `spare`, rung shells through `shells`, and the `rungs` /
+/// `top` / `bottom` vectors keep their capacity across eras — after warmup
+/// the steady state allocates nothing per event (asserted by
+/// `tests/alloc_discipline.rs`).
+///
 /// The one degenerate corner: events at `recv_time == u64::MAX` mixed into
 /// an era that also ends at `u64::MAX` (584 simulated years) — those cannot
 /// be distinguished from "beyond the era", so an era consisting *only* of
 /// them is sorted straight into bottom instead of converted into a rung.
 pub struct LadderQueue<E> {
-    bottom: Vec<Envelope<E>>,
-    rungs: Vec<Rung<E>>,
-    top: Vec<Envelope<E>>,
+    bottom: Vec<HotEntry>,
+    rungs: Vec<Rung>,
+    top: Vec<HotEntry>,
     /// Events with `recv_time > era_end` belong to `top`.
     era_end: u64,
     /// Min/max timestamps currently in `top` (valid while `top` is
@@ -294,7 +406,11 @@ pub struct LadderQueue<E> {
     max_len: u64,
     /// Spare bucket allocations, reused across rung spawns so steady-state
     /// operation stops allocating.
-    pool: Vec<Vec<Envelope<E>>>,
+    spare: Vec<Vec<HotEntry>>,
+    /// Spare rung bucket-vector shells (the outer `Vec` of a rung).
+    shells: Vec<Vec<Vec<HotEntry>>>,
+    /// Cold storage for queued envelopes.
+    pool: EventPool<E>,
 }
 
 impl<E> Default for LadderQueue<E> {
@@ -315,51 +431,65 @@ impl<E> LadderQueue<E> {
             len: 0,
             ops: 0,
             max_len: 0,
-            pool: Vec::new(),
+            spare: Vec::new(),
+            shells: Vec::new(),
+            pool: EventPool::new(),
         }
     }
 
     /// Start a fresh era: everything (except `recv_time == 0`) routes to
     /// `top` until the next conversion. Only legal when no events remain —
     /// exhausted rung shells may still be present (they are collapsed
-    /// lazily by `refill`) and are recycled here.
+    /// lazily by `refill`) and are recycled here. Telemetry (`max_len`,
+    /// `ops`, pool counters) deliberately survives era turnover: the
+    /// high-water mark is a whole-run statistic.
     fn reset_era(&mut self) {
         debug_assert!(self.bottom.is_empty() && self.top.is_empty());
         debug_assert!(self.rungs.iter().all(|r| r.buckets.iter().all(|b| b.is_empty())));
-        for rung in std::mem::take(&mut self.rungs) {
-            for b in rung.buckets {
-                self.recycle(b);
-            }
+        while let Some(rung) = self.rungs.pop() {
+            self.retire_rung(rung);
         }
         self.era_end = 0;
         self.top_min = u64::MAX;
         self.top_max = 0;
     }
 
-    fn take_bucket(&mut self) -> Vec<Envelope<E>> {
-        self.pool.pop().unwrap_or_default()
+    /// Recycle a dead rung's buckets and its shell.
+    fn retire_rung(&mut self, mut rung: Rung) {
+        while let Some(b) = rung.buckets.pop() {
+            self.recycle(b);
+        }
+        if self.shells.len() < SHELL_MAX {
+            self.shells.push(rung.buckets);
+        }
     }
 
-    fn make_buckets(&mut self, n: usize) -> Vec<Vec<Envelope<E>>> {
-        let mut v = Vec::with_capacity(n);
+    fn take_bucket(&mut self) -> Vec<HotEntry> {
+        self.spare.pop().unwrap_or_default()
+    }
+
+    fn make_buckets(&mut self, n: usize) -> Vec<Vec<HotEntry>> {
+        let mut v = self.shells.pop().unwrap_or_default();
+        debug_assert!(v.is_empty());
+        v.reserve(n);
         for _ in 0..n {
             v.push(self.take_bucket());
         }
         v
     }
 
-    fn recycle(&mut self, mut bucket: Vec<Envelope<E>>) {
-        debug_assert!(bucket.is_empty());
-        if bucket.capacity() > 0 && self.pool.len() < POOL_MAX {
-            bucket.clear();
-            self.pool.push(bucket);
+    fn recycle(&mut self, mut bucket: Vec<HotEntry>) {
+        bucket.clear();
+        if bucket.capacity() > 0 && self.spare.len() < POOL_MAX {
+            self.spare.push(bucket);
         }
     }
 
     /// Insert a straggler into the sorted bottom tier (descending order).
-    fn insert_bottom(&mut self, env: Envelope<E>) {
-        let pos = self.bottom.partition_point(|e| *e > env);
-        self.bottom.insert(pos, env);
+    fn insert_bottom(&mut self, entry: HotEntry) {
+        let pool = &self.pool;
+        let pos = self.bottom.partition_point(|e| cmp_hot(pool, e, &entry) == Ordering::Greater);
+        self.bottom.insert(pos, entry);
     }
 
     /// Refill `bottom` from the ladder: advance the deepest rung to its
@@ -377,7 +507,8 @@ impl<E> LadderQueue<E> {
                     // Single-timestamp era (this also covers the
                     // u64::MAX corner): sort straight into bottom.
                     self.bottom.append(&mut self.top);
-                    self.bottom.sort_unstable_by(|a, b| b.cmp(a));
+                    let pool = &self.pool;
+                    self.bottom.sort_unstable_by(|a, b| cmp_hot(pool, b, a));
                     self.era_end = self.top_max;
                     self.top_min = u64::MAX;
                     self.top_max = 0;
@@ -386,34 +517,36 @@ impl<E> LadderQueue<E> {
                 let start = self.top_min;
                 let range = self.top_max - self.top_min; // ≥ 1
                 let n = self.top.len().clamp(MIN_BUCKETS, MAX_BUCKETS) as u64;
-                let width = (range / n).max(1);
-                let nb = (range / width) as usize + 1;
+                // Round the width up to a power of two: bucket indexing
+                // becomes a shift (the per-event division otherwise shows
+                // up in profiles). `n ≥ 4` keeps the rounding overflow-free.
+                let width = (range / n).max(1).next_power_of_two();
+                let shift = width.trailing_zeros();
+                let nb = (range >> shift) as usize + 1;
                 let mut buckets = self.make_buckets(nb);
                 let mut top = std::mem::take(&mut self.top);
-                for env in top.drain(..) {
-                    buckets[((env.recv_time.0 - start) / width) as usize].push(env);
+                for entry in top.drain(..) {
+                    buckets[((entry.recv - start) >> shift) as usize].push(entry);
                 }
                 self.top = top; // keep the allocation
-                self.rungs.push(Rung { start, width, cur_ts: start, buckets });
+                self.rungs.push(Rung { start, width, shift, cur_ts: start, buckets });
                 self.era_end = self.top_max;
                 self.top_min = u64::MAX;
                 self.top_max = 0;
                 continue;
             };
 
-            let (start, width, cur_ts, nb) = {
+            let (start, width, shift, cur_ts, nb) = {
                 let r = &self.rungs[ri];
-                (r.start, r.width, r.cur_ts, r.buckets.len())
+                (r.start, r.width, r.shift, r.cur_ts, r.buckets.len())
             };
-            let mut j = ((cur_ts - start) / width) as usize;
+            let mut j = ((cur_ts - start) >> shift) as usize;
             while j < nb && self.rungs[ri].buckets[j].is_empty() {
                 j += 1;
             }
             if j >= nb {
                 let dead = self.rungs.pop().unwrap();
-                for b in dead.buckets {
-                    self.recycle(b);
-                }
+                self.retire_rung(dead);
                 continue;
             }
             let bucket_start = start + j as u64 * width;
@@ -423,16 +556,21 @@ impl<E> LadderQueue<E> {
                 // Too big to sort cheaply: subdivide into a child rung.
                 let mut bucket = std::mem::take(&mut self.rungs[ri].buckets[j]);
                 let n = blen.clamp(MIN_BUCKETS, MAX_BUCKETS) as u64;
-                let cw = (width / n).max(1);
-                let cnb = ((width - 1) / cw) as usize + 1;
+                // `width` is a power of two ≥ 2 and `n ≥ 4`, so the child
+                // width rounds to a power of two strictly below `width` —
+                // subdivision always makes progress.
+                let cw = (width / n).max(1).next_power_of_two().min(width / 2);
+                let cshift = cw.trailing_zeros();
+                let cnb = (width >> cshift) as usize;
                 let mut buckets = self.make_buckets(cnb);
-                for env in bucket.drain(..) {
-                    buckets[((env.recv_time.0 - bucket_start) / cw) as usize].push(env);
+                for entry in bucket.drain(..) {
+                    buckets[((entry.recv - bucket_start) >> cshift) as usize].push(entry);
                 }
                 self.recycle(bucket);
                 self.rungs.push(Rung {
                     start: bucket_start,
                     width: cw,
+                    shift: cshift,
                     cur_ts: bucket_start,
                     buckets,
                 });
@@ -442,7 +580,8 @@ impl<E> LadderQueue<E> {
             let mut bucket = std::mem::take(&mut self.rungs[ri].buckets[j]);
             std::mem::swap(&mut self.bottom, &mut bucket);
             self.recycle(bucket);
-            self.bottom.sort_unstable_by(|a, b| b.cmp(a));
+            let pool = &self.pool;
+            self.bottom.sort_unstable_by(|a, b| cmp_hot(pool, b, a));
             return;
         }
     }
@@ -461,38 +600,67 @@ impl<E> EventQueue<E> for LadderQueue<E> {
             self.reset_era();
         }
         let ts = env.recv_time.0;
+        let (send, src) = (env.send_time.0, env.src);
+        let entry = HotEntry { recv: ts, send, src, slot: self.pool.insert(env) };
+        debug_assert_eq!(self.pool.len(), self.len, "pool population out of sync");
         if ts > self.era_end {
             self.top_min = self.top_min.min(ts);
             self.top_max = self.top_max.max(ts);
-            self.top.push(env);
+            self.top.push(entry);
             return;
         }
         for r in &mut self.rungs {
             if ts >= r.cur_ts {
-                let idx = ((ts - r.start) / r.width) as usize;
+                let idx = ((ts - r.start) >> r.shift) as usize;
                 debug_assert!(idx < r.buckets.len(), "event beyond rung range");
-                r.buckets[idx].push(env);
+                r.buckets[idx].push(entry);
                 return;
             }
         }
-        self.insert_bottom(env);
+        self.insert_bottom(entry);
     }
 
     fn pop(&mut self) -> Option<Envelope<E>> {
         if self.bottom.is_empty() {
             self.refill();
         }
-        let env = self.bottom.pop()?;
+        let entry = self.bottom.pop()?;
+        // Hide the slab miss of the next one or two events behind the
+        // current event's handler (their hot entries sit at the sorted
+        // tail; their envelopes are scattered through the slab).
+        let n = self.bottom.len();
+        if n > 0 {
+            self.pool.prefetch(self.bottom[n - 1].slot);
+            if n > 1 {
+                self.pool.prefetch(self.bottom[n - 2].slot);
+            }
+        }
         self.ops += 1;
         self.len -= 1;
-        Some(env)
+        Some(self.pool.take(entry.slot))
     }
 
     fn peek(&mut self) -> Option<&Envelope<E>> {
         if self.bottom.is_empty() {
             self.refill();
         }
-        self.bottom.last()
+        match self.bottom.last() {
+            Some(e) => Some(self.pool.get(e.slot)),
+            None => None,
+        }
+    }
+
+    /// Second-least event while the sorted bottom tier holds it. When the
+    /// answer would live in a rung or top (bottom nearly drained) this
+    /// returns `None` rather than forcing a refill — it is a hint, and
+    /// that case is one pop away from being cheap again.
+    fn peek2(&mut self) -> Option<&Envelope<E>> {
+        let n = self.bottom.len();
+        if n >= 2 {
+            Some(self.pool.get(self.bottom[n - 2].slot))
+        } else {
+            None
+        }
     }
 
     fn len(&self) -> usize {
@@ -501,14 +669,23 @@ impl<E> EventQueue<E> for LadderQueue<E> {
 
     fn drain_to(&mut self, out: &mut Vec<Envelope<E>>) {
         out.reserve(self.len);
-        out.append(&mut self.bottom);
-        for rung in std::mem::take(&mut self.rungs) {
-            for mut b in rung.buckets {
-                out.append(&mut b);
+        for e in self.bottom.drain(..) {
+            out.push(self.pool.take(e.slot));
+        }
+        while let Some(mut rung) = self.rungs.pop() {
+            while let Some(mut b) = rung.buckets.pop() {
+                for e in b.drain(..) {
+                    out.push(self.pool.take(e.slot));
+                }
                 self.recycle(b);
             }
+            if self.shells.len() < SHELL_MAX {
+                self.shells.push(rung.buckets);
+            }
         }
-        out.append(&mut self.top);
+        for e in self.top.drain(..) {
+            out.push(self.pool.take(e.slot));
+        }
         self.len = 0;
         self.reset_era();
     }
@@ -519,6 +696,10 @@ impl<E> EventQueue<E> for LadderQueue<E> {
 
     fn max_len(&self) -> u64 {
         self.max_len
+    }
+
+    fn pool_stats(&self) -> PoolStats {
+        self.pool.stats()
     }
 }
 
@@ -653,6 +834,48 @@ mod tests {
             assert_eq!(q.max_len(), 10, "{kind:?}");
             assert_eq!(q.len(), 6, "{kind:?}");
         }
+    }
+
+    #[test]
+    fn pool_stats_track_population_and_recycling() {
+        for kind in [QueueKind::Heap, QueueKind::Ladder] {
+            let mut q = kind.new_queue();
+            for i in 0..8u64 {
+                q.push(env(i, 0, 0, i, i));
+            }
+            for _ in 0..8 {
+                q.pop();
+            }
+            // Refill: every slot now comes off the free list.
+            for i in 0..8u64 {
+                q.push(env(100 + i, 0, 0, i, i + 8));
+            }
+            let s = q.pool_stats();
+            assert_eq!(s.high_water, 8, "{kind:?}");
+            assert_eq!(s.recycled, 8, "{kind:?}");
+        }
+    }
+
+    /// Regression: the telemetry high-water mark is a whole-run statistic
+    /// and must survive era turnover — both the implicit era restart when
+    /// the queue drains to empty and refills, and an explicit `drain_to`.
+    #[test]
+    fn ladder_max_len_survives_era_collapse() {
+        let mut q = LadderQueue::new();
+        for i in 0..50u64 {
+            q.push(env(i * 7, 0, 0, i, i));
+        }
+        assert_eq!(q.max_len(), 50);
+        // Drain to empty: the next push calls `reset_era`.
+        while q.pop().is_some() {}
+        q.push(env(1_000_000, 0, 0, 0, 99));
+        assert_eq!(q.max_len(), 50, "high-water lost across era restart");
+        // An explicit drain_to also collapses the era.
+        let mut out = Vec::new();
+        q.drain_to(&mut out);
+        q.push(env(5, 0, 0, 0, 100));
+        assert_eq!(q.max_len(), 50, "high-water lost across drain_to");
+        assert!(q.pool_stats().recycled > 0);
     }
 
     #[test]

@@ -62,6 +62,11 @@ use checkpoint::LpSnapshot;
 use std::fmt;
 use std::path::PathBuf;
 
+/// Upper bound on events per `Frame::Events`: a burst window is shipped as
+/// several bounded frames (serialized, sent and ingested incrementally)
+/// rather than one giant allocation on both ends of the transport.
+const MAX_FRAME_EVENTS: usize = 256;
+
 /// Errors a sharded run can surface (transport failures, malformed
 /// checkpoint files, protocol violations between shards).
 #[derive(Debug)]
@@ -219,8 +224,13 @@ impl<L: Lp> Simulation<L> {
             let (meta, raw_sections) = checkpoint::parse_file(&bytes)?;
             if meta.n_shards as usize != n_shards {
                 return Err(ShardError::Format(format!(
-                    "checkpoint was taken with {} shards, cannot restore into {}",
-                    meta.n_shards, n_shards
+                    "checkpoint {} was taken with {} shards, cannot restore into {}: shard \
+                     rebalancing from a checkpoint is not implemented yet (ROADMAP item 2) — \
+                     relaunch with the original shard count (--sched shard:{}:T:L)",
+                    path.display(),
+                    meta.n_shards,
+                    n_shards,
+                    meta.n_shards
                 )));
             }
             if meta.n_lps as usize != n_lps {
@@ -316,6 +326,8 @@ impl<L: Lp> Simulation<L> {
         let end_clock = AtomicU64::new(0);
         let queue_ops = AtomicU64::new(0);
         let queue_max_len = AtomicU64::new(0);
+        let pool_high_water = AtomicU64::new(0);
+        let pool_recycled = AtomicU64::new(0);
         let violated = AtomicBool::new(false);
         let violation: Mutex<Option<String>> = Mutex::new(None);
         // Oracle (checked builds): the leader publishes each fence's GVT
@@ -369,6 +381,8 @@ impl<L: Lp> Simulation<L> {
                 let end_clock = &end_clock;
                 let queue_ops = &queue_ops;
                 let queue_max_len = &queue_max_len;
+                let pool_high_water = &pool_high_water;
+                let pool_recycled = &pool_recycled;
                 let results = &results;
                 let ckpt_parts = &ckpt_parts;
                 let violated = &violated;
@@ -378,6 +392,13 @@ impl<L: Lp> Simulation<L> {
                 let gvt_oracle = &gvt_oracle;
                 scope.spawn(move || {
                     let mut inbox: Vec<Envelope<L::Event>> = Vec::new();
+                    // Per-destination-shard chunk buffers: cross-shard
+                    // sends take the outbox lock once per chunk, not once
+                    // per event (`append` leaves the buffer empty with its
+                    // capacity intact, so this allocates nothing in steady
+                    // state).
+                    let mut xchunks: Vec<Vec<Envelope<L::Event>>> =
+                        (0..n_shards).map(|_| Vec::new()).collect();
                     let mut out: Vec<Outgoing<L::Event>> = Vec::with_capacity(8);
                     let mut local_committed = 0u64;
                     let mut local_remote = 0u64;
@@ -505,7 +526,11 @@ impl<L: Lp> Simulation<L> {
                                     let s = shard_of[new.dst as usize] as usize;
                                     if s != me {
                                         local_cross += 1;
-                                        outboxes[s].lock().push(new);
+                                        let c = &mut xchunks[s];
+                                        c.push(new);
+                                        if c.len() >= crate::parallel::MAILBOX_CHUNK {
+                                            outboxes[s].lock().append(c);
+                                        }
                                     } else {
                                         let w = worker_of[new.dst as usize] as usize;
                                         if w == t {
@@ -520,6 +545,14 @@ impl<L: Lp> Simulation<L> {
                         }
                         if let Some(t0) = t0 {
                             busy_ns += t0.elapsed().as_nanos() as u64;
+                        }
+                        // Flush partial cross-shard chunks: the leader
+                        // reads the outboxes after barrier (B) of the next
+                        // round, so nothing may linger in worker locals.
+                        for (s, c) in xchunks.iter_mut().enumerate() {
+                            if !c.is_empty() {
+                                outboxes[s].lock().append(c);
+                            }
                         }
                         // Visible to the leader before the next fence
                         // (barrier A orders it); the checkpoint metadata
@@ -541,6 +574,9 @@ impl<L: Lp> Simulation<L> {
                     }
                     queue_ops.fetch_add(queue.ops(), Ordering::Relaxed);
                     queue_max_len.fetch_max(queue.max_len(), Ordering::Relaxed);
+                    let ps = queue.pool_stats();
+                    pool_high_water.fetch_max(ps.high_water, Ordering::Relaxed);
+                    pool_recycled.fetch_add(ps.recycled, Ordering::Relaxed);
                     let mut leftover: Vec<Envelope<L::Event>> = Vec::new();
                     queue.drain_to(&mut leftover);
                     *results[t].lock() = Some((lps, metas, leftover));
@@ -562,17 +598,29 @@ impl<L: Lp> Simulation<L> {
                     if s == me {
                         continue;
                     }
-                    let batch = std::mem::take(&mut *ob.lock());
+                    let mut batch = std::mem::take(&mut *ob.lock());
                     if batch.is_empty() {
                         continue;
                     }
                     sent_total += batch.len() as u64;
-                    if let Err(e) = transport.send(s, Frame::Events { epoch, batch }) {
-                        fence_err = Some(e);
-                        ckpt_a.store(false, Ordering::Release);
-                        done_a.store(true, Ordering::Release);
-                        barrier.wait(); // (C)
-                        break 'rounds;
+                    // Bound frame size: a burst window ships as several
+                    // `Events` frames instead of one giant serialization —
+                    // the fence stashes and classifies each individually,
+                    // so multiple frames per epoch are already handled.
+                    while !batch.is_empty() {
+                        let rest = if batch.len() > MAX_FRAME_EVENTS {
+                            batch.split_off(MAX_FRAME_EVENTS)
+                        } else {
+                            Vec::new()
+                        };
+                        let chunk = std::mem::replace(&mut batch, rest);
+                        if let Err(e) = transport.send(s, Frame::Events { epoch, batch: chunk }) {
+                            fence_err = Some(e);
+                            ckpt_a.store(false, Ordering::Release);
+                            done_a.store(true, Ordering::Release);
+                            barrier.wait(); // (C)
+                            break 'rounds;
+                        }
                     }
                 }
                 let halted = violated.load(Ordering::Acquire);
@@ -717,6 +765,10 @@ impl<L: Lp> Simulation<L> {
                 kind: qkind,
                 ops: queue_ops.load(Ordering::Relaxed),
                 max_len: queue_max_len.load(Ordering::Relaxed),
+                pool: crate::pool::PoolStats {
+                    high_water: pool_high_water.load(Ordering::Relaxed),
+                    recycled: pool_recycled.load(Ordering::Relaxed),
+                },
             },
             thread_records.into_inner(),
         );

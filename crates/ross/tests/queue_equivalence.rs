@@ -112,6 +112,78 @@ proptest! {
         }
     }
 
+    /// Pool-recycling hygiene: with the hot/cold split, envelope payloads
+    /// live in an `EventPool` slab whose slots are recycled on pop and
+    /// `drain_to`. Stamp every payload as a pure function of its `uid`
+    /// and check the identity on every event that comes back out — a
+    /// recycled slot serving a *stale* payload (wrong take/insert pairing
+    /// anywhere in the rung/bottom/top plumbing) breaks it immediately.
+    #[test]
+    fn recycled_slots_never_serve_stale_payloads(
+        seed in 0u64..u64::MAX,
+        n_ops in 50usize..300,
+        time_span in 1u64..500,
+    ) {
+        fn stamp(uid: ross::EventUid) -> u64 {
+            (uid.seq ^ 0xa076_1d64_78bd_642f)
+                .wrapping_mul(0xe703_7ed1_a0b4_28db)
+                ^ uid.src as u64
+        }
+        let mut rng = Mix(seed);
+        let mut heap = BinaryHeapQueue::new();
+        let mut ladder = LadderQueue::new();
+        let mut seq = 0u64;
+        let mut base = 0u64;
+        let mut live = 0usize;
+        for _ in 0..n_ops {
+            match rng.below(10) {
+                0..=4 => {
+                    for _ in 0..rng.below(20) + 1 {
+                        let mut e = env(&mut rng, seq, base, time_span);
+                        e.payload = stamp(e.uid);
+                        seq += 1;
+                        live += 1;
+                        heap.push(e.clone());
+                        ladder.push(e);
+                    }
+                }
+                5..=7 => {
+                    for _ in 0..rng.below(8) + 1 {
+                        let (h, l) = (heap.pop(), ladder.pop());
+                        for e in h.iter().chain(l.iter()) {
+                            prop_assert_eq!(e.payload, stamp(e.uid));
+                        }
+                        if let Some(e) = h {
+                            live -= 1;
+                            base = e.recv_time.0.saturating_sub(time_span / 2);
+                        }
+                    }
+                }
+                // Bulk eviction through `drain_to` (the set_queue /
+                // checkpoint migration path) — recycles every slot at
+                // once, then the queues refill into reused storage.
+                _ => {
+                    let (mut hd, mut ld) = (Vec::new(), Vec::new());
+                    heap.drain_to(&mut hd);
+                    ladder.drain_to(&mut ld);
+                    prop_assert_eq!(hd.len(), live);
+                    prop_assert_eq!(ld.len(), live);
+                    for e in hd.iter().chain(ld.iter()) {
+                        prop_assert_eq!(e.payload, stamp(e.uid));
+                    }
+                    live = 0;
+                }
+            }
+        }
+        loop {
+            let (h, l) = (heap.pop(), ladder.pop());
+            for e in h.iter().chain(l.iter()) {
+                prop_assert_eq!(e.payload, stamp(e.uid));
+            }
+            if h.is_none() && l.is_none() { break; }
+        }
+    }
+
     /// Degenerate streams — every event at the *same* timestamp (the
     /// single-timestamp-era special case, including `u64::MAX`).
     #[test]

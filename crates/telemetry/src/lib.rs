@@ -343,6 +343,12 @@ pub struct SchedulerRecord {
     pub queue_ops: u64,
     /// Queue length high-water mark (max over per-thread queues).
     pub queue_max_len: u64,
+    /// Envelope-pool population high-water mark (max over per-thread
+    /// queues): the slab never grows past this many live events.
+    pub pool_high_water: u64,
+    /// Envelope-pool slot reuses (summed over per-thread queues): pushes
+    /// served from the free list instead of fresh allocation.
+    pub pool_recycled: u64,
     pub committed: u64,
     pub rolled_back: u64,
     pub rollbacks: u64,
@@ -372,6 +378,8 @@ impl SchedulerRecord {
             queue: String::new(),
             queue_ops: 0,
             queue_max_len: 0,
+            pool_high_water: 0,
+            pool_recycled: 0,
             committed: 0,
             rolled_back: 0,
             rollbacks: 0,

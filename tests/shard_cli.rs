@@ -146,6 +146,36 @@ fn damaged_checkpoints_exit_2_with_a_clear_message() {
     std::fs::remove_file(&ck).ok();
 }
 
+/// Restoring a checkpoint into a different shard count must be refused
+/// up front — shard rebalancing from a cut is not implemented (ROADMAP
+/// item 2) — with a format error (exit 2, never a panic) that names both
+/// counts and the file so the operator can relaunch correctly.
+#[test]
+fn restore_with_mismatched_shard_count_exits_2_naming_both_counts() {
+    let ck = temp_path("mismatch.ckpt");
+    std::fs::remove_file(&ck).ok();
+    let ck_s = ck.to_str().unwrap().to_string();
+
+    // Take a valid cut with a 2-shard gang…
+    let ckpt_arg = format!("{ck_s}:5");
+    let gang = phold(&["--sched", "shard:2:1:50", "--checkpoint", &ckpt_arg]);
+    assert!(gang.status.success(), "gang checkpoint run failed: {}", stderr(&gang));
+    assert!(ck.exists(), "no checkpoint written");
+
+    // …then try to restore it into a single-process (1-shard) run.
+    let out = phold(&["--restore", &ck_s]);
+    let msg = stderr(&out);
+    assert_eq!(out.status.code(), Some(2), "expected exit 2: {msg}");
+    assert!(!msg.contains("panicked"), "panicked instead of erroring: {msg}");
+    assert!(msg.contains("2 shards"), "message does not name the checkpoint's count: {msg}");
+    assert!(msg.contains("into 1"), "message does not name the requested count: {msg}");
+    assert!(msg.contains(&ck_s), "message does not name the file: {msg}");
+    assert!(msg.contains("rebalancing"), "message does not point at the rebalancing gap: {msg}");
+    assert!(msg.contains("shard:2:T:L"), "message does not say how to relaunch: {msg}");
+
+    std::fs::remove_file(&ck).ok();
+}
+
 #[test]
 fn bad_shard_specs_are_usage_errors() {
     for (args, needle) in [
