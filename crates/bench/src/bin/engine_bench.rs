@@ -9,7 +9,13 @@
 //! * a conservative-parallel `par:T:L` row with its measured speedup over
 //!   the sequential row and the critical-path speedup bound extracted
 //!   from a traced run (`harness::trace_analysis`), i.e. how much of the
-//!   theoretically available parallelism the engine realizes.
+//!   theoretically available parallelism the engine realizes;
+//! * a barrier-free `async:T:L` row (same shape as the par row) so the
+//!   two conservative runtimes are directly comparable. Both rows carry
+//!   `stall_ns_per_event` — wall nanoseconds a worker spent blocked (at
+//!   the window barrier for par, parked on peer horizons for async) per
+//!   committed event; the async scheduler's whole reason to exist is
+//!   driving that number down.
 //!
 //! ```text
 //! cargo run --release -p union-bench --bin engine-bench [-- opts]
@@ -68,6 +74,9 @@ struct ParRow {
     /// `speedup_vs_sequential / critical_path_speedup_bound` — the
     /// fraction of available parallelism the engine realizes.
     bound_fraction: f64,
+    /// Worker-blocked wall ns (barrier waits for par, horizon parks for
+    /// async) per committed event, from the best-stall timing run.
+    stall_ns_per_event: f64,
 }
 
 #[derive(serde::Serialize)]
@@ -77,6 +86,7 @@ struct Report {
     baseline_events_per_sec: f64,
     sequential: SeqRow,
     parallel: ParRow,
+    asynchronous: ParRow,
 }
 
 fn opt<T: std::str::FromStr>(args: &[String], flag: &str, default: T) -> T {
@@ -137,15 +147,32 @@ fn main() {
     };
 
     // Parallel row: par:T:L where L is the model lookahead (100 ns).
+    // Stall totals are timing-noisy like wall time, so keep the minimum
+    // across iterations for the same reason best_of keeps minimum wall.
     let window = ross::SimDuration::from_ns(100);
     eprintln!("parallel phold threads={threads} window=100ns iters={iters}…");
+    let mut par_stall = u64::MAX;
     let (par_wall, par_events) = best_of(iters, || {
         let mut sim = union_bench::phold_sized(n_lps, horizon, QueueKind::Ladder);
         let stats = sim.run_conservative_parallel(threads, window, SimTime::MAX);
+        par_stall = par_stall.min(stats.horizon_stall_ns);
         (stats.wall_seconds, stats.committed)
     });
     assert_eq!(par_events, seq_events, "parallel run diverged from sequential");
     let par_rate = par_events as f64 / par_wall;
+
+    // Async row: async:T:L, same threads and lookahead as the par row so
+    // the two conservative runtimes differ only in sync protocol.
+    eprintln!("async phold threads={threads} lookahead=100ns iters={iters}…");
+    let mut async_stall = u64::MAX;
+    let (async_wall, async_events) = best_of(iters, || {
+        let mut sim = union_bench::phold_sized(n_lps, horizon, QueueKind::Ladder);
+        let stats = sim.run_conservative_async(threads, window, SimTime::MAX);
+        async_stall = async_stall.min(stats.horizon_stall_ns);
+        (stats.wall_seconds, stats.committed)
+    });
+    assert_eq!(async_events, seq_events, "async run diverged from sequential");
+    let async_rate = async_events as f64 / async_wall;
 
     // Critical-path bound from a fully-sampled traced sequential run.
     eprintln!("tracing critical path…");
@@ -167,30 +194,47 @@ fn main() {
         speedup_vs_sequential: par_rate / seq_rate,
         critical_path_speedup_bound: bound,
         bound_fraction: (par_rate / seq_rate) / bound,
+        stall_ns_per_event: par_stall as f64 / par_events as f64,
+    };
+    let asynchronous = ParRow {
+        sched: format!("async:{threads}:100"),
+        threads,
+        window_ns: 100,
+        events: async_events,
+        wall_seconds: async_wall,
+        events_per_sec: async_rate,
+        speedup_vs_sequential: async_rate / seq_rate,
+        critical_path_speedup_bound: bound,
+        bound_fraction: (async_rate / seq_rate) / bound,
+        stall_ns_per_event: async_stall as f64 / async_events as f64,
     };
 
     let report = Report {
-        schema: "engine-bench/v1",
+        schema: "engine-bench/v2",
         host_cores,
         baseline_events_per_sec: baseline,
         sequential,
         parallel,
+        asynchronous,
     };
-    println!("| row | events | wall s | events/s | speedup |");
-    println!("|---|---|---|---|---|");
+    println!("| row | events | wall s | events/s | speedup | stall ns/ev |");
+    println!("|---|---|---|---|---|---|");
     println!(
-        "| seq ladder | {} | {:.3} | {:.0} | {:.2}x vs baseline |",
+        "| seq ladder | {} | {:.3} | {:.0} | {:.2}x vs baseline | — |",
         seq_events, seq_wall, seq_rate, report.sequential.speedup_vs_baseline
     );
-    println!(
-        "| {} | {} | {:.3} | {:.0} | {:.2}x vs seq (bound {:.2}x) |",
-        report.parallel.sched,
-        par_events,
-        par_wall,
-        par_rate,
-        par_rate / seq_rate,
-        bound
-    );
+    for row in [&report.parallel, &report.asynchronous] {
+        println!(
+            "| {} | {} | {:.3} | {:.0} | {:.2}x vs seq (bound {:.2}x) | {:.0} |",
+            row.sched,
+            row.events,
+            row.wall_seconds,
+            row.events_per_sec,
+            row.speedup_vs_sequential,
+            bound,
+            row.stall_ns_per_event
+        );
+    }
     std::fs::write(&out, serde_json::to_string_pretty(&report).unwrap()).unwrap();
     eprintln!("wrote {out}");
     if seq_events < 1_000_000 {

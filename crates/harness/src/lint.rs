@@ -42,11 +42,15 @@ pub fn model_graph(topo: &Topology) -> ModelGraph {
 }
 
 /// Tier-B validation of a sweep configuration: for a conservative-parallel
-/// schedule, check the lookahead window against the minimum cross-partition
-/// delay of every selected network. Empty report = safe (or not `par`).
+/// or asynchronous-conservative schedule, check the lookahead window
+/// against the minimum cross-partition delay of every selected network —
+/// both schedulers make the same per-partition lookahead promise, so one
+/// bound covers them. Empty report = safe (or neither `par` nor `async`).
 pub fn check_sched_lookahead(cfg: &SweepConfig) -> Report {
-    let Scheduler::ConservativeParallel { lookahead, .. } = cfg.sched else {
-        return Report::new();
+    let lookahead = match cfg.sched {
+        Scheduler::ConservativeParallel { lookahead, .. }
+        | Scheduler::ConservativeAsync { lookahead, .. } => lookahead,
+        _ => return Report::new(),
     };
     let mut out = Report::new();
     for &net in &cfg.nets {
@@ -124,6 +128,18 @@ mod tests {
         assert!(r.iter().any(|d| d.message.contains(" -> ")), "{r}");
         cfg.sched = Scheduler::Sequential;
         assert!(check_sched_lookahead(&cfg).is_empty());
+    }
+
+    #[test]
+    fn sweep_async_lookahead_shares_the_par_bound() {
+        let mut cfg = SweepConfig::smoke();
+        cfg.sched = Scheduler::ConservativeAsync { threads: 2, lookahead: SimDuration::from_ns(1) };
+        assert!(check_sched_lookahead(&cfg).is_empty());
+        cfg.sched =
+            Scheduler::ConservativeAsync { threads: 2, lookahead: SimDuration::from_ns(u64::MAX) };
+        let r = check_sched_lookahead(&cfg);
+        assert!(r.has_errors(), "{r}");
+        assert!(r.iter().any(|d| d.message.contains(" -> ")), "{r}");
     }
 
     #[test]

@@ -19,7 +19,9 @@
 //!   --iters N               iterations per app (default 2)
 //!   --scale N               payload divisor (default 16)
 //!   --seed N
-//!   --sched seq|cons:T|opt:T[:B:I]|par:T:L   (par = conservative-parallel,
+//!   --sched seq|cons:T|opt:T[:B:I]|par:T:L|async:T:L
+//!                                       (par = conservative-parallel,
+//!                                       async = barrier-free conservative,
 //!                                       T threads, L ns lookahead window;
 //!                                       opt:T:B:I = batch B, snapshot
 //!                                       interval I)
@@ -62,8 +64,8 @@ fn main() {
             eprintln!(
                 "usage: union-exp <table1|table2|validate|fig7|fig8|fig9|table6|all|skeleton|lint|trace|phold|mix> [opts]\n\
                  sweep opts: --profile quick|paper  --iters N  --scale N  --seed N\n\
-                 \x20           --sched seq|cons:T|opt:T[:B:I]|par:T:L  (T threads, L ns lookahead,\n\
-                 \x20           B batch, I snapshot interval)\n\
+                 \x20           --sched seq|cons:T|opt:T[:B:I]|par:T:L|async:T:L  (T threads,\n\
+                 \x20           L ns lookahead, B batch, I snapshot interval)\n\
                  \x20           --queue heap|ladder  (pending-event queue, default ladder)\n\
                  \x20           --nets 1d,2d  --placements RN,RR,RG  --routings MIN,ADP\n\
                  \x20           --workloads 1,2,3  --no-baselines  --json FILE  --allow-lint\n\
@@ -162,10 +164,11 @@ fn has(rest: &[String], flag: &str) -> bool {
     rest.iter().any(|a| a == flag)
 }
 
-/// Parse a `--sched` spec: `seq`, `cons:T`, `opt:T` or `opt:T:B:I`, or
-/// `par:T:L` where `T` is the worker-thread count, `L` the lookahead
-/// window in ns (`par:4:500` = 4 workers, 500 ns windows), `B` the
-/// optimistic batch size and `I` the snapshot interval
+/// Parse a `--sched` spec: `seq`, `cons:T`, `opt:T` or `opt:T:B:I`,
+/// `par:T:L`, or `async:T:L` where `T` is the worker-thread count, `L`
+/// the lookahead in ns (`par:4:500` = 4 workers, 500 ns windows;
+/// `async:4:500` = the barrier-free scheduler with the same lookahead
+/// promise), `B` the optimistic batch size and `I` the snapshot interval
 /// (`opt:4:32:4` = 4 workers, 32-event batches, snapshot every 4 events).
 /// Malformed specs are reported, not silently defaulted.
 fn parse_sched(s: &str) -> Result<Scheduler, String> {
@@ -213,20 +216,33 @@ fn parse_sched(s: &str) -> Result<Scheduler, String> {
             threads: threads(t, s)?,
             lookahead: ross::SimDuration::from_ns(lookahead_ns),
         })
+    } else if let Some(rest) = s.strip_prefix("async:") {
+        let (t, l) = rest.split_once(':').ok_or_else(|| {
+            format!("scheduler spec `{s}` must be async:<threads>:<lookahead-ns>")
+        })?;
+        let lookahead_ns: u64 =
+            l.parse().map_err(|_| format!("bad lookahead `{l}` in scheduler spec `{s}`"))?;
+        Ok(Scheduler::ConservativeAsync {
+            threads: threads(t, s)?,
+            lookahead: ross::SimDuration::from_ns(lookahead_ns),
+        })
     } else if s.starts_with("shard:") {
         Err(format!(
             "`{s}`: multi-process sharding is supported by the `phold` and `mix` commands, \
              not by the sweep commands"
         ))
     } else {
-        Err(format!("unknown scheduler `{s}` (expected seq, cons:T, opt:T, opt:T:B:I, or par:T:L)"))
+        Err(format!(
+            "unknown scheduler `{s}` (expected seq, cons:T, opt:T, opt:T:B:I, par:T:L, or \
+             async:T:L)"
+        ))
     }
 }
 
 /// Parse sweep options and validate them with `union-lint` before any
-/// simulation starts: a `par:T:L` window exceeding the statically
-/// computed minimum cross-partition delay is rejected here (exit 2)
-/// rather than panicking mid-run. `--allow-lint` overrides.
+/// simulation starts: a `par:T:L` or `async:T:L` lookahead exceeding the
+/// statically computed minimum cross-partition delay is rejected here
+/// (exit 2) rather than panicking mid-run. `--allow-lint` overrides.
 fn sweep_config(rest: &[String]) -> SweepConfig {
     let cfg = parse_sweep(rest);
     let r = harness::lint::check_sched_lookahead(&cfg);
@@ -626,7 +642,8 @@ fn skeleton(rest: &[String]) {
 /// `union-exp lint` — run `union-lint`'s static analysis without
 /// simulating anything. Default: every bundled workload skeleton at the
 /// configuration a sweep would instantiate, plus the model-level
-/// lookahead check when `--sched par:T:L` is given. `--fixture NAME`
+/// lookahead check when `--sched par:T:L` or `async:T:L` is given.
+/// `--fixture NAME`
 /// lints a seeded-bug fixture; `--file PROG.ncptl` lints a DSL program.
 /// Exit codes: 0 = clean (infos allowed), 1 = findings at Warning or
 /// above, 2 = usage error.

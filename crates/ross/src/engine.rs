@@ -31,6 +31,15 @@ pub struct RunStats {
     pub cross_shard_events: u64,
     /// Synchronization rounds (conservative windows or GVT epochs).
     pub rounds: u64,
+    /// LP blocks migrated between workers by work stealing
+    /// (conservative-async scheduler only).
+    pub steals: u64,
+    /// Total nanoseconds workers spent stalled waiting for peer safe
+    /// horizons to advance (conservative-async scheduler only).
+    pub horizon_stall_ns: u64,
+    /// Max observed gap between the most- and least-advanced published
+    /// safe horizons (conservative-async scheduler only).
+    pub horizon_lag_max: u64,
     /// Wall-clock seconds spent inside the scheduler.
     pub wall_seconds: f64,
     /// Final GVT / global clock when the run stopped.
@@ -397,6 +406,9 @@ pub(crate) fn emit_sched_telemetry(
     r.remote_events = stats.remote_events;
     r.cross_shard_events = stats.cross_shard_events;
     r.rounds = stats.rounds;
+    r.steals = stats.steals;
+    r.horizon_stall_ns = stats.horizon_stall_ns;
+    r.horizon_lag_max = stats.horizon_lag_max;
     r.max_gvt_lag_ns = max_gvt_lag_ns;
     r.end_time_ns = stats.end_time.as_ns();
     r.wall_ns = wall_ns;

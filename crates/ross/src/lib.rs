@@ -63,6 +63,7 @@
 //! assert_eq!(sim.lps()[0].hits, 5);
 //! ```
 
+mod asynchronous;
 mod conservative;
 mod engine;
 mod event;
@@ -105,6 +106,10 @@ pub enum Scheduler {
     /// topology-aware partitions and lock-free mailboxes — see
     /// [`Simulation::run_conservative_parallel`].
     ConservativeParallel { threads: usize, lookahead: SimDuration },
+    /// Barrier-free asynchronous conservative scheduler: workers publish
+    /// monotone safe horizons and steal LP blocks from backlogged peers —
+    /// see [`Simulation::run_conservative_async`].
+    ConservativeAsync { threads: usize, lookahead: SimDuration },
 }
 
 impl Scheduler {
@@ -119,6 +124,9 @@ impl Scheduler {
             }
             Scheduler::ConservativeParallel { threads, lookahead } => {
                 sim.run_conservative_parallel(threads, lookahead, until)
+            }
+            Scheduler::ConservativeAsync { threads, lookahead } => {
+                sim.run_conservative_async(threads, lookahead, until)
             }
         }
     }

@@ -79,6 +79,13 @@ impl<T> Mailbox<T> {
         self.pushed.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
     }
 
+    /// Whether any item is currently queued. Used by the async scheduler's
+    /// parking re-check (a racing push that this load misses is caught by
+    /// the pusher's subsequent parked-flag swap — see `asynchronous.rs`).
+    pub(crate) fn has_mail(&self) -> bool {
+        !self.head.load(Ordering::SeqCst).is_null()
+    }
+
     /// Take every item currently in the mailbox. Intended for the owning
     /// consumer at a synchronization point; concurrent pushes that lose
     /// the race simply land in the next drain.

@@ -125,6 +125,7 @@ impl<L: Lp> Simulation<L> {
         let remote = AtomicU64::new(0);
         let rounds = AtomicU64::new(0);
         let end_clock = AtomicU64::new(0);
+        let stall_total = AtomicU64::new(0);
         let queue_ops = AtomicU64::new(0);
         let queue_max_len = AtomicU64::new(0);
         let pool_high_water = AtomicU64::new(0);
@@ -172,6 +173,7 @@ impl<L: Lp> Simulation<L> {
                 let remote = &remote;
                 let rounds = &rounds;
                 let end_clock = &end_clock;
+                let stall_total = &stall_total;
                 let queue_ops = &queue_ops;
                 let queue_max_len = &queue_max_len;
                 let pool_high_water = &pool_high_water;
@@ -198,6 +200,7 @@ impl<L: Lp> Simulation<L> {
                     let mut local_clock = 0u64;
                     let mut busy_ns = 0u64;
                     let mut blocked_ns = 0u64;
+                    let mut stall_ns = 0u64;
                     let mut mailbox_hw = 0u64;
                     loop {
                         // (1) Ingest cross-partition events from the
@@ -228,10 +231,15 @@ impl<L: Lp> Simulation<L> {
                         // (2) Publish the local minimum, agree on gmin.
                         let local_min = queue.peek_time().map(|ts| ts.0).unwrap_or(u64::MAX);
                         mins[t].store(local_min, Ordering::Relaxed);
-                        let t0 = timing.then(std::time::Instant::now);
+                        // Barrier waits are timed unconditionally — the
+                        // engine-bench stall comparison against the async
+                        // scheduler needs them even with telemetry off.
+                        let t0 = std::time::Instant::now();
                         barrier.wait();
-                        if let Some(t0) = t0 {
-                            blocked_ns += t0.elapsed().as_nanos() as u64;
+                        let waited = t0.elapsed().as_nanos() as u64;
+                        stall_ns += waited;
+                        if timing {
+                            blocked_ns += waited;
                             if let Some(b) = tbuf.as_mut() {
                                 b.end_span(crate::trace::SpanKind::Barrier, t0);
                             }
@@ -353,10 +361,12 @@ impl<L: Lp> Simulation<L> {
                         }
                         // (4) All sends of this round must be visible
                         // before anyone's next mailbox drain.
-                        let t0 = timing.then(std::time::Instant::now);
+                        let t0 = std::time::Instant::now();
                         barrier.wait();
-                        if let Some(t0) = t0 {
-                            blocked_ns += t0.elapsed().as_nanos() as u64;
+                        let waited = t0.elapsed().as_nanos() as u64;
+                        stall_ns += waited;
+                        if timing {
+                            blocked_ns += waited;
                             if let Some(b) = tbuf.as_mut() {
                                 b.end_span(crate::trace::SpanKind::Barrier, t0);
                             }
@@ -366,6 +376,7 @@ impl<L: Lp> Simulation<L> {
                     remote.fetch_add(local_remote, Ordering::Relaxed);
                     rounds.fetch_max(local_rounds, Ordering::Relaxed);
                     end_clock.fetch_max(local_clock, Ordering::Relaxed);
+                    stall_total.fetch_add(stall_ns, Ordering::Relaxed);
                     if let (Some((tr, _)), Some(b)) = (trace_run.as_ref(), tbuf) {
                         tr.submit(b);
                     }
@@ -435,6 +446,7 @@ impl<L: Lp> Simulation<L> {
             committed: committed.load(Ordering::Relaxed),
             remote_events: remote.load(Ordering::Relaxed),
             rounds: rounds.load(Ordering::Relaxed),
+            horizon_stall_ns: stall_total.load(Ordering::Relaxed),
             end_time: SimTime(end_clock.load(Ordering::Relaxed)),
             wall_seconds: start.elapsed().as_secs_f64(),
             ..Default::default()

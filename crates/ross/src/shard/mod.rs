@@ -185,6 +185,15 @@ impl<L: Lp> Simulation<L> {
                 "checkpoint/restore requires a ShardCodec for this model".to_string(),
             ));
         }
+        // A single shard with no checkpoint/restore has no cross-process
+        // protocol to run, so the in-process thread pool IS the whole
+        // simulation — delegate to the barrier-free async scheduler
+        // (bit-identical results, no token fences, work stealing; see
+        // DESIGN.md §15) instead of spinning the shard rounds against
+        // zero peers.
+        if n_shards == 1 && opts.checkpoint.is_none() && opts.restore.is_none() {
+            return Ok(self.run_conservative_async(opts.threads, window, until));
+        }
 
         // Shard-level ownership, then worker-level ownership within the
         // owned slice (both from the same deterministic bin-packer).

@@ -164,6 +164,102 @@ fn check_optimistic(qk: QueueKind) {
     assert!(schedules >= 1, "optimistic model explored no schedules");
 }
 
+/// 2-thread barrier-free asynchronous run: safe-horizon publishes, the
+/// Mattern S/R counters, the park/wake handshake and (when load allows)
+/// the steal handoff all route through the shimmed seam. The checked
+/// build additionally asserts horizon monotonicity at every publish and
+/// exactly-once delivery in `Mailbox::drop`. Like the optimistic model,
+/// full DPOR over the per-iteration SeqCst horizon traffic is
+/// intractable, so this uses CHESS-style preemption bounding
+/// (≤ 1 preemption) with `max_paths` as a loud bound.
+fn check_async(qk: QueueKind) {
+    let expect = sequential_reference(qk);
+    let schedules = ross_check::Builder::new().fringe(1).max_paths(200_000).check(|| {
+        let mut sim = mk_sim(2, qk);
+        let stats = sim.run_conservative_async(2, SimDuration::from_ns(60), SimTime::MAX);
+        assert!(stats.committed >= 4);
+        assert_eq!(
+            fingerprint(&sim),
+            expect,
+            "async fingerprint diverged from sequential on this schedule"
+        );
+    });
+    assert!(schedules >= 1, "async model explored no schedules");
+}
+
+#[test]
+fn async_two_workers_heap_matches_sequential_on_every_schedule() {
+    check_async(QueueKind::Heap);
+}
+
+#[test]
+fn async_two_workers_ladder_matches_sequential_on_every_schedule() {
+    check_async(QueueKind::Ladder);
+}
+
+/// Mini-ring that keeps all traffic on LPs {0, 1} while LPs {2, 3} stay
+/// silent: with partition blocks `[0, 0, 1, 1]` worker 1 owns only dead
+/// LPs, so it must go through the thief path (request, horizon cap,
+/// migration install) to ever contribute. Exercises the steal handshake
+/// under the controlled scheduler.
+#[derive(Clone)]
+struct LopsidedRing {
+    hits: u64,
+    checksum: u64,
+    horizon: SimTime,
+}
+
+impl Lp for LopsidedRing {
+    type Event = u64;
+    fn handle(&mut self, ev: &Envelope<u64>, ctx: &mut Ctx<'_, u64>) {
+        self.hits += 1;
+        self.checksum = self
+            .checksum
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(ev.payload ^ ev.recv_time.as_ns());
+        if ctx.now() < self.horizon {
+            ctx.send((ev.dst + 1) % 2, SimDuration::from_ns(60), self.checksum);
+        }
+    }
+}
+
+/// Steal-path oracle: on every explored schedule the lopsided model must
+/// stay bit-identical to sequential, and across the exploration the
+/// handoff must actually fire (8 seeded chains keep the victim's queue
+/// at the steal threshold, so an idle thief always finds it).
+#[test]
+fn async_work_stealing_matches_sequential_on_every_schedule() {
+    let mk = || {
+        let lps = (0..4)
+            .map(|_| LopsidedRing { hits: 0, checksum: 0, horizon: SimTime::from_ns(HORIZON_NS) })
+            .collect();
+        let mut sim = Simulation::new(lps, SimDuration::from_ns(1));
+        sim.set_partition(ross::Partition::from_blocks(vec![0, 0, 1, 1]));
+        for i in 0..8u64 {
+            sim.schedule((i % 2) as u32, SimTime::from_ns(i), i);
+        }
+        sim
+    };
+    let mut seq = mk();
+    seq.run_sequential(SimTime::MAX);
+    let expect: Vec<(u64, u64)> = seq.lps().iter().map(|l| (l.hits, l.checksum)).collect();
+    // Plain std atomic on purpose: tallies across schedules without
+    // perturbing the controlled exploration.
+    let total_steals = std::sync::atomic::AtomicU64::new(0);
+    let schedules = ross_check::Builder::new().fringe(1).max_paths(200_000).check(|| {
+        let mut sim = mk();
+        let stats = sim.run_conservative_async(2, SimDuration::from_ns(60), SimTime::MAX);
+        total_steals.fetch_add(stats.steals, std::sync::atomic::Ordering::Relaxed);
+        let got: Vec<(u64, u64)> = sim.lps().iter().map(|l| (l.hits, l.checksum)).collect();
+        assert_eq!(got, expect, "steal-path fingerprint diverged on this schedule");
+    });
+    assert!(schedules >= 1, "steal model explored no schedules");
+    assert!(
+        total_steals.load(std::sync::atomic::Ordering::Relaxed) > 0,
+        "no explored schedule ever exercised the steal handoff"
+    );
+}
+
 #[test]
 fn parallel_two_workers_heap_matches_sequential_on_every_schedule() {
     check_parallel(QueueKind::Heap);

@@ -361,6 +361,15 @@ pub struct SchedulerRecord {
     pub cross_shard_events: u64,
     /// Synchronization rounds (conservative windows or GVT epochs).
     pub rounds: u64,
+    /// LP blocks migrated between workers by work stealing
+    /// (conservative-async scheduler only).
+    pub steals: u64,
+    /// Total nanoseconds workers spent stalled waiting for peer horizons
+    /// to advance (conservative-async scheduler only).
+    pub horizon_stall_ns: u64,
+    /// Max observed gap between the most- and least-advanced published
+    /// safe-horizons (conservative-async scheduler only).
+    pub horizon_lag_max: u64,
     /// Max over epochs of (local minimum − GVT): how far ahead the most
     /// optimistic thread ran (optimistic scheduler only).
     pub max_gvt_lag_ns: u64,
@@ -388,6 +397,9 @@ impl SchedulerRecord {
             remote_events: 0,
             cross_shard_events: 0,
             rounds: 0,
+            steals: 0,
+            horizon_stall_ns: 0,
+            horizon_lag_max: 0,
             max_gvt_lag_ns: 0,
             end_time_ns: 0,
             wall_ns: 0,

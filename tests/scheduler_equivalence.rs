@@ -1,4 +1,4 @@
-//! Cross-scheduler determinism: all four PDES schedulers must produce
+//! Cross-scheduler determinism: all five PDES schedulers must produce
 //! bit-identical `SimResults` for the same model and seed, under either
 //! pending-event queue (binary heap or ladder). This is the contract
 //! that lets the harness sweep schedulers and queues freely — a parallel
@@ -101,6 +101,11 @@ fn all_schedulers_agree_bit_for_bit() {
             lookahead: SimDuration::from_ns(lookahead_ns),
         });
         assert_eq!(seq, par, "par:{threads}:{lookahead_ns} != sequential");
+        let asy = run(Scheduler::ConservativeAsync {
+            threads,
+            lookahead: SimDuration::from_ns(lookahead_ns),
+        });
+        assert_eq!(seq, asy, "async:{threads}:{lookahead_ns} != sequential");
     }
 }
 
@@ -116,6 +121,7 @@ fn queue_choice_never_changes_results() {
         Scheduler::Conservative(3),
         Scheduler::Optimistic(3),
         Scheduler::ConservativeParallel { threads: 3, lookahead: SimDuration::from_ns(100) },
+        Scheduler::ConservativeAsync { threads: 3, lookahead: SimDuration::from_ns(100) },
     ];
     for sched in scheds {
         for queue in [QueueKind::Heap, QueueKind::Ladder] {
@@ -158,6 +164,16 @@ fn parallel_run_survives_rescheduling_midway() {
     // Committed counts are per-leg; compare everything else.
     fp.committed = seq.committed;
     assert_eq!(seq, fp);
+
+    // Same contract for the barrier-free scheduler: pause at a bound,
+    // finish sequentially, and the observables must be untouched.
+    let mut sim = build_mix(QueueKind::default());
+    let asy = Scheduler::ConservativeAsync { threads: 3, lookahead: SimDuration::from_ns(100) };
+    sim.run(asy, SimTime::from_us(50));
+    let r = sim.run(Scheduler::Sequential, SimTime::MAX);
+    let mut fp = fingerprint(&r);
+    fp.committed = seq.committed;
+    assert_eq!(seq, fp, "async pause/resume diverged");
 }
 
 /// The shard dimension of the matrix: the same mix run as one
