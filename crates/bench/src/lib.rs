@@ -135,4 +135,41 @@ mod tests {
             (ratio - 1.0) * 100.0
         );
     }
+
+    /// The live metrics acceptance guard: the scheduler hot path pays a
+    /// single `Option` branch when no registry is attached, and batched
+    /// sharded-handle flushes every 8192 commits when one is. The
+    /// attached configuration is a strict superset of the detached one,
+    /// so bounding attached-vs-baseline under 2% bounds the detached
+    /// branch too. Run explicitly with
+    /// `cargo test -p union-bench --release -- --ignored overhead`.
+    #[test]
+    #[ignore = "timing-sensitive; run explicitly in release"]
+    fn live_metrics_overhead_under_two_percent() {
+        let time_one = |live: bool| {
+            let mut sim = phold(64);
+            if live {
+                sim.set_live(Some(Arc::new(telemetry::live::MetricsRegistry::new())));
+            }
+            let t0 = Instant::now();
+            let stats = sim.run_sequential(SimTime::MAX);
+            (t0.elapsed(), stats.committed)
+        };
+        time_one(false);
+        time_one(true);
+        let (mut off, mut on) = (std::time::Duration::MAX, std::time::Duration::MAX);
+        for _ in 0..20 {
+            let (d_off, c_off) = time_one(false);
+            let (d_on, c_on) = time_one(true);
+            assert_eq!(c_off, c_on, "live metrics changed the event count");
+            off = off.min(d_off);
+            on = on.min(d_on);
+        }
+        let ratio = on.as_secs_f64() / off.as_secs_f64();
+        assert!(
+            ratio < 1.02,
+            "live metrics overhead {:.2}% exceeds 2% (on={on:?}, off={off:?})",
+            (ratio - 1.0) * 100.0
+        );
+    }
 }

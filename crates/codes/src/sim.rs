@@ -66,6 +66,7 @@ pub struct SimulationBuilder {
     jobs: Vec<JobSpec>,
     telemetry: Option<Arc<telemetry::Recorder>>,
     tracer: Option<Arc<ross::Tracer>>,
+    live: Option<Arc<telemetry::live::MetricsRegistry>>,
 }
 
 impl SimulationBuilder {
@@ -81,6 +82,7 @@ impl SimulationBuilder {
             jobs: Vec::new(),
             telemetry: None,
             tracer: None,
+            live: None,
         }
     }
 
@@ -97,6 +99,14 @@ impl SimulationBuilder {
     /// names with each rank's final state.
     pub fn tracer(mut self, tracer: Arc<ross::Tracer>) -> Self {
         self.tracer = Some(tracer);
+        self
+    }
+
+    /// Attach a live metrics registry: schedulers stream engine metrics
+    /// at their sync cadence and the harvest publishes per-app progress
+    /// gauges (`app_ops{app="..."}` and friends).
+    pub fn live(mut self, reg: Arc<telemetry::live::MetricsRegistry>) -> Self {
+        self.live = Some(reg);
         self
     }
 
@@ -203,10 +213,17 @@ impl SimulationBuilder {
         sim.set_partition(Partition::from_blocks(partition_blocks(&shared.topo)));
         sim.set_telemetry(self.telemetry.clone());
         sim.set_tracer(self.tracer.clone());
+        sim.set_live(self.live.clone());
         for lp in start_lps {
             sim.schedule(lp, SimTime::ZERO, Event::Start);
         }
-        let codes = CodesSim { sim, shared, telemetry: self.telemetry, tracer: self.tracer };
+        let codes = CodesSim {
+            sim,
+            shared,
+            telemetry: self.telemetry,
+            tracer: self.tracer,
+            live: self.live,
+        };
         codes.stage_trace_names();
         Ok(codes)
     }
@@ -336,6 +353,7 @@ pub struct CodesSim {
     shared: Arc<Shared>,
     telemetry: Option<Arc<telemetry::Recorder>>,
     tracer: Option<Arc<ross::Tracer>>,
+    live: Option<Arc<telemetry::live::MetricsRegistry>>,
 }
 
 /// Per-application outcome.
@@ -469,6 +487,12 @@ impl CodesSim {
         self.sim.set_tracer(tracer.clone());
         self.tracer = tracer;
         self.stage_trace_names();
+    }
+
+    /// Attach (or detach) a live metrics registry after construction.
+    pub fn set_live(&mut self, live: Option<Arc<telemetry::live::MetricsRegistry>>) {
+        self.sim.set_live(live.clone());
+        self.live = live;
     }
 
     /// Stage kind names and app/rank-aware LP track names for the next
@@ -626,6 +650,21 @@ impl CodesSim {
             }
         }
         let _ = napps;
+        if let Some(reg) = &self.live {
+            // Per-app progress for the live endpoint. Gauges, not
+            // counters: the harvest publishes final per-run values (and
+            // multi-run experiments overwrite, which is the live-view
+            // semantic we want — "where is this app now").
+            for a in &apps {
+                let label = |m: &str| format!("{m}{{app=\"{}\"}}", a.name);
+                reg.gauge(&label("app_ops")).set(a.ops_executed);
+                reg.gauge(&label("app_bytes_sent")).set(a.bytes_sent);
+                reg.gauge(&label("app_ranks")).set(a.finished_at_ns.len() as u64);
+                reg.gauge(&label("app_ranks_finished"))
+                    .set(a.finished_at_ns.iter().filter(|f| f.is_some()).count() as u64);
+                reg.gauge(&label("app_makespan_ns")).set(a.makespan_ns().unwrap_or(0));
+            }
+        }
         if let Some(rec) = &self.telemetry {
             net.apps = apps
                 .iter()

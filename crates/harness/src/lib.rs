@@ -6,6 +6,7 @@
 //! results.
 
 pub mod lint;
+pub mod live;
 pub mod report;
 pub mod shard;
 pub mod sweep;

@@ -60,9 +60,10 @@ fn main() {
         "trace" => trace_cmd(rest),
         "phold" => phold_cmd(rest),
         "mix" => mix_cmd(rest),
+        "top" => top_cmd(rest),
         _ => {
             eprintln!(
-                "usage: union-exp <table1|table2|validate|fig7|fig8|fig9|table6|all|skeleton|lint|trace|phold|mix> [opts]\n\
+                "usage: union-exp <table1|table2|validate|fig7|fig8|fig9|table6|all|skeleton|lint|trace|phold|mix|top> [opts]\n\
                  sweep opts: --profile quick|paper  --iters N  --scale N  --seed N\n\
                  \x20           --sched seq|cons:T|opt:T[:B:I]|par:T:L|async:T:L  (T threads,\n\
                  \x20           L ns lookahead, B batch, I snapshot interval)\n\
@@ -78,9 +79,14 @@ fn main() {
                  phold opts: --sched seq|shard:N:T:L  --lps N  --horizon-us U  --seed N\n\
                  \x20           --queue heap|ladder  --until-us U  --checkpoint FILE[:EVERY_US]\n\
                  \x20           --restore FILE  --shard-no-verify  --telemetry FILE\n\
+                 \x20           --live ADDR [--live-hold MS] [--live-interval MS]\n\
+                 \x20           (exposition endpoint: GET /metrics Prometheus text,\n\
+                 \x20           /snapshot JSON; gang runs serve one aggregated endpoint)\n\
                  mix opts:   --sched seq|shard:N:T:L  --workload W  --net 1d|2d\n\
                  \x20           --placement RN|RR|RG  --routing MIN|ADP  [sweep opts]\n\
-                 \x20           --shard-no-verify  --telemetry FILE"
+                 \x20           --shard-no-verify  --telemetry FILE  --live ADDR\n\
+                 top:        union-exp top ADDR|FILE  (live summary table from a\n\
+                 \x20           running endpoint or a snapshot JSONL file)"
             );
             std::process::exit(2);
         }
@@ -528,7 +534,8 @@ fn trace_cmd(rest: &[String]) {
         std::process::exit(1);
     });
     if runs.is_empty() {
-        println!("{path}: no runs recorded");
+        // Diagnostic, not analysis output: stdout stays machine-clean.
+        eprintln!("{path}: no runs recorded");
         return;
     }
     let analyses: Vec<harness::RunAnalysis> = runs.iter().map(harness::analyze).collect();
@@ -755,6 +762,130 @@ fn single_run_telemetry_finish(telem: Option<(std::sync::Arc<telemetry::Recorder
     eprintln!("wrote {path} ({} records)", rec.len());
 }
 
+/// Parse `--live ADDR [--live-hold MS] [--live-interval MS]`.
+fn parse_live_flags(rest: &[String]) -> Option<harness::live::LiveOpts> {
+    let i = rest.iter().position(|a| a == "--live")?;
+    let Some(addr) = rest.get(i + 1) else {
+        eprintln!("union-exp: flag --live needs a bind address (e.g. 127.0.0.1:0)");
+        std::process::exit(2);
+    };
+    Some(harness::live::LiveOpts {
+        addr: addr.clone(),
+        hold_ms: opt(rest, "--live-hold", 0),
+        interval_ms: opt(rest, "--live-interval", 250),
+    })
+}
+
+/// Registry + sampler + exposition endpoint for a single-process
+/// `--live` run. [`LivePlane::finish`] is the orderly teardown: final
+/// exact snapshot, optional hold for scrapers, endpoint shutdown.
+struct LivePlane {
+    registry: std::sync::Arc<telemetry::live::MetricsRegistry>,
+    sampler: Option<telemetry::live::Sampler>,
+    server: telemetry::live::Server,
+    hold_ms: u64,
+}
+
+fn live_plane_start(lo: &harness::live::LiveOpts) -> LivePlane {
+    use telemetry::live::{MetricsRegistry, MetricsSource, Sampler, Server};
+    let registry = std::sync::Arc::new(MetricsRegistry::new());
+    let server =
+        Server::bind(&lo.addr, MetricsSource::Registry(registry.clone())).unwrap_or_else(|e| {
+            eprintln!("union-exp: cannot bind live endpoint `{}`: {e}", lo.addr);
+            std::process::exit(2);
+        });
+    eprintln!("live endpoint on http://{}/metrics", server.local_addr());
+    let sampler = Sampler::start(
+        registry.clone(),
+        std::time::Duration::from_millis(lo.interval_ms.max(1)),
+        harness::live::RING_CAP,
+        None,
+    );
+    LivePlane { registry, sampler: Some(sampler), server, hold_ms: lo.hold_ms }
+}
+
+impl LivePlane {
+    /// Stop sampling (the stop takes one final snapshot, so the ring's
+    /// last entry has exact end-of-run totals), append the ring to the
+    /// telemetry stream when one is attached, hold, shut down.
+    fn finish(mut self, telemetry: Option<&telemetry::Recorder>) {
+        if let Some(s) = self.sampler.take() {
+            let ring = s.stop();
+            if let Some(rec) = telemetry {
+                for snap in &ring {
+                    rec.emit(snap);
+                }
+            }
+        }
+        if self.hold_ms > 0 {
+            std::thread::sleep(std::time::Duration::from_millis(self.hold_ms));
+        }
+        self.server.shutdown();
+    }
+}
+
+/// Gang aggregator + exposition endpoint on the launcher: workers stream
+/// snapshots over the control socket, this endpoint serves the merged
+/// view (counter-sum, gauge-max, histogram-merge).
+struct GangLivePlane {
+    agg: std::sync::Arc<telemetry::live::GangAggregator>,
+    server: telemetry::live::Server,
+    hold_ms: u64,
+}
+
+fn gang_live_start(lo: &harness::live::LiveOpts) -> GangLivePlane {
+    use telemetry::live::{GangAggregator, MetricsSource, Server};
+    let agg = std::sync::Arc::new(GangAggregator::new());
+    let server = Server::bind(&lo.addr, MetricsSource::Gang(agg.clone())).unwrap_or_else(|e| {
+        eprintln!("union-exp: cannot bind live endpoint `{}`: {e}", lo.addr);
+        std::process::exit(2);
+    });
+    eprintln!("live endpoint on http://{}/metrics (gang-aggregated)", server.local_addr());
+    GangLivePlane { agg, server, hold_ms: lo.hold_ms }
+}
+
+impl GangLivePlane {
+    /// Record the final merged snapshot, hold for scrapers, shut down.
+    fn finish(self, telemetry: Option<&telemetry::Recorder>) {
+        if let Some(rec) = telemetry {
+            rec.emit(&self.agg.aggregate());
+        }
+        if self.hold_ms > 0 {
+            std::thread::sleep(std::time::Duration::from_millis(self.hold_ms));
+        }
+        self.server.shutdown();
+    }
+}
+
+/// `union-exp top ADDR|FILE` — one-screen summary of a live run: from a
+/// running endpoint's `/snapshot` route, or from the last snapshot
+/// record in a JSONL file written by `--telemetry` + `--live`.
+fn top_cmd(rest: &[String]) {
+    let Some(target) = rest.first() else {
+        eprintln!("usage: union-exp top ADDR|FILE");
+        std::process::exit(2);
+    };
+    let snap = if std::path::Path::new(target).exists() {
+        let text = std::fs::read_to_string(target).unwrap_or_else(|e| {
+            eprintln!("union-exp: cannot read `{target}`: {e}");
+            std::process::exit(2);
+        });
+        harness::live::last_snapshot_in_jsonl(&text).unwrap_or_else(|| {
+            eprintln!("union-exp: no snapshot records in `{target}`");
+            std::process::exit(1);
+        })
+    } else if target.contains(':') {
+        harness::live::fetch_snapshot(target).unwrap_or_else(|e| {
+            eprintln!("union-exp: {e}");
+            std::process::exit(1);
+        })
+    } else {
+        eprintln!("union-exp: `{target}` is neither a readable file nor an ADDR:PORT");
+        std::process::exit(2);
+    };
+    print!("{}", harness::live::render_top(&snap));
+}
+
 /// `union-exp phold` — the sharding/checkpoint demonstration model: a
 /// deterministic PHOLD whose full state (explicit RNG included) is
 /// checkpointable. `--sched shard:N:T:L` runs it across N OS processes;
@@ -779,6 +910,7 @@ fn phold_cmd(rest: &[String]) {
     let params = PholdParams { lps, horizon_ns: horizon_us * 1_000, seed, queue };
     let until = if until_us == 0 { ross::SimTime::MAX } else { ross::SimTime::from_us(until_us) };
     let (checkpoint, restore) = parse_checkpoint_flags(rest);
+    let live_opts = parse_live_flags(rest);
     let sched = opt_str(rest, "--sched", "seq");
 
     let spec = match ShardSpec::parse(sched) {
@@ -808,6 +940,10 @@ fn phold_cmd(rest: &[String]) {
         // Single process. Checkpoint/restore still work: they ride on the
         // sharded runner's GVT fence, so route through a 1-shard mesh.
         let mut sim = shard::build_phold(&params);
+        let live = live_opts.as_ref().map(live_plane_start);
+        if let Some(lp) = &live {
+            sim.set_live(Some(lp.registry.clone()));
+        }
         let stats = if checkpoint.is_some() || restore.is_some() {
             let mut mesh = ross::shard::loopback_mesh::<u64>(1);
             let mut t = mesh.pop().expect("1-shard mesh");
@@ -832,6 +968,9 @@ fn phold_cmd(rest: &[String]) {
         };
         println!("phold fingerprint {:016x}", shard::phold_fingerprint(&sim, 0, 1));
         println!("phold committed {}", stats.committed);
+        if let Some(lp) = live {
+            lp.finish(None);
+        }
         return;
     };
 
@@ -844,6 +983,19 @@ fn phold_cmd(rest: &[String]) {
             let (mut link, listener) = shard::WorkerLink::connect(me, n, &ctrl)?;
             let peers = link.peers()?;
             let rec = std::sync::Arc::new(telemetry::Recorder::new());
+            // Workers never bind an endpoint: they stream snapshots to
+            // the launcher over the control socket instead.
+            let live_reg = live_opts
+                .as_ref()
+                .map(|_| std::sync::Arc::new(telemetry::live::MetricsRegistry::new()));
+            let sampler = live_opts.as_ref().zip(live_reg.as_ref()).map(|(lo, reg)| {
+                telemetry::live::Sampler::start(
+                    reg.clone(),
+                    std::time::Duration::from_millis(lo.interval_ms.max(1)),
+                    harness::live::RING_CAP,
+                    Some(link.snapshot_sink()),
+                )
+            });
             let out = shard::phold_worker_run(
                 me,
                 n,
@@ -855,7 +1007,13 @@ fn phold_cmd(rest: &[String]) {
                 restore.clone(),
                 until,
                 Some(rec.clone()),
+                live_reg,
             );
+            // Stop before reporting: the stop tick streams the exact
+            // end-of-run snapshot ahead of the report line.
+            if let Some(s) = sampler {
+                s.stop();
+            }
             let report = match out {
                 Ok((fingerprint, stats)) => harness::shard::WorkerReport {
                     shard: me as u64,
@@ -893,11 +1051,16 @@ fn phold_cmd(rest: &[String]) {
 
     // Launcher.
     let telem = single_run_telemetry("phold", rest, seed);
-    let outcome = harness::shard::launch_gang(&spec, telem.as_ref().map(|(r, _)| r.as_ref()))
-        .unwrap_or_else(|e| {
-            eprintln!("union-exp: {e}");
-            std::process::exit(1);
-        });
+    let gang_live = live_opts.as_ref().map(gang_live_start);
+    let outcome = harness::shard::launch_gang(
+        &spec,
+        telem.as_ref().map(|(r, _)| r.as_ref()),
+        gang_live.as_ref().map(|g| g.agg.as_ref()),
+    )
+    .unwrap_or_else(|e| {
+        eprintln!("union-exp: {e}");
+        std::process::exit(1);
+    });
     for r in &outcome.reports {
         eprintln!(
             "shard {}: committed {} cross-shard {} rounds {}",
@@ -937,6 +1100,9 @@ fn phold_cmd(rest: &[String]) {
             );
             std::process::exit(1);
         }
+    }
+    if let Some(g) = gang_live {
+        g.finish(telem.as_ref().map(|(r, _)| r.as_ref()));
     }
     single_run_telemetry_finish(telem);
 }
@@ -1043,6 +1209,7 @@ fn mix_cmd(rest: &[String]) {
     let m = parse_mix(rest);
     let until_us: u64 = opt(rest, "--until-us", 0);
     let until = if until_us == 0 { ross::SimTime::MAX } else { ross::SimTime::from_us(until_us) };
+    let live_opts = parse_live_flags(rest);
     let sched = opt_str(rest, "--sched", "seq");
 
     let spec = match ShardSpec::parse(sched) {
@@ -1061,6 +1228,10 @@ fn mix_cmd(rest: &[String]) {
     let Some(spec) = spec else {
         let telem = single_run_telemetry("mix", rest, m.seed);
         let mut sim = build_mix(&m, telem.as_ref().map(|(r, _)| r.clone()));
+        let live = live_opts.as_ref().map(live_plane_start);
+        if let Some(lp) = &live {
+            sim.set_live(Some(lp.registry.clone()));
+        }
         let results = sim.run(Scheduler::Sequential, until);
         for a in &results.apps {
             if a.failed() {
@@ -1077,6 +1248,9 @@ fn mix_cmd(rest: &[String]) {
         }
         println!("mix fingerprint {:016x}", sim.state_fingerprint());
         println!("mix committed {}", results.stats.committed);
+        if let Some(lp) = live {
+            lp.finish(telem.as_ref().map(|(r, _)| r.as_ref()));
+        }
         single_run_telemetry_finish(telem);
         return;
     };
@@ -1127,6 +1301,18 @@ fn mix_cmd(rest: &[String]) {
             let peers = link.peers()?;
             let rec = std::sync::Arc::new(telemetry::Recorder::new());
             let mut sim = build_mix(&m, Some(rec.clone()));
+            let live_reg = live_opts
+                .as_ref()
+                .map(|_| std::sync::Arc::new(telemetry::live::MetricsRegistry::new()));
+            let sampler = live_opts.as_ref().zip(live_reg.as_ref()).map(|(lo, reg)| {
+                telemetry::live::Sampler::start(
+                    reg.clone(),
+                    std::time::Duration::from_millis(lo.interval_ms.max(1)),
+                    harness::live::RING_CAP,
+                    Some(link.snapshot_sink()),
+                )
+            });
+            sim.set_live(live_reg);
             let mut transport = ross::shard::TcpTransport::mesh(
                 me,
                 listener,
@@ -1140,6 +1326,10 @@ fn mix_cmd(rest: &[String]) {
                 ross::SimDuration::from_ns(spec.lookahead_ns),
                 until,
             );
+            // Exact final snapshot streams before the report line.
+            if let Some(s) = sampler {
+                s.stop();
+            }
             let report = match out {
                 Ok(stats) => harness::shard::WorkerReport {
                     shard: me as u64,
@@ -1177,11 +1367,16 @@ fn mix_cmd(rest: &[String]) {
 
     // Launcher.
     let telem = single_run_telemetry("mix", rest, m.seed);
-    let outcome = harness::shard::launch_gang(&spec, telem.as_ref().map(|(r, _)| r.as_ref()))
-        .unwrap_or_else(|e| {
-            eprintln!("union-exp: {e}");
-            std::process::exit(1);
-        });
+    let gang_live = live_opts.as_ref().map(gang_live_start);
+    let outcome = harness::shard::launch_gang(
+        &spec,
+        telem.as_ref().map(|(r, _)| r.as_ref()),
+        gang_live.as_ref().map(|g| g.agg.as_ref()),
+    )
+    .unwrap_or_else(|e| {
+        eprintln!("union-exp: {e}");
+        std::process::exit(1);
+    });
     for r in &outcome.reports {
         eprintln!(
             "shard {}: committed {} cross-shard {} rounds {}",
@@ -1205,6 +1400,9 @@ fn mix_cmd(rest: &[String]) {
             );
             std::process::exit(1);
         }
+    }
+    if let Some(g) = gang_live {
+        g.finish(telem.as_ref().map(|(r, _)| r.as_ref()));
     }
     single_run_telemetry_finish(telem);
 }

@@ -188,6 +188,23 @@ pub fn fig8(label: &str, window_ns: u64, series: &metrics::TimeSeries, names: &[
 pub fn telemetry_summary(rec: &telemetry::Recorder) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "Telemetry — {} records, {} dropped", rec.len(), rec.dropped());
+    // Degraded-capture warnings must be impossible to miss in the
+    // summary: dropped records mean the cap was hit, serialization
+    // errors mean some records silently turned into trailer notes.
+    if rec.dropped() > 0 {
+        let _ = writeln!(
+            out,
+            "WARNING: {} telemetry records dropped at the record cap — totals below undercount",
+            rec.dropped()
+        );
+    }
+    if rec.serialization_errors() > 0 {
+        let _ = writeln!(
+            out,
+            "WARNING: {} records failed to serialize and were replaced by trailer notes",
+            rec.serialization_errors()
+        );
+    }
     let _ = writeln!(
         out,
         "| Scheduler | Thr | Queue | Committed | Rolled back | Anti | Annihilated | Rounds | \

@@ -16,7 +16,9 @@
 //!    data-mesh listener address;
 //! 2. parent → worker  `{"peers": ["ip:port", ...]}` — all `N` data
 //!    addresses in shard order;
-//! 3. worker → parent  one [`WorkerReport`] line, then exit.
+//! 3. worker → parent  zero or more `{"record":"snapshot", ...}` live
+//!    metric snapshots (when the gang runs with `--live`), then one
+//!    [`WorkerReport`] line, then exit.
 //!
 //! A worker that dies mid-run (crash, fault injection) closes its
 //! control connection; the parent then kills the rest of the gang and
@@ -32,8 +34,9 @@ use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::process::{Child, Command, Stdio};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
+use telemetry::live::{GangAggregator, SnapshotRecord, SnapshotSink};
 
 /// Environment of a spawned worker process.
 pub const ENV_ROLE: &str = "UNION_SHARD_ROLE";
@@ -133,10 +136,13 @@ fn write_line(stream: &mut TcpStream, line: &str) -> std::io::Result<()> {
 // Worker side
 // ---------------------------------------------------------------------------
 
-/// A worker's connection to the launcher.
+/// A worker's connection to the launcher. The writer is shared: the
+/// live sampler thread streams snapshot lines through it concurrently
+/// with (strictly before, by the sampler-stop ordering) the final
+/// report, and the mutex keeps lines whole.
 pub struct WorkerLink {
     reader: BufReader<TcpStream>,
-    writer: TcpStream,
+    writer: Arc<Mutex<TcpStream>>,
     pub me: usize,
     pub n: usize,
 }
@@ -155,14 +161,17 @@ impl WorkerLink {
         let listener = TcpListener::bind("127.0.0.1:0")
             .map_err(|e| format!("shard {me}: cannot bind data listener: {e}"))?;
         let addr = listener.local_addr().map_err(|e| e.to_string())?;
-        let writer = stream.try_clone().map_err(|e| e.to_string())?;
-        let mut link = WorkerLink { reader: BufReader::new(stream), writer, me, n };
+        let writer = Arc::new(Mutex::new(stream.try_clone().map_err(|e| e.to_string())?));
+        let link = WorkerLink { reader: BufReader::new(stream), writer, me, n };
         let hello = serde::Value::Object(vec![
             ("hello".to_string(), serde::Value::UInt(me as u64)),
             ("addr".to_string(), serde::Value::Str(addr.to_string())),
         ]);
-        write_line(&mut link.writer, &serde_json::to_string(&hello).expect("hello json"))
-            .map_err(|e| format!("shard {me}: hello failed: {e}"))?;
+        write_line(
+            &mut link.writer.lock().expect("control writer"),
+            &serde_json::to_string(&hello).expect("hello json"),
+        )
+        .map_err(|e| format!("shard {me}: hello failed: {e}"))?;
         Ok((link, listener))
     }
 
@@ -189,8 +198,21 @@ impl WorkerLink {
     /// launcher is already gone there is nobody left to tell.
     pub fn report(&mut self, report: &WorkerReport) {
         if let Ok(json) = serde_json::to_string(report) {
-            let _ = write_line(&mut self.writer, &json);
+            let _ = write_line(&mut self.writer.lock().expect("control writer"), &json);
         }
+    }
+
+    /// A sampler sink streaming every snapshot to the launcher as one
+    /// JSONL line. Send failures are swallowed: a gang with a dead
+    /// launcher is already doomed, and the run's correctness never
+    /// depends on live metrics arriving.
+    pub fn snapshot_sink(&self) -> SnapshotSink {
+        let writer = Arc::clone(&self.writer);
+        Box::new(move |snap: &SnapshotRecord| {
+            if let Ok(json) = serde_json::to_string(snap) {
+                let _ = write_line(&mut writer.lock().expect("control writer"), &json);
+            }
+        })
     }
 }
 
@@ -220,10 +242,13 @@ fn kill_all(children: &mut [Child]) {
 
 /// Spawn `spec.shards` copies of this binary with the same argv, broker
 /// the data mesh, and collect one report per worker. `telemetry`
-/// receives every worker's telemetry lines in shard order.
+/// receives every worker's telemetry lines in shard order; `live`
+/// ingests the snapshot lines workers stream mid-run so one endpoint
+/// observes the whole gang.
 pub fn launch_gang(
     spec: &ShardSpec,
     telemetry: Option<&telemetry::Recorder>,
+    live: Option<&GangAggregator>,
 ) -> Result<GangOutcome, String> {
     let listener =
         TcpListener::bind("127.0.0.1:0").map_err(|e| format!("cannot bind control socket: {e}"))?;
@@ -252,7 +277,7 @@ pub fn launch_gang(
         }
     }
 
-    let out = broker_and_collect(spec, &listener, &mut children);
+    let out = broker_and_collect(spec, &listener, &mut children, live);
     if out.is_err() {
         kill_all(&mut children);
     } else {
@@ -280,10 +305,12 @@ pub fn launch_gang(
 
 /// Accept all workers, relay the peer list, and gather reports. Any
 /// worker dying (connection EOF before its report) fails the gang.
+/// Snapshot lines arriving before a worker's report go to `live`.
 fn broker_and_collect(
     spec: &ShardSpec,
     listener: &TcpListener,
     children: &mut [Child],
+    live: Option<&GangAggregator>,
 ) -> Result<Vec<WorkerReport>, String> {
     listener.set_nonblocking(true).map_err(|e| e.to_string())?;
     // Accept one control connection per worker; poll child liveness so a
@@ -357,15 +384,29 @@ fn broker_and_collect(
             .map(|(i, c)| {
                 let (reader, _) = c.as_mut().expect("all conns collected");
                 scope.spawn(move || -> Result<WorkerReport, String> {
+                    // Drain the stream: snapshot lines feed the gang
+                    // aggregator, the first non-snapshot line is the
+                    // worker's final report.
                     let mut line = String::new();
-                    let n = reader
-                        .read_line(&mut line)
-                        .map_err(|e| format!("shard {i}: report read failed: {e}"))?;
-                    if n == 0 {
-                        return Err(format!("shard {i} died before reporting"));
+                    loop {
+                        line.clear();
+                        let n = reader
+                            .read_line(&mut line)
+                            .map_err(|e| format!("shard {i}: report read failed: {e}"))?;
+                        if n == 0 {
+                            return Err(format!("shard {i} died before reporting"));
+                        }
+                        if let Ok(snap) = serde_json::from_str::<SnapshotRecord>(line.trim()) {
+                            if snap.record == "snapshot" {
+                                if let Some(agg) = live {
+                                    agg.ingest(i as u64, snap);
+                                }
+                                continue;
+                            }
+                        }
+                        return serde_json::from_str::<WorkerReport>(line.trim())
+                            .map_err(|e| format!("shard {i}: bad report: {e}"));
                     }
-                    serde_json::from_str::<WorkerReport>(line.trim())
-                        .map_err(|e| format!("shard {i}: bad report: {e}"))
                 })
             })
             .collect();
@@ -514,10 +555,12 @@ pub fn phold_worker_run(
     restore: Option<PathBuf>,
     until: SimTime,
     telemetry: Option<Arc<telemetry::Recorder>>,
+    live: Option<Arc<telemetry::live::MetricsRegistry>>,
 ) -> Result<(u64, RunStats), ShardError> {
     let mut transport = TcpTransport::mesh(me, listener, peers, Arc::new(PholdCodec))?;
     let mut sim = build_phold(params);
     sim.set_telemetry(telemetry);
+    sim.set_live(live);
     let fault = fault_kill_after_ckpt().filter(|&f| f == me);
     let die = |_gvt: u64| die_hard();
     let opts = ShardRun {

@@ -240,6 +240,7 @@ impl<L: Lp> Simulation<L> {
             .map(|tr| (std::sync::Arc::clone(tr), tr.open_run("conservative-async", n_threads)));
         let timing = telem_on || trace_run.is_some();
         let thread_records: Mutex<Vec<telemetry::ThreadRecord>> = Mutex::new(Vec::new());
+        let live_handles = crate::live::LiveHandles::from_sim(&self.live, n_threads);
 
         // Wakeup channels: worker t owns rx[t]; every worker holds a clone
         // of every tx.
@@ -282,15 +283,18 @@ impl<L: Lp> Simulation<L> {
                 let results = &results;
                 let thread_records = &thread_records;
                 let trace_run = &trace_run;
+                let live_handles = &live_handles;
                 scope.spawn(move || {
                     let leader = t == 0;
                     let mut tbuf = trace_run.as_ref().map(|(tr, run)| tr.buf(*run, t as u32));
-                    // Dekker wake: the parker stores its flag and then
-                    // re-checks; we make our change, then swap the flag —
-                    // whichever side acted second sees the other.
-                    // The load before the swap keeps the running-peer case
-                    // (flag clear) free of an RMW; the handshake only needs
-                    // the swap when the flag reads set.
+                    let mut tap = live_handles.as_ref().map(|h| h.tap(t));
+                    let mut live_flushed = (0u64, 0u64); // (committed, remote)
+                                                         // Dekker wake: the parker stores its flag and then
+                                                         // re-checks; we make our change, then swap the flag —
+                                                         // whichever side acted second sees the other.
+                                                         // The load before the swap keeps the running-peer case
+                                                         // (flag clear) free of an RMW; the handshake only needs
+                                                         // the swap when the flag reads set.
                     let wake = |k: usize| {
                         if parked[k].load(Ordering::SeqCst)
                             && parked[k].swap(false, Ordering::SeqCst)
@@ -575,6 +579,9 @@ impl<L: Lp> Simulation<L> {
                                     sent.fetch_add(n_ev, Ordering::SeqCst);
                                 }
                                 steals_total.fetch_add(gids.len() as u64, Ordering::SeqCst);
+                                if let Some(tp) = tap.as_mut() {
+                                    tp.steal(gids.len() as u64);
+                                }
                                 migrations[thief].push(Migration {
                                     gids,
                                     lps: mlps,
@@ -816,6 +823,23 @@ impl<L: Lp> Simulation<L> {
                         }
                         local_lag = local_lag.max(peer_max.saturating_sub(published));
 
+                        // Live flush: barrier-free, so cadence is committed
+                        // volume rather than rounds. One branch per outer
+                        // iteration when detached.
+                        if let Some(tp) = tap.as_mut() {
+                            if local_committed - live_flushed.0 >= crate::live::FLUSH_EVERY {
+                                tp.commit(local_committed - live_flushed.0);
+                                tp.remote(local_remote - live_flushed.1);
+                                live_flushed = (local_committed, local_remote);
+                                if leader {
+                                    tp.gvt(published.min(bound));
+                                }
+                                tp.lag(local_lag);
+                                tp.queue_depth(queue.len() as u64);
+                                tp.flush();
+                            }
+                        }
+
                         if progressed {
                             idle_spins = 0;
                             continue 'outer;
@@ -883,6 +907,18 @@ impl<L: Lp> Simulation<L> {
                             std::hint::spin_loop();
                             continue 'outer;
                         }
+                        // About to go quiet: flush whatever the volume
+                        // cadence has not pushed yet, so a parked gang
+                        // still exposes exact cumulative counts.
+                        if let Some(tp) = tap.as_mut() {
+                            if local_committed > live_flushed.0 || local_remote > live_flushed.1 {
+                                tp.commit(local_committed - live_flushed.0);
+                                tp.remote(local_remote - live_flushed.1);
+                                live_flushed = (local_committed, local_remote);
+                                tp.queue_depth(queue.len() as u64);
+                                tp.flush();
+                            }
+                        }
                         // Park. Flag first, then re-check every wake
                         // condition (Dekker handshake with the wakers).
                         // Idle non-leaders nudge the leader so the final
@@ -944,6 +980,13 @@ impl<L: Lp> Simulation<L> {
                         // in steady state; conditions are re-read at the
                         // loop top regardless.
                         while rx.try_recv().is_ok() {}
+                    }
+                    if let Some(tp) = tap.as_mut() {
+                        tp.commit(local_committed - live_flushed.0);
+                        tp.remote(local_remote - live_flushed.1);
+                        tp.lag(local_lag);
+                        tp.pool_high_water(queue.pool_stats().high_water);
+                        tp.flush();
                     }
                     committed.fetch_add(local_committed, Ordering::SeqCst);
                     remote.fetch_add(local_remote, Ordering::SeqCst);

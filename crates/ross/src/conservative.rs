@@ -94,6 +94,7 @@ impl<L: Lp> Simulation<L> {
             .map(|tr| (std::sync::Arc::clone(tr), tr.open_run("conservative", n_threads)));
         let timing = telem_on || trace_run.is_some();
         let thread_records: Mutex<Vec<telemetry::ThreadRecord>> = Mutex::new(Vec::new());
+        let live_handles = crate::live::LiveHandles::from_sim(&self.live, n_threads);
 
         // Split LPs and meta into disjoint per-thread slices.
         let mut lp_slices: Vec<&mut [L]> = Vec::with_capacity(n_threads);
@@ -131,9 +132,12 @@ impl<L: Lp> Simulation<L> {
                 let leftovers = &leftovers;
                 let thread_records = &thread_records;
                 let trace_run = &trace_run;
+                let live_handles = &live_handles;
                 scope.spawn(move || {
                     let base = ranges[t].start;
                     let mut tbuf = trace_run.as_ref().map(|(tr, run)| tr.buf(*run, t as u32));
+                    let mut tap = live_handles.as_ref().map(|h| h.tap(t));
+                    let mut live_flushed = 0u64;
                     let mut out: Vec<Outgoing<L::Event>> = Vec::with_capacity(8);
                     let mut local_committed = 0u64;
                     let mut local_rounds = 0u64;
@@ -210,6 +214,18 @@ impl<L: Lp> Simulation<L> {
                         if let Some(t0) = t0 {
                             busy_ns += t0.elapsed().as_nanos() as u64;
                         }
+                        // Live flush once per window: committed delta,
+                        // window floor (leader), local queue depth.
+                        if let Some(tp) = tap.as_mut() {
+                            tp.commit(local_committed - live_flushed);
+                            live_flushed = local_committed;
+                            if t == 0 {
+                                tp.round();
+                                tp.gvt(gmin);
+                            }
+                            tp.queue_depth(queue.len() as u64);
+                            tp.flush();
+                        }
                         // All sends for this round must be visible before the
                         // next round's mailbox drain.
                         let t0 = timing.then(std::time::Instant::now);
@@ -220,6 +236,11 @@ impl<L: Lp> Simulation<L> {
                                 b.end_span(crate::trace::SpanKind::Barrier, t0);
                             }
                         }
+                    }
+                    if let Some(tp) = tap.as_mut() {
+                        tp.commit(local_committed - live_flushed);
+                        tp.pool_high_water(queue.pool_stats().high_water);
+                        tp.flush();
                     }
                     committed.fetch_add(local_committed, Ordering::Relaxed);
                     rounds.fetch_max(local_rounds, Ordering::Relaxed);

@@ -88,6 +88,9 @@ pub struct Simulation<L: Lp> {
     /// Causal tracer; every scheduler records per-event causality and
     /// phase spans into it when set.
     pub(crate) tracer: Option<std::sync::Arc<crate::trace::Tracer>>,
+    /// Live metrics registry; every scheduler streams counters, gauges,
+    /// and histograms into it at sync-point cadence when set.
+    pub(crate) live: Option<std::sync::Arc<telemetry::live::MetricsRegistry>>,
 }
 
 impl<L: Lp> Simulation<L> {
@@ -114,6 +117,7 @@ impl<L: Lp> Simulation<L> {
             partition: None,
             telemetry: None,
             tracer: None,
+            live: None,
         }
     }
 
@@ -158,6 +162,22 @@ impl<L: Lp> Simulation<L> {
     /// The attached tracer, if any.
     pub fn tracer(&self) -> Option<&std::sync::Arc<crate::trace::Tracer>> {
         self.tracer.as_ref()
+    }
+
+    /// Attach (or detach) a live metrics registry
+    /// ([`telemetry::live::MetricsRegistry`]). When set, every scheduler
+    /// streams its counters/gauges/histograms into the registry at its
+    /// synchronization cadence (windows, rounds, GVT epochs, or every few
+    /// thousand events on the sequential path) so an exposition endpoint
+    /// can observe the run in flight. With `None` (the default) the cost
+    /// is a single branch at those same coarse points.
+    pub fn set_live(&mut self, live: Option<std::sync::Arc<telemetry::live::MetricsRegistry>>) {
+        self.live = live;
+    }
+
+    /// The attached live registry, if any.
+    pub fn live(&self) -> Option<&std::sync::Arc<telemetry::live::MetricsRegistry>> {
+        self.live.as_ref()
     }
 
     /// Install a co-location hint for
@@ -234,10 +254,12 @@ impl<L: Lp> Simulation<L> {
         let mut stats = RunStats::default();
         let mut out: Vec<Outgoing<L::Event>> = Vec::with_capacity(8);
         let mut clock = SimTime::ZERO;
+        let mut flushed_committed = 0u64;
         let mut tbuf = self.tracer.as_ref().map(|tr| {
             let run = tr.open_run("sequential", 1);
             tr.buf(run, 0)
         });
+        let mut tap = crate::live::LiveHandles::from_sim(&self.live, 1).map(|h| h.tap(0));
 
         // Pop directly instead of peek-clone-pop: the one event that lands
         // beyond `until` is pushed back, every committed event moves once.
@@ -313,6 +335,18 @@ impl<L: Lp> Simulation<L> {
                     _ => break,
                 }
             }
+            // Live flush at batch granularity, never per event: one branch
+            // per outer iteration keeps the detached cost inside the <2%
+            // overhead gate.
+            if let Some(t) = tap.as_mut() {
+                t.commit(stats.committed - flushed_committed);
+                flushed_committed = stats.committed;
+                if t.pending_committed() >= crate::live::FLUSH_EVERY {
+                    t.gvt(clock.as_ns());
+                    t.queue_depth(self.pending.len() as u64);
+                    t.flush();
+                }
+            }
             // And one full event of distance: the outer loop pops the next
             // event immediately, so the event *after* it is the one whose
             // LP state has a whole handler's worth of time to arrive.
@@ -328,6 +362,14 @@ impl<L: Lp> Simulation<L> {
         stats.rounds = 1;
         stats.end_time = clock;
         stats.wall_seconds = start.elapsed().as_secs_f64();
+        if let Some(t) = tap.as_mut() {
+            t.commit(stats.committed - flushed_committed);
+            t.round();
+            t.gvt(clock.as_ns());
+            t.queue_depth(self.pending.len() as u64);
+            t.pool_high_water(self.pending.pool_stats().high_water);
+            t.flush();
+        }
         let wall_ns = start.elapsed().as_nanos() as u64;
         if let (Some(tr), Some(buf)) = (self.tracer.as_ref(), tbuf) {
             let run = buf.run();

@@ -67,6 +67,7 @@ mod asynchronous;
 mod conservative;
 mod engine;
 mod event;
+mod live;
 mod lp;
 mod mailbox;
 mod optimistic;

@@ -296,6 +296,7 @@ impl<L: Lp + Clone> Simulation<L> {
             .map(|tr| (std::sync::Arc::clone(tr), tr.open_run("optimistic", n_threads)));
         let timing = telem_on || trace_run.is_some();
         let thread_records: Mutex<Vec<telemetry::ThreadRecord>> = Mutex::new(Vec::new());
+        let live_handles = crate::live::LiveHandles::from_sim(&self.live, n_threads);
 
         // Move LP state into per-thread runtimes.
         let mut rts_per_thread: Vec<Vec<LpRt<L>>> = Vec::with_capacity(n_threads);
@@ -341,8 +342,13 @@ impl<L: Lp + Clone> Simulation<L> {
                 let outcomes = &outcomes;
                 let thread_records = &thread_records;
                 let trace_run = &trace_run;
+                let live_handles = &live_handles;
                 scope.spawn(move || {
                     let mut tbuf = trace_run.as_ref().map(|(tr, run)| tr.buf(*run, t as u32));
+                    let mut tap = live_handles.as_ref().map(|h| h.tap(t));
+                    // (committed-at-GVT, rolled, rollbacks, anti) already
+                    // pushed into the live registry.
+                    let mut live_flushed = [0u64; 4];
                     let base_lp = ranges[t].start;
                     let mut tombstones: HashSet<EventUid> = HashSet::new();
                     let mut scratch: Vec<Outgoing<L::Event>> = Vec::with_capacity(8);
@@ -477,12 +483,18 @@ impl<L: Lp + Clone> Simulation<L> {
                         // below it. Rollback targets are never below GVT,
                         // so the fence always covers them.
                         let fossil_t0 = tbuf.as_ref().map(|_| std::time::Instant::now());
+                        let mut live_cum = 0u64;
                         for rt in rts.iter_mut() {
                             let mut i = rt.processed.len();
                             while i > 0 && rt.processed[i - 1].env.recv_time.0 >= gvt {
                                 i -= 1;
                             }
+                            // Events strictly below GVT are committed for
+                            // good: `abs_keep` summed over LPs is this
+                            // thread's exact, monotone committed count —
+                            // what the live plane reports mid-run.
                             let abs_keep = rt.base + i as u64;
+                            live_cum += abs_keep;
                             while rt.snapshots.front().map(|s| s.at <= abs_keep).unwrap_or(false) {
                                 rt.fence = rt.snapshots.pop_front().unwrap();
                             }
@@ -494,6 +506,30 @@ impl<L: Lp + Clone> Simulation<L> {
                         }
                         if let (Some(b), Some(t0)) = (tbuf.as_mut(), fossil_t0) {
                             b.end_span(SpanKind::Fossil, t0);
+                        }
+                        // Live flush once per GVT epoch. Committed counts
+                        // only events at or below GVT (monotone even under
+                        // rollback); rollback/anti counters flush deltas.
+                        if let Some(tp) = tap.as_mut() {
+                            tp.commit(live_cum.saturating_sub(live_flushed[0]));
+                            tp.roll_back(
+                                stats.rolled - live_flushed[1],
+                                stats.rollbacks - live_flushed[2],
+                            );
+                            tp.anti_message(stats.anti - live_flushed[3]);
+                            live_flushed = [
+                                live_cum.max(live_flushed[0]),
+                                stats.rolled,
+                                stats.rollbacks,
+                                stats.anti,
+                            ];
+                            if t == 0 {
+                                tp.round();
+                                tp.gvt(gvt);
+                            }
+                            tp.lag(stats.gvt_lag_max);
+                            tp.queue_depth(queue.len() as u64);
+                            tp.flush();
                         }
 
                         // ---- speculative processing batch ----
@@ -602,6 +638,19 @@ impl<L: Lp + Clone> Simulation<L> {
                     }
 
                     let committed: u64 = rts.iter().map(|rt| rt.meta.processed).sum();
+                    if let Some(tp) = tap.as_mut() {
+                        // At termination everything processed is committed;
+                        // flush the remainder above the last fossil point.
+                        tp.commit(committed.saturating_sub(live_flushed[0]));
+                        tp.roll_back(
+                            stats.rolled - live_flushed[1],
+                            stats.rollbacks - live_flushed[2],
+                        );
+                        tp.anti_message(stats.anti - live_flushed[3]);
+                        tp.lag(stats.gvt_lag_max);
+                        tp.pool_high_water(queue.pool_stats().high_water);
+                        tp.flush();
+                    }
                     if let (Some((tr, _)), Some(b)) = (trace_run.as_ref(), tbuf) {
                         tr.submit(b);
                     }

@@ -154,6 +154,7 @@ impl<L: Lp> Simulation<L> {
             .map(|tr| (std::sync::Arc::clone(tr), tr.open_run("conservative-parallel", n_threads)));
         let timing = telem_on || trace_run.is_some();
         let thread_records: Mutex<Vec<telemetry::ThreadRecord>> = Mutex::new(Vec::new());
+        let live_handles = crate::live::LiveHandles::from_sim(&self.live, n_threads);
 
         // Per-thread return slots (LPs, meta, leftover events).
         type ThreadResult<L, E> = (Vec<L>, Vec<LpMeta>, Vec<Envelope<E>>);
@@ -185,8 +186,11 @@ impl<L: Lp> Simulation<L> {
                 let panic_payload = &panic_payload;
                 let thread_records = &thread_records;
                 let trace_run = &trace_run;
+                let live_handles = &live_handles;
                 scope.spawn(move || {
                     let mut tbuf = trace_run.as_ref().map(|(tr, run)| tr.buf(*run, t as u32));
+                    let mut tap = live_handles.as_ref().map(|h| h.tap(t));
+                    let mut live_flushed = (0u64, 0u64); // (committed, remote)
                     let mut inbox: Vec<Vec<Envelope<L::Event>>> = Vec::new();
                     // Per-destination outgoing chunk buffers plus a pool of
                     // spare (empty, capacity-carrying) chunk vectors.
@@ -349,6 +353,19 @@ impl<L: Lp> Simulation<L> {
                         if let Some(t0) = t0 {
                             busy_ns += t0.elapsed().as_nanos() as u64;
                         }
+                        // Live flush once per window: committed/remote
+                        // deltas, window floor (leader), local queue depth.
+                        if let Some(tp) = tap.as_mut() {
+                            tp.commit(local_committed - live_flushed.0);
+                            tp.remote(local_remote - live_flushed.1);
+                            live_flushed = (local_committed, local_remote);
+                            if t == 0 {
+                                tp.round();
+                                tp.gvt(gmin);
+                            }
+                            tp.queue_depth(queue.len() as u64);
+                            tp.flush();
+                        }
                         // Flush partial chunks — unconditionally, even on a
                         // violation or model panic, so no buffered event is
                         // ever stranded in this worker's locals.
@@ -371,6 +388,12 @@ impl<L: Lp> Simulation<L> {
                                 b.end_span(crate::trace::SpanKind::Barrier, t0);
                             }
                         }
+                    }
+                    if let Some(tp) = tap.as_mut() {
+                        tp.commit(local_committed - live_flushed.0);
+                        tp.remote(local_remote - live_flushed.1);
+                        tp.pool_high_water(queue.pool_stats().high_water);
+                        tp.flush();
                     }
                     committed.fetch_add(local_committed, Ordering::Relaxed);
                     remote.fetch_add(local_remote, Ordering::Relaxed);

@@ -348,6 +348,7 @@ impl<L: Lp> Simulation<L> {
         let lookahead = self.lookahead;
         let telem_on = self.telemetry.is_some();
         let thread_records: Mutex<Vec<telemetry::ThreadRecord>> = Mutex::new(Vec::new());
+        let live_handles = crate::live::LiveHandles::from_sim(&self.live, n_threads);
         let codec = opts.codec;
         let ckpt_on = opts.checkpoint.is_some();
 
@@ -397,9 +398,12 @@ impl<L: Lp> Simulation<L> {
                 let violated = &violated;
                 let violation = &violation;
                 let thread_records = &thread_records;
+                let live_handles = &live_handles;
                 #[cfg(union_check)]
                 let gvt_oracle = &gvt_oracle;
                 scope.spawn(move || {
+                    let mut tap = live_handles.as_ref().map(|h| h.tap(t));
+                    let mut live_flushed = (0u64, 0u64); // (remote, cross)
                     let mut inbox: Vec<Envelope<L::Event>> = Vec::new();
                     // Per-destination-shard chunk buffers: cross-shard
                     // sends take the outbox lock once per chunk, not once
@@ -567,6 +571,14 @@ impl<L: Lp> Simulation<L> {
                         // (barrier A orders it); the checkpoint metadata
                         // needs the committed count at the cut.
                         committed.fetch_add(window_committed, Ordering::Relaxed);
+                        if let Some(tp) = tap.as_mut() {
+                            tp.commit(window_committed);
+                            tp.remote(local_remote - live_flushed.0);
+                            tp.cross_shard(local_cross - live_flushed.1);
+                            live_flushed = (local_remote, local_cross);
+                            tp.queue_depth(queue.len() as u64);
+                            tp.flush();
+                        }
                     }
                     remote.fetch_add(local_remote, Ordering::Relaxed);
                     cross.fetch_add(local_cross, Ordering::Relaxed);
@@ -584,6 +596,12 @@ impl<L: Lp> Simulation<L> {
                     queue_ops.fetch_add(queue.ops(), Ordering::Relaxed);
                     queue_max_len.fetch_max(queue.max_len(), Ordering::Relaxed);
                     let ps = queue.pool_stats();
+                    if let Some(tp) = tap.as_mut() {
+                        tp.remote(local_remote - live_flushed.0);
+                        tp.cross_shard(local_cross - live_flushed.1);
+                        tp.pool_high_water(ps.high_water);
+                        tp.flush();
+                    }
                     pool_high_water.fetch_max(ps.high_water, Ordering::Relaxed);
                     pool_recycled.fetch_add(ps.recycled, Ordering::Relaxed);
                     let mut leftover: Vec<Envelope<L::Event>> = Vec::new();
@@ -593,6 +611,7 @@ impl<L: Lp> Simulation<L> {
             }
 
             // ------------------------------------------------------- leader
+            let mut leader_tap = live_handles.as_ref().map(|h| h.tap(0));
             let mut epoch = 0u64;
             let mut sent_total = 0u64;
             let mut recv_total = 0u64;
@@ -684,6 +703,15 @@ impl<L: Lp> Simulation<L> {
                 ckpt_a.store(do_ckpt, Ordering::Release);
                 if !done {
                     rounds += 1;
+                }
+                if let Some(tp) = leader_tap.as_mut() {
+                    if gvt != u64::MAX {
+                        tp.gvt(gvt);
+                    }
+                    if !done {
+                        tp.round();
+                    }
+                    tp.flush();
                 }
                 barrier.wait(); // (C)
                 if do_ckpt {

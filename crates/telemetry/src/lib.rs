@@ -23,6 +23,8 @@
 //! record of a harness run is always the [`ManifestRecord`], so an
 //! experiment is reproducible from its telemetry file alone.
 
+pub mod live;
+
 use parking_lot::Mutex;
 use serde::Serialize;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -294,6 +296,9 @@ pub struct ManifestRecord {
     pub sched: String,
     /// `git describe --always --dirty` of the working tree, or `unknown`.
     pub git: String,
+    /// Logical cores on the host that produced this file — per-thread
+    /// busy/blocked numbers are meaningless without it.
+    pub host_cores: u64,
     /// Free-form configuration summary (profile, networks, workloads...).
     pub config: serde::Value,
 }
@@ -307,6 +312,7 @@ impl ManifestRecord {
             seed,
             sched: sched.to_string(),
             git: git.to_string(),
+            host_cores: std::thread::available_parallelism().map(|n| n.get() as u64).unwrap_or(1),
             config: serde::Value::Null,
         }
     }
